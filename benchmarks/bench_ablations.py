@@ -1,0 +1,187 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+The paper attributes its node-level speedup to specific algorithmic
+choices (Section 3.1: even-odd decomposition and related sum-
+factorization optimizations give "1.5x-2x compared to previous
+results"; Section 3.4: degree-3 Chebyshev smoothing, degree-bisection
+p-coarsening, single-precision V-cycles).  Each ablation toggles one
+choice on the real implementation and reports its effect.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import bifurcation_forest, dg_laplace_setup, emit
+
+from repro.core.sum_factorization import TensorProductKernel
+from repro.perf.flops import laplace_flops
+from repro.perf.measure import measure_throughput
+from repro.solvers import HybridMultigridPreconditioner, conjugate_gradient
+
+
+def test_ablation_even_odd(benchmark):
+    """Even-odd decomposition: Flop counts always halve; wall-clock gains
+    appear once the 1D products dominate (large batches / high degree)."""
+    rng = np.random.default_rng(0)
+    rows = []
+    n_cells = 4000
+    for k in (2, 3, 5):
+        u = rng.standard_normal((n_cells,) + (k + 1,) * 3)
+        dense = TensorProductKernel(k, use_even_odd=False)
+        eo = TensorProductKernel(k, use_even_odd=True)
+        r_dense = measure_throughput(lambda: dense.gradients(u), u.size, repetitions=5)
+        r_eo = measure_throughput(lambda: eo.gradients(u), u.size, repetitions=5)
+        f_dense = laplace_flops(k, even_odd=False)
+        f_eo = laplace_flops(k, even_odd=True)
+        rows.append((k, r_dense.best_seconds, r_eo.best_seconds,
+                     f_dense.cell / f_eo.cell))
+    benchmark(lambda: TensorProductKernel(3, use_even_odd=True).gradients(
+        rng.standard_normal((1000, 4, 4, 4))))
+
+    lines = ["Ablation: even-odd decomposition of the 1D kernels",
+             "",
+             f"{'k':>2} {'dense [ms]':>11} {'even-odd [ms]':>14} {'Flop ratio':>11} {'time ratio':>11}"]
+    for k, td, te, fr in rows:
+        lines.append(f"{k:>2} {td*1e3:>11.2f} {te*1e3:>14.2f} {fr:>11.2f} {td/te:>11.2f}")
+    lines.append("")
+    lines.append("(paper: 1.5-2x speedup from Flop-minimizing optimizations on")
+    lines.append(" AVX-512.  In NumPy the fold/recombine steps cost extra array")
+    lines.append(" passes that outweigh the halved multiplications at these")
+    lines.append(" sizes — which is why TensorProductKernel defaults to the")
+    lines.append(" dense path and keeps even-odd as a validated option: the")
+    lines.append(" optimization is ISA-level, not expressible in vector Python.)")
+    emit("ablation_even_odd", "\n".join(lines))
+
+    # the analytic Flop reduction: ~2x for even 1D sizes (odd k), modest
+    # for odd sizes (even k) — the parity effect visible in Figure 7
+    for k, _, _, fr in rows:
+        assert fr > (1.4 if (k + 1) % 2 == 0 else 1.05)
+    # wall-clock: NumPy overhead makes even-odd slower here; bound the
+    # regression so the option stays usable
+    for _, td, te, _ in rows:
+        assert te < 8.0 * td
+
+
+def test_ablation_collocation(benchmark):
+    """Change-of-basis cell kernels: 6 tensor sweeps instead of 9 for
+    values+gradients (Section 3.1's second Flop optimization)."""
+    rng = np.random.default_rng(1)
+    rows = []
+    for k in (2, 3, 5):
+        u = rng.standard_normal((4000,) + (k + 1,) * 3)
+        std = TensorProductKernel(k)
+        col = TensorProductKernel(k, use_collocation=True)
+        r_std = measure_throughput(lambda: std.values_and_gradients(u), u.size,
+                                   repetitions=5)
+        r_col = measure_throughput(lambda: col.values_and_gradients(u), u.size,
+                                   repetitions=5)
+        f_std = laplace_flops(k)
+        f_col = laplace_flops(k, collocation=True)
+        rows.append((k, r_std.best_seconds, r_col.best_seconds,
+                     f_std.cell / f_col.cell))
+    benchmark(lambda: TensorProductKernel(3, use_collocation=True)
+              .values_and_gradients(rng.standard_normal((1000, 4, 4, 4))))
+
+    lines = ["Ablation: change-of-basis (collocation) cell kernels",
+             "",
+             f"{'k':>2} {'standard [ms]':>14} {'collocation [ms]':>17} {'Flop ratio':>11} {'time ratio':>11}"]
+    for k, ts, tc, fr in rows:
+        lines.append(f"{k:>2} {ts*1e3:>14.2f} {tc*1e3:>17.2f} {fr:>11.2f} {ts/tc:>11.2f}")
+    emit("ablation_collocation", "\n".join(lines))
+
+    # fewer sweeps -> fewer Flops, and (unlike even-odd) the NumPy path
+    # stays comparable since sweeps map 1:1 to matmuls (timing noise on a
+    # shared machine can still swing individual sizes either way)
+    for k, ts, tc, fr in rows:
+        assert fr > 1.1
+        assert tc < 1.8 * ts
+
+
+def _solve_with(mg_kwargs, levels=1):
+    forest = bifurcation_forest(levels=levels)
+    dof, geo, conn, op = dg_laplace_setup(forest, 3, dirichlet=(1, 2, 3))
+    mg = HybridMultigridPreconditioner(op, **mg_kwargs)
+    b = np.ones(dof.n_dofs)
+    t0 = time.perf_counter()
+    res = conjugate_gradient(op, b, mg, tol=1e-10, max_iter=80)
+    return res, time.perf_counter() - t0, mg
+
+
+def test_ablation_multigrid_choices(benchmark):
+    """Toggle the hybrid-multigrid ingredients one at a time."""
+    base, t_base, mg_base = _solve_with({})
+    sm1, t_sm1, _ = _solve_with({"smoother_degree": 1})
+    sm6, t_sm6, _ = _solve_with({"smoother_degree": 6})
+    dp, t_dp, _ = _solve_with({"precision": np.float64})
+    direct_p, t_direct, _ = _solve_with({"p_sequence": (3, 1)})
+    benchmark(lambda: mg_base.vmult(np.ones(mg_base.dg_op.n_dofs)))
+
+    lines = [
+        "Ablation: hybrid multigrid configuration (bifurcation, k=3, tol 1e-10)",
+        "",
+        f"{'variant':<34} {'CG its':>7} {'solve [s]':>10}",
+        f"{'baseline (Cheb-3, SP, bisection)':<34} {base.n_iterations:>7} {t_base:>10.2f}",
+        f"{'Chebyshev degree 1':<34} {sm1.n_iterations:>7} {t_sm1:>10.2f}",
+        f"{'Chebyshev degree 6':<34} {sm6.n_iterations:>7} {t_sm6:>10.2f}",
+        f"{'double-precision V-cycle':<34} {dp.n_iterations:>7} {t_dp:>10.2f}",
+        f"{'direct p-drop 3 -> 1':<34} {direct_p.n_iterations:>7} {t_direct:>10.2f}",
+    ]
+    emit("ablation_multigrid", "\n".join(lines))
+
+    assert base.converged and sm1.converged and sm6.converged
+    assert dp.converged and direct_p.converged
+    # weaker smoothing costs iterations; stronger smoothing saves them
+    assert sm1.n_iterations >= base.n_iterations
+    assert sm6.n_iterations <= base.n_iterations
+    # SP V-cycle does not change the count materially (Section 3.4)
+    assert abs(dp.n_iterations - base.n_iterations) <= 2
+    # skipping the intermediate p-level costs at most a few iterations
+    assert direct_p.n_iterations <= base.n_iterations + 6
+
+
+def test_ablation_penalty_factor(benchmark):
+    """SIP penalty scaling: too small loses coercivity on sheared
+    junction cells; larger factors trade conditioning."""
+    from repro.core.dof_handler import DGDofHandler
+    from repro.core.operators import DGLaplaceOperator
+    from repro.mesh.connectivity import build_connectivity
+    from repro.mesh.mapping import GeometryField
+    from repro.solvers import JacobiPreconditioner
+
+    forest = bifurcation_forest(levels=0)
+    geo = GeometryField(forest, 2)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, 2)
+    rows = []
+    for pf in (0.25, 2.5, 6.0):
+        op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1, 2, 3),
+                               penalty_factor=pf)
+        n = dof.n_dofs
+        A = np.empty((n, n))
+        for j in range(n):
+            e = np.zeros(n)
+            e[j] = 1.0
+            A[:, j] = op.vmult(e)
+        w = np.linalg.eigvalsh(0.5 * (A + A.T))
+        rows.append((pf, w.min(), w.max() / max(w.min(), 1e-30)))
+    benchmark(lambda: op.vmult(np.ones(dof.n_dofs)))
+
+    lines = ["Ablation: SIP penalty factor on the bifurcation (k=2)",
+             "",
+             f"{'factor':>7} {'min eigenvalue':>15} {'condition':>12}"]
+    for pf, lo, cond in rows:
+        lines.append(f"{pf:>7.1f} {lo:>15.3e} {cond:>12.3e}")
+    lines.append("")
+    lines.append("under-penalization is indefinite on sheared junction cells;")
+    lines.append("the default 2.5 is SPD at moderate conditioning cost")
+    emit("ablation_penalty", "\n".join(lines))
+
+    assert rows[0][1] < 0  # strongly under-penalized: indefinite
+    assert rows[1][1] > 0  # default: SPD
+    assert rows[2][1] > 0
+    assert rows[2][2] > rows[1][2]  # larger penalty worsens conditioning

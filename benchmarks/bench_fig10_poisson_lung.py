@@ -1,0 +1,117 @@
+"""Figure 10: the pressure Poisson solver on the lung geometry (g = 11,
+k = 3, tol 1e-10) — harder than the bifurcation: more CG iterations
+(21-22 vs 9; deformed patient-specific elements, difficult bifurcation
+angles, anisotropy), saturation at a *higher* wall-time, and a V-cycle
+whose latency budget at scale is dominated by the AMG coarse solve
+(18% / 13% / 26% / 45% across finest / second / intermediate / AMG at
+1024 nodes; 3.5e-3 s per BoomerAMG call).
+
+Measured: iteration counts of the real hybrid-MG solve on lung meshes of
+two sizes (Python scale, with local upper-airway refinement = hanging
+nodes).  Modeled: the paper-size scaling and the level-time breakdown.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import dg_laplace_setup, emit, lung_test_forest
+
+from repro.parallel.perfmodel import (
+    MultigridLevelSpec,
+    MultigridSolveModel,
+    multigrid_levels_from_preconditioner,
+)
+from repro.solvers import HybridMultigridPreconditioner, conjugate_gradient
+
+#: Figure 10 problem sizes (refine level -> DoF, k = 3 on the g=11 mesh)
+PAPER_SIZES = {0: 22e6, 1: 179e6, 2: 1.4e9, 3: 11.5e9}
+NODE_COUNTS = [2**i for i in range(4, 13)]
+
+
+def solve_lung(generations, refine):
+    lm = lung_test_forest(generations=generations, refine=refine)
+    dirichlet = tuple([1] + lm.outlet_ids)
+    dof, geo, conn, op = dg_laplace_setup(lm.forest, 3, dirichlet=dirichlet)
+    mg = HybridMultigridPreconditioner(op)
+    b = np.ones(dof.n_dofs)
+    res = conjugate_gradient(op, b, mg, tol=1e-10, max_iter=80)
+    return dof, conn, mg, res
+
+
+def test_fig10_poisson_lung(benchmark):
+    dof_s, conn_s, mg_s, res_s = solve_lung(2, 0)
+    dof_l, conn_l, mg_l, res_l = solve_lung(3, 1)
+    assert res_s.converged and res_l.converged
+    benchmark(lambda: mg_l.vmult(np.ones(mg_l.dg_op.n_dofs)))
+
+    # model: scale the real lung MG hierarchy to the paper sizes
+    base_levels = multigrid_levels_from_preconditioner(mg_l)
+    n_its = max(res_s.n_iterations, res_l.n_iterations)
+    models = {}
+    for l, dofs in PAPER_SIZES.items():
+        scale = dofs / dof_l.n_dofs
+        models[l] = MultigridSolveModel(
+            levels=[
+                MultigridLevelSpec(n_dofs=ls.n_dofs * scale, matvecs=ls.matvecs,
+                                   degree=ls.degree)
+                for ls in base_levels
+            ],
+            amg_time=3.5e-3,
+            face_orientation_overhead=0.25,
+        )
+
+    lines = [
+        "Figure 10: Poisson solver on the lung geometry, k=3, tol 1e-10",
+        "",
+        "measured (this reproduction, hanging-node lung meshes):",
+        f"{'mesh':>16} {'DoF':>9} {'hanging faces':>14} {'CG its':>7} {'MG levels':>10}",
+        f"{'lung g=2':>16} {dof_s.n_dofs:>9} {conn_s.n_hanging_faces:>14} {res_s.n_iterations:>7} {mg_s.n_levels:>10}",
+        f"{'lung g=3 + ref':>16} {dof_l.n_dofs:>9} {conn_l.n_hanging_faces:>14} {res_l.n_iterations:>7} {mg_l.n_levels:>10}",
+        "",
+        "paper: 21-22 CG iterations (vs 9 on the bifurcation)",
+        "",
+        "modeled scaling on SuperMUC-NG (solve wall-time [s]):",
+        f"{'nodes':>6} | " + " ".join(f"l={l} ({PAPER_SIZES[l]/1e6:.0f}M)".rjust(16) for l in PAPER_SIZES),
+    ]
+    for p in NODE_COUNTS:
+        lines.append(
+            f"{p:>6} | " + " ".join(
+                f"{models[l].solve_time(n_its, p):>16.3e}" for l in PAPER_SIZES
+            )
+        )
+    # level breakdown of the 179M case at 1024 vs 64 nodes
+    for p in (64, 1024):
+        parts = models[1].vcycle_level_times(p)
+        total = sum(parts)
+        top = parts[0] / total
+        second = parts[1] / total if len(parts) > 2 else 0.0
+        amg = parts[-1] / total
+        middle = 1.0 - top - second - amg
+        lines += [
+            "",
+            f"V-cycle budget, 179M DoF on {p} nodes "
+            f"(paper at 1024: 18%/13%/26%/45%):",
+            f"  finest level {top:5.1%} | second {second:5.1%} | "
+            f"intermediate {middle:5.1%} | AMG coarse {amg:5.1%}",
+        ]
+    emit("fig10_poisson_lung", "\n".join(lines))
+
+    # shape (i): iterations stay bounded; the paper's lung case needs
+    # 21-22 (vs 9 on the bifurcation) — the geometric difficulty shows as
+    # a moderate, size-stable count, not divergence
+    assert res_l.n_iterations <= 45
+    assert abs(res_l.n_iterations - res_s.n_iterations) <= 12
+    # shape (ii): AMG dominates the V-cycle at scale (paper: 45% at 1024)
+    parts = models[1].vcycle_level_times(1024)
+    assert parts[-1] / sum(parts) > 0.3
+    # shape (iii): at small node counts the two finest levels dominate
+    parts64 = models[1].vcycle_level_times(64)
+    assert (parts64[0] + parts64[1]) / sum(parts64) > 0.5
+    # shape (iv): the small case cannot scale below ~0.1 s (paper: the
+    # 22M case saturates at 0.1 s/solve)
+    t22 = [models[0].solve_time(n_its, p) for p in NODE_COUNTS]
+    assert 0.03 < min(t22) < 0.4

@@ -1,0 +1,101 @@
+"""Figure 9: combined strong/weak scaling of the pressure Poisson solver
+on the generic bifurcation (k = 3, tolerance 1e-10).
+
+Measured part: the *actual* hybrid-multigrid-preconditioned CG solve on
+the bifurcation at Python scale — the paper's central solver claim is
+the size-independent iteration count (9 CG iterations for all levels
+l = 3..6), which we verify directly on two refinement levels.
+
+Modeled part: the per-level DoF counts of l = 3..6 (15M to 7.9G DoF)
+drive the calibrated SuperMUC-NG multigrid model: strong scaling is
+near-ideal down to ~0.1 s, and weak scaling (8x problem on 8x nodes)
+stays flat.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import bifurcation_forest, dg_laplace_setup, emit
+
+from repro.parallel.perfmodel import (
+    MultigridLevelSpec,
+    MultigridSolveModel,
+    multigrid_levels_from_preconditioner,
+)
+from repro.solvers import HybridMultigridPreconditioner, conjugate_gradient
+
+#: paper problem sizes of Figure 9 (refinement level -> DoF, k = 3)
+PAPER_SIZES = {3: 15.3e6, 4: 123e6, 5: 982e6, 6: 7.9e9}
+NODE_COUNTS = [2**i for i in range(4, 13)]
+
+
+def solve_bifurcation(levels: int):
+    forest = bifurcation_forest(levels=levels)
+    dof, geo, conn, op = dg_laplace_setup(forest, 3, dirichlet=(1, 2, 3))
+    mg = HybridMultigridPreconditioner(op)
+    b = np.ones(dof.n_dofs)
+    res = conjugate_gradient(op, b, mg, tol=1e-10, max_iter=60)
+    return dof, mg, res
+
+
+def test_fig9_poisson_bifurcation(benchmark):
+    # measured iteration counts at two Python-scale sizes
+    dof0, mg0, res0 = solve_bifurcation(0)
+    dof1, mg1, res1 = solve_bifurcation(1)
+    assert res0.converged and res1.converged
+
+    benchmark(lambda: conjugate_gradient(
+        dof1 and mg1.dg_op, np.ones(mg1.dg_op.n_dofs), mg1, tol=1e-10, max_iter=60
+    ))
+
+    # model at paper sizes: scale the real level structure of the l=1 MG
+    lines = [
+        "Figure 9: Poisson solver on the generic bifurcation, k=3, tol 1e-10",
+        "",
+        "measured (this reproduction):",
+        f"{'refine':>7} {'DoF':>10} {'CG its':>7} {'MG levels':>10}",
+        f"{0:>7} {dof0.n_dofs:>10} {res0.n_iterations:>7} {mg0.n_levels:>10}",
+        f"{1:>7} {dof1.n_dofs:>10} {res1.n_iterations:>7} {mg1.n_levels:>10}",
+        "",
+        "paper: converges in 9 CG iterations for all l = 3..6",
+        "",
+        "modeled strong/weak scaling on SuperMUC-NG (solve wall-time [s]):",
+        f"{'nodes':>6} | " + " ".join(f"l={l} ({PAPER_SIZES[l]/1e6:.0f}M)".rjust(15) for l in PAPER_SIZES),
+    ]
+    n_its_model = max(res0.n_iterations, res1.n_iterations)
+    base_levels = multigrid_levels_from_preconditioner(mg1)
+    models = {}
+    for l, dofs in PAPER_SIZES.items():
+        scale = dofs / dof1.n_dofs
+        levels = [
+            MultigridLevelSpec(n_dofs=ls.n_dofs * scale, matvecs=ls.matvecs,
+                               degree=ls.degree)
+            for ls in base_levels
+        ]
+        models[l] = MultigridSolveModel(levels=levels, amg_time=3e-4)
+    rows = {}
+    for p in NODE_COUNTS:
+        cells = [f"{models[l].solve_time(n_its_model, p):>15.3e}" for l in PAPER_SIZES]
+        rows[p] = [models[l].solve_time(n_its_model, p) for l in PAPER_SIZES]
+        lines.append(f"{p:>6} | " + " ".join(cells))
+    emit("fig9_poisson_bifurcation", "\n".join(lines))
+
+    # shape (i): iteration count independent of the mesh size (paper: 9)
+    assert abs(res0.n_iterations - res1.n_iterations) <= 2
+    assert res1.n_iterations <= 16
+    # shape (ii): strong scaling reaches ~0.1 s for every size
+    for l in PAPER_SIZES:
+        tmin = min(models[l].solve_time(n_its_model, p) for p in NODE_COUNTS)
+        assert tmin < 0.3, l
+    # shape (iii): weak scaling flat: 8x dofs on 8x nodes within 50%
+    t_small = models[3].solve_time(n_its_model, 64)
+    t_big = models[4].solve_time(n_its_model, 512)
+    assert t_big < 1.6 * t_small
+    # shape (iv): strong scaling near-ideal early on: 4x nodes -> >2.5x faster
+    t1 = models[5].solve_time(n_its_model, 64)
+    t4 = models[5].solve_time(n_its_model, 256)
+    assert t1 / t4 > 2.5

@@ -1,0 +1,78 @@
+"""Table 1: the application-oriented performance metrics, including the
+"minimal wall-time per liter of tidal volume" whose purpose (Section 4)
+is to compare *different ventilation strategies*: conventional
+ventilation and high-frequency oscillatory ventilation (HFOV) differ by
+an order of magnitude in tidal volume and period, so hours-per-cycle is
+meaningless across them while hours-per-liter is invariant (Eq. (8):
+N_dt ~ V_T / D^3 depends on the tidal volume, not the period).
+
+Measured: the CFL-driven step-count model evaluated for both strategies
+on the same lung discretization; the invariance of h/l is asserted.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import emit
+
+from repro.lung.performance import (
+    estimate_cells,
+    estimate_seconds_per_step,
+    estimate_time_steps,
+    nodes_for_strong_scaling_limit,
+)
+
+#: (label, period [s], tidal volume [m^3], inhalation fraction)
+STRATEGIES = [
+    ("conventional (T=3s, VT=500ml)", 3.0, 500e-6, 1.0 / 3.0),
+    ("HFOV (f=5Hz, VT=60ml)", 0.2, 60e-6, 0.5),
+]
+
+
+def test_table1_application_metrics(benchmark):
+    g = 7
+    n_cells = estimate_cells(g)
+    n_nodes = nodes_for_strong_scaling_limit(n_cells)
+    sec_per_step = estimate_seconds_per_step(n_cells, n_nodes)
+    benchmark(lambda: estimate_time_steps(g))
+
+    lines = [
+        "Table 1: application metrics across ventilation strategies (g=7 model)",
+        "",
+        f"node-level metric:   DoF/s throughput (Figures 6-7)",
+        f"scalability metric:  minimal wall-time per step = {sec_per_step:.4f} s "
+        f"on {n_nodes} nodes (Figures 8-10)",
+        "",
+        f"{'strategy':<32} {'N_dt/cycle':>11} {'h/cycle':>8} {'h per liter':>12}",
+    ]
+    results = []
+    for label, period, vt, frac in STRATEGIES:
+        n_dt = estimate_time_steps(g, period=period, tidal_volume=vt,
+                                   inhalation_fraction=frac)
+        h_cycle = n_dt * sec_per_step / 3600.0
+        h_per_l = h_cycle / (vt / 1e-3)
+        results.append((label, n_dt, h_cycle, h_per_l))
+        lines.append(f"{label:<32} {n_dt:>11.2e} {h_cycle:>8.2f} {h_per_l:>12.1f}")
+    lines += [
+        "",
+        "h/cycle differs by the tidal-volume ratio; h/liter is (nearly)",
+        "invariant -> it allows comparing ventilation strategies (Eq. (8))",
+    ]
+    emit("table1_metrics", "\n".join(lines))
+
+    (l1, n1, hc1, hl1), (l2, n2, hc2, hl2) = results
+    vt_ratio = 500e-6 / 60e-6
+    # hours/cycle scales with the tidal volume (Eq. (8)) ...
+    assert 0.4 * vt_ratio < hc1 / hc2 < 2.5 * vt_ratio
+    # ... while hours/liter is invariant within a small factor
+    assert 0.4 < hl1 / hl2 < 2.5
+    # and the step count per cycle is period-independent at fixed V_T:
+    n_same_vt = estimate_time_steps(g, period=1.0, tidal_volume=500e-6,
+                                    inhalation_fraction=1.0 / 3.0)
+    n_ref = estimate_time_steps(g, period=3.0, tidal_volume=500e-6,
+                                inhalation_fraction=1.0 / 3.0)
+    assert np.isclose(n_same_vt, n_ref, rtol=1e-12)

@@ -1,0 +1,59 @@
+"""Table 3: minimum wall-time per time step of state-of-the-art
+high-order incompressible flow solvers in the strong-scaling limit.
+
+The literature rows are constants from the paper; the reproduction's row
+is the modeled strong-scaling limit of one dual-splitting step on the
+lung meshes (the same model validated against Table 2).  Shape claim:
+the reproduced solver's limit sits at a few times 1e-2 s — below the
+0.1 s of Nek5000/NekRS on Mira/Summit/Fugaku and in the range the paper
+reports for SuperMUC-NG (0.017 - 0.045 s)."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import emit
+
+from repro.lung.performance import estimate_seconds_per_step, lung_run_estimate
+
+#: Table 3 of the paper
+PAPER_TABLE3 = [
+    ("Offermans et al. [51]", "Mira (Power BQC)", 0.1, 0.1),
+    ("CEED MS35 [39]", "Summit (Nvidia V100)", 0.066, 0.1),
+    ("CEED MS36 [40]", "Fugaku (Fujitsu A64FX)", 0.1, 0.2),
+    ("Krank et al. [41]", "SuperMUC (Intel SB)", 0.05, 0.05),
+    ("Arndt et al. [6]", "SuperMUC-NG (Intel Sky)", 0.015, 0.03),
+    ("Kronbichler et al. (the paper)", "SuperMUC-NG (Intel Sky)", 0.017, 0.045),
+]
+
+
+def test_table3_state_of_the_art(benchmark):
+    ours = [lung_run_estimate(g) for g in (3, 7, 11)]
+    t_ours_min = min(e.seconds_per_step for e in ours)
+    t_ours_max = max(e.seconds_per_step for e in ours)
+    benchmark(lambda: estimate_seconds_per_step(3.5e5, 128))
+
+    lines = [
+        "Table 3: min. wall-time per time step, strong-scaling limit",
+        "",
+        f"{'publication':<34} {'supercomputer':<26} {'min t_wall/step [s]':>20}",
+    ]
+    for pub, hw, lo, hi in PAPER_TABLE3:
+        rng = f"{lo} - {hi}" if lo != hi else f"{lo}"
+        lines.append(f"{pub:<34} {hw:<26} {rng:>20}")
+    lines.append(
+        f"{'this reproduction (modeled)':<34} {'SuperMUC-NG model':<26} "
+        f"{f'{t_ours_min:.3f} - {t_ours_max:.3f}':>20}"
+    )
+    emit("table3_sota", "\n".join(lines))
+
+    # shape (i): our modeled limit undercuts the 0.1 s of the
+    # Nek5000/NekRS results (who-wins claim of the paper)
+    assert t_ours_max < 0.1
+    # shape (ii): it lands within the paper's own 0.017-0.045 s window
+    # up to a factor ~2
+    assert 0.008 < t_ours_min < 0.04
+    assert 0.02 < t_ours_max < 0.09

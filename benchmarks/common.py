@@ -1,0 +1,58 @@
+"""Shared helpers of the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation: it *measures* what can be measured at Python scale (real
+operator applications, real multigrid iteration counts, real mesh
+partitions) and *models* the SuperMUC-NG-scale numbers with the
+calibrated performance model, printing paper-vs-reproduction rows.
+Result tables are also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def lung_test_forest(generations: int = 3, refine: int = 0, seed: int = 0):
+    """A lung-like forest at Python scale (the paper's node-level numbers
+    use the g = 11 mesh; we use a smaller tree with the same structure)."""
+    from repro.lung import airway_tree_mesh, grow_airway_tree
+
+    lm = airway_tree_mesh(
+        grow_airway_tree(generations, seed=seed),
+        refine_upper_generations=refine,
+        max_refine_generation=1,
+    )
+    return lm
+
+
+def bifurcation_forest(levels: int = 0):
+    from repro.mesh.generators import bifurcation
+    from repro.mesh.octree import Forest
+
+    return Forest(bifurcation()).refine_all(levels)
+
+
+def dg_laplace_setup(forest, degree, dirichlet=(1,)):
+    from repro.core.dof_handler import DGDofHandler
+    from repro.core.operators import DGLaplaceOperator
+    from repro.mesh.connectivity import build_connectivity
+    from repro.mesh.mapping import GeometryField
+
+    geo = GeometryField(forest, degree)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, degree)
+    op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=dirichlet)
+    return dof, geo, conn, op

@@ -1,0 +1,58 @@
+"""Validation example: unsteady Navier-Stokes against the analytic
+Beltrami (Ethier-Steinman) solution.
+
+Runs the full dual-splitting solver — explicit convective step, hybrid-
+multigrid pressure Poisson solve with the consistent rotational Neumann
+boundary condition, implicit viscous step, and the divergence/continuity
+penalty step — and reports the velocity error and the second-order
+temporal convergence of the scheme (Eq. (1)-(5)).
+
+Run:  python examples/beltrami_flow.py
+"""
+
+import numpy as np
+
+from repro.mesh import Forest, box
+from repro.ns import (
+    BeltramiFlow,
+    BoundaryConditions,
+    IncompressibleNavierStokesSolver,
+    SolverSettings,
+    VelocityDirichlet,
+)
+
+
+def run_once(n_steps: int, degree: int = 4, nu: float = 0.1, t_end: float = 0.2):
+    mesh = box(subdivisions=(1, 1, 1), boundary_ids={i: 1 for i in range(6)})
+    forest = Forest(mesh).refine_all(1)
+    flow = BeltramiFlow(nu)
+    bcs = BoundaryConditions(
+        {1: VelocityDirichlet(lambda x, y, z, t: flow.velocity(x, y, z, t))}
+    )
+    solver = IncompressibleNavierStokesSolver(
+        forest, degree, nu, bcs, SolverSettings(solver_tolerance=1e-8)
+    )
+    solver.initialize(flow.velocity)
+    for _ in range(n_steps):
+        solver.step(t_end / n_steps)
+    err = solver.velocity_error_l2(flow.velocity, solver.scheme.t)
+    its = np.mean([s.pressure_iterations for s in solver.scheme.statistics])
+    return err, its, solver
+
+
+def main() -> None:
+    print("Beltrami flow, k=4 velocity / k=3 pressure, nu=0.1, T=0.2")
+    print(f"{'steps':>6} {'dt':>9} {'velocity L2 error':>18} {'rate':>6} {'p-iters':>8}")
+    prev = None
+    for n_steps in (8, 16, 32):
+        err, its, solver = run_once(n_steps)
+        rate = f"{np.log2(prev / err):.2f}" if prev else "   -"
+        print(f"{n_steps:>6} {0.2 / n_steps:>9.4f} {err:>18.3e} {rate:>6} {its:>8.1f}")
+        prev = err
+    print(f"\nfinal divergence (max |div u|): {solver.max_divergence():.3e}")
+    print("the >= 2nd-order decay demonstrates the J=2 dual splitting with")
+    print("the consistent pressure Neumann boundary condition")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Taylor-Green vortex on the periodic torus — the classical benchmark
+of the ExaDG under-resolved-turbulence lineage (Fehn et al. 2018), made
+possible by the translational periodic boundary support.
+
+The vortex transitions to turbulence; with implicit-LES DG (+ the
+divergence/continuity penalty stabilization) the kinetic energy decays
+monotonically and the enstrophy rises towards the transition peak even
+at strongly under-resolved Python-scale resolution.
+
+Run:  python examples/taylor_green.py
+"""
+
+import numpy as np
+
+from repro.mesh import Forest, box
+from repro.ns import (
+    BoundaryConditions,
+    FlowDiagnostics,
+    IncompressibleNavierStokesSolver,
+    SolverSettings,
+    TaylorGreenVortex3D,
+)
+
+
+def main() -> None:
+    L = np.pi  # the classical domain is (2 pi L)^3 with L = 1; use a
+    # [0, 2 pi]^3 box so the velocity is exactly periodic
+    mesh = box(
+        lower=(0, 0, 0), upper=(2 * np.pi, 2 * np.pi, 2 * np.pi),
+        subdivisions=(2, 2, 2),
+        boundary_ids={0: 10, 1: 11, 2: 20, 3: 21, 4: 30, 5: 31},
+    )
+    forest = Forest(mesh)
+    two_pi = 2 * np.pi
+    periodic = [
+        (10, 11, (two_pi, 0, 0)),
+        (20, 21, (0, two_pi, 0)),
+        (30, 31, (0, 0, two_pi)),
+    ]
+    Re = 100.0
+    nu = 1.0 / Re
+    solver = IncompressibleNavierStokesSolver(
+        forest, 3, nu, BoundaryConditions({}),
+        SolverSettings(solver_tolerance=1e-6, cfl=0.25),
+        periodic=periodic,
+    )
+    tgv = TaylorGreenVortex3D(V0=1.0, L=1.0)
+    solver.initialize(lambda x, y, z, t: tgv.velocity(x, y, z))
+    diag = FlowDiagnostics(solver.dof_u, solver.geo_u)
+
+    print(f"Taylor-Green vortex, Re = {Re:.0f}, fully periodic "
+          f"[0, 2pi]^3, {forest.n_cells} cells, k = 3 "
+          f"({solver.dof_u.n_dofs} velocity DoF)")
+    print(f"{'t':>6} {'kinetic energy':>15} {'enstrophy':>10} {'-dE/dt vs 2 nu Z':>18}")
+    e_prev, t_prev = diag.kinetic_energy(solver.velocity), 0.0
+    print(f"{0.0:>6.2f} {e_prev:>15.6f} {diag.enstrophy(solver.velocity):>10.4f}")
+    t_end = 5.0
+    next_report = 1.0
+    while solver.scheme.t < t_end - 1e-10:
+        solver.step()
+        if solver.scheme.t >= next_report - 1e-10:
+            e = diag.kinetic_energy(solver.velocity)
+            z = diag.enstrophy(solver.velocity)
+            dedt = -(e - e_prev) / (solver.scheme.t - t_prev)
+            print(f"{solver.scheme.t:>6.2f} {e:>15.6f} {z:>10.4f} "
+                  f"{dedt:>9.5f} vs {2 * nu * z:>7.5f}")
+            e_prev, t_prev = e, solver.scheme.t
+            next_report += 1.0
+
+    print("\nenergy decays monotonically; the dissipation rate tracks")
+    print("2 nu * enstrophy (exact for divergence-free fields) plus the")
+    print("numerical dissipation of the implicit-LES discretization")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Oscillatory duct flow — the pulsatile regime of ventilation.
+
+Drives a square duct with an oscillating pressure difference (the
+frequency regime of quiet breathing) and compares the quasi-steady flow
+amplitude and the phase lag against the low-Womersley-number expansion:
+for alpha^2 = omega a^2 / nu << 1 the flow follows the Poiseuille value
+of the instantaneous pressure gradient with a phase lag
+~ arctan(alpha^2 C) — the physics behind the windkessel time constants
+of the lung model.
+
+Run:  python examples/womersley_duct.py
+"""
+
+import numpy as np
+
+from repro.mesh import Forest, box
+from repro.ns import (
+    BoundaryConditions,
+    IncompressibleNavierStokesSolver,
+    PressureDirichlet,
+    SolverSettings,
+    poiseuille_square_duct_flow_rate,
+)
+
+
+def main() -> None:
+    a = 0.5  # duct half-width
+    L = 2.0
+    nu = 1.0
+    omega = 2 * np.pi  # forcing frequency
+    alpha2 = omega * a * a / nu
+    dp0 = 1.0
+
+    mesh = box(lower=(-a, -a, 0.0), upper=(a, a, L),
+               subdivisions=(2, 2, 3), boundary_ids={4: 1, 5: 2})
+    forest = Forest(mesh).refine_all(1)
+    bcs = BoundaryConditions({
+        1: PressureDirichlet(lambda x, y, z, t: np.full_like(
+            np.asarray(x, float), dp0 * np.sin(omega * t))),
+        2: PressureDirichlet(0.0),
+    })
+    solver = IncompressibleNavierStokesSolver(
+        forest, 2, nu, bcs, SolverSettings(solver_tolerance=1e-8, cfl=0.3,
+                                           dt_max=0.01),
+    )
+    solver.initialize()
+    print(f"square duct 2a={2*a}, L={L}, nu={nu}, omega={omega:.2f} "
+          f"(Womersley alpha^2 = {alpha2:.2f})")
+
+    # run two forcing periods, record the outlet flow
+    times, flows = [], []
+    t_end = 2.0
+    while solver.scheme.t < t_end - 1e-10:
+        solver.step(min(0.01, t_end - solver.scheme.t))
+        times.append(solver.scheme.t)
+        flows.append(solver.flow_rate(2))
+    times = np.array(times)
+    flows = np.array(flows)
+
+    # fit amplitude/phase on the second period
+    mask = times > 1.0
+    tt, qq = times[mask], flows[mask]
+    A = np.stack([np.sin(omega * tt), np.cos(omega * tt)], axis=1)
+    coef, *_ = np.linalg.lstsq(A, qq, rcond=None)
+    amp = float(np.hypot(*coef))
+    phase = float(np.arctan2(-coef[1], coef[0]))
+
+    q_poiseuille = poiseuille_square_duct_flow_rate(dp0 / L, a, nu)
+    print(f"\nfitted flow amplitude : {amp:.4e} m^3/s")
+    print(f"quasi-steady Poiseuille: {q_poiseuille:.4e} m^3/s "
+          f"(ratio {amp / q_poiseuille:.3f})")
+    print(f"phase lag              : {np.degrees(phase):.1f} deg "
+          f"(low-alpha limit: ~{np.degrees(np.arctan(alpha2 / 8)):.1f} deg scale)")
+    print("\nat alpha^2 = O(1) the amplitude stays near the quasi-steady value")
+    print("with a small phase lag — the regime assumed by the Poiseuille-based")
+    print("windkessel resistances of the lung model (Section 5.3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full reproduction pass: test suite, every table/figure benchmark, and
+# all runnable examples.  Outputs land in benchmarks/results/ and
+# reproduce_outputs/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p reproduce_outputs
+
+echo "== 1/3 test suite =="
+python -m pytest tests/ | tee reproduce_outputs/tests.txt
+
+echo "== 2/3 benchmarks (tables & figures) =="
+python -m pytest benchmarks/ --benchmark-only | tee reproduce_outputs/benchmarks.txt
+
+echo "== 3/3 examples =="
+for ex in quickstart beltrami_flow ventilated_lung strong_scaling_study \
+          womersley_duct gas_washin taylor_green; do
+  echo "--- examples/$ex.py ---"
+  python "examples/$ex.py" | tee "reproduce_outputs/example_$ex.txt"
+done
+
+echo
+echo "done; see benchmarks/results/ and reproduce_outputs/"

@@ -1,0 +1,17 @@
+"""repro: a Python reproduction of "A Next-Generation Discontinuous
+Galerkin Fluid Dynamics Solver with Application to High-Resolution Lung
+Airflow Simulations" (Kronbichler et al., SC '21).
+
+Subpackages
+-----------
+core      matrix-free sum-factorized DG operator evaluation
+mesh      unstructured hex meshes, forest-of-octrees refinement, mappings
+lung      airway-tree morphometry, hex mesh generation, ventilation models
+solvers   CG, Chebyshev/Jacobi smoothers, AMG, hybrid multigrid
+timeint   BDF dual-splitting scheme with adaptive CFL time stepping
+ns        the incompressible Navier-Stokes solver and analytic solutions
+parallel  Morton partitioning, ghost exchange, machine/performance models
+perf      Flop and memory-transfer models, throughput measurement
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small drivers over the library for the workflows a user reaches for
+first — a Poisson solve with the hybrid multigrid, the analytic
+Navier-Stokes validation, a ventilated-lung run, the scaling model, and
+airway-mesh generation with VTK export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def cmd_poisson(args) -> int:
+    from .core.dof_handler import DGDofHandler
+    from .core.operators import DGLaplaceOperator
+    from .mesh import Forest, GeometryField, box, build_connectivity
+    from .solvers import HybridMultigridPreconditioner, conjugate_gradient
+
+    mesh = box(subdivisions=(1, 1, 1), boundary_ids={i: 1 for i in range(6)})
+    forest = Forest(mesh).refine_all(args.refinements)
+    geo = GeometryField(forest, args.degree)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, args.degree)
+    op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
+    print(f"Poisson: {forest.n_cells} cells, {dof.n_dofs} DoF, k={args.degree}")
+    mg = HybridMultigridPreconditioner(op)
+    print(mg.describe())
+    b = op.assemble_rhs(f=lambda x, y, z: np.ones_like(x),
+                        dirichlet=lambda x, y, z: 0.0 * x)
+    res = conjugate_gradient(op, b, mg, tol=args.tolerance)
+    print(f"converged: {res.converged} in {res.n_iterations} iterations "
+          f"(reduction rate {res.reduction_rate:.3f})")
+    return 0 if res.converged else 1
+
+
+def cmd_lung(args) -> int:
+    from .lung import LungVentilationSimulation
+    from .ns.solver import SolverSettings
+
+    sim = LungVentilationSimulation(
+        generations=args.generations,
+        degree=args.degree,
+        solver_settings=SolverSettings(solver_tolerance=1e-3),
+        seed=args.seed,
+    )
+    print(f"lung g={args.generations}: {sim.lung.forest.n_cells} cells, "
+          f"{sim.lung.n_outlets} outlets, "
+          f"{sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs} DoF")
+    for i in range(args.steps):
+        st = sim.step()
+        if (i + 1) % max(1, args.steps // 5) == 0:
+            print(f"  step {i + 1:4d}: t={sim.time:.5f}s dt={st.dt:.2e} "
+                  f"inflow={sim._inlet_flow * 1e3:.3f} l/s "
+                  f"V={sim.tidal_volume_delivered() * 1e6:.2f} ml")
+    if args.vtk:
+        from .mesh.vtk import write_vtk
+
+        path = write_vtk(args.vtk, sim.lung.forest)
+        print(f"mesh written to {path}")
+    return 0
+
+
+def cmd_mesh(args) -> int:
+    from .lung import airway_tree_mesh, grow_airway_tree
+    from .mesh import build_connectivity
+    from .mesh.vtk import write_vtk
+
+    tree = grow_airway_tree(args.generations, seed=args.seed)
+    lm = airway_tree_mesh(tree, refine_upper_generations=args.refine_upper)
+    conn = build_connectivity(lm.forest)
+    print(f"airway tree: {tree.n_airways} airways, "
+          f"{len(tree.terminal_airways())} terminals")
+    print(f"mesh: {lm.forest.n_cells} cells, "
+          f"{conn.n_interior_faces} interior faces "
+          f"({conn.n_hanging_faces} hanging), "
+          f"{conn.n_boundary_faces} boundary faces")
+    if args.vtk:
+        path = write_vtk(args.vtk, lm.forest)
+        print(f"written to {path}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from .parallel import MatvecScalingModel
+
+    model = MatvecScalingModel(degree=args.degree)
+    print(f"strong scaling of the k={args.degree} mat-vec, "
+          f"{args.dofs:.2e} DoF (SuperMUC-NG model):")
+    print(f"{'nodes':>7} {'time [s]':>11} {'GDoF/s':>9}")
+    for p, t, tp in model.strong_scaling(args.dofs, [2**i for i in range(0, 13)]):
+        print(f"{p:>7} {t:>11.3e} {tp / 1e9:>9.2f}")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from .perf import calibrate_local_machine
+
+    m = calibrate_local_machine(degree=args.degree)
+    print(f"local machine anchor: {m.matvec_dofs_per_s_k3:.3e} DoF/s "
+          f"(k={args.degree} DG Laplacian mat-vec, best of 5)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Matrix-free high-order DG flow solver (SC'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("poisson", help="hybrid-multigrid Poisson solve")
+    p.add_argument("--degree", type=int, default=3)
+    p.add_argument("--refinements", type=int, default=2)
+    p.add_argument("--tolerance", type=float, default=1e-10)
+    p.set_defaults(fn=cmd_poisson)
+
+    p = sub.add_parser("lung", help="coupled ventilated-lung simulation")
+    p.add_argument("--generations", type=int, default=1)
+    p.add_argument("--degree", type=int, default=2)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--vtk", type=str, default=None)
+    p.set_defaults(fn=cmd_lung)
+
+    p = sub.add_parser("mesh", help="generate an airway mesh")
+    p.add_argument("--generations", type=int, default=3)
+    p.add_argument("--refine-upper", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--vtk", type=str, default=None)
+    p.set_defaults(fn=cmd_mesh)
+
+    p = sub.add_parser("scaling", help="evaluate the scaling model")
+    p.add_argument("--degree", type=int, default=3)
+    p.add_argument("--dofs", type=float, default=179e6)
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("calibrate", help="measure this machine's throughput")
+    p.add_argument("--degree", type=int, default=3)
+    p.set_defaults(fn=cmd_calibrate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core matrix-free evaluation machinery: quadrature, tensor-product bases,
+sum-factorization kernels, the even-odd Flop optimization, the SIMD-lane
+abstraction, and the matrix-free PDE operators built from them."""
+
+from .quadrature import QuadratureRule, gauss, gauss_lobatto
+from .basis import (
+    LagrangeBasis1D,
+    ShapeMatrices,
+    shape_matrices,
+    embedding_matrix,
+    subinterval_matrix,
+    change_of_basis_matrix,
+)
+from .even_odd import EvenOddMatrix
+from .sum_factorization import TensorProductKernel, apply_1d
+from .lanes import LaneBatch, batch_cells, unbatch_cells, n_lane_batches
+
+__all__ = [
+    "QuadratureRule",
+    "gauss",
+    "gauss_lobatto",
+    "LagrangeBasis1D",
+    "ShapeMatrices",
+    "shape_matrices",
+    "embedding_matrix",
+    "subinterval_matrix",
+    "change_of_basis_matrix",
+    "EvenOddMatrix",
+    "TensorProductKernel",
+    "apply_1d",
+    "LaneBatch",
+    "batch_cells",
+    "unbatch_cells",
+    "n_lane_batches",
+]

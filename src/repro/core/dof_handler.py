@@ -1,0 +1,250 @@
+"""Degree-of-freedom handlers for DG and continuous (CG) spaces.
+
+*DG* unknowns are cell-local: the global vector is simply the cell-major
+concatenation of ``(k+1)^3`` tensors (times components), so gather and
+scatter are reshapes — the property that makes DG mass inversion and
+cell-wise vectorization cheap.
+
+*CG* unknowns are shared between cells.  Nodes are identified by
+quantized physical positions on the *trilinear* leaf geometry (the same
+deterministic geometry used for face matching), which unifies nodes
+across conforming faces/edges/vertices including across octrees.  On 2:1
+hanging faces the fine-side nodes are *constrained* to the interpolation
+of the coarse face through the 1D embedding matrices; constraint chains
+are resolved by substitution.  The resulting space is exactly the
+conforming auxiliary space of the hybrid multigrid algorithm
+(Section 3.4), where hanging-node constraints must be handled in the
+smoother diagonal, the transfer, and the operator application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh.connectivity import MeshConnectivity, orient_face_array
+from ..mesh.octree import Forest
+from .basis import LagrangeBasis1D
+from .sum_factorization import TensorProductKernel
+
+
+class DGDofHandler:
+    """Cell-local numbering of a (vector-valued) DG space of degree k."""
+
+    def __init__(self, forest: Forest, degree: int, n_components: int = 1) -> None:
+        self.forest = forest
+        self.degree = degree
+        self.n_components = n_components
+        self.n1 = degree + 1
+        self.n_cells = forest.n_cells
+
+    @property
+    def dofs_per_cell(self) -> int:
+        return self.n_components * self.n1**3
+
+    @property
+    def n_dofs(self) -> int:
+        return self.n_cells * self.dofs_per_cell
+
+    def zeros(self, dtype=np.float64) -> np.ndarray:
+        return np.zeros(self.n_dofs, dtype=dtype)
+
+    def cell_view(self, vec: np.ndarray) -> np.ndarray:
+        """View a flat global vector as cell tensors:
+        scalar -> (N, n, n, n); vector -> (N, c, n, n, n)."""
+        n = self.n1
+        if self.n_components == 1:
+            return vec.reshape(self.n_cells, n, n, n)
+        return vec.reshape(self.n_cells, self.n_components, n, n, n)
+
+    def flat(self, cells: np.ndarray) -> np.ndarray:
+        return cells.reshape(-1)
+
+
+class CGDofHandler:
+    """Continuous Lagrange space of degree k on a (2:1 balanced) forest,
+    with hanging-node and strong Dirichlet constraints.
+
+    The *unconstrained* ("master") dofs form the solution space; the
+    rectangular operator ``C`` (n_global x n_master) expands a master
+    vector to all nodal values (constrained nodes get interpolated
+    values).  An operator in the CG space is applied as ``C^T A_loc C``.
+    """
+
+    def __init__(
+        self,
+        forest: Forest,
+        degree: int,
+        connectivity: MeshConnectivity | None = None,
+        dirichlet_ids: tuple[int, ...] = (),
+    ) -> None:
+        from ..mesh.connectivity import build_connectivity
+
+        if degree < 1:
+            raise ValueError("continuous elements need degree >= 1")
+        self.forest = forest
+        self.degree = degree
+        self.n1 = degree + 1
+        self.n_cells = forest.n_cells
+        self.connectivity = connectivity or build_connectivity(forest)
+        self.dirichlet_ids = tuple(dirichlet_ids)
+        self._kernel = TensorProductKernel(degree)
+        self._number_dofs()
+        self._build_constraints()
+
+    # ------------------------------------------------------------------
+    def _nodal_points_trilinear(self) -> np.ndarray:
+        """(N, n^3, 3) physical nodal points via the trilinear geometry."""
+        basis = LagrangeBasis1D(self.degree)
+        nodes = basis.nodes
+        zz, yy, xx = np.meshgrid(nodes, nodes, nodes, indexing="ij")
+        ref = np.stack([xx.ravel(), yy.ravel(), zz.ravel()], axis=1)
+        forest = self.forest
+        out = np.empty((self.n_cells, ref.shape[0], 3))
+        for c, leaf in enumerate(forest.leaves):
+            pts = forest.coarse.map_trilinear(leaf.tree, leaf.ref_points(ref))
+            out[c] = pts
+        return out
+
+    def _number_dofs(self) -> None:
+        pts = self._nodal_points_trilinear()
+        v = self.forest.coarse.vertices
+        extent = float(np.max(v.max(axis=0) - v.min(axis=0))) if len(v) else 1.0
+        tol = max(extent, 1e-12) * 1e-9
+        keys = np.round(pts.reshape(-1, 3) / tol).astype(np.int64)
+        _, uniq_idx, inverse = np.unique(
+            keys, axis=0, return_index=True, return_inverse=True
+        )
+        n = self.n1
+        self.n_global = int(inverse.max()) + 1 if inverse.size else 0
+        self.cell_to_global = inverse.reshape(self.n_cells, n, n, n)
+
+    # ------------------------------------------------------------------
+    def _build_constraints(self) -> None:
+        n = self.n1
+        kern = self._kernel
+        basis = kern.shape.basis
+        raw: dict[int, list[tuple[int, float]]] = {}
+
+        # hanging-node constraints from 2:1 interior batches
+        for batch in self.connectivity.interior:
+            if not batch.is_hanging:
+                continue
+            sa, sb = batch.subface
+            # 1D embeddings: value of coarse basis at the fine node mapped
+            # into the coarse half-interval
+            Ba = basis.values(0.5 * basis.nodes + 0.5 * sa)  # (n, n)
+            Bb = basis.values(0.5 * basis.nodes + 0.5 * sb)
+            for cm, cp in zip(batch.cells_m, batch.cells_p):
+                fine_ids = self._face_trace_ids(int(cm), batch.face_m)
+                coarse_ids = self._face_trace_ids(int(cp), batch.face_p)
+                coarse_in_minus = orient_face_array(coarse_ids, batch.orientation)
+                for ia in range(n):
+                    for ib in range(n):
+                        slave = int(fine_ids[ia, ib])
+                        entries = []
+                        for ja in range(n):
+                            wa = Ba[ia, ja]
+                            if abs(wa) < 1e-14:
+                                continue
+                            for jb in range(n):
+                                w = wa * Bb[ib, jb]
+                                if abs(w) < 1e-14:
+                                    continue
+                                entries.append((int(coarse_in_minus[ja, jb]), w))
+                        # identity constraints (node coincides with a coarse
+                        # node and was unified by the hashing) are dropped
+                        if len(entries) == 1 and entries[0][0] == slave:
+                            continue
+                        raw[slave] = entries
+
+        # strong Dirichlet constraints (constrained to zero)
+        for batch in self.connectivity.boundary:
+            if batch.boundary_id not in self.dirichlet_ids:
+                continue
+            for c in batch.cells:
+                ids = self._face_trace_ids(int(c), batch.face)
+                for dof in ids.ravel():
+                    raw[int(dof)] = []
+
+        # resolve constraint chains (a master that is itself constrained)
+        resolved: dict[int, list[tuple[int, float]]] = {}
+
+        def resolve(dof: int, depth: int = 0) -> list[tuple[int, float]]:
+            if depth > 8:  # pragma: no cover - 2:1 meshes terminate quickly
+                raise RuntimeError("constraint chain too deep")
+            if dof in resolved:
+                return resolved[dof]
+            if dof not in raw:
+                return [(dof, 1.0)]
+            acc: dict[int, float] = {}
+            for master, w in raw[dof]:
+                for m2, w2 in resolve(master, depth + 1):
+                    acc[m2] = acc.get(m2, 0.0) + w * w2
+            out = [(m, w) for m, w in acc.items() if abs(w) > 1e-13]
+            resolved[dof] = out
+            return out
+
+        for dof in list(raw):
+            resolve(dof)
+        self.constraints = resolved
+
+        constrained = set(resolved)
+        self.is_constrained = np.zeros(self.n_global, dtype=bool)
+        for dof in constrained:
+            self.is_constrained[dof] = True
+        masters = np.nonzero(~self.is_constrained)[0]
+        self.master_of = -np.ones(self.n_global, dtype=np.int64)
+        self.master_of[masters] = np.arange(len(masters))
+        self.n_dofs = int(len(masters))
+
+        # expansion matrix C: global <- master
+        rows, cols, vals = [], [], []
+        for g in masters:
+            rows.append(g)
+            cols.append(self.master_of[g])
+            vals.append(1.0)
+        for slave, entries in resolved.items():
+            for master, w in entries:
+                if self.is_constrained[master]:  # pragma: no cover - resolved
+                    raise RuntimeError("unresolved constraint chain")
+                rows.append(slave)
+                cols.append(self.master_of[master])
+                vals.append(w)
+        self.C = sp.csr_matrix(
+            (vals, (rows, cols)), shape=(self.n_global, self.n_dofs)
+        )
+        self.Ct = self.C.T.tocsr()
+
+    def _face_trace_ids(self, cell: int, face: int) -> np.ndarray:
+        """(n, n) global ids of the nodal face lattice of a cell."""
+        return self._kernel.face_nodal_trace(self.cell_to_global[cell], face)
+
+    # ------------------------------------------------------------------
+    def zeros(self, dtype=np.float64) -> np.ndarray:
+        return np.zeros(self.n_dofs, dtype=dtype)
+
+    def expand(self, x_master: np.ndarray) -> np.ndarray:
+        """Master vector -> all nodal values (constraints applied)."""
+        return self.C @ x_master
+
+    def restrict_add(self, r_global: np.ndarray) -> np.ndarray:
+        """Distribute nodal residuals back to masters (C^T)."""
+        return self.Ct @ r_global
+
+    def gather_cells(self, x_master: np.ndarray) -> np.ndarray:
+        """Master vector -> cell tensors (N, n, n, n)."""
+        return self.expand(x_master)[self.cell_to_global]
+
+    def scatter_add_cells(self, cell_data: np.ndarray) -> np.ndarray:
+        """Accumulate cell tensors into a master-space residual vector."""
+        r_global = np.zeros(self.n_global, dtype=cell_data.dtype)
+        np.add.at(r_global, self.cell_to_global.ravel(), cell_data.ravel())
+        return self.restrict_add(r_global)
+
+    def nodal_points(self) -> np.ndarray:
+        """(n_global, 3) trilinear position of every global node."""
+        pts = self._nodal_points_trilinear().reshape(-1, 3)
+        out = np.empty((self.n_global, 3))
+        out[self.cell_to_global.ravel()] = pts
+        return out

@@ -1,0 +1,115 @@
+"""Even–odd decomposition of 1D kernel matrices.
+
+For symmetric node and quadrature point sets, the 1D interpolation matrix
+``N`` satisfies ``N[m-1-i, n-1-j] = N[i, j]`` (*even* type) and the
+differentiation matrix ``D`` satisfies ``D[m-1-i, n-1-j] = -D[i, j]``
+(*odd* type).  Splitting the input vector into its even and odd parts with
+respect to reversal lets each matrix–vector product be computed with two
+half-sized products — the Flop-halving optimization of Section 3.1
+(Kronbichler & Kormann, ACM TOMS 2019) that contributes to the reported
+1.5–2x speedup over prior DG implementations.
+
+Given ``v`` of length n, write ``v = v_e + v_o`` with ``J v_e = v_e`` and
+``J v_o = -v_o`` (J = index reversal).  Because ``J M J = s M`` with
+``s = +1`` (even) or ``-1`` (odd), ``M v_e`` is s-symmetric and ``M v_o``
+is (-s)-symmetric, so only the top halves need computing:
+
+    w[i]       = (Me ve)[i] + (Mo vo)[i]
+    w[m-1-i]   = s ((Me ve)[i] - (Mo vo)[i])
+
+with folded half matrices Me, Mo.  Multiply-add count drops from ``m n``
+to ``2 ceil(m/2) ceil(n/2)`` per 1D product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EvenOddMatrix:
+    """A 1D kernel matrix stored in even–odd factored form.
+
+    Parameters
+    ----------
+    M:
+        Dense ``(m, n)`` matrix with reversal symmetry.
+    kind:
+        ``"even"`` for ``J M J = +M`` (interpolation matrices) or
+        ``"odd"`` for ``J M J = -M`` (differentiation matrices).
+    check:
+        Verify the symmetry holds to ``1e-10`` and raise otherwise.
+    """
+
+    def __init__(self, M: np.ndarray, kind: str, check: bool = True) -> None:
+        M = np.asarray(M, dtype=float)
+        if M.ndim != 2:
+            raise ValueError("M must be a 2D matrix")
+        if kind not in ("even", "odd"):
+            raise ValueError(f"kind must be 'even' or 'odd', got {kind!r}")
+        self.M = M
+        self.kind = kind
+        self.sign = 1.0 if kind == "even" else -1.0
+        m, n = M.shape
+        if check:
+            err = np.abs(M[::-1, ::-1] - self.sign * M).max()
+            if err > 1e-10:
+                raise ValueError(
+                    f"matrix lacks {kind} reversal symmetry (violation {err:.2e})"
+                )
+        self.m, self.n = m, n
+        self.m_half = (m + 1) // 2  # rows computed directly
+        self.n_lo = (n + 1) // 2  # folded input length (middle counted once)
+        # Folded half matrices.  Columns j < n//2 are folded with their
+        # mirror; an odd-n middle column is kept as-is in Me and zero in Mo.
+        top = M[: self.m_half]
+        self.Me = top[:, : self.n_lo].copy()
+        self.Mo = top[:, : self.n_lo].copy()
+        for j in range(n // 2):
+            self.Me[:, j] = top[:, j] + top[:, n - 1 - j]
+            self.Mo[:, j] = top[:, j] - top[:, n - 1 - j]
+        if n % 2 == 1:
+            mid = n // 2
+            self.Me[:, mid] = top[:, mid]
+            self.Mo[:, mid] = 0.0
+
+    # ------------------------------------------------------------------
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Apply to vectors along the last axis of ``v`` (batched)."""
+        n = self.n
+        half = n // 2
+        rev = v[..., ::-1]
+        ve = 0.5 * (v[..., : self.n_lo] + rev[..., : self.n_lo])
+        vo = 0.5 * (v[..., : self.n_lo] - rev[..., : self.n_lo])
+        if n % 2 == 1:
+            ve = ve.copy()
+            ve[..., half] = v[..., half]
+            # vo middle is zero and multiplies a zero column; leave as-is.
+        we = ve @ self.Me.T
+        wo = vo @ self.Mo.T
+        m = self.m
+        out = np.empty(v.shape[:-1] + (m,), dtype=np.result_type(v, self.M))
+        out[..., : self.m_half] = we + wo
+        mirror = self.sign * (we - wo)
+        out[..., m - 1 : m - 1 - (m // 2) : -1] = mirror[..., : m // 2]
+        return out
+
+    def apply(self, u: np.ndarray, dim: int) -> np.ndarray:
+        """Apply along tensor dimension ``dim`` of ``u`` (dim 0 = last axis),
+        matching the contract of :func:`repro.core.sum_factorization.apply_1d`."""
+        axis = u.ndim - 1 - dim
+        if axis == u.ndim - 1:
+            return self.matvec(u)
+        moved = np.moveaxis(u, axis, -1)
+        return np.moveaxis(self.matvec(moved), -1, axis)
+
+    # ------------------------------------------------------------------
+    def mults_per_vector(self) -> int:
+        """Multiplications per 1D product in factored form."""
+        return 2 * self.m_half * self.n_lo
+
+    def mults_dense(self) -> int:
+        """Multiplications of the plain dense product."""
+        return self.m * self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"EvenOddMatrix({self.m}x{self.n}, kind={self.kind})"

@@ -1,0 +1,26 @@
+"""Matrix-free PDE operators built on the sum-factorization kernels."""
+
+from .base import FaceKernels, MatrixFreeOperator, physical_gradient
+from .mass import InverseMassOperator, MassOperator
+from .laplace import CGLaplaceOperator, DGLaplaceOperator
+from .vector_laplace import HelmholtzOperator, VectorDGLaplace
+from .grad_div import DivergenceOperator, GradientOperator
+from .convective import ConvectiveOperator
+from .penalty import DivergenceContinuityPenalty, PenaltyStepOperator
+
+__all__ = [
+    "FaceKernels",
+    "MatrixFreeOperator",
+    "physical_gradient",
+    "InverseMassOperator",
+    "MassOperator",
+    "CGLaplaceOperator",
+    "DGLaplaceOperator",
+    "HelmholtzOperator",
+    "VectorDGLaplace",
+    "DivergenceOperator",
+    "GradientOperator",
+    "ConvectiveOperator",
+    "DivergenceContinuityPenalty",
+    "PenaltyStepOperator",
+]

@@ -1,0 +1,160 @@
+"""Shared machinery of the matrix-free operators (Eq. (7)).
+
+Every DG operator is a sum of cell contributions
+``G_e^T I_e^T D_e I_e G_e`` and face contributions
+``G_f^T I_f^T D_f I_f G_f``.  :class:`FaceKernels` supplies the ``I_f``
+part: evaluation of value and reference-gradient traces of a cell field
+at the (minus-frame) face quadrature points — handling neighbor
+orientation and 2:1 sub-face interpolation — together with the exact
+adjoints used for ``I_f^T``.
+
+Conventions: all quantities on a face batch live in the *minus* frame;
+the plus side's reference-gradient components remain indexed by the plus
+cell's reference dimensions (so the plus ``J^{-T}`` applies directly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mesh.connectivity import FaceBatch, Orientation, orient_face_array, orient_to_plus
+from ..sum_factorization import TensorProductKernel, apply_1d_2d
+
+
+def tangential_dims(face: int) -> tuple[int, int]:
+    """Reference dimensions (a, b) of the face frame: higher dim first."""
+    d = face // 2
+    rem = [dd for dd in (2, 1, 0) if dd != d]
+    return rem[0], rem[1]
+
+
+class FaceKernels:
+    """Value/gradient face traces and their adjoints for one kernel."""
+
+    def __init__(self, kernel: TensorProductKernel) -> None:
+        self.kern = kernel
+
+    # -- evaluation ------------------------------------------------------
+    def nodal_traces(self, u_cells: np.ndarray, face: int):
+        """Nodal face value and 3-component reference gradient.
+
+        ``u_cells``: (F, ..., n, n, n) -> val (F, ..., n, n) and
+        grad (F, ..., 3, n, n) with the component axis indexing the
+        *cell's own* reference dimensions.
+        """
+        kern = self.kern
+        t_val = kern.face_nodal_trace(u_cells, face)
+        t_nd = kern.face_nodal_normal_derivative(u_cells, face)
+        d = face // 2
+        a_dim, b_dim = tangential_dims(face)
+        D = kern.nodal_diff
+        g = [None, None, None]
+        g[d] = t_nd
+        g[a_dim] = apply_1d_2d(D, t_val, 1)
+        g[b_dim] = apply_1d_2d(D, t_val, 0)
+        return t_val, np.stack(g, axis=-3)
+
+    def to_quad(
+        self,
+        t: np.ndarray,
+        orientation: Orientation | None = None,
+        subface: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Nodal face data (own frame) -> minus-frame quadrature values."""
+        if orientation is not None and not orientation.is_identity:
+            t = orient_face_array(t, orientation)
+        return self.kern.face_nodal_to_quad(t, subface)
+
+    def eval_side(
+        self,
+        u_cells: np.ndarray,
+        face: int,
+        orientation: Orientation | None = None,
+        subface: tuple[int, int] | None = None,
+    ):
+        """Evaluate one side of a face batch at the minus quadrature points.
+
+        Returns (values (F, ..., q, q), ref_grad (F, ..., 3, q, q)).
+        """
+        t_val, t_grad = self.nodal_traces(u_cells, face)
+        return (
+            self.to_quad(t_val, orientation, subface),
+            self.to_quad(t_grad, orientation, subface),
+        )
+
+    # -- integration (adjoints) -------------------------------------------
+    def from_quad(
+        self,
+        q: np.ndarray,
+        orientation: Orientation | None = None,
+        subface: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Adjoint of :meth:`to_quad`."""
+        t = self.kern.face_quad_to_nodal_t(q, subface)
+        if orientation is not None and not orientation.is_identity:
+            t = orient_to_plus(t, orientation)
+        return t
+
+    def integrate_side(
+        self,
+        face: int,
+        q_val: np.ndarray | None,
+        q_grad: np.ndarray | None,
+        orientation: Orientation | None = None,
+        subface: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Adjoint of :meth:`eval_side`: accumulate quadrature-space
+        coefficients of test-function values (``q_val``) and reference
+        gradients (``q_grad``, own-frame components) into cell tensors."""
+        kern = self.kern
+        d = face // 2
+        a_dim, b_dim = tangential_dims(face)
+        D = kern.nodal_diff
+        nodal_plane = None
+        normal_part = None
+        if q_val is not None:
+            nodal_plane = self.from_quad(q_val, orientation, subface)
+        if q_grad is not None:
+            g = self.from_quad(q_grad, orientation, subface)
+            ga = g[..., a_dim, :, :]
+            gb = g[..., b_dim, :, :]
+            gd = g[..., d, :, :]
+            tang = apply_1d_2d(D.T, ga, 1) + apply_1d_2d(D.T, gb, 0)
+            nodal_plane = tang if nodal_plane is None else nodal_plane + tang
+            normal_part = gd
+        out = kern.expand_nodal_trace(nodal_plane, face)
+        if normal_part is not None:
+            out = out + kern.expand_nodal_normal_derivative(normal_part, face)
+        return out
+
+
+def physical_gradient(jinv_t: np.ndarray, ref_grad: np.ndarray) -> np.ndarray:
+    """Apply J^{-T} per quadrature point.
+
+    jinv_t: (F, 3, 3, q, q); ref_grad: (F, 3, q, q) for scalar fields or
+    (F, C, 3, q, q) for vector fields (component axis at -4).
+    """
+    if ref_grad.ndim == 4:
+        return np.einsum("fijab,fjab->fiab", jinv_t, ref_grad, optimize=True)
+    if ref_grad.ndim == 5:
+        return np.einsum("fijab,fcjab->fciab", jinv_t, ref_grad, optimize=True)
+    raise ValueError(f"unsupported ref_grad rank {ref_grad.ndim}")
+
+
+class MatrixFreeOperator:
+    """Minimal linear-operator interface shared by all operators."""
+
+    dtype = np.float64
+
+    @property
+    def n_dofs(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def vmult(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def diagonal(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.vmult(x)

@@ -1,0 +1,289 @@
+"""Matrix-free Laplacians: symmetric interior penalty DG and continuous FE.
+
+``DGLaplaceOperator`` realizes Eq. (7) of the paper — the operator whose
+throughput is benchmarked in Figures 6-8 and which (negated) forms the
+pressure Poisson matrix of the splitting scheme.  ``CGLaplaceOperator``
+is the conforming auxiliary-space operator of the two finest multigrid
+levels (Section 3.4), including hanging-node constraints.
+
+Weak Dirichlet data (SIP/Nitsche) and Neumann data enter through
+:meth:`DGLaplaceOperator.assemble_rhs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mesh.connectivity import MeshConnectivity
+from ...mesh.mapping import GeometryField
+from ..dof_handler import CGDofHandler, DGDofHandler
+from .base import FaceKernels, MatrixFreeOperator, physical_gradient
+
+
+class DGLaplaceOperator(MatrixFreeOperator):
+    """Symmetric interior penalty discretization of ``-div(grad u)``.
+
+    Parameters
+    ----------
+    dof, geometry, connectivity:
+        Space, metric terms, and face batches of the same forest.
+    dirichlet_ids:
+        Boundary indicators with (weak) Dirichlet conditions; all other
+        boundary faces are natural (Neumann).
+    penalty_factor:
+        Multiplies the standard SIP penalty ``(k+1)^2 A_f / V``.  The
+        default 2.5 keeps the bilinear form coercive on the strongly
+        sheared cells of tube-junction meshes (factor 1 suffices on
+        affine meshes but loses definiteness at the lung bifurcations).
+    """
+
+    def __init__(
+        self,
+        dof: DGDofHandler,
+        geometry: GeometryField,
+        connectivity: MeshConnectivity,
+        dirichlet_ids: tuple[int, ...] = (),
+        penalty_factor: float = 2.5,
+    ) -> None:
+        self.dof = dof
+        self.geo = geometry
+        self.conn = connectivity
+        self.kern = geometry.kernel
+        self.fk = FaceKernels(self.kern)
+        self.dirichlet_ids = tuple(dirichlet_ids)
+        self.cell_metrics = geometry.cell_metrics()
+        self.face_metrics, self.bdry_metrics = geometry.all_face_metrics(connectivity)
+        k = dof.degree
+        self.tau = [penalty_factor * (k + 1) ** 2 * fm.penalty for fm in self.face_metrics]
+        self.tau_b = [penalty_factor * (k + 1) ** 2 * fm.penalty for fm in self.bdry_metrics]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_dofs(self) -> int:
+        return self.dof.n_dofs
+
+    def _cell_term(self, u: np.ndarray) -> np.ndarray:
+        g = self.kern.gradients(u)
+        Dg = np.einsum("cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True)
+        return self.kern.integrate_gradients(Dg)
+
+    def _face_flux(self, fm, tau, vm, Gm, vp, Gp):
+        """SIP numerical flux in quadrature space (minus frame).
+
+        Returns the value/physical-gradient coefficient fields for both
+        test sides: (rv_m, rgphys_m, rv_p, rgphys_p).
+        """
+        n = fm.normal
+        jump = vm - vp
+        dn_m = np.einsum("fiab,fiab->fab", n, Gm, optimize=True)
+        dn_p = np.einsum("fiab,fiab->fab", n, Gp, optimize=True)
+        avg_dn = 0.5 * (dn_m + dn_p)
+        w = fm.jxw
+        rv_m = (-avg_dn + tau[:, None, None] * jump) * w
+        rv_p = (avg_dn - tau[:, None, None] * jump) * w
+        half_jump_w = (-0.5) * jump * w
+        rg_m = half_jump_w[:, None] * n
+        rg_p = half_jump_w[:, None] * n
+        return rv_m, rg_m, rv_p, rg_p
+
+    def _to_ref_grad(self, jinv_t, rg_phys):
+        """Physical-gradient test coefficients -> reference components:
+        contribution r.(J^{-T} grad v) = (J^{-1} r).grad v."""
+        return np.einsum("fijab,fiab->fjab", jinv_t, rg_phys, optimize=True)
+
+    def vmult(self, x: np.ndarray) -> np.ndarray:
+        u = self.dof.cell_view(x)
+        out = self._cell_term(u)
+        fk = self.fk
+        for batch, fm, tau in zip(self.conn.interior, self.face_metrics, self.tau):
+            um = u[batch.cells_m]
+            up = u[batch.cells_p]
+            vm, gm = fk.eval_side(um, batch.face_m)
+            vp, gp = fk.eval_side(up, batch.face_p, batch.orientation, batch.subface)
+            Gm = physical_gradient(fm.minus.jinv_t, gm)
+            Gp = physical_gradient(fm.plus.jinv_t, gp)
+            rv_m, rg_m, rv_p, rg_p = self._face_flux(fm, tau, vm, Gm, vp, Gp)
+            contrib_m = fk.integrate_side(
+                batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t, rg_m)
+            )
+            contrib_p = fk.integrate_side(
+                batch.face_p,
+                rv_p,
+                self._to_ref_grad(fm.plus.jinv_t, rg_p),
+                batch.orientation,
+                batch.subface,
+            )
+            np.add.at(out, batch.cells_m, contrib_m)
+            np.add.at(out, batch.cells_p, contrib_p)
+        for batch, fm, tau in zip(self.conn.boundary, self.bdry_metrics, self.tau_b):
+            if batch.boundary_id not in self.dirichlet_ids:
+                continue  # natural (Neumann) boundary: no operator term
+            um = u[batch.cells]
+            vm, gm = fk.eval_side(um, batch.face)
+            Gm = physical_gradient(fm.minus.jinv_t, gm)
+            n = fm.normal
+            dn_m = np.einsum("fiab,fiab->fab", n, Gm, optimize=True)
+            w = fm.jxw
+            rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
+            rg_phys = (-vm * w)[:, None] * n
+            contrib = fk.integrate_side(
+                batch.face, rv, self._to_ref_grad(fm.minus.jinv_t, rg_phys)
+            )
+            np.add.at(out, batch.cells, contrib)
+        return self.dof.flat(out)
+
+    # ------------------------------------------------------------------
+    def assemble_rhs(
+        self,
+        f=None,
+        dirichlet=None,
+        neumann=None,
+    ) -> np.ndarray:
+        """Right-hand side for ``A u = b``: volume source ``f(x, y, z)``,
+        weak Dirichlet data ``dirichlet(x, y, z)`` on ``dirichlet_ids``
+        faces (or a dict mapping boundary id to a callable), Neumann data
+        ``neumann(x, y, z)`` (= grad u . n) elsewhere.
+        """
+        out = np.zeros((self.dof.n_cells,) + (self.kern.n_dofs_1d,) * 3)
+        if f is not None:
+            pts = self.cell_metrics.points
+            fv = f(pts[:, 0], pts[:, 1], pts[:, 2]) * self.cell_metrics.jxw
+            out += self.kern.integrate_values(fv)
+        fk = self.fk
+        for batch, fm, tau in zip(self.conn.boundary, self.bdry_metrics, self.tau_b):
+            p = fm.points
+            if batch.boundary_id in self.dirichlet_ids:
+                if dirichlet is None:
+                    continue
+                g_fn = (
+                    dirichlet.get(batch.boundary_id)
+                    if isinstance(dirichlet, dict)
+                    else dirichlet
+                )
+                if g_fn is None:
+                    continue
+                g = g_fn(p[:, 0], p[:, 1], p[:, 2])
+                w = fm.jxw
+                rv = 2.0 * tau[:, None, None] * g * w
+                rg_phys = (-g * w)[:, None] * fm.normal
+                contrib = fk.integrate_side(
+                    batch.face, rv, self._to_ref_grad(fm.minus.jinv_t, rg_phys)
+                )
+            else:
+                if neumann is None:
+                    continue
+                h = neumann(p[:, 0], p[:, 1], p[:, 2])
+                contrib = fk.integrate_side(batch.face, h * fm.jxw, None)
+            np.add.at(out, batch.cells, contrib)
+        return self.dof.flat(out)
+
+    # ------------------------------------------------------------------
+    def diagonal(self) -> np.ndarray:
+        """Exact operator diagonal, computed by applying the cell and the
+        *cell-local part* of the face terms to local unit vectors."""
+        n = self.kern.n_dofs_1d
+        N = self.dof.n_cells
+        diag = np.zeros((N, n, n, n))
+        zero = np.zeros((1, n, n, n))
+        for iz in range(n):
+            for iy in range(n):
+                for ix in range(n):
+                    e = np.zeros((N, n, n, n))
+                    e[:, iz, iy, ix] = 1.0
+                    y = self._cell_term(e)
+                    y += self._face_self_term(e)
+                    diag[:, iz, iy, ix] = y[:, iz, iy, ix]
+        return self.dof.flat(diag)
+
+    def _face_self_term(self, u: np.ndarray) -> np.ndarray:
+        """Face contributions keeping only the block-diagonal (same-cell)
+        couplings — the part entering the operator diagonal."""
+        fk = self.fk
+        out = np.zeros_like(u)
+        for batch, fm, tau in zip(self.conn.interior, self.face_metrics, self.tau):
+            # minus-to-minus: treat the neighbor trace as zero
+            um = u[batch.cells_m]
+            vm, gm = fk.eval_side(um, batch.face_m)
+            Gm = physical_gradient(fm.minus.jinv_t, gm)
+            zeros_v = np.zeros_like(vm)
+            zeros_G = np.zeros_like(Gm)
+            rv_m, rg_m, _, _ = self._face_flux(fm, tau, vm, Gm, zeros_v, zeros_G)
+            contrib_m = fk.integrate_side(
+                batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t, rg_m)
+            )
+            np.add.at(out, batch.cells_m, contrib_m)
+            # plus-to-plus
+            up = u[batch.cells_p]
+            vp, gp = fk.eval_side(up, batch.face_p, batch.orientation, batch.subface)
+            Gp = physical_gradient(fm.plus.jinv_t, gp)
+            _, _, rv_p, rg_p = self._face_flux(fm, tau, zeros_v, zeros_G, vp, Gp)
+            contrib_p = fk.integrate_side(
+                batch.face_p,
+                rv_p,
+                self._to_ref_grad(fm.plus.jinv_t, rg_p),
+                batch.orientation,
+                batch.subface,
+            )
+            np.add.at(out, batch.cells_p, contrib_p)
+        for batch, fm, tau in zip(self.conn.boundary, self.bdry_metrics, self.tau_b):
+            if batch.boundary_id not in self.dirichlet_ids:
+                continue
+            um = u[batch.cells]
+            vm, gm = fk.eval_side(um, batch.face)
+            Gm = physical_gradient(fm.minus.jinv_t, gm)
+            dn_m = np.einsum("fiab,fiab->fab", fm.normal, Gm, optimize=True)
+            w = fm.jxw
+            rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
+            rg_phys = (-vm * w)[:, None] * fm.normal
+            contrib = fk.integrate_side(
+                batch.face, rv, self._to_ref_grad(fm.minus.jinv_t, rg_phys)
+            )
+            np.add.at(out, batch.cells, contrib)
+        return out
+
+
+class CGLaplaceOperator(MatrixFreeOperator):
+    """Continuous finite element Laplacian with hanging-node constraints
+    and strong Dirichlet conditions (via the constraint machinery of
+    :class:`~repro.core.dof_handler.CGDofHandler`)."""
+
+    def __init__(self, dof: CGDofHandler, geometry: GeometryField) -> None:
+        if geometry.degree != dof.degree:
+            raise ValueError("geometry kernel degree must match the dof space")
+        self.dof = dof
+        self.kern = geometry.kernel
+        self.cell_metrics = geometry.cell_metrics()
+
+    @property
+    def n_dofs(self) -> int:
+        return self.dof.n_dofs
+
+    def vmult(self, x: np.ndarray) -> np.ndarray:
+        u = self.dof.gather_cells(x)
+        g = self.kern.gradients(u)
+        Dg = np.einsum("cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True)
+        return self.dof.scatter_add_cells(self.kern.integrate_gradients(Dg))
+
+    def diagonal(self) -> np.ndarray:
+        """Jacobi diagonal: local cell diagonals accumulated with squared
+        constraint weights (the standard matrix-free approximation)."""
+        kern = self.kern
+        Ng = kern.shape.interp
+        Dg = kern.shape.grad
+        D = self.cell_metrics.laplace_d  # (c, i, j, q, q, q)
+        mats = {0: Ng, 1: Dg}
+        ldiag = np.zeros((self.dof.n_cells,) + (kern.n_dofs_1d,) * 3)
+        # diag_i = sum_q (d_a phi_i)(q) D[a,b](q) (d_b phi_i)(q)
+        for a in range(3):
+            for b in range(3):
+                fx = (Dg if a == 0 else Ng) * (Dg if b == 0 else Ng)
+                fy = (Dg if a == 1 else Ng) * (Dg if b == 1 else Ng)
+                fz = (Dg if a == 2 else Ng) * (Dg if b == 2 else Ng)
+                ldiag += np.einsum(
+                    "czyx,zZ,yY,xX->cZYX", D[:, a, b], fz, fy, fx, optimize=True
+                )
+        dg = np.zeros(self.dof.n_global)
+        np.add.at(dg, self.dof.cell_to_global.ravel(), ldiag.ravel())
+        C2 = self.dof.C.copy()
+        C2.data = C2.data**2
+        return C2.T @ dg

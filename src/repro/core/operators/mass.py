@@ -1,0 +1,91 @@
+"""(Inverse) mass operators — cell-local, no numerical fluxes.
+
+With a nodal basis, Gauss quadrature of ``k+1`` points per direction, and
+the change-of-basis matrix ``S`` (values of the nodal basis at the
+quadrature points, square and invertible), the element mass matrix
+factorizes as ``M_e = S^T W_e S`` with the diagonal ``W_e = diag(JxW)``.
+Its inverse ``M_e^{-1} = S^{-1} W_e^{-1} S^{-T}`` is applied with two
+tensorized triads of 1D products plus a pointwise division — the "fast
+inversion of the mass operator of L^2-conforming DG methods" that the
+penalty-based stabilization of the paper is designed to exploit, and the
+preconditioner of the non-Poisson sub-steps of the splitting scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mesh.mapping import GeometryField
+from ..dof_handler import DGDofHandler
+from ..sum_factorization import TensorProductKernel, apply_1d
+from .base import MatrixFreeOperator
+
+
+class MassOperator(MatrixFreeOperator):
+    """y = M x for a (vector-valued) DG space on deformed cells."""
+
+    def __init__(self, dof: DGDofHandler, geometry: GeometryField) -> None:
+        if geometry.degree != dof.degree:
+            raise ValueError("geometry kernel degree must match the dof space")
+        self.dof = dof
+        self.kern = geometry.kernel
+        self.jxw = geometry.cell_metrics().jxw
+
+    @property
+    def n_dofs(self) -> int:
+        return self.dof.n_dofs
+
+    def vmult(self, x: np.ndarray) -> np.ndarray:
+        u = self.dof.cell_view(x)
+        q = self.kern.values(u)
+        if self.dof.n_components == 1:
+            q = q * self.jxw
+        else:
+            q = q * self.jxw[:, None]
+        return self.dof.flat(self.kern.integrate_values(q))
+
+    def diagonal(self) -> np.ndarray:
+        """Matrix-free diagonal via squared 1D interpolation factors."""
+        kern = self.kern
+        N2 = kern.shape.interp**2  # (nq, n)
+        diag = np.einsum("czyx,zZ,yY,xX->cZYX", self.jxw, N2, N2, N2, optimize=True)
+        if self.dof.n_components > 1:
+            diag = np.repeat(diag[:, None], self.dof.n_components, axis=1)
+        return self.dof.flat(diag)
+
+
+class InverseMassOperator(MatrixFreeOperator):
+    """y = M^{-1} x via the collocation factorization (exact)."""
+
+    def __init__(self, dof: DGDofHandler, geometry: GeometryField) -> None:
+        if geometry.kernel.n_q_points != dof.degree + 1:
+            raise ValueError(
+                "exact inverse mass needs n_q == k+1 (collocation square S)"
+            )
+        self.dof = dof
+        self.kern = geometry.kernel
+        self.jxw = geometry.cell_metrics().jxw
+        S = self.kern.shape.interp
+        self.Sinv = np.linalg.inv(S)
+
+    @property
+    def n_dofs(self) -> int:
+        return self.dof.n_dofs
+
+    def _apply_matrix_3d(self, M: np.ndarray, u: np.ndarray) -> np.ndarray:
+        for dim in range(3):
+            u = apply_1d(M, u, dim)
+        return u
+
+    def vmult(self, x: np.ndarray) -> np.ndarray:
+        u = self.dof.cell_view(x)
+        t = self._apply_matrix_3d(self.Sinv.T, u)
+        if self.dof.n_components == 1:
+            t = t / self.jxw
+        else:
+            t = t / self.jxw[:, None]
+        y = self._apply_matrix_3d(self.Sinv, t)
+        return self.dof.flat(y)
+
+    def diagonal(self) -> np.ndarray:  # pragma: no cover - not used as smoother
+        raise NotImplementedError("inverse mass is itself the preconditioner")

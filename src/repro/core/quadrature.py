@@ -1,0 +1,121 @@
+"""One-dimensional quadrature rules on the reference interval [0, 1].
+
+The matrix-free evaluation of DG operators (Section 3.1 of the paper)
+integrates cell and face terms by Gaussian quadrature whose points, in
+combination with the tensor-product structure of the basis, enable sum
+factorization.  Two families are provided:
+
+* :func:`gauss` — Gauss–Legendre rules, exact for polynomials of degree
+  ``2 n - 1``; used for all volume and face integrals.
+* :func:`gauss_lobatto` — Gauss–Lobatto rules including the interval end
+  points; used as *nodal points* of the Lagrange bases so that face values
+  of the solution live on a subset of the node lattice.
+
+deal.II convention: the reference cell is the unit cube, so all 1D rules
+are mapped to [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """A 1D quadrature rule ``sum_i w_i f(x_i)`` on [0, 1].
+
+    Attributes
+    ----------
+    points:
+        Quadrature points in ascending order, shape ``(n,)``.
+    weights:
+        Positive quadrature weights summing to 1, shape ``(n,)``.
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", np.asarray(self.points, dtype=float))
+        object.__setattr__(self, "weights", np.asarray(self.weights, dtype=float))
+        if self.points.ndim != 1 or self.points.shape != self.weights.shape:
+            raise ValueError("points and weights must be 1D arrays of equal length")
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    def integrate(self, f) -> float:
+        """Integrate a callable over [0, 1]."""
+        return float(np.dot(self.weights, f(self.points)))
+
+
+@lru_cache(maxsize=64)
+def gauss(n_points: int) -> QuadratureRule:
+    """Gauss–Legendre rule with ``n_points`` points on [0, 1].
+
+    Exact for polynomials of degree ``2 * n_points - 1``.
+    """
+    if n_points < 1:
+        raise ValueError(f"need at least one quadrature point, got {n_points}")
+    x, w = np.polynomial.legendre.leggauss(n_points)
+    return QuadratureRule(points=0.5 * (x + 1.0), weights=0.5 * w)
+
+
+@lru_cache(maxsize=64)
+def gauss_lobatto(n_points: int) -> QuadratureRule:
+    """Gauss–Lobatto–Legendre rule with ``n_points`` points on [0, 1].
+
+    Includes both end points; exact for degree ``2 * n_points - 3``.
+    The interior points are the roots of ``P'_{n-1}``, the derivative of
+    the Legendre polynomial, computed via the eigenvalues of the Jacobi
+    matrix of the Jacobi(1,1) polynomials.
+    """
+    if n_points < 2:
+        raise ValueError(f"Gauss-Lobatto needs >= 2 points, got {n_points}")
+    if n_points == 2:
+        return QuadratureRule(points=np.array([0.0, 1.0]), weights=np.array([0.5, 0.5]))
+    m = n_points - 2
+    # Interior nodes: roots of Jacobi(1,1) polynomial of degree m, i.e.
+    # eigenvalues of its symmetric tridiagonal recurrence matrix.
+    k = np.arange(1, m)
+    # Jacobi(1,1) recurrence: beta_k = k(k+2) / ((2k+1)(2k+3))
+    beta = np.sqrt(k * (k + 2.0) / ((2.0 * k + 1.0) * (2.0 * k + 3.0)))
+    if m == 1:
+        interior = np.array([0.0])
+    else:
+        T = np.diag(beta, 1) + np.diag(beta, -1)
+        interior = np.linalg.eigvalsh(T)
+    x = np.concatenate(([-1.0], np.sort(interior), [1.0]))
+    # Weights on [-1, 1]: w_i = 2 / (n(n-1) P_{n-1}(x_i)^2)
+    n = n_points
+    P = np.polynomial.legendre.Legendre.basis(n - 1)(x)
+    w = 2.0 / (n * (n - 1) * P**2)
+    return QuadratureRule(points=0.5 * (x + 1.0), weights=0.5 * w)
+
+
+def tensor_points(rule: QuadratureRule, dim: int) -> np.ndarray:
+    """Tensor-product quadrature points in ``dim`` dimensions.
+
+    Returns an array of shape ``(n**dim, dim)`` in lexicographic ordering
+    with the *first* coordinate fastest, matching the dof/quad layout used
+    by the sum-factorization kernels (x fastest, z slowest).
+    """
+    n = rule.n_points
+    grids = np.meshgrid(*([rule.points] * dim), indexing="ij")
+    # indexing="ij" makes the first axis the x index; we want x fastest in
+    # the flattened ordering, so reverse axes before reshaping.
+    pts = np.stack([g.transpose(*reversed(range(dim))).ravel() for g in grids], axis=-1)
+    return pts
+
+
+def tensor_weights(rule: QuadratureRule, dim: int) -> np.ndarray:
+    """Tensor-product quadrature weights, flattened with x fastest."""
+    w = rule.weights
+    out = w
+    for _ in range(dim - 1):
+        out = np.multiply.outer(w, out)
+    return out.ravel()

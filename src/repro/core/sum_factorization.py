@@ -1,0 +1,375 @@
+"""Sum-factorized tensor-product kernels (Section 3.1, Eq. (7)).
+
+A DG solution on a hexahedral element of degree ``k`` has
+``(k+1)^3`` coefficients stored as a 3D tensor.  Interpolating it to the
+``n_q^3`` quadrature points costs ``O(n^4)`` per element instead of the
+naive ``O(n^6)`` by applying the 1D interpolation matrix along one tensor
+dimension at a time — *sum factorization*.  Everything the matrix-free
+operators in :mod:`repro.core.operators` do is composed of the primitives
+in this module.
+
+Data layout (the Python analogue of cross-element SIMD vectorization):
+all element data is batched as ``u[c, iz, iy, ix]`` — the leading cell
+axis plays the role of the AVX-512 lanes of the paper, and NumPy executes
+each 1D contraction as one large matrix product over all cells at once.
+
+Dimension convention: dimension ``d = 0`` is x (the *last*, fastest array
+axis), ``d = 1`` is y, ``d = 2`` is z.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .basis import ShapeMatrices, shape_matrices
+from .even_odd import EvenOddMatrix
+
+
+def apply_1d(M: np.ndarray, u: np.ndarray, dim: int) -> np.ndarray:
+    """Contract matrix ``M`` with tensor ``u`` along tensor dimension ``dim``.
+
+    ``u`` has shape ``(..., n_2, n_1, n_0)`` (trailing three axes are the
+    tensor axes, anything before is batch).  The result replaces the size
+    of dimension ``dim`` by ``M.shape[0]``:
+
+        out[..., i_dim'] = sum_j M[i_dim', j] u[..., j ...]
+    """
+    axis = u.ndim - 1 - dim
+    if dim == 0:
+        # contraction along the last (contiguous) axis: plain matmul
+        return u @ M.T
+    moved = np.moveaxis(u, axis, -1)
+    out = moved @ M.T
+    return np.moveaxis(out, -1, axis)
+
+
+@dataclass(frozen=True)
+class TensorProductKernel:
+    """Bundle of 1D shape matrices + batched 3D evaluation primitives.
+
+    Parameters
+    ----------
+    degree:
+        Polynomial degree ``k`` of the scalar space.
+    n_q_points:
+        1D Gauss points per direction (default ``k + 1``).
+    use_even_odd:
+        Apply 1D matrices through their even–odd decomposition, the
+        Flop-halving optimization of Kronbichler & Kormann (2019).  The
+        result is bit-for-bit a different rounding but mathematically
+        identical; tests assert agreement to machine precision.
+    use_collocation:
+        The *change-of-basis* optimization of Section 3.1: transform the
+        nodal coefficients once into the Lagrange basis collocated at the
+        quadrature points, after which the interpolation matrix is the
+        identity and gradients need one collocation-derivative sweep per
+        direction — 6 tensor sweeps for values+gradients instead of 9.
+        Requires ``n_q_points == degree + 1``; cell kernels only (face
+        traces stay in the nodal basis).
+    """
+
+    degree: int
+    n_q_points: int = 0
+    use_even_odd: bool = False
+    use_collocation: bool = False
+
+    def __post_init__(self) -> None:
+        nq = self.n_q_points or self.degree + 1
+        object.__setattr__(self, "n_q_points", nq)
+        sm = shape_matrices(self.degree, nq)
+        object.__setattr__(self, "_sm", sm)
+        if self.use_even_odd:
+            object.__setattr__(self, "_interp_eo", EvenOddMatrix(sm.interp, "even"))
+            object.__setattr__(self, "_grad_eo", EvenOddMatrix(sm.grad, "odd"))
+            object.__setattr__(
+                self, "_interp_t_eo", EvenOddMatrix(sm.interp.T, "even")
+            )
+            object.__setattr__(self, "_grad_t_eo", EvenOddMatrix(sm.grad.T, "odd"))
+        if self.use_collocation:
+            if nq != self.degree + 1:
+                raise ValueError(
+                    "the change-of-basis path needs n_q == degree + 1 "
+                    "(square, invertible transform)"
+                )
+            # S: nodal (Gauss-Lobatto) coefficients -> values at Gauss
+            # points == coefficients in the collocation basis
+            sm_co = shape_matrices(self.degree, nq, nodes="gauss")
+            object.__setattr__(self, "_co_grad", sm_co.grad)
+
+    # -- 1D matrices ---------------------------------------------------
+    @property
+    def shape(self) -> ShapeMatrices:
+        return self._sm  # type: ignore[attr-defined]
+
+    @property
+    def n_dofs_1d(self) -> int:
+        return self.degree + 1
+
+    @property
+    def n_dofs_cell(self) -> int:
+        return (self.degree + 1) ** 3
+
+    @property
+    def n_q_cell(self) -> int:
+        return self.n_q_points**3
+
+    @property
+    def quadrature_weights(self) -> np.ndarray:
+        """Tensor-product quadrature weights, shape (n_q, n_q, n_q)."""
+        w = self.shape.quadrature.weights
+        return w[:, None, None] * w[None, :, None] * w[None, None, :]
+
+    # -- internal dispatch ----------------------------------------------
+    def _apply(self, which: str, u: np.ndarray, dim: int) -> np.ndarray:
+        if self.use_even_odd:
+            eo: EvenOddMatrix = getattr(self, f"_{which}_eo")
+            return eo.apply(u, dim)
+        M = {
+            "interp": self.shape.interp,
+            "grad": self.shape.grad,
+            "interp_t": self.shape.interp.T,
+            "grad_t": self.shape.grad.T,
+        }[which]
+        return apply_1d(M, u, dim)
+
+    # -- cell kernels (operator I_e and I_e^T of Eq. (7)) ---------------
+    def values(self, u: np.ndarray) -> np.ndarray:
+        """Interpolate nodal coefficients to quadrature-point values.
+
+        ``u``: ``(..., n, n, n)`` -> ``(..., n_q, n_q, n_q)``.
+        """
+        v = self._apply("interp", u, 0)
+        v = self._apply("interp", v, 1)
+        return self._apply("interp", v, 2)
+
+    def gradients(self, u: np.ndarray) -> np.ndarray:
+        """Reference-coordinate gradients at quadrature points.
+
+        ``u``: ``(..., n, n, n)`` -> ``(..., 3, n_q, n_q, n_q)`` where the
+        new axis indexes d/dx̂_0, d/dx̂_1, d/dx̂_2.
+        """
+        if self.use_collocation:
+            return self.values_and_gradients(u)[1]
+        # shared partial interpolations to save work (collocation reuse)
+        ux = self._apply("interp", u, 0)
+        uxy = self._apply("interp", ux, 1)
+        g0 = self._apply("interp", self._apply("grad", self._apply("interp", u, 1), 0), 2)
+        g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
+        g2 = self._apply("grad", uxy, 2)
+        return np.stack([g0, g1, g2], axis=-4)
+
+    def values_and_gradients(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Both values and reference gradients, sharing intermediates."""
+        if self.use_collocation:
+            # change of basis: 3 transform sweeps, then one collocation-
+            # derivative sweep per direction (6 total instead of 9)
+            D = self._co_grad  # type: ignore[attr-defined]
+            vals = self.values(u)
+            g0 = apply_1d(D, vals, 0)
+            g1 = apply_1d(D, vals, 1)
+            g2 = apply_1d(D, vals, 2)
+            return vals, np.stack([g0, g1, g2], axis=-4)
+        ux = self._apply("interp", u, 0)
+        uxy = self._apply("interp", ux, 1)
+        vals = self._apply("interp", uxy, 2)
+        g0 = self._apply("interp", self._apply("grad", self._apply("interp", u, 1), 0), 2)
+        g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
+        g2 = self._apply("grad", uxy, 2)
+        return vals, np.stack([g0, g1, g2], axis=-4)
+
+    def integrate_values(self, q: np.ndarray) -> np.ndarray:
+        """Test against values: transpose of :meth:`values`.
+
+        ``q``: quadrature data ``(..., n_q, n_q, n_q)`` (already multiplied
+        by JxW etc.) -> nodal residual contributions ``(..., n, n, n)``.
+        """
+        v = self._apply("interp_t", q, 0)
+        v = self._apply("interp_t", v, 1)
+        return self._apply("interp_t", v, 2)
+
+    def integrate_gradients(self, q: np.ndarray) -> np.ndarray:
+        """Test against gradients: transpose of :meth:`gradients`.
+
+        ``q``: ``(..., 3, n_q, n_q, n_q)`` -> ``(..., n, n, n)``.
+        """
+        q0 = q[..., 0, :, :, :]
+        q1 = q[..., 1, :, :, :]
+        q2 = q[..., 2, :, :, :]
+        if self.use_collocation:
+            Dt = self._co_grad.T  # type: ignore[attr-defined]
+            acc = apply_1d(Dt, q0, 0) + apply_1d(Dt, q1, 1) + apply_1d(Dt, q2, 2)
+            return self.integrate_values(acc)
+        r = self._apply("interp_t", self._apply("interp_t", self._apply("grad_t", q0, 0), 1), 2)
+        r += self._apply("interp_t", self._apply("grad_t", self._apply("interp_t", q1, 0), 1), 2)
+        r += self._apply("grad_t", self._apply("interp_t", self._apply("interp_t", q2, 0), 1), 2)
+        return r
+
+    def integrate_values_and_gradients(
+        self, qv: np.ndarray, qg: np.ndarray
+    ) -> np.ndarray:
+        """Combined transpose of :meth:`values_and_gradients`."""
+        return self.integrate_values(qv) + self.integrate_gradients(qg)
+
+    # -- nodal-lattice kernels (geometry precomputation) ----------------
+    @property
+    def nodal_diff(self) -> np.ndarray:
+        """1D differentiation matrix at the nodal points themselves."""
+        basis = self.shape.basis
+        return basis.derivatives(basis.nodes)
+
+    def nodal_gradients(self, u: np.ndarray) -> np.ndarray:
+        """Reference gradients evaluated at the nodal lattice (not the
+        quadrature points): ``(..., n, n, n) -> (..., 3, n, n, n)``.
+
+        Used to differentiate the precomputed polynomial geometry
+        (Heltai et al. 2021) when building metric terms.
+        """
+        D = self.nodal_diff
+        return np.stack(
+            [apply_1d(D, u, 0), apply_1d(D, u, 1), apply_1d(D, u, 2)], axis=-4
+        )
+
+    def face_nodal_trace(self, u: np.ndarray, face: int) -> np.ndarray:
+        """Restrict nodal coefficients to the 2D nodal lattice of a face.
+
+        Gauss-Lobatto nodes include the end points, so the trace is a pure
+        slice: ``(..., n, n, n) -> (..., n, n)`` in (a, b) face frame.
+        """
+        d, s = divmod(face, 2)
+        idx = 0 if s == 0 else self.n_dofs_1d - 1
+        axis = u.ndim - 1 - d
+        return np.take(u, idx, axis=axis)
+
+    def face_nodal_normal_derivative(self, u: np.ndarray, face: int) -> np.ndarray:
+        """d/dx̂_d of the solution, evaluated at the 2D nodal lattice of
+        the face: ``(..., n, n, n) -> (..., n, n)``."""
+        d, s = divmod(face, 2)
+        fg = self.shape.face_grad[s]
+        traced = apply_1d(fg[None, :], u, d)
+        return np.squeeze(traced, axis=traced.ndim - 1 - d)
+
+    def subface_interp_matrix(self, child: int) -> np.ndarray:
+        """1D matrix interpolating face-nodal data to the quadrature
+        points of one half ``child in {0, 1}`` of the interval — the
+        sub-face interpolation used on 2:1 hanging faces (Section 3.4)."""
+        basis = self.shape.basis
+        q = self.shape.quadrature.points
+        return basis.values(0.5 * q + 0.5 * child)
+
+    def face_nodal_to_quad(
+        self, t: np.ndarray, subface: tuple[int, int] | None = None
+    ) -> np.ndarray:
+        """Interpolate a nodal 2D face tensor (a, b axes last) to the face
+        quadrature points, optionally restricted to subface ``(sa, sb)``."""
+        if subface is None:
+            return self._face_interp(t)
+        Ma = self.subface_interp_matrix(subface[0])
+        Mb = self.subface_interp_matrix(subface[1])
+        t = apply_1d_2d(Mb, t, 0)
+        return apply_1d_2d(Ma, t, 1)
+
+    def face_quad_to_nodal_t(
+        self, q: np.ndarray, subface: tuple[int, int] | None = None
+    ) -> np.ndarray:
+        """Transpose of :meth:`face_nodal_to_quad`: integrate quadrature
+        data against the face-nodal basis."""
+        if subface is None:
+            return self._face_interp_t(q)
+        Ma = self.subface_interp_matrix(subface[0])
+        Mb = self.subface_interp_matrix(subface[1])
+        q = apply_1d_2d(Mb.T, q, 0)
+        return apply_1d_2d(Ma.T, q, 1)
+
+    def expand_nodal_trace(self, t: np.ndarray, face: int) -> np.ndarray:
+        """Transpose of :meth:`face_nodal_trace`: scatter a nodal 2D face
+        tensor into a full (zero-padded) cell tensor."""
+        d, s = divmod(face, 2)
+        n = self.n_dofs_1d
+        insert_at = t.ndim + 1 - 1 - d
+        out_shape = list(t.shape)
+        out_shape.insert(insert_at, n)
+        out = np.zeros(out_shape, dtype=t.dtype)
+        idx = [slice(None)] * out.ndim
+        idx[insert_at] = 0 if s == 0 else n - 1
+        out[tuple(idx)] = t
+        return out
+
+    def expand_nodal_normal_derivative(self, t: np.ndarray, face: int) -> np.ndarray:
+        """Transpose of :meth:`face_nodal_normal_derivative`."""
+        d, s = divmod(face, 2)
+        fvec = self.shape.face_grad[s]
+        return self._expand_face(t, fvec, d)
+
+    # -- face kernels (operator I_f of Eq. (7)) --------------------------
+    def face_values(self, u: np.ndarray, face: int) -> np.ndarray:
+        """Restrict nodal coefficients to one of the 6 hex faces and
+        interpolate to the face quadrature points.
+
+        ``face`` encodes (normal dimension d, side s) as ``face = 2 d + s``
+        with ``s = 0`` the low and ``s = 1`` the high side.  The result has
+        shape ``(..., n_q, n_q)`` whose two axes are the remaining tensor
+        dimensions in descending order (e.g. face normal to x keeps
+        ``(z, y)``).
+        """
+        d, s = divmod(face, 2)
+        fv = self.shape.face_value[s]
+        traced = apply_1d(fv[None, :], u, d)
+        traced = np.squeeze(traced, axis=traced.ndim - 1 - d)
+        return self._face_interp(traced)
+
+    def face_normal_derivative(self, u: np.ndarray, face: int) -> np.ndarray:
+        """Reference-coordinate normal derivative d/dx̂_d on a face,
+        interpolated to the face quadrature points."""
+        d, s = divmod(face, 2)
+        fg = self.shape.face_grad[s]
+        traced = apply_1d(fg[None, :], u, d)
+        traced = np.squeeze(traced, axis=traced.ndim - 1 - d)
+        return self._face_interp(traced)
+
+    def face_integrate_values(self, q: np.ndarray, face: int) -> np.ndarray:
+        """Transpose of :meth:`face_values`: scatter face-quadrature data
+        back into cell nodal contributions ``(..., n, n, n)``."""
+        d, s = divmod(face, 2)
+        fv = self.shape.face_value[s]
+        nodal2d = self._face_interp_t(q)
+        return self._expand_face(nodal2d, fv, d)
+
+    def face_integrate_normal_derivative(self, q: np.ndarray, face: int) -> np.ndarray:
+        """Transpose of :meth:`face_normal_derivative`."""
+        d, s = divmod(face, 2)
+        fg = self.shape.face_grad[s]
+        nodal2d = self._face_interp_t(q)
+        return self._expand_face(nodal2d, fg, d)
+
+    # -- helpers ---------------------------------------------------------
+    def _face_interp(self, t: np.ndarray) -> np.ndarray:
+        """Interpolate a 2D nodal face tensor to face quadrature points."""
+        t = apply_1d_2d(self.shape.interp, t, 0)
+        return apply_1d_2d(self.shape.interp, t, 1)
+
+    def _face_interp_t(self, q: np.ndarray) -> np.ndarray:
+        q = apply_1d_2d(self.shape.interp.T, q, 0)
+        return apply_1d_2d(self.shape.interp.T, q, 1)
+
+    def _expand_face(self, nodal2d: np.ndarray, fvec: np.ndarray, d: int) -> np.ndarray:
+        """Tensor a 2D face contribution with the 1D trace vector along the
+        normal dimension ``d``, producing a full 3D cell tensor."""
+        # Cell tensor axes are (..., z, y, x).  A face normal to dimension d
+        # removes array axis (ndim-1-d) of the 3D tensor; re-insert there.
+        insert_at = nodal2d.ndim + 1 - 1 - d  # ndim after insertion is +1
+        expanded = np.expand_dims(nodal2d, axis=insert_at)
+        shape_vec = [1] * expanded.ndim
+        shape_vec[insert_at] = fvec.size
+        return expanded * fvec.reshape(shape_vec)
+
+
+def apply_1d_2d(M: np.ndarray, t: np.ndarray, dim: int) -> np.ndarray:
+    """Apply a 1D matrix along dimension ``dim`` of a (batched) 2D tensor
+    ``t`` of shape ``(..., n_1, n_0)`` (dim 0 = last axis)."""
+    axis = t.ndim - 1 - dim
+    if dim == 0:
+        return t @ M.T
+    moved = np.moveaxis(t, axis, -1)
+    return np.moveaxis(moved @ M.T, -1, axis)

@@ -1,0 +1,130 @@
+"""Airway-tree morphometry of the adult human lung.
+
+Dimensions follow Weibel's symmetric model (Weibel 1963) as tabulated
+for dosimetry modeling by Ménache et al. (2008) — the same source the
+paper uses to compute the analytic resistance of the *non-resolved*
+airway generations (g to 25) behind each terminal outlet.
+
+Generation 0 is the trachea.  The classic regular-dichotomy scalings
+
+    d_g ~ d_0 * 2^{-g/3},   L_g ~ L_0 * 2^{-g/3}
+
+hold well through the conducting zone (to ~g = 16) and are used beyond
+the tabulated range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: (diameter [m], length [m]) per Weibel generation for an adult lung,
+#: after Ménache et al. (2008) / Weibel (1963), FRC-scaled.
+WEIBEL_DIAMETER_LENGTH = {
+    0: (0.01800, 0.12000),
+    1: (0.01220, 0.04760),
+    2: (0.00830, 0.01900),
+    3: (0.00560, 0.00760),
+    4: (0.00450, 0.01270),
+    5: (0.00350, 0.01070),
+    6: (0.00280, 0.00900),
+    7: (0.00230, 0.00760),
+    8: (0.00186, 0.00640),
+    9: (0.00154, 0.00540),
+    10: (0.00130, 0.00460),
+    11: (0.00109, 0.00390),
+    12: (0.00095, 0.00330),
+    13: (0.00082, 0.00270),
+    14: (0.00074, 0.00230),
+    15: (0.00066, 0.00200),
+    16: (0.00060, 0.00165),
+    17: (0.00054, 0.00141),
+    18: (0.00050, 0.00117),
+    19: (0.00047, 0.00099),
+    20: (0.00045, 0.00083),
+    21: (0.00043, 0.00070),
+    22: (0.00041, 0.00059),
+    23: (0.00041, 0.00050),
+}
+
+#: Air at body conditions (Section 5.3)
+AIR_DENSITY = 1.2  # kg/m^3
+AIR_KINEMATIC_VISCOSITY = 1.7e-5  # m^2/s
+AIR_DYNAMIC_VISCOSITY = AIR_DENSITY * AIR_KINEMATIC_VISCOSITY  # Pa s
+
+#: Unit conversions used by the ventilation model
+CMH2O = 98.0665  # Pa
+LITER = 1e-3  # m^3
+
+#: Branching-angle statistics of the adult morphology (Tawhai et al. 2000)
+MAJOR_BRANCH_ANGLE_DEG = 20.0
+MINOR_BRANCH_ANGLE_DEG = 42.0
+#: Diameter ratios of major/minor daughters (Tawhai/Horsfield asymmetry)
+MAJOR_DIAMETER_RATIO = 0.86
+MINOR_DIAMETER_RATIO = 0.68
+
+
+@dataclass(frozen=True)
+class AirwayDimensions:
+    generation: int
+    diameter: float
+    length: float
+
+    @property
+    def radius(self) -> float:
+        return 0.5 * self.diameter
+
+
+def airway_dimensions(generation: int) -> AirwayDimensions:
+    """Weibel-model dimensions; beyond the table, regular-dichotomy
+    scaling ``2^{-1/3}`` per generation is applied."""
+    if generation < 0:
+        raise ValueError("generation must be >= 0")
+    if generation in WEIBEL_DIAMETER_LENGTH:
+        d, length = WEIBEL_DIAMETER_LENGTH[generation]
+    else:
+        last = max(WEIBEL_DIAMETER_LENGTH)
+        d0, l0 = WEIBEL_DIAMETER_LENGTH[last]
+        scale = 2.0 ** (-(generation - last) / 3.0)
+        d, length = d0 * scale, l0 * scale
+    return AirwayDimensions(generation, d, length)
+
+
+def n_airways(generation: int) -> int:
+    """Number of airways in a generation of the symmetric Weibel model."""
+    return 2**generation
+
+
+def poiseuille_resistance(diameter: float, length: float,
+                          mu: float = AIR_DYNAMIC_VISCOSITY) -> float:
+    """Laminar (Poiseuille) resistance ``128 mu L / (pi d^4)`` in
+    Pa s / m^3 — the assumption the paper uses for the truncated tree."""
+    if diameter <= 0 or length <= 0:
+        raise ValueError("diameter and length must be positive")
+    return 128.0 * mu * length / (np.pi * diameter**4)
+
+
+def truncated_tree_resistance(
+    from_generation: int,
+    to_generation: int = 25,
+    mu: float = AIR_DYNAMIC_VISCOSITY,
+) -> float:
+    """Analytic resistance of one *subtree* rooted at a single airway of
+    ``from_generation``, resolving all airways down to ``to_generation``
+    (Section 5.3: "the resistance of the remaining airway tree (from
+    generation g to 25) is calculated analytically, exploiting the
+    assumption of laminar Poiseuille flow").
+
+    Within the symmetric model the ``2^{g - from}`` airways of deeper
+    generation g sit in parallel, and the generations in series:
+    ``R = sum_g R_single(g) / 2^{g - from}``.
+    """
+    if to_generation < from_generation:
+        raise ValueError("to_generation must be >= from_generation")
+    total = 0.0
+    for g in range(from_generation, to_generation + 1):
+        dims = airway_dimensions(g)
+        r_single = poiseuille_resistance(dims.diameter, dims.length, mu)
+        total += r_single / (2 ** (g - from_generation))
+    return total

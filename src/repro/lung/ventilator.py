@@ -1,0 +1,115 @@
+"""Pressure-controlled mechanical ventilator with tidal-volume control
+and endotracheal-tube (tubus) pressure drop.
+
+Section 5.3: "a pressure of PEEP + dp is provided at the tracheal inlet
+during inhalation and PEEP during exhalation, with the positive
+end-expiratory pressure (PEEP) being 8 cmH2O. The breathing period is
+T = 3 s with an inhalation-to-exhalation time ratio of 1:2. ... a
+discrete controller dynamically adjusts the pressure dp from one
+breathing cycle to the next in order to reach the desired tidal volume
+of V_T = 500 ml. The pressure drop over the tubus ... is regarded
+according to [Guttmann et al. 1993]."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .morphometry import CMH2O, LITER
+
+
+@dataclass
+class TubusModel:
+    """Rohrer-type endotracheal tube pressure drop
+    ``dP = K1 Q + K2 Q |Q|`` (Guttmann et al. 1993; coefficients of an
+    8 mm ID adult tube)."""
+
+    k1: float = 4.6 * CMH2O / LITER  # 4.6 cmH2O/(l/s) -> Pa s/m^3
+    k2: float = 2.9 * CMH2O / LITER**2  # 2.9 cmH2O/(l/s)^2 -> Pa s^2/m^6
+
+    def pressure_drop(self, flow: float) -> float:
+        return self.k1 * flow + self.k2 * flow * abs(flow)
+
+
+@dataclass
+class VentilationSettings:
+    peep: float = 8.0 * CMH2O  # Pa
+    dp_initial: float = 8.0 * CMH2O  # driving pressure guess
+    period: float = 3.0  # s
+    ie_ratio: float = 0.5  # inhalation : exhalation = 1 : 2
+    tidal_volume_target: float = 500.0e-3 * LITER  # 500 ml in m^3
+    controller_gain: float = 0.8
+    rise_time: float = 0.05  # linear pressure ramp at phase switches [s]
+
+
+class PressureControlledVentilator:
+    """Square-wave pressure source + discrete cycle-to-cycle controller.
+
+    ``tracheal_pressure(t, flow)`` is the boundary pressure the 3D model
+    sees (ventilator pressure minus the tubus drop).  After every
+    breathing cycle, call :meth:`end_of_cycle` with the measured tidal
+    volume so the controller can adjust ``dp``.
+    """
+
+    def __init__(self, settings: VentilationSettings | None = None,
+                 tubus: TubusModel | None = None) -> None:
+        self.settings = settings or VentilationSettings()
+        self.tubus = tubus or TubusModel()
+        self.dp = self.settings.dp_initial
+        self.dp_history: list[float] = [self.dp]
+        self.tidal_history: list[float] = []
+
+    @property
+    def inhalation_time(self) -> float:
+        s = self.settings
+        return s.period * s.ie_ratio / (1.0 + s.ie_ratio)
+
+    def is_inhaling(self, t: float) -> bool:
+        return (t % self.settings.period) < self.inhalation_time
+
+    def ventilator_pressure(self, t: float) -> float:
+        """Square wave with a linear rise/fall ramp (real ventilators ramp
+        the pressure over tens of milliseconds, which also spares the CFD
+        an impulsive start)."""
+        s = self.settings
+        tau = t % s.period
+        rise = max(s.rise_time, 1e-12)
+        if tau < self.inhalation_time:
+            ramp = min(tau / rise, 1.0)
+            return s.peep + self.dp * ramp
+        fall = min((tau - self.inhalation_time) / rise, 1.0)
+        return s.peep + self.dp * (1.0 - fall)
+
+    def tracheal_pressure(self, t: float, flow: float = 0.0) -> float:
+        """Pressure at the tracheal end of the tube.  ``flow`` is the
+        instantaneous flow into the patient (positive during
+        inhalation)."""
+        return self.ventilator_pressure(t) - self.tubus.pressure_drop(flow)
+
+    def end_of_cycle(self, measured_tidal_volume: float) -> float:
+        """Discrete controller update: proportional adjustment of dp
+        towards the target tidal volume.  Returns the new dp."""
+        s = self.settings
+        self.tidal_history.append(float(measured_tidal_volume))
+        if measured_tidal_volume > 0:
+            error_ratio = s.tidal_volume_target / measured_tidal_volume
+            # damped multiplicative update
+            factor = error_ratio**s.controller_gain
+            factor = float(np.clip(factor, 0.5, 2.0))
+            self.dp *= factor
+        else:
+            self.dp *= 1.5
+        self.dp = float(np.clip(self.dp, 0.5 * CMH2O, 50 * CMH2O))
+        self.dp_history.append(self.dp)
+        return self.dp
+
+
+def expected_tidal_volume(dp: float, compliance: float, resistance: float,
+                          t_inhale: float) -> float:
+    """First-order RC prediction of the tidal volume delivered by a
+    square pressure wave: ``V_T = dp C (1 - exp(-t_I / (R C)))`` — used
+    by tests and by the controller's convergence analysis."""
+    tau = resistance * compliance
+    return dp * compliance * (1.0 - np.exp(-t_inhale / tau))

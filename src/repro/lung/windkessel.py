@@ -1,0 +1,114 @@
+"""Single-compartment (RC windkessel) terminal-airway models.
+
+Section 5.3: "The pressure boundary conditions at the terminal airways
+are governed by appended linear single-compartment models according to
+[Bates 2009] to consider resistive and compliant effects of the
+remaining, non-resolved airways and tissue components below the outlets."
+
+Each resolved terminal airway of generation g carries one compartment:
+
+* resistance ``R = R_subtree(g+1..25) + R_tissue``, with the subtree part
+  computed analytically from Poiseuille flow through the Weibel
+  dimensions (:func:`repro.lung.morphometry.truncated_tree_resistance`)
+  and the tissue part modelled as 20% (West & Luks) of the total
+  respiratory resistance of 0.15 kPa s/l (Pape et al.), distributed over
+  the outlets;
+* compliance ``C_outlet = C_total / N_outlets`` from the overall
+  respiratory compliance ``C = 100 ml/cmH2O``.
+
+The compartment pressure seen by the 3D domain at outlet ``o`` is
+
+    p_o(t) = R_o Q_o(t) + V_o(t) / C_o,      dV_o/dt = Q_o,
+
+integrated with the same (explicit) step as the flow solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .morphometry import CMH2O, LITER, truncated_tree_resistance
+
+#: total respiratory system properties (Section 5.3)
+TOTAL_RESISTANCE = 0.15e3 / LITER  # 0.15 kPa s / l -> Pa s / m^3
+TISSUE_FRACTION = 0.2
+TOTAL_COMPLIANCE = 100.0e-3 * LITER / CMH2O  # 100 ml/cmH2O -> m^3/Pa
+
+
+@dataclass
+class Compartment:
+    """One RC terminal-airway compartment."""
+
+    resistance: float  # Pa s / m^3
+    compliance: float  # m^3 / Pa
+    volume: float = 0.0  # stored volume above FRC [m^3]
+    flow: float = 0.0  # last flow into the compartment [m^3/s]
+
+    def pressure(self) -> float:
+        """Airway-opening pressure of the compartment (relative)."""
+        return self.resistance * self.flow + self.volume / self.compliance
+
+    def advance(self, flow: float, dt: float) -> None:
+        """Integrate dV/dt = Q with the measured outlet flow."""
+        self.flow = float(flow)
+        self.volume += self.flow * dt
+
+
+class WindkesselBank:
+    """All terminal compartments of a lung model with ``n_outlets``
+    terminals resolved down to generation ``g``."""
+
+    def __init__(
+        self,
+        terminal_generation: int,
+        n_outlets: int,
+        peep: float = 0.0,
+        total_resistance: float = TOTAL_RESISTANCE,
+        tissue_fraction: float = TISSUE_FRACTION,
+        total_compliance: float = TOTAL_COMPLIANCE,
+    ) -> None:
+        if n_outlets < 1:
+            raise ValueError("need at least one outlet")
+        self.terminal_generation = terminal_generation
+        self.peep = float(peep)
+        r_subtree = truncated_tree_resistance(terminal_generation + 1, 25)
+        # tissue resistance: fraction of the total, shared by parallel
+        # outlets -> per-outlet value is N x the lumped value
+        r_tissue = tissue_fraction * total_resistance * n_outlets
+        c_outlet = total_compliance / n_outlets
+        self.compartments = [
+            Compartment(resistance=r_subtree + r_tissue, compliance=c_outlet)
+            for _ in range(n_outlets)
+        ]
+
+    @property
+    def n_outlets(self) -> int:
+        return len(self.compartments)
+
+    def outlet_pressure(self, outlet: int) -> float:
+        """Absolute (PEEP-referenced) pressure imposed at outlet ``o``."""
+        return self.peep + self.compartments[outlet].pressure()
+
+    def advance(self, flows, dt: float) -> None:
+        if len(flows) != self.n_outlets:
+            raise ValueError("one flow per outlet required")
+        for comp, q in zip(self.compartments, flows):
+            comp.advance(q, dt)
+
+    def total_volume(self) -> float:
+        """Volume stored beyond FRC — the tidal volume when summed over a
+        full inhalation."""
+        return float(sum(c.volume for c in self.compartments))
+
+    def equivalent_resistance(self) -> float:
+        """Lumped resistance of all compartments in parallel."""
+        return 1.0 / sum(1.0 / c.resistance for c in self.compartments)
+
+    def equivalent_compliance(self) -> float:
+        return float(sum(c.compliance for c in self.compartments))
+
+    def time_constant(self) -> float:
+        """RC time constant of the lumped respiratory system."""
+        return self.equivalent_resistance() * self.equivalent_compliance()

@@ -1,0 +1,47 @@
+"""Meshing: unstructured hex coarse meshes, forest-of-octree refinement,
+geometric face connectivity (incl. 2:1 hanging faces and orientations),
+high-order mappings and metric terms, and mesh generators."""
+
+from .hexmesh import HexMesh, merge_meshes, trilinear, trilinear_jacobian
+from .octree import CellId, Forest
+from .connectivity import (
+    MeshConnectivity,
+    FaceBatch,
+    BoundaryBatch,
+    Orientation,
+    build_connectivity,
+    orient_face_array,
+    orient_to_plus,
+)
+from .mapping import GeometryField, CellMetrics, FaceMetrics
+from .generators import box, unit_cube, cylinder, bifurcation
+from .tube_tree import BranchSpec, tube_tree_mesh
+from .morton import morton_key, forest_order, partition_contiguous
+
+__all__ = [
+    "HexMesh",
+    "merge_meshes",
+    "trilinear",
+    "trilinear_jacobian",
+    "CellId",
+    "Forest",
+    "MeshConnectivity",
+    "FaceBatch",
+    "BoundaryBatch",
+    "Orientation",
+    "build_connectivity",
+    "orient_face_array",
+    "orient_to_plus",
+    "GeometryField",
+    "CellMetrics",
+    "FaceMetrics",
+    "box",
+    "unit_cube",
+    "cylinder",
+    "bifurcation",
+    "BranchSpec",
+    "tube_tree_mesh",
+    "morton_key",
+    "forest_order",
+    "partition_contiguous",
+]

@@ -1,0 +1,251 @@
+"""Coarse-mesh generators: boxes, discs, cylinders, and the generic
+bifurcation of Figure 9.
+
+Boundary indicators follow a single convention used throughout the
+package:
+
+* ``0`` — solid wall (default),
+* ``1`` — inlet,
+* ``2, 3, ...`` — outlets (one id per outlet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hexmesh import HexMesh, face_corner_vertices, merge_meshes
+from .transfinite import CylinderGeometry
+
+
+def box(
+    lower=(0.0, 0.0, 0.0),
+    upper=(1.0, 1.0, 1.0),
+    subdivisions=(1, 1, 1),
+    boundary_ids: dict[int, int] | None = None,
+) -> HexMesh:
+    """Axis-aligned box split into ``nx x ny x nz`` hex cells.
+
+    ``boundary_ids`` maps box side ``f = 2 d + s`` (same encoding as local
+    faces) to a boundary indicator; unspecified sides get 0.
+    """
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    n = np.asarray(subdivisions, dtype=int)
+    if np.any(n < 1):
+        raise ValueError("subdivisions must be >= 1")
+    xs = [np.linspace(lower[d], upper[d], n[d] + 1) for d in range(3)]
+    nvx, nvy, nvz = n + 1
+
+    def vid(i, j, k):
+        return i + nvx * (j + nvy * k)
+
+    vertices = np.empty((nvx * nvy * nvz, 3))
+    for k in range(nvz):
+        for j in range(nvy):
+            for i in range(nvx):
+                vertices[vid(i, j, k)] = (xs[0][i], xs[1][j], xs[2][k])
+    cells = []
+    for k in range(n[2]):
+        for j in range(n[1]):
+            for i in range(n[0]):
+                cells.append(
+                    [
+                        vid(i + a, j + b, k + c)
+                        for c in range(2)
+                        for b in range(2)
+                        for a in range(2)
+                    ]
+                )
+    mesh = HexMesh(vertices, np.asarray(cells))
+    if boundary_ids:
+        bmap = {}
+        for side, bid in boundary_ids.items():
+            d, s = divmod(side, 2)
+            for c in range(mesh.n_cells):
+                # cell index decomposition
+                ci = c % n[0]
+                cj = (c // n[0]) % n[1]
+                ck = c // (n[0] * n[1])
+                pos = (ci, cj, ck)[d]
+                if (s == 0 and pos == 0) or (s == 1 and pos == n[d] - 1):
+                    quad = frozenset(int(v) for v in mesh.face_vertices(c, side).ravel())
+                    bmap[quad] = bid
+        mesh.boundary_ids.update(bmap)
+    return mesh
+
+
+def unit_cube(subdivisions: int = 1) -> HexMesh:
+    return box(subdivisions=(subdivisions,) * 3)
+
+
+# ---------------------------------------------------------------------------
+# Disc cross-sections.  The paper's airway cylinders use 12 elements per
+# cross-section: a 2x2 inner square block surrounded by a ring of 8 cells
+# whose outer edges approximate the circle (smoothed by the transfinite
+# radial mapping).
+# ---------------------------------------------------------------------------
+def disc_cross_section(radius: float = 1.0, inner_fraction: float = 0.5):
+    """2D layout of the 12-cell disc: returns ``(points, quads, ring_mask)``.
+
+    ``points``: (n, 2) coordinates; ``quads``: (12, 4) vertex indices in
+    lexicographic 2D order (v = vx + 2 vy); ``ring_mask``: which quads
+    touch the circle with their *high-y-like* outer edge.  Outer-edge
+    information is returned via a list of (quad index, local 2D edge) so
+    the cylinder builder can attach the transfinite surface mapping.
+    """
+    a = inner_fraction * radius / np.sqrt(2.0)  # half-width of inner square
+    # inner 3x3 lattice of the 2x2 block
+    pts = []
+    for j in range(3):
+        for i in range(3):
+            pts.append((-a + i * a, -a + j * a))
+    inner_id = lambda i, j: i + 3 * j  # noqa: E731
+    # outer circle points at the 8 directions matching the inner lattice
+    ring_order = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (1, 2), (0, 2), (0, 1)]
+    outer_ids = {}
+    for (i, j) in ring_order:
+        px, py = pts[inner_id(i, j)]
+        theta = np.arctan2(py, px)
+        outer_ids[(i, j)] = len(pts)
+        pts.append((radius * np.cos(theta), radius * np.sin(theta)))
+    quads = []
+    # 4 inner quads
+    for j in range(2):
+        for i in range(2):
+            quads.append(
+                [
+                    inner_id(i, j),
+                    inner_id(i + 1, j),
+                    inner_id(i, j + 1),
+                    inner_id(i + 1, j + 1),
+                ]
+            )
+    # 8 ring quads between consecutive ring_order points.  Local 2D y (bit
+    # 1 of the vertex index) points outward; local x runs *clockwise* so
+    # the (x, y) frame stays right-handed (positive Jacobian after the
+    # axial sweep).
+    outer_edges = []
+    for r in range(8):
+        (i0, j0) = ring_order[r]
+        (i1, j1) = ring_order[(r + 1) % 8]
+        quad = [
+            inner_id(i1, j1),
+            inner_id(i0, j0),
+            outer_ids[(i1, j1)],
+            outer_ids[(i0, j0)],
+        ]
+        quads.append(quad)
+        outer_edges.append((4 + r, "high_y"))
+    return np.asarray(pts), np.asarray(quads), outer_edges
+
+
+def cylinder(
+    radius: float = 1.0,
+    length: float = 4.0,
+    n_axial: int = 4,
+    inlet_id: int = 1,
+    outlet_id: int = 2,
+    start=(0.0, 0.0, 0.0),
+    axis=(0.0, 0.0, 1.0),
+    smooth: bool = True,
+    taper_radius: float | None = None,
+) -> HexMesh:
+    """Swept 12-cell disc cylinder along ``axis`` with ``n_axial`` slices.
+
+    With ``smooth=True`` a transfinite radial mapping is attached so the
+    ring cells' outer faces lie exactly on the (possibly tapered)
+    analytic cylinder surface.
+    """
+    start = np.asarray(start, dtype=float)
+    axis = np.asarray(axis, dtype=float)
+    axis = axis / np.linalg.norm(axis)
+    r_end = radius if taper_radius is None else taper_radius
+    # orthonormal frame
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(np.dot(helper, axis)) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    e1 = np.cross(axis, helper)
+    e1 /= np.linalg.norm(e1)
+    e2 = np.cross(axis, e1)
+
+    pts2d, quads2d, outer_edges = disc_cross_section(1.0)
+    n2d = len(pts2d)
+    vertices = []
+    for s in range(n_axial + 1):
+        t = s / n_axial
+        r_here = (1 - t) * radius + t * r_end
+        origin = start + t * length * axis
+        for (px, py) in pts2d:
+            vertices.append(origin + r_here * (px * e1 + py * e2))
+    vertices = np.asarray(vertices)
+
+    cells = []
+    surface_cells = []  # (cell index, local face on surface)
+    for s in range(n_axial):
+        base0, base1 = s * n2d, (s + 1) * n2d
+        for qi, quad in enumerate(quads2d):
+            # local ordering: x ~ 2D x, y ~ 2D y, z ~ axial
+            cell = [base0 + quad[0], base0 + quad[1], base0 + quad[2], base0 + quad[3],
+                    base1 + quad[0], base1 + quad[1], base1 + quad[2], base1 + quad[3]]
+            cells.append(cell)
+            if qi >= 4:
+                # ring cell: outer edge is high local y -> local face 3
+                surface_cells.append((len(cells) - 1, 3))
+    mesh = HexMesh(vertices, np.asarray(cells))
+
+    # boundary indicators: inlet = first slice (-z faces), outlet = last
+    bmap = {}
+    for c in range(mesh.n_cells):
+        s = c // 12
+        if s == 0:
+            quad = frozenset(int(v) for v in mesh.face_vertices(c, 4).ravel())
+            bmap[quad] = inlet_id
+        if s == n_axial - 1:
+            quad = frozenset(int(v) for v in mesh.face_vertices(c, 5).ravel())
+            bmap[quad] = outlet_id
+    mesh.boundary_ids.update(bmap)
+
+    if smooth:
+        geo = CylinderGeometry(
+            mesh,
+            surface_faces={c: f for (c, f) in surface_cells},
+            axis_start=start,
+            axis_direction=axis,
+            length=length,
+            radius_start=radius,
+            radius_end=r_end,
+        )
+        mesh.geometry = geo
+    return mesh
+
+
+def bifurcation(
+    radius: float = 1.0,
+    parent_length: float = 4.0,
+    child_length: float = 4.0,
+    opening_angle_deg: float = 60.0,
+    cells_per_diameter: int = 2,
+    child_radius_ratio: float = 0.79,
+) -> HexMesh:
+    """The generic bifurcation of Figure 9: one tube splitting into two
+    outlet tubes with the given opening angle, built by the square-duct
+    tube-tree mesher shared with the lung meshes.
+
+    The default ``child_radius_ratio = 0.79 ~ 2^{-1/3}`` follows the
+    Weibel-model area-preserving branching used by the lung model.
+    """
+    from .tube_tree import BranchSpec, tube_tree_mesh
+
+    half = np.radians(opening_angle_deg / 2.0)
+    rc = radius * child_radius_ratio
+    d1 = np.array([np.sin(half), 0.0, np.cos(half)])
+    d2 = np.array([-np.sin(half), 0.0, np.cos(half)])
+    branches = [
+        BranchSpec(parent=-1, direction=(0, 0, 1), length=parent_length,
+                   radius=radius, outlet_id=0),
+        BranchSpec(parent=0, direction=tuple(d1), length=child_length,
+                   radius=rc, outlet_id=2),
+        BranchSpec(parent=0, direction=tuple(d2), length=child_length,
+                   radius=rc, outlet_id=3, side_branch=True),
+    ]
+    return tube_tree_mesh(branches, inlet_id=1)

@@ -1,0 +1,290 @@
+"""High-order polynomial geometry representation and metric terms.
+
+Following Heltai et al. (2021) and Section 3.3 of the paper, the analytic
+geometry (transfinite cylinder mappings, deformations) is sampled *once*
+at the Gauss–Lobatto lattice of every leaf cell and stored as a
+polynomial geometry field; all metric terms (Jacobians, inverse
+transposes, JxW, face normals) are then derived from this field with the
+same sum-factorization kernels used by the operators.
+
+Layouts
+-------
+* nodal geometry  ``X[c, i, nz, ny, nx]``  (i = physical component)
+* cell Jacobian   ``J[c, i, j, qz, qy, qx]`` = dX_i/dref_j at cell
+  quadrature points
+* face arrays     ``(n_faces, ..., qa, qb)`` with the face lattice on the
+  trailing axes so orientation transforms apply uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sum_factorization import TensorProductKernel
+from .connectivity import FaceBatch, BoundaryBatch, MeshConnectivity, orient_face_array
+from .octree import Forest
+
+
+def _invert_3x3(J: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Determinant and inverse of a field of 3x3 matrices with the matrix
+    axes at positions 1, 2: ``J[..., i, j, ...]`` of shape
+    ``(N, 3, 3, *rest)``.  Returns ``(det (N, *rest), inv (N, 3, 3, *rest))``.
+    """
+    a = J
+    det = (
+        a[:, 0, 0] * (a[:, 1, 1] * a[:, 2, 2] - a[:, 1, 2] * a[:, 2, 1])
+        - a[:, 0, 1] * (a[:, 1, 0] * a[:, 2, 2] - a[:, 1, 2] * a[:, 2, 0])
+        + a[:, 0, 2] * (a[:, 1, 0] * a[:, 2, 1] - a[:, 1, 1] * a[:, 2, 0])
+    )
+    inv = np.empty_like(a)
+    inv[:, 0, 0] = a[:, 1, 1] * a[:, 2, 2] - a[:, 1, 2] * a[:, 2, 1]
+    inv[:, 0, 1] = a[:, 0, 2] * a[:, 2, 1] - a[:, 0, 1] * a[:, 2, 2]
+    inv[:, 0, 2] = a[:, 0, 1] * a[:, 1, 2] - a[:, 0, 2] * a[:, 1, 1]
+    inv[:, 1, 0] = a[:, 1, 2] * a[:, 2, 0] - a[:, 1, 0] * a[:, 2, 2]
+    inv[:, 1, 1] = a[:, 0, 0] * a[:, 2, 2] - a[:, 0, 2] * a[:, 2, 0]
+    inv[:, 1, 2] = a[:, 0, 2] * a[:, 1, 0] - a[:, 0, 0] * a[:, 1, 2]
+    inv[:, 2, 0] = a[:, 1, 0] * a[:, 2, 1] - a[:, 1, 1] * a[:, 2, 0]
+    inv[:, 2, 1] = a[:, 0, 1] * a[:, 2, 0] - a[:, 0, 0] * a[:, 2, 1]
+    inv[:, 2, 2] = a[:, 0, 0] * a[:, 1, 1] - a[:, 0, 1] * a[:, 1, 0]
+    inv /= det[:, None, None]
+    return det, inv
+
+
+@dataclass
+class CellMetrics:
+    """Per-cell quadrature-point metric data (the D_e factors of Eq. (7)).
+
+    Attributes
+    ----------
+    jxw:       (N, nq, nq, nq)        quadrature weight x |det J|
+    jinv_t:    (N, 3, 3, nq, nq, nq)  J^{-T}: phys grad = jinv_t @ ref grad
+    laplace_d: (N, 3, 3, nq, nq, nq)  J^{-1} J^{-T} |det J| w — the
+               symmetric 3x3 block applied between I_e and I_e^T for the
+               Laplacian.
+    points:    (N, 3, nq, nq, nq)     physical quadrature points
+    det_j:     (N, nq, nq, nq)        Jacobian determinant (sign retained)
+    """
+
+    jxw: np.ndarray
+    jinv_t: np.ndarray
+    laplace_d: np.ndarray
+    points: np.ndarray
+    det_j: np.ndarray
+
+
+@dataclass
+class FaceSideData:
+    """Metric data of one side of a face batch, at the (minus-frame) face
+    quadrature points.
+
+    jinv_t: (F, 3, 3, qa, qb) of that side's cell (plus side already
+            orientation-transformed into the minus frame).
+    """
+
+    jinv_t: np.ndarray
+
+
+@dataclass
+class FaceMetrics:
+    """Geometric data of one interior :class:`FaceBatch` (minus frame).
+
+    normal:  (F, 3, qa, qb)  outward unit normal of the minus cell
+    jxw:     (F, qa, qb)     surface element x quadrature weight
+    minus/plus: per-side J^{-T} data
+    penalty: (F,)            SIP penalty scale max(A_f/V_m, A_f/V_p)
+    points:  (F, 3, qa, qb)  physical quadrature points
+    """
+
+    normal: np.ndarray
+    jxw: np.ndarray
+    minus: FaceSideData
+    plus: FaceSideData | None
+    penalty: np.ndarray
+    points: np.ndarray
+
+
+class GeometryField:
+    """Nodal polynomial geometry of all leaves + metric factories."""
+
+    def __init__(self, forest: Forest, degree: int, n_q_points: int | None = None,
+                 use_collocation: bool = False):
+        self.forest = forest
+        self.degree = degree
+        self.kernel = TensorProductKernel(
+            degree, n_q_points or degree + 1, use_collocation=use_collocation
+        )
+        n = degree + 1
+        nodes = self.kernel.shape.basis.nodes
+        # reference lattice with x fastest, matching (z, y, x) array layout
+        zz, yy, xx = np.meshgrid(nodes, nodes, nodes, indexing="ij")
+        ref = np.stack([xx.ravel(), yy.ravel(), zz.ravel()], axis=1)
+        X = np.empty((forest.n_cells, 3, n, n, n))
+        coarse = forest.coarse
+        for c, leaf in enumerate(forest.leaves):
+            pts = coarse.map_geometry(leaf.tree, leaf.ref_points(ref))
+            X[c] = pts.T.reshape(3, n, n, n)
+        self.X = X
+        # scale reference derivatives: X is sampled on the *leaf* lattice,
+        # so kernel gradients are already w.r.t. leaf reference coords.
+        self._cell_metrics: CellMetrics | None = None
+
+    @property
+    def n_cells(self) -> int:
+        return self.forest.n_cells
+
+    # ------------------------------------------------------------------
+    def cell_metrics(self) -> CellMetrics:
+        """Compute (and cache) all cell quadrature metric data."""
+        if self._cell_metrics is not None:
+            return self._cell_metrics
+        kern = self.kernel
+        nq = kern.n_q_points
+        N = self.n_cells
+        # J[c, i, j, q...]: gradients of each physical component
+        vals, grads = kern.values_and_gradients(self.X)
+        # grads has shape (N, 3phys, 3ref, nq, nq, nq) because the X
+        # component axis rides along as a batch axis before the new ref axis
+        J = grads
+        det, Jinv = _invert_3x3(J.reshape(N, 3, 3, -1))
+        det = det.reshape(N, nq, nq, nq)
+        Jinv = Jinv.reshape(N, 3, 3, nq, nq, nq)
+        if np.any(det <= 0):
+            bad = int(np.sum(np.any(det.reshape(N, -1) <= 0, axis=1)))
+            raise ValueError(f"{bad} cells have non-positive Jacobian")
+        w = kern.quadrature_weights  # (nq, nq, nq)
+        jxw = np.abs(det) * w
+        jinv_t = np.swapaxes(Jinv, 1, 2)
+        laplace_d = np.einsum("cij...,ckj...->cik...", Jinv, Jinv) * jxw[:, None, None]
+        self._cell_metrics = CellMetrics(
+            jxw=jxw, jinv_t=jinv_t, laplace_d=laplace_d, points=vals, det_j=det
+        )
+        return self._cell_metrics
+
+    # ------------------------------------------------------------------
+    def _nodal_jacobian(self, cells: np.ndarray) -> np.ndarray:
+        """J at the nodal lattice of the given cells: (F, 3, 3, n, n, n)."""
+        return self.kernel.nodal_gradients(self.X[cells])
+
+    def _cell_volumes(self) -> np.ndarray:
+        cm = self.cell_metrics()
+        return cm.jxw.reshape(self.n_cells, -1).sum(axis=1)
+
+    def _side_face_data(
+        self,
+        cells: np.ndarray,
+        face: int,
+        orientation=None,
+        subface=None,
+    ):
+        """Nodal face traces of X and J for one side, oriented into the
+        minus frame and interpolated to the minus quadrature points.
+
+        Returns (points (F,3,qa,qb), J (F,3,3,qa,qb)).
+        """
+        kern = self.kernel
+        Xc = self.X[cells]  # (F, 3, n, n, n)
+        Jc = self._nodal_jacobian(cells)  # (F, 3, 3, n, n, n)
+        tX = kern.face_nodal_trace(Xc, face)  # (F, 3, n, n)
+        tJ = kern.face_nodal_trace(Jc, face)  # (F, 3, 3, n, n)
+        if orientation is not None and not orientation.is_identity:
+            # the stored orientation maps minus coords to plus coords, which
+            # is exactly what re-indexing a plus array into minus layout needs
+            tX = orient_face_array(tX, orientation)
+            tJ = orient_face_array(tJ, orientation)
+        qX = kern.face_nodal_to_quad(tX, subface)
+        qJ = kern.face_nodal_to_quad(tJ, subface)
+        return qX, qJ
+
+    def face_metrics(self, batch: FaceBatch) -> FaceMetrics:
+        """Metric data of an interior face batch (minus integration frame)."""
+        kern = self.kernel
+        d_m, s_m = divmod(batch.face_m, 2)
+        qX, qJ_m = self._side_face_data(batch.cells_m, batch.face_m)
+        F = len(batch.cells_m)
+        nq = kern.n_q_points
+        _, Jinv_m = _invert_3x3(qJ_m.reshape(F, 3, 3, -1))
+        jinv_t_m = np.swapaxes(Jinv_m, 1, 2).reshape(F, 3, 3, nq, nq)
+
+        # surface element: cross product of the two tangent columns of J,
+        # tangential dims in (a, b) face-frame order (higher dim first)
+        rem = [dd for dd in (2, 1, 0) if dd != d_m]
+        t_a = qJ_m[:, :, rem[0]]  # (F, 3, qa, qb)
+        t_b = qJ_m[:, :, rem[1]]
+        sv = np.cross(t_a, t_b, axis=1)
+        area = np.linalg.norm(sv, axis=1)
+        normal = sv / area[:, None]
+        # orient outward: the outward direction is J^{-T} applied to the
+        # outward reference normal +-e_d
+        ref_n = np.zeros(3)
+        ref_n[d_m] = 1.0 if s_m == 1 else -1.0
+        sign = np.sign(
+            np.einsum("fi...,fi...->f...", normal, np.einsum("fij...,j->fi...", jinv_t_m, ref_n))
+        )
+        normal = normal * sign[:, None]
+
+        # The minus side is always a full face of the (fine) minus cell, so
+        # the surface element computed from its Jacobian needs no subface
+        # area factor.
+        w1 = kern.shape.quadrature.weights
+        wface = w1[:, None] * w1[None, :]
+        jxw = area * wface[None, :, :]
+
+        plus = None
+        if batch.cells_p is not None:
+            qXp, qJ_p = self._side_face_data(
+                batch.cells_p, batch.face_p, batch.orientation, batch.subface
+            )
+            _, Jinv_p = _invert_3x3(qJ_p.reshape(F, 3, 3, -1))
+            jinv_t_p = np.swapaxes(Jinv_p, 1, 2).reshape(F, 3, 3, nq, nq)
+            plus = FaceSideData(jinv_t=jinv_t_p)
+
+        # SIP penalty scale: area / volume of each adjacent cell
+        vols = self._cell_volumes()
+        areas = jxw.reshape(F, -1).sum(axis=1)
+        pen = areas / vols[batch.cells_m]
+        if batch.cells_p is not None:
+            area_plus = areas if batch.subface is None else 4.0 * areas
+            pen = np.maximum(pen, area_plus / vols[batch.cells_p])
+        return FaceMetrics(
+            normal=normal, jxw=jxw, minus=FaceSideData(jinv_t=jinv_t_m),
+            plus=plus, penalty=pen, points=qX,
+        )
+
+    def boundary_metrics(self, batch: BoundaryBatch) -> FaceMetrics:
+        """Metric data of a boundary batch (treated as minus side only)."""
+        kern = self.kernel
+        d_m, s_m = divmod(batch.face, 2)
+        qX, qJ_m = self._side_face_data(batch.cells, batch.face)
+        F = len(batch.cells)
+        nq = kern.n_q_points
+        _, Jinv_m = _invert_3x3(qJ_m.reshape(F, 3, 3, -1))
+        jinv_t_m = np.swapaxes(Jinv_m, 1, 2).reshape(F, 3, 3, nq, nq)
+        rem = [dd for dd in (2, 1, 0) if dd != d_m]
+        t_a = qJ_m[:, :, rem[0]]
+        t_b = qJ_m[:, :, rem[1]]
+        sv = np.cross(t_a, t_b, axis=1)
+        area = np.linalg.norm(sv, axis=1)
+        normal = sv / area[:, None]
+        ref_n = np.zeros(3)
+        ref_n[d_m] = 1.0 if s_m == 1 else -1.0
+        sign = np.sign(
+            np.einsum("fi...,fi...->f...", normal, np.einsum("fij...,j->fi...", jinv_t_m, ref_n))
+        )
+        normal = normal * sign[:, None]
+        w1 = kern.shape.quadrature.weights
+        jxw = area * (w1[:, None] * w1[None, :])[None]
+        vols = self._cell_volumes()
+        areas = jxw.reshape(F, -1).sum(axis=1)
+        pen = areas / vols[batch.cells]
+        return FaceMetrics(
+            normal=normal, jxw=jxw, minus=FaceSideData(jinv_t=jinv_t_m),
+            plus=None, penalty=pen, points=qX,
+        )
+
+    def all_face_metrics(self, conn: MeshConnectivity):
+        """Precompute metrics of every interior and boundary batch."""
+        interior = [self.face_metrics(b) for b in conn.interior]
+        boundary = [self.boundary_metrics(b) for b in conn.boundary]
+        return interior, boundary

@@ -1,0 +1,71 @@
+"""Morton (Z-order) space-filling-curve keys.
+
+p4est orders the leaves of each octree along the Morton curve and
+concatenates trees; partitioning into MPI ranks cuts this 1D ordering
+into contiguous chunks.  We reproduce the same ordering for the simulated
+distributed runtime (:mod:`repro.parallel.partition`) because the curve
+determines the ghost-surface (communication) volume of each partition —
+an input to the strong-scaling model of Figures 8-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MAX_LEVEL = 20
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the bits of x so they occupy every third position."""
+    x = x.astype(np.uint64) & np.uint64(0x1FFFFF)  # 21 bits
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def morton_key(i: np.ndarray, j: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Interleave three integer coordinates into a Morton key (vectorized)."""
+    i = np.asarray(i, dtype=np.uint64)
+    j = np.asarray(j, dtype=np.uint64)
+    k = np.asarray(k, dtype=np.uint64)
+    return _part1by2(i) | (_part1by2(j) << np.uint64(1)) | (_part1by2(k) << np.uint64(2))
+
+
+def forest_order(tree: np.ndarray, level: np.ndarray, anchors: np.ndarray,
+                 max_level: int | None = None) -> np.ndarray:
+    """Argsort of forest leaves in p4est order: by tree, then by the Morton
+    key of the anchor scaled to a common finest lattice.
+
+    ``anchors``: (n, 3) integer anchor coordinates at each leaf's level.
+    """
+    tree = np.asarray(tree, dtype=np.int64)
+    level = np.asarray(level, dtype=np.int64)
+    anchors = np.asarray(anchors, dtype=np.int64)
+    L = int(max_level if max_level is not None else (level.max() if level.size else 0))
+    scale = (1 << (L - level)).astype(np.uint64)
+    key = morton_key(
+        anchors[:, 0].astype(np.uint64) * scale,
+        anchors[:, 1].astype(np.uint64) * scale,
+        anchors[:, 2].astype(np.uint64) * scale,
+    )
+    # lexicographic (tree, key): numpy lexsort uses last key as primary
+    return np.lexsort((key, tree))
+
+
+def partition_contiguous(weights: np.ndarray, n_parts: int) -> np.ndarray:
+    """Cut a weighted 1D sequence into ``n_parts`` contiguous chunks with
+    near-equal weight (the p4est partition step).  Returns the part index
+    of each item."""
+    weights = np.asarray(weights, dtype=float)
+    n = weights.size
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    total = weights.sum()
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    cum = np.cumsum(weights) - 0.5 * weights
+    part = np.minimum((cum / total * n_parts).astype(np.int64), n_parts - 1)
+    return part

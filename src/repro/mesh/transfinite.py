@@ -1,0 +1,100 @@
+"""Transfinite (Gordon–Hall) radial blending onto analytic surfaces.
+
+Section 3.3: "an idealized cylindrical airway geometry is realized by a
+transfinite mapping in radial direction."  Cells whose outer face lies on
+an analytic surface are deformed so that face sits exactly on the
+surface, blending the correction linearly towards the opposite face:
+
+    X(ref) = X_tri(ref) + b(ref) * (S(X_outer(ref)) - X_outer(ref))
+
+with ``X_tri`` the trilinear map, ``X_outer`` its restriction to the
+outer face (evaluated at the same tangential coordinates), ``S`` the
+surface projection, and ``b`` the blend coordinate (0 on the inner face,
+1 on the surface face).  The correction vanishes on all faces shared
+with non-surface cells, so the deformed mesh stays watertight.
+
+The analytic geometry is later resampled onto the high-order polynomial
+lattice of every leaf cell (Heltai et al. 2021) by
+:mod:`repro.mesh.mapping`, exactly as the paper precomputes auxiliary
+mapping points at startup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hexmesh import HexMesh, trilinear
+
+
+class SurfaceBlendGeometry:
+    """Geometry callable deforming selected cells onto a projected surface.
+
+    Parameters
+    ----------
+    mesh:
+        The coarse mesh whose trilinear geometry is corrected.
+    surface_faces:
+        Maps tree (coarse cell) index to the local face ``2 d + s`` lying
+        on the surface.  Trees not listed stay trilinear.
+    """
+
+    def __init__(self, mesh: HexMesh, surface_faces: dict[int, int]) -> None:
+        self.mesh = mesh
+        self.surface_faces = dict(surface_faces)
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Project physical points onto the analytic surface."""
+        raise NotImplementedError
+
+    def __call__(self, tree: int, ref: np.ndarray) -> np.ndarray:
+        ref = np.atleast_2d(np.asarray(ref, dtype=float))
+        corners = self.mesh.cell_corners(tree)
+        base = trilinear(corners, ref)
+        face = self.surface_faces.get(tree)
+        if face is None:
+            return base
+        d, s = divmod(face, 2)
+        blend = ref[:, d] if s == 1 else 1.0 - ref[:, d]
+        outer_ref = ref.copy()
+        outer_ref[:, d] = float(s)
+        outer = trilinear(corners, outer_ref)
+        correction = self.project(outer) - outer
+        return base + blend[:, None] * correction
+
+
+class CylinderGeometry(SurfaceBlendGeometry):
+    """Projection onto a (linearly tapered) cylinder surface.
+
+    The cylinder runs from ``axis_start`` along ``axis_direction`` for
+    ``length``, with radius interpolating from ``radius_start`` to
+    ``radius_end``.
+    """
+
+    def __init__(
+        self,
+        mesh: HexMesh,
+        surface_faces: dict[int, int],
+        axis_start,
+        axis_direction,
+        length: float,
+        radius_start: float,
+        radius_end: float | None = None,
+    ) -> None:
+        super().__init__(mesh, surface_faces)
+        self.axis_start = np.asarray(axis_start, dtype=float)
+        a = np.asarray(axis_direction, dtype=float)
+        self.axis_direction = a / np.linalg.norm(a)
+        self.length = float(length)
+        self.radius_start = float(radius_start)
+        self.radius_end = float(radius_end if radius_end is not None else radius_start)
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        rel = points - self.axis_start
+        t = rel @ self.axis_direction
+        tc = np.clip(t / self.length, 0.0, 1.0)
+        radius = (1.0 - tc) * self.radius_start + tc * self.radius_end
+        center = self.axis_start + t[:, None] * self.axis_direction
+        v = points - center
+        norm = np.linalg.norm(v, axis=1)
+        norm = np.where(norm < 1e-300, 1.0, norm)
+        return center + (radius / norm)[:, None] * v

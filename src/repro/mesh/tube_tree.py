@@ -1,0 +1,339 @@
+"""Hex-only square-duct tube-tree mesher.
+
+Builds a watertight, conforming all-hex mesh for a tree of tube branches
+— the substrate of the airway meshes of Section 3.3.  Every branch is a
+swept square duct with a 2x2-cell cross-section; junctions connect
+children to their parent either as
+
+* a **continuation**: the child's first vertex slice *is* the parent's
+  last slice (the major daughter continues the parent lumen, possibly
+  tilted and tapered), or
+* a **side branch**: the child's first slice is a 3x3 vertex patch on the
+  parent's lateral surface spanning the last two axial segments (the
+  minor daughter leaves sideways; its first cell layer morphs the patch
+  into the child's own cross-section).
+
+Both constructions share vertices exactly, so the geometric face matcher
+in :mod:`repro.mesh.connectivity` produces a conforming mesh.  Higher
+cross-section resolution is obtained through octree refinement
+(:class:`repro.mesh.octree.Forest`), mirroring the paper's local
+refinement of the upper airways.
+
+Substitution note (documented in DESIGN.md): the paper uses 12-element
+disc cross-sections circularized by a transfinite radial map; we use
+square ducts whose side is chosen area-equivalent to the anatomical
+airway diameter, and exercise the transfinite cylinder mapping through
+the standalone :func:`repro.mesh.generators.cylinder` geometry instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .hexmesh import HexMesh
+
+
+@dataclass
+class BranchSpec:
+    """One branch of a tube tree.
+
+    Attributes
+    ----------
+    parent:
+        Index of the parent branch in the spec list, or -1 for the root.
+    direction:
+        Axis direction of the branch (normalized internally).
+    length:
+        Branch length from its attachment point.
+    radius:
+        Equivalent circular radius; the square duct side is
+        ``sqrt(pi) * radius`` so the cross-section area matches.
+    outlet_id:
+        Boundary indicator of the terminal face; use 0 for internal
+        branches that have children (their end face is consumed by the
+        continuation child, or capped as wall when only side children).
+    side_branch:
+        Attach to the parent's side instead of continuing its end.
+    n_axial:
+        Number of axial cells; default targets unit aspect ratio.
+    """
+
+    parent: int
+    direction: tuple
+    length: float
+    radius: float
+    outlet_id: int = 0
+    side_branch: bool = False
+    n_axial: int | None = None
+    # filled by the mesher:
+    start: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    @property
+    def half_side(self) -> float:
+        return 0.5 * np.sqrt(np.pi) * self.radius
+
+
+def _frame(axis: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Right-handed orthonormal (e1, e2) with e1 x e2 = axis."""
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(np.dot(helper, axis)) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    e2 = np.cross(axis, helper)
+    e2 /= np.linalg.norm(e2)
+    e1 = np.cross(e2, axis)
+    return e1, e2
+
+
+def _slice_lattice(center: np.ndarray, e1: np.ndarray, e2: np.ndarray, h: float) -> np.ndarray:
+    """(9, 3) vertex lattice of one 3x3 slice, index v = i + 3 j."""
+    out = np.empty((9, 3))
+    for j in range(3):
+        for i in range(3):
+            out[i + 3 * j] = center + (i - 1) * h * e1 + (j - 1) * h * e2
+    return out
+
+
+class _TubeBuilder:
+    """Accumulates vertices/cells; one instance builds the whole tree."""
+
+    def __init__(self) -> None:
+        self.vertices: list[np.ndarray] = []
+        self.cells: list[list[int]] = []
+        self.boundary_quads: dict[frozenset, int] = {}
+        self.cell_branch: list[int] = []
+
+    def add_vertices(self, pts: np.ndarray) -> np.ndarray:
+        base = len(self.vertices)
+        self.vertices.extend(pts)
+        return np.arange(base, base + len(pts))
+
+    def add_layer(self, ids0: np.ndarray, ids1: np.ndarray, branch: int) -> list[int]:
+        """Create the 4 hex cells between two 3x3 slices (index i + 3 j);
+        local z runs from slice 0 to slice 1."""
+        created = []
+        for cj in range(2):
+            for ci in range(2):
+                cell = []
+                for vz in range(2):
+                    ids = ids0 if vz == 0 else ids1
+                    for vy in range(2):
+                        for vx in range(2):
+                            cell.append(int(ids[(ci + vx) + 3 * (cj + vy)]))
+                self.cells.append(cell)
+                self.cell_branch.append(branch)
+                created.append(len(self.cells) - 1)
+        return created
+
+    def mark_boundary(self, cell: int, face: int, bid: int) -> None:
+        from .hexmesh import face_corner_vertices
+
+        quad = frozenset(self.cells[cell][v] for v in face_corner_vertices(face).ravel())
+        self.boundary_quads[quad] = bid
+
+
+def tube_tree_mesh(branches: list[BranchSpec], inlet_id: int = 1) -> HexMesh:
+    """Mesh a tree of :class:`BranchSpec` into a conforming hex mesh.
+
+    The first branch must be the root (``parent = -1``); parents must
+    precede children; at most one continuation child and at most four
+    side children per parent.
+    """
+    if not branches or branches[0].parent != -1:
+        raise ValueError("first branch must be the root with parent = -1")
+    # branches that receive a side child need straight (un-blended)
+    # trailing segments for the attachment patch
+    receives_side = [False] * len(branches)
+    for spec in branches:
+        if spec.parent >= 0 and spec.side_branch:
+            receives_side[spec.parent] = True
+    _N_BLEND = 2  # rotation layers of a side branch
+    _STRAIGHT_TAIL = 2  # straight end segments under an attachment patch
+    builder = _TubeBuilder()
+    # per-branch bookkeeping for junction construction
+    slices: list[list[np.ndarray]] = [None] * len(branches)  # type: ignore[list-item]
+    frames: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [None] * len(branches)  # type: ignore[list-item]
+    end_frames: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [None] * len(branches)  # type: ignore[list-item]
+    has_continuation = [False] * len(branches)
+    used_sides: list[set] = [set() for _ in branches]
+    end_cells: list[list[int]] = [None] * len(branches)  # type: ignore[list-item]
+    all_cells_of: list[list[int]] = [[] for _ in branches]
+
+    for b, spec in enumerate(branches):
+        axis = np.asarray(spec.direction, dtype=float)
+        axis = axis / np.linalg.norm(axis)
+        e1, e2 = _frame(axis)
+        h = spec.half_side
+        n_ax = spec.n_axial or max(1, int(round(spec.length / (2 * h))))
+        n_min = 1
+        if receives_side[b]:
+            n_min = _STRAIGHT_TAIL
+        if spec.side_branch:
+            n_min = 1 + _N_BLEND + (_STRAIGHT_TAIL if receives_side[b] else 0)
+        n_ax = max(n_ax, n_min)
+        if spec.parent >= 0 and spec.parent >= b:
+            raise ValueError("parents must precede children")
+
+        if spec.parent == -1:
+            start = np.zeros(3) if spec.start is None else np.asarray(spec.start, float)
+            first_ids = builder.add_vertices(_slice_lattice(start, e1, e2, h))
+            t0 = 0.0
+        elif not spec.side_branch:
+            parent = branches[spec.parent]
+            if has_continuation[spec.parent]:
+                raise ValueError(f"branch {spec.parent} already has a continuation child")
+            has_continuation[spec.parent] = True
+            first_ids = slices[spec.parent][-1]
+            # parallel-transport the parent's end frame onto the child axis
+            # (an arbitrary frame would twist the first cell layer)
+            pe1, pe2, parent_axis = end_frames[spec.parent]
+            e1 = pe1 - np.dot(pe1, axis) * axis
+            e1 /= np.linalg.norm(e1)
+            e2 = np.cross(axis, e1)
+            start = builder.vertices[int(first_ids[4])].copy()
+            t0 = 0.0
+        else:
+            parent = branches[spec.parent]
+            pslices = slices[spec.parent]
+            if len(pslices) < 3:
+                raise ValueError("side branch needs a parent with >= 2 axial cells")
+            pe1, pe2, paxis = end_frames[spec.parent]
+            # choose the lateral side (+-e1, +-e2) most aligned with the child
+            sides = [(pe1, "i", 2), (-pe1, "i", 0), (pe2, "j", 2), (-pe2, "j", 0)]
+            scores = [np.dot(axis, s[0]) for s in sides]
+            order = np.argsort(scores)[::-1]
+            chosen = None
+            for oi in order:
+                tag = (sides[oi][1], sides[oi][2])
+                if tag not in used_sides[spec.parent]:
+                    chosen = sides[oi]
+                    used_sides[spec.parent].add(tag)
+                    break
+            if chosen is None:
+                raise ValueError("no free lateral side on parent for side branch")
+            normal, ax_name, idx_fixed = chosen
+            # 3x3 patch over the last two axial segments of the parent
+            patch = np.empty(9, dtype=np.int64)
+            for srow in range(3):  # along parent axis -> child lattice j
+                pslice = pslices[-3 + srow]
+                for t in range(3):  # transverse -> child lattice i
+                    if ax_name == "i":
+                        vid = pslice[idx_fixed + 3 * t]
+                    else:
+                        vid = pslice[t + 3 * idx_fixed]
+                    patch[t + 3 * srow] = vid
+            # Align the child's (e1, e2) frame with the patch axes; if the
+            # patch frame is left-handed w.r.t. the outward axis (depends
+            # on which side was chosen), transpose the patch lattice.
+            v_i = builder.vertices[int(patch[5])] - builder.vertices[int(patch[3])]
+            v_j = builder.vertices[int(patch[7])] - builder.vertices[int(patch[1])]
+            if np.linalg.det(np.stack([v_i, v_j, axis])) < 0:
+                patch = patch.reshape(3, 3).T.ravel()
+                v_i, v_j = v_j, v_i
+            first_ids = patch
+            # attachment center = patch middle vertex
+            start = builder.vertices[int(patch[4])].copy()
+            t0 = 0.0
+            e1 = v_i - np.dot(v_i, axis) * axis
+            e1 /= np.linalg.norm(e1)
+            e2 = np.cross(axis, e1)
+            # geometric outward normal of the (possibly sheared) patch
+            normal = np.cross(v_i, v_j)
+            normal /= np.linalg.norm(normal)
+        spec.start = np.asarray(start, dtype=float)
+        frames[b] = (e1, e2, axis)
+
+        # Slice construction.  Side branches leave the parent surface in
+        # two stages: the first slice is an anisotropically *shrunken
+        # copy of the actual attachment patch* (which may be sheared or
+        # twisted where it overlaps the parent's own transition layers)
+        # displaced along the outward normal, so the strong contraction
+        # cannot fold the first layer; subsequent slices rotate gradually
+        # into the branch axis with a parallel-transported cross-section
+        # frame (a single-layer rotation at ~50-degree minor-daughter
+        # angles folds cells).
+        dz = spec.length / n_ax
+        branch_slices = [first_ids]
+        prev_ids = first_ids
+
+        def emit_slice(pts: np.ndarray) -> None:
+            nonlocal prev_ids
+            ids = builder.add_vertices(pts)
+            cells = builder.add_layer(prev_ids, ids, b)
+            all_cells_of[b].extend(cells)
+            branch_slices.append(ids)
+            prev_ids = ids
+
+        if spec.side_branch:
+            u_i = v_i / np.linalg.norm(v_i)
+            u_j = v_j / np.linalg.norm(v_j)
+            patch_pts = np.array([builder.vertices[int(v)] for v in first_ids])
+            dev = patch_pts - patch_pts[4]
+            alpha_i = 2.0 * h / np.linalg.norm(v_i)
+            alpha_j = 2.0 * h / np.linalg.norm(v_j)
+            patch_span = 0.5 * max(np.linalg.norm(v_i), np.linalg.norm(v_j))
+            dz1 = max(dz, 0.7 * patch_span)
+            c1 = patch_pts[4] + dz1 * normal
+            ci = dev @ u_i
+            cj = dev @ u_j
+            cn = dev @ normal
+            slice1_pts = (
+                c1[None, :]
+                + alpha_i * ci[:, None] * u_i[None, :]
+                + alpha_j * cj[:, None] * u_j[None, :]
+                + min(alpha_i, alpha_j) * cn[:, None] * normal[None, :]
+            )
+            emit_slice(slice1_pts)
+            f1 = u_i.copy()
+            f2 = u_j.copy()
+            center = c1.copy()
+            n_blend = _N_BLEND
+            # rotation layers need a thickness proportional to the tube
+            # half-width: short anatomical branches (L/d ~ 1.3 at low
+            # generations) would otherwise fold while turning
+            dz_rot = max(dz, 0.8 * h)
+            for s in range(2, n_ax + 1):
+                frac = min((s - 1) / n_blend, 1.0)
+                d = (1.0 - frac) * normal + frac * axis
+                d = d / np.linalg.norm(d)
+                center = center + (dz_rot if s - 1 <= n_blend else dz) * d
+                f1 = f1 - np.dot(f1, d) * d
+                f1 = f1 / np.linalg.norm(f1)
+                f2 = np.cross(d, f1)
+                emit_slice(_slice_lattice(center, f1, f2, h))
+            d1_end, d2_end = f1, f2
+        else:
+            for s in range(1, n_ax + 1):
+                emit_slice(
+                    _slice_lattice(spec.start + (t0 + s * dz) * axis, e1, e2, h)
+                )
+            d1_end, d2_end = e1, e2
+        slices[b] = branch_slices
+        end_cells[b] = all_cells_of[b][-4:]
+        axis_end = np.cross(d1_end, d2_end)
+        end_frames[b] = (d1_end, d2_end, axis_end / np.linalg.norm(axis_end))
+
+    # boundary indicators -------------------------------------------------
+    # inlet: the root's first layer's z-low faces
+    for cell in all_cells_of[0][:4]:
+        builder.mark_boundary(cell, 4, inlet_id)
+    # outlets: terminal branches' last layer z-high faces
+    children_of: dict[int, list[int]] = {}
+    for b, spec in enumerate(branches):
+        if spec.parent >= 0:
+            children_of.setdefault(spec.parent, []).append(b)
+    for b, spec in enumerate(branches):
+        if spec.outlet_id > 0:
+            if has_continuation[b]:
+                raise ValueError(f"branch {b} has outlet_id but also a continuation child")
+            for cell in end_cells[b]:
+                builder.mark_boundary(cell, 5, spec.outlet_id)
+
+    mesh = HexMesh(
+        np.asarray(builder.vertices),
+        np.asarray(builder.cells),
+        builder.boundary_quads,
+    )
+    mesh.cell_branch = np.asarray(builder.cell_branch)  # type: ignore[attr-defined]
+    return mesh

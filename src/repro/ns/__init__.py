@@ -1,0 +1,29 @@
+"""Incompressible Navier-Stokes solver: boundary conditions, the
+operator-assembling solver facade, and analytic validation solutions."""
+
+from .bc import BoundaryConditions, PressureDirichlet, VelocityDirichlet
+from .solver import IncompressibleNavierStokesSolver, SolverSettings
+from .analytic import (
+    BeltramiFlow,
+    StokesDecayFlow,
+    TaylorGreenVortex3D,
+    poiseuille_square_duct_flow_rate,
+)
+from .postprocess import FlowDiagnostics, sample_centerline
+from .scalar_transport import ScalarAdvectionOperator, ScalarTransportSolver
+
+__all__ = [
+    "BoundaryConditions",
+    "PressureDirichlet",
+    "VelocityDirichlet",
+    "IncompressibleNavierStokesSolver",
+    "SolverSettings",
+    "BeltramiFlow",
+    "StokesDecayFlow",
+    "TaylorGreenVortex3D",
+    "poiseuille_square_duct_flow_rate",
+    "FlowDiagnostics",
+    "sample_centerline",
+    "ScalarAdvectionOperator",
+    "ScalarTransportSolver",
+]

@@ -1,0 +1,98 @@
+"""Analytic solutions of the incompressible Navier–Stokes equations used
+to validate the solver (convergence orders of the splitting scheme and
+the DG discretization)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BeltramiFlow:
+    """Ethier–Steinman (1994) exact unsteady 3D solution.
+
+    u decays as exp(-nu d^2 t); the nonlinear convective term is exactly
+    balanced by the pressure gradient, making it a complete test of all
+    five sub-steps.
+    """
+
+    def __init__(self, nu: float, a: float = np.pi / 4, d: float = np.pi / 2) -> None:
+        self.nu = nu
+        self.a = a
+        self.d = d
+
+    def velocity(self, x, y, z, t):
+        a, d = self.a, self.d
+        f = np.exp(-self.nu * d * d * t)
+        u = -a * (np.exp(a * x) * np.sin(a * y + d * z) + np.exp(a * z) * np.cos(a * x + d * y)) * f
+        v = -a * (np.exp(a * y) * np.sin(a * z + d * x) + np.exp(a * x) * np.cos(a * y + d * z)) * f
+        w = -a * (np.exp(a * z) * np.sin(a * x + d * y) + np.exp(a * y) * np.cos(a * z + d * x)) * f
+        return np.stack([u, v, w])
+
+    def pressure(self, x, y, z, t):
+        a, d = self.a, self.d
+        f2 = np.exp(-2 * self.nu * d * d * t)
+        return (
+            -(a**2)
+            / 2.0
+            * (
+                np.exp(2 * a * x)
+                + np.exp(2 * a * y)
+                + np.exp(2 * a * z)
+                + 2 * np.sin(a * x + d * y) * np.cos(a * z + d * x) * np.exp(a * (y + z))
+                + 2 * np.sin(a * y + d * z) * np.cos(a * x + d * y) * np.exp(a * (z + x))
+                + 2 * np.sin(a * z + d * x) * np.cos(a * y + d * z) * np.exp(a * (x + y))
+            )
+            * f2
+        )
+
+
+class TaylorGreenVortex3D:
+    """The classical Taylor–Green vortex initial condition (the standard
+    LES benchmark; no closed-form solution for t > 0 at finite Re, so it
+    is used as an initial condition and for energy-decay sanity checks)."""
+
+    def __init__(self, V0: float = 1.0, L: float = 1.0) -> None:
+        self.V0 = V0
+        self.L = L
+
+    def velocity(self, x, y, z, t=0.0):
+        V0, L = self.V0, self.L
+        u = V0 * np.sin(x / L) * np.cos(y / L) * np.cos(z / L)
+        v = -V0 * np.cos(x / L) * np.sin(y / L) * np.cos(z / L)
+        w = np.zeros_like(z)
+        return np.stack([u, v, w])
+
+
+class StokesDecayFlow:
+    """Rigorous unsteady Stokes-limit solution on the unit cube:
+    ``u = (sin(pi y), 0, 0) exp(-nu pi^2 t)`` with the matching body
+    force making it an exact Navier–Stokes solution (convection vanishes
+    because u is a shear flow: (u . grad) u = 0), p = 0."""
+
+    def __init__(self, nu: float) -> None:
+        self.nu = nu
+
+    def velocity(self, x, y, z, t):
+        f = np.exp(-self.nu * np.pi**2 * t)
+        return np.stack([np.sin(np.pi * y) * f, 0 * y, 0 * z])
+
+    def body_force(self, x, y, z, t):
+        # du/dt - nu lap u = (-nu pi^2 + nu pi^2) u = 0: no force needed
+        return np.stack([0 * x, 0 * y, 0 * z])
+
+
+def poiseuille_square_duct_flow_rate(
+    dpdx: float, half_width: float, viscosity: float, n_terms: int = 25
+) -> float:
+    """Exact flow rate of laminar flow through a square duct of side
+    ``2 * half_width`` under pressure gradient ``dpdx`` (series solution,
+    e.g. White, Viscous Fluid Flows) — validates pressure-driven duct
+    flow and calibrates the windkessel resistances of the lung model."""
+    a = half_width
+    mu = viscosity
+    s = 0.0
+    for i in range(n_terms):
+        n = 2 * i + 1
+        s += np.tanh(n * np.pi / 2.0) / n**5
+    Q = (4.0 * a**4 * abs(dpdx) / (3.0 * mu)) * (1.0 - (192.0 / np.pi**5) * s)
+    return float(Q)

@@ -1,0 +1,81 @@
+"""Boundary-condition containers for the incompressible flow solver.
+
+Two physical kinds appear in the lung application (Section 5.3):
+
+* **Velocity Dirichlet** (no-slip walls, prescribed inflow): ``g(x, t)``;
+  the pressure sees these boundaries as Neumann.
+* **Pressure Dirichlet** (ventilator inlet PEEP + dp, windkessel
+  outlets): ``g_p(x, t)``; the velocity sees them as natural
+  (do-nothing) boundaries.
+
+Callables receive coordinate arrays ``x, y, z`` (any broadcastable
+shape) and the time ``t``; velocity data returns a tuple/stack of three
+component arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class VelocityDirichlet:
+    """u = g on this boundary; g(x, y, z, t) -> (3, ...) array."""
+
+    g: Callable
+
+    @staticmethod
+    def no_slip() -> "VelocityDirichlet":
+        return VelocityDirichlet(lambda x, y, z, t: np.stack([0 * x, 0 * y, 0 * z]))
+
+
+@dataclass
+class PressureDirichlet:
+    """p = g_p on this boundary (velocity: do-nothing);
+    g_p(x, y, z, t) -> scalar array.  ``g_p`` may be a plain float."""
+
+    g: Callable | float
+
+    def value(self, x, y, z, t):
+        if callable(self.g):
+            return self.g(x, y, z, t)
+        return np.full_like(np.asarray(x, dtype=float), float(self.g))
+
+
+class BoundaryConditions:
+    """Maps boundary indicators to conditions; unlisted ids default to
+    no-slip walls."""
+
+    def __init__(self, conditions: dict[int, object] | None = None) -> None:
+        self.conditions: dict[int, object] = dict(conditions or {})
+
+    def set(self, boundary_id: int, condition) -> None:
+        self.conditions[boundary_id] = condition
+
+    def get(self, boundary_id: int):
+        return self.conditions.get(boundary_id, VelocityDirichlet.no_slip())
+
+    def velocity_dirichlet_ids(self, present_ids) -> tuple[int, ...]:
+        return tuple(
+            bid for bid in present_ids if isinstance(self.get(bid), VelocityDirichlet)
+        )
+
+    def pressure_dirichlet_ids(self, present_ids) -> tuple[int, ...]:
+        return tuple(
+            bid for bid in present_ids if isinstance(self.get(bid), PressureDirichlet)
+        )
+
+    def velocity_value(self, boundary_id: int, x, y, z, t) -> np.ndarray:
+        bc = self.get(boundary_id)
+        if not isinstance(bc, VelocityDirichlet):
+            raise KeyError(f"boundary {boundary_id} has no velocity Dirichlet data")
+        return np.asarray(bc.g(x, y, z, t))
+
+    def pressure_value(self, boundary_id: int, x, y, z, t) -> np.ndarray:
+        bc = self.get(boundary_id)
+        if not isinstance(bc, PressureDirichlet):
+            raise KeyError(f"boundary {boundary_id} has no pressure Dirichlet data")
+        return np.asarray(bc.value(x, y, z, t))

@@ -1,0 +1,125 @@
+"""Checkpoint / restart of flow and ventilation simulations.
+
+The Table-2 runs take millions of time steps over wall-hours; any
+production deployment restarts from checkpoints.  The state needed for a
+*bit-identical* continuation of the dual splitting scheme is the BDF
+history (velocities, their convective evaluations, pressures, step
+sizes) plus the coupled 0D models (windkessel volumes/flows, ventilator
+controller state); everything else is rebuilt from the mesh definition.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+FORMAT_VERSION = 1
+
+
+def save_scheme_state(path, scheme) -> Path:
+    """Serialize a :class:`~repro.timeint.dual_splitting.DualSplittingScheme`."""
+    path = Path(path)
+    payload = {
+        "version": np.array(FORMAT_VERSION),
+        "t": np.array(scheme.t),
+        "order": np.array(scheme.order),
+        "dt_history": np.asarray(scheme.dt_history, dtype=float),
+        "n_u": np.array(len(scheme.u_history)),
+        "n_p": np.array(len(scheme.p_history)),
+    }
+    for i, u in enumerate(scheme.u_history):
+        payload[f"u_{i}"] = u
+    for i, c in enumerate(scheme.conv_history):
+        payload[f"conv_{i}"] = c
+    for i, p in enumerate(scheme.p_history):
+        payload[f"p_{i}"] = p
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_scheme_state(path, scheme) -> None:
+    """Restore a scheme in place; the scheme must be built over the same
+    discretization (sizes are validated)."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        n_u = int(data["n_u"])
+        n_p = int(data["n_p"])
+        u_hist = [data[f"u_{i}"] for i in range(n_u)]
+        conv_hist = [data[f"conv_{i}"] for i in range(n_u)]
+        p_hist = [data[f"p_{i}"] for i in range(n_p)]
+        t = float(data["t"])
+        dt_hist = [float(v) for v in data["dt_history"]]
+    expected = scheme.ops.mass.n_dofs
+    for u in u_hist:
+        if u.shape != (expected,):
+            raise ValueError(
+                f"checkpoint velocity size {u.shape} does not match the "
+                f"discretization ({expected} DoF)"
+            )
+    scheme.t = t
+    scheme.u_history = u_hist
+    scheme.conv_history = conv_hist
+    scheme.p_history = p_hist
+    scheme.dt_history = dt_hist
+
+
+def save_lung_state(path, sim) -> Path:
+    """Serialize a :class:`~repro.lung.simulation.LungVentilationSimulation`
+    (flow state + windkessels + ventilator controller)."""
+    path = Path(path)
+    scheme = sim.solver.scheme
+    payload = {
+        "version": np.array(FORMAT_VERSION),
+        "t": np.array(scheme.t),
+        "dt_history": np.asarray(scheme.dt_history, dtype=float),
+        "n_u": np.array(len(scheme.u_history)),
+        "n_p": np.array(len(scheme.p_history)),
+        "wk_volumes": np.array([c.volume for c in sim.windkessels.compartments]),
+        "wk_flows": np.array([c.flow for c in sim.windkessels.compartments]),
+        "vent_dp": np.array(sim.ventilator.dp),
+        "vent_dp_history": np.asarray(sim.ventilator.dp_history, dtype=float),
+        "vent_tidal_history": np.asarray(sim.ventilator.tidal_history, dtype=float),
+        "inlet_flow": np.array(sim._inlet_flow),
+        "cycle_inhaled": np.array(sim._cycle_inhaled),
+        "steps_this_cycle": np.array(sim._steps_this_cycle),
+        "current_cycle": np.array(sim._current_cycle),
+    }
+    for i, u in enumerate(scheme.u_history):
+        payload[f"u_{i}"] = u
+    for i, c in enumerate(scheme.conv_history):
+        payload[f"conv_{i}"] = c
+    for i, p in enumerate(scheme.p_history):
+        payload[f"p_{i}"] = p
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_lung_state(path, sim) -> None:
+    """Restore a lung simulation in place (same mesh/settings)."""
+    scheme = sim.solver.scheme
+    with np.load(Path(path)) as data:
+        if int(data["version"]) != FORMAT_VERSION:
+            raise ValueError("unsupported checkpoint version")
+        n_u = int(data["n_u"])
+        n_p = int(data["n_p"])
+        if int(data["wk_volumes"].size) != sim.windkessels.n_outlets:
+            raise ValueError("checkpoint outlet count does not match the model")
+        scheme.t = float(data["t"])
+        scheme.dt_history = [float(v) for v in data["dt_history"]]
+        scheme.u_history = [data[f"u_{i}"] for i in range(n_u)]
+        scheme.conv_history = [data[f"conv_{i}"] for i in range(n_u)]
+        scheme.p_history = [data[f"p_{i}"] for i in range(n_p)]
+        for c, v, q in zip(sim.windkessels.compartments,
+                           data["wk_volumes"], data["wk_flows"]):
+            c.volume = float(v)
+            c.flow = float(q)
+        sim.ventilator.dp = float(data["vent_dp"])
+        sim.ventilator.dp_history = [float(v) for v in data["vent_dp_history"]]
+        sim.ventilator.tidal_history = [float(v) for v in data["vent_tidal_history"]]
+        sim._inlet_flow = float(data["inlet_flow"])
+        sim._cycle_inhaled = float(data["cycle_inhaled"])
+        sim._steps_this_cycle = int(data["steps_this_cycle"])
+        sim._current_cycle = int(data["current_cycle"])

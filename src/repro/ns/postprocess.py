@@ -1,0 +1,113 @@
+"""Flow post-processing: integral quantities and probes.
+
+The turbulence context of the paper (under-resolved LES of transitional
+airway flow) is monitored through integral quantities: kinetic energy,
+enstrophy (dissipation proxy), divergence norms, and boundary fluxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dof_handler import DGDofHandler
+from ..mesh.mapping import GeometryField
+
+
+class FlowDiagnostics:
+    """Integral diagnostics of a DG velocity field."""
+
+    def __init__(self, dof_u: DGDofHandler, geometry: GeometryField) -> None:
+        if dof_u.n_components != 3:
+            raise ValueError("velocity space must have 3 components")
+        self.dof = dof_u
+        self.geo = geometry
+        self.kern = geometry.kernel
+        self.cm = geometry.cell_metrics()
+
+    # ------------------------------------------------------------------
+    def _values(self, u_flat: np.ndarray) -> np.ndarray:
+        u = self.dof.cell_view(u_flat)
+        return self.kern.values(u)  # (N, 3, q, q, q)
+
+    def _phys_gradients(self, u_flat: np.ndarray) -> np.ndarray:
+        u = self.dof.cell_view(u_flat)
+        g = np.stack([self.kern.gradients(u[:, i]) for i in range(3)], axis=1)
+        return np.einsum("clmzyx,cimzyx->cilzyx", self.cm.jinv_t, g, optimize=True)
+
+    # ------------------------------------------------------------------
+    def volume(self) -> float:
+        return float(self.cm.jxw.sum())
+
+    def kinetic_energy(self, u_flat: np.ndarray) -> float:
+        """E_k = 1/(2|Omega|) int |u|^2 (volume-specific, rho = 1)."""
+        uq = self._values(u_flat)
+        return float(0.5 * ((uq**2).sum(axis=1) * self.cm.jxw).sum() / self.volume())
+
+    def enstrophy(self, u_flat: np.ndarray) -> float:
+        """1/(2|Omega|) int |curl u|^2 — the viscous-dissipation proxy of
+        Taylor-Green-type analyses (epsilon = 2 nu * enstrophy for
+        divergence-free fields)."""
+        G = self._phys_gradients(u_flat)
+        curl = np.stack(
+            [
+                G[:, 2, 1] - G[:, 1, 2],
+                G[:, 0, 2] - G[:, 2, 0],
+                G[:, 1, 0] - G[:, 0, 1],
+            ],
+            axis=1,
+        )
+        return float(0.5 * ((curl**2).sum(axis=1) * self.cm.jxw).sum() / self.volume())
+
+    def divergence_l2(self, u_flat: np.ndarray) -> float:
+        G = self._phys_gradients(u_flat)
+        div = np.einsum("ciizyx->czyx", G)
+        return float(np.sqrt((div**2 * self.cm.jxw).sum()))
+
+    def max_velocity(self, u_flat: np.ndarray) -> float:
+        uq = self._values(u_flat)
+        return float(np.sqrt((uq**2).sum(axis=1)).max())
+
+    def momentum(self, u_flat: np.ndarray) -> np.ndarray:
+        """int u dx, one value per component."""
+        uq = self._values(u_flat)
+        return np.einsum("cizyx,czyx->i", uq, self.cm.jxw, optimize=True)
+
+
+def sample_centerline(dof_u: DGDofHandler, geometry: GeometryField,
+                      u_flat: np.ndarray, points: np.ndarray,
+                      tol_cells: float = 1e-9) -> np.ndarray:
+    """Probe the velocity at arbitrary physical points (nearest owning
+    cell found by reference-coordinate inversion via Newton on the
+    trilinear map; points outside every cell get NaN)."""
+    from ..core.basis import LagrangeBasis1D
+    from ..mesh.hexmesh import trilinear, trilinear_jacobian
+
+    forest = geometry.forest
+    basis = LagrangeBasis1D(dof_u.degree)
+    u = dof_u.cell_view(u_flat)
+    out = np.full((len(points), 3), np.nan)
+    for ip, p in enumerate(np.atleast_2d(points)):
+        for c in range(forest.n_cells):
+            corners = forest.cell_corner_points(c)
+            lo, hi = corners.min(axis=0), corners.max(axis=0)
+            pad = 0.25 * (hi - lo) + tol_cells
+            if np.any(p < lo - pad) or np.any(p > hi + pad):
+                continue
+            # Newton for the reference coordinates
+            ref = np.full(3, 0.5)
+            ok = False
+            for _ in range(30):
+                r = trilinear(corners, ref[None])[0] - p
+                if np.linalg.norm(r) < 1e-12 * (np.linalg.norm(hi - lo) + 1e-30):
+                    ok = True
+                    break
+                J = trilinear_jacobian(corners, ref[None])[0]
+                ref = ref - np.linalg.solve(J, r)
+            if not ok or np.any(ref < -1e-9) or np.any(ref > 1 + 1e-9):
+                continue
+            lx = basis.values(np.clip(ref[0:1], 0, 1))[0]
+            ly = basis.values(np.clip(ref[1:2], 0, 1))[0]
+            lz = basis.values(np.clip(ref[2:3], 0, 1))[0]
+            out[ip] = np.einsum("izyx,z,y,x->i", u[c], lz, ly, lx)
+            break
+    return out

@@ -1,0 +1,367 @@
+"""The incompressible Navier–Stokes solver: assembles all matrix-free
+operators over one forest and drives the dual splitting scheme with
+CFL-adaptive time steps — the solver whose wall-time per time step is
+the headline metric of the paper (Tables 2-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dof_handler import DGDofHandler
+from ..core.operators import (
+    ConvectiveOperator,
+    DGLaplaceOperator,
+    DivergenceContinuityPenalty,
+    DivergenceOperator,
+    GradientOperator,
+    HelmholtzOperator,
+    InverseMassOperator,
+    MassOperator,
+    PenaltyStepOperator,
+    VectorDGLaplace,
+)
+from ..mesh.connectivity import build_connectivity
+from ..mesh.mapping import GeometryField
+from ..mesh.octree import Forest
+from ..solvers.jacobi import JacobiPreconditioner
+from ..solvers.multigrid import HybridMultigridPreconditioner
+from ..timeint.cfl import CFLController
+from ..timeint.dual_splitting import DualSplittingScheme, SplittingOperators
+from .bc import BoundaryConditions, VelocityDirichlet
+
+
+@dataclass
+class SolverSettings:
+    """Numerical parameters of the flow solver (paper's defaults)."""
+
+    cfl: float = 0.4
+    dt_max: float = float("inf")  # cap for the CFL-adaptive step; also the
+    # startup step when the flow starts from rest (u = 0 has no CFL scale)
+    time_order: int = 2
+    solver_tolerance: float = 1e-3  # application-run tolerance (Section 5.3)
+    zeta_div: float = 1.0
+    zeta_cont: float = 1.0
+    use_multigrid: bool = True
+    smoother_degree: int = 3
+    max_solver_iterations: int = 500
+
+
+class IncompressibleNavierStokesSolver:
+    """Velocity degree ``k`` (>= 2), pressure degree ``k - 1``."""
+
+    def __init__(
+        self,
+        forest: Forest,
+        degree: int,
+        viscosity: float,
+        bcs: BoundaryConditions,
+        settings: SolverSettings | None = None,
+        body_force=None,
+        periodic=None,
+    ) -> None:
+        """``periodic`` forwards translational periodicity declarations to
+        :func:`repro.mesh.connectivity.build_connectivity`; periodic runs
+        use the Jacobi-preconditioned pressure solve (the conforming
+        auxiliary space of the hybrid multigrid is not periodic)."""
+        if degree < 2:
+            raise ValueError("mixed-order (k, k-1) spaces need k >= 2")
+        self.forest = forest
+        self.degree = degree
+        self.nu = float(viscosity)
+        self.bcs = bcs
+        self.settings = settings or SolverSettings()
+        if periodic and self.settings.use_multigrid:
+            self.settings.use_multigrid = False
+
+        self.conn = build_connectivity(forest, periodic=periodic)
+        self.geo_u = GeometryField(forest, degree)
+        self.geo_over = GeometryField(forest, degree, n_q_points=degree + 2)
+        self.geo_p = GeometryField(forest, degree - 1)
+        self.dof_u = DGDofHandler(forest, degree, n_components=3)
+        self.dof_u_scalar = DGDofHandler(forest, degree)
+        self.dof_p = DGDofHandler(forest, degree - 1)
+
+        present = {b.boundary_id for b in self.conn.boundary}
+        self.velocity_dirichlet = bcs.velocity_dirichlet_ids(present)
+        self.pressure_dirichlet = bcs.pressure_dirichlet_ids(present)
+
+        # -- operators ------------------------------------------------------
+        self.mass_u = MassOperator(self.dof_u, self.geo_u)
+        self.inv_mass_u = InverseMassOperator(self.dof_u, self.geo_u)
+        scalar_laplace = DGLaplaceOperator(
+            self.dof_u_scalar, self.geo_u, self.conn,
+            dirichlet_ids=self.velocity_dirichlet,
+        )
+        self.vector_laplace = VectorDGLaplace(scalar_laplace, self.dof_u)
+        self.helmholtz = HelmholtzOperator(
+            self.mass_u, self.vector_laplace, self.nu,
+            boundary_rhs_fn=self._viscous_boundary_rhs,
+        )
+        self.convective = ConvectiveOperator(self.dof_u, self.geo_over, self.conn, bcs)
+        self.divergence = DivergenceOperator(
+            self.dof_u, self.dof_p, self.geo_u, self.conn, bcs
+        )
+        self.gradient = GradientOperator(
+            self.dof_u, self.dof_p, self.geo_u, self.conn, bcs
+        )
+        self.penalty = DivergenceContinuityPenalty(
+            self.dof_u, self.geo_u, self.conn,
+            zeta_div=self.settings.zeta_div, zeta_cont=self.settings.zeta_cont,
+        )
+        self.penalty_step = PenaltyStepOperator(self.mass_u, self.penalty)
+        self.pressure_poisson = DGLaplaceOperator(
+            self.dof_p, self.geo_p, self.conn,
+            dirichlet_ids=self.pressure_dirichlet,
+        )
+        if self.settings.use_multigrid and degree - 1 >= 1:
+            self.pressure_pre = HybridMultigridPreconditioner(
+                self.pressure_poisson, smoother_degree=self.settings.smoother_degree
+            )
+        else:
+            self.pressure_pre = JacobiPreconditioner(self.pressure_poisson)
+
+        self._body_force_fn = body_force
+        tol = self.settings.solver_tolerance
+        self.scheme = DualSplittingScheme(
+            SplittingOperators(
+                mass=self.mass_u,
+                inverse_mass=self.inv_mass_u,
+                convective=self.convective,
+                divergence=self.divergence,
+                gradient=self.gradient,
+                helmholtz=self.helmholtz,
+                penalty_step=self.penalty_step,
+                pressure_poisson=self.pressure_poisson,
+                pressure_preconditioner=self.pressure_pre,
+                body_force=self._assembled_body_force if body_force else None,
+                pressure_neumann_rhs=(
+                    self._pressure_neumann_rhs if self.velocity_dirichlet else None
+                ),
+                pressure_dirichlet_rhs=(
+                    self._pressure_dirichlet_rhs if self.pressure_dirichlet else None
+                ),
+            ),
+            order=self.settings.time_order,
+            pressure_tol=tol,
+            viscous_tol=tol,
+            penalty_tol=tol,
+            pressure_has_dirichlet=bool(self.pressure_dirichlet),
+            max_solver_iterations=self.settings.max_solver_iterations,
+        )
+        self.cfl = CFLController(
+            cfl=self.settings.cfl, degree=degree, dt_max=self.settings.dt_max
+        )
+
+    # ------------------------------------------------------------------
+    def compute_vorticity(self, u_flat: np.ndarray) -> np.ndarray:
+        """L2 projection of curl(u) into the velocity space (cell-local,
+        inverted by the fast mass inverse) — needed by the consistent
+        pressure Neumann boundary condition."""
+        u = self.dof_u.cell_view(u_flat)
+        kern = self.geo_u.kernel
+        cm = self.geo_u.cell_metrics()
+        grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
+        # physical gradient: dU_i/dx_l = sum_m jinv_t[l, m] * ghat[i, m]
+        G = np.einsum("clmzyx,cimzyx->cilzyx", cm.jinv_t, grads, optimize=True)
+        curl = np.stack(
+            [
+                G[:, 2, 1] - G[:, 1, 2],
+                G[:, 0, 2] - G[:, 2, 0],
+                G[:, 1, 0] - G[:, 0, 1],
+            ],
+            axis=1,
+        )
+        rhs = np.stack(
+            [kern.integrate_values(curl[:, i] * cm.jxw) for i in range(3)], axis=1
+        )
+        return self.inv_mass_u.vmult(self.dof_u.flat(rhs))
+
+    def _pressure_dirichlet_rhs(self, t: float) -> np.ndarray:
+        """Weak Dirichlet data of the pressure Poisson operator."""
+        per_id = {
+            bid: (lambda x, y, z, _bid=bid: self.bcs.pressure_value(_bid, x, y, z, t))
+            for bid in self.pressure_dirichlet
+        }
+        return self.pressure_poisson.assemble_rhs(dirichlet=per_id)
+
+    def _pressure_neumann_rhs(self, t_new, u_history, t_history, coeffs, dt):
+        """Consistent pressure Neumann data on velocity-Dirichlet faces:
+        ``dp/dn = -n . (dg/dt + sum_i beta_i [conv(u_i) + nu curl(omega_i)])``.
+
+        ``dg/dt`` is approximated by the same BDF formula as the velocity
+        time derivative; the convective and rotational terms are
+        extrapolated from the history fields (Fehn et al. 2017)."""
+        from ..core.operators.base import FaceKernels, physical_gradient
+
+        fk_u = FaceKernels(self.geo_u.kernel)
+        fk_p = self.divergence.fk_p
+        order = len(u_history)
+        omegas = [self.compute_vorticity(u) for u in u_history]
+        out = np.zeros((self.dof_p.n_cells,) + (self.dof_p.n1,) * 3)
+        for batch, fm in zip(self.conn.boundary, self.divergence.bdry_metrics):
+            if batch.boundary_id not in self.velocity_dirichlet:
+                continue
+            pts = fm.points
+            n = fm.normal
+            bc = self.bcs.get(batch.boundary_id)
+            # dg/dt by the BDF derivative at t_new
+            g_new = np.moveaxis(
+                np.asarray(bc.g(pts[:, 0], pts[:, 1], pts[:, 2], t_new)), 0, 1
+            )
+            dgdt = coeffs.gamma0 * g_new
+            for i in range(order):
+                g_i = np.moveaxis(
+                    np.asarray(bc.g(pts[:, 0], pts[:, 1], pts[:, 2], t_history[i])),
+                    0,
+                    1,
+                )
+                dgdt = dgdt - coeffs.alpha[i] * g_i
+            dgdt = dgdt / dt
+            total = dgdt
+            for i in range(order):
+                beta = coeffs.beta[i]
+                u = self.dof_u.cell_view(u_history[i])[batch.cells]
+                om = self.dof_u.cell_view(omegas[i])[batch.cells]
+                uv, ug = fk_u.eval_side(u, batch.face)
+                Gu = physical_gradient(fm.minus.jinv_t, ug)
+                conv = np.einsum("fjab,fijab->fiab", uv, Gu, optimize=True)
+                divu = np.einsum("fiiab->fab", Gu)
+                conv = conv + divu[:, None] * uv
+                ov, og = fk_u.eval_side(om, batch.face)
+                Go = physical_gradient(fm.minus.jinv_t, og)
+                curl_om = np.stack(
+                    [
+                        Go[:, 2, 1] - Go[:, 1, 2],
+                        Go[:, 0, 2] - Go[:, 2, 0],
+                        Go[:, 1, 0] - Go[:, 0, 1],
+                    ],
+                    axis=1,
+                )
+                total = total + beta * (conv + self.nu * curl_om)
+            h = -np.einsum("fiab,fiab->fab", n, total, optimize=True)
+            contrib = fk_p.integrate_side(batch.face, h * fm.jxw, None)
+            np.add.at(out, batch.cells, contrib)
+        return self.dof_p.flat(out)
+
+    def _viscous_boundary_rhs(self, t: float):
+        """Weak velocity-Dirichlet data of the viscous step."""
+        comps = []
+        for i in range(3):
+            per_id = {}
+            for bid in self.velocity_dirichlet:
+                bc = self.bcs.get(bid)
+                per_id[bid] = (
+                    lambda x, y, z, _bc=bc, _i=i: np.asarray(_bc.g(x, y, z, t))[_i]
+                )
+            comps.append(per_id)
+        return self.vector_laplace.assemble_rhs(dirichlet_components=comps)
+
+    def _assembled_body_force(self, t: float) -> np.ndarray:
+        """integral(f . v) assembled into the velocity space."""
+        cm = self.geo_u.cell_metrics()
+        pts = cm.points
+        f = np.asarray(self._body_force_fn(pts[:, 0], pts[:, 1], pts[:, 2], t))
+        f = np.moveaxis(f, 0, 1)  # (N, 3, q, q, q)
+        out = np.stack(
+            [
+                self.geo_u.kernel.integrate_values(f[:, i] * cm.jxw)
+                for i in range(3)
+            ],
+            axis=1,
+        )
+        return self.dof_u.flat(out)
+
+    # ------------------------------------------------------------------
+    def interpolate_velocity(self, fn, t: float = 0.0) -> np.ndarray:
+        """Nodal interpolation of ``fn(x, y, z, t) -> (3, ...)``."""
+        n = self.degree + 1
+        nodes = self.geo_u.kernel.shape.basis.nodes
+        zz, yy, xx = np.meshgrid(nodes, nodes, nodes, indexing="ij")
+        ref = np.stack([xx.ravel(), yy.ravel(), zz.ravel()], axis=1)
+        out = np.empty((self.forest.n_cells, 3, n, n, n))
+        for c, leaf in enumerate(self.forest.leaves):
+            pts = self.forest.coarse.map_geometry(leaf.tree, leaf.ref_points(ref))
+            vals = np.asarray(fn(pts[:, 0], pts[:, 1], pts[:, 2], t))
+            out[c] = vals.reshape(3, n, n, n)
+        return self.dof_u.flat(out)
+
+    def initialize(self, u0=None, t0: float = 0.0) -> None:
+        if u0 is None:
+            u = self.dof_u.zeros()
+        elif callable(u0):
+            u = self.interpolate_velocity(u0, t0)
+        else:
+            u = np.asarray(u0, dtype=float)
+        self.scheme.initialize(u, t0)
+
+    def step(self, dt: float | None = None):
+        if dt is None:
+            vmax = self.convective.max_reference_velocity(self.scheme.velocity)
+            prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
+            dt = self.cfl.step_size(vmax, prev)
+        return self.scheme.step(dt)
+
+    def run(self, t_end: float, max_steps: int = 10**7, dt_initial: float | None = None):
+        """Advance to ``t_end`` with adaptive steps; returns statistics."""
+        stats = []
+        if dt_initial is not None and not self.scheme.dt_history:
+            stats.append(self.step(min(dt_initial, t_end - self.scheme.t)))
+        while self.scheme.t < t_end - 1e-14 and len(stats) < max_steps:
+            vmax = self.convective.max_reference_velocity(self.scheme.velocity)
+            prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
+            dt = self.cfl.step_size(vmax, prev)
+            dt = min(dt, t_end - self.scheme.t)
+            stats.append(self.scheme.step(dt))
+        return stats
+
+    # -- post-processing ---------------------------------------------------
+    @property
+    def velocity(self) -> np.ndarray:
+        return self.scheme.velocity
+
+    @property
+    def pressure(self):
+        return self.scheme.pressure
+
+    def velocity_error_l2(self, exact, t: float) -> float:
+        """L2 error of the velocity against ``exact(x, y, z, t) -> (3, ...)``."""
+        cm = self.geo_u.cell_metrics()
+        uq = np.stack(
+            [
+                self.geo_u.kernel.values(self.dof_u.cell_view(self.velocity)[:, i])
+                for i in range(3)
+            ],
+            axis=1,
+        )
+        ex = np.asarray(exact(cm.points[:, 0], cm.points[:, 1], cm.points[:, 2], t))
+        ex = np.moveaxis(ex, 0, 1)
+        return float(np.sqrt(np.sum((uq - ex) ** 2 * cm.jxw[:, None])))
+
+    def max_divergence(self) -> float:
+        """max |div u| at quadrature points — the quantity the penalty
+        step controls."""
+        u = self.dof_u.cell_view(self.velocity)
+        kern = self.geo_u.kernel
+        cm = self.geo_u.cell_metrics()
+        grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
+        div = np.einsum("cilzyx,cilzyx->czyx", cm.jinv_t, grads, optimize=True)
+        return float(np.abs(div).max())
+
+    def flow_rate(self, boundary_id: int) -> float:
+        """Volumetric flow rate through a boundary (outward positive)."""
+        u = self.dof_u.cell_view(self.velocity)
+        total = 0.0
+        from ..core.operators.base import FaceKernels
+
+        fk = FaceKernels(self.geo_u.kernel)
+        for batch, fm in zip(self.conn.boundary, self.divergence.bdry_metrics):
+            if batch.boundary_id != boundary_id:
+                continue
+            tm = self.geo_u.kernel.face_nodal_trace(u[batch.cells], batch.face)
+            vm = fk.to_quad(tm)
+            un = np.einsum("fiab,fiab->fab", fm.normal, vm, optimize=True)
+            total += float((un * fm.jxw).sum())
+        return total

@@ -1,0 +1,40 @@
+"""Simulated distributed runtime: Morton partitioning with real
+ghost-face censuses, machine models of the paper's platforms, and the
+calibrated strong/weak-scaling performance model."""
+
+from .machine import FUGAKU_A64FX, LOCAL_PYTHON, SUMMIT_V100, SUPERMUC_NG, MachineModel
+from .partition import (
+    PartitionStats,
+    SimulatedGhostExchange,
+    partition_forest,
+    partition_stats,
+)
+from .distributed import DistributedDGLaplace, ExchangeCensus
+from .perfmodel import (
+    SP_SMOOTHER_SPEEDUP,
+    THROUGHPUT_VS_DEGREE,
+    MatvecScalingModel,
+    MultigridLevelSpec,
+    MultigridSolveModel,
+    multigrid_levels_from_preconditioner,
+)
+
+__all__ = [
+    "MachineModel",
+    "SUPERMUC_NG",
+    "SUMMIT_V100",
+    "FUGAKU_A64FX",
+    "LOCAL_PYTHON",
+    "PartitionStats",
+    "SimulatedGhostExchange",
+    "partition_forest",
+    "partition_stats",
+    "DistributedDGLaplace",
+    "ExchangeCensus",
+    "MatvecScalingModel",
+    "MultigridLevelSpec",
+    "MultigridSolveModel",
+    "multigrid_levels_from_preconditioner",
+    "THROUGHPUT_VS_DEGREE",
+    "SP_SMOOTHER_SPEEDUP",
+]

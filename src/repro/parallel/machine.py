@@ -1,0 +1,91 @@
+"""Machine models of the hardware discussed in the paper.
+
+The node-level and network parameters below parameterize the analytic
+performance model (:mod:`repro.parallel.perfmodel`) that substitutes the
+SuperMUC-NG measurements: SuperMUC-NG Skylake nodes (the paper's
+platform, Figures 6-10 and Tables 2-3), one Summit V100 GPU and one
+Fujitsu A64FX node (the CEED BP3 comparison of Figure 6 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Roofline-style node model + network parameters."""
+
+    name: str
+    peak_flops_dp: float  # Flop/s per node (double precision)
+    mem_bandwidth: float  # B/s per node (STREAM-like)
+    cache_per_core: float  # B of L2+L3 per core (cache-regime boost)
+    n_cores: int
+    network_latency: float  # alpha [s] per message
+    network_bandwidth: float  # beta [B/s] per node
+    #: empirical throughput ceiling of a highly tuned matrix-free DG
+    #: operator in DoF/s per node at k = 3 (saturated regime); anchors
+    #: the model to the absolute numbers reported in the paper
+    matvec_dofs_per_s_k3: float = 1.4e9
+
+    @property
+    def flop_byte_ridge(self) -> float:
+        """Arithmetic intensity at the roofline ridge point."""
+        return self.peak_flops_dp / self.mem_bandwidth
+
+    def attainable_flops(self, arithmetic_intensity: float) -> float:
+        """Classical roofline: min(peak, AI * bandwidth)."""
+        return min(self.peak_flops_dp, arithmetic_intensity * self.mem_bandwidth)
+
+
+#: SuperMUC-NG node: 2 x 24-core Intel Xeon Platinum 8174 (Skylake) at a
+#: fixed 2.3 GHz; AVX-512 with 2 FMA units: 32 DP Flop/cycle/core.
+#: 1 MB L2 + 1.375 MB L3 per core (Section 5.1's cache-effect analysis).
+SUPERMUC_NG = MachineModel(
+    name="SuperMUC-NG (2x24 Skylake 8174)",
+    peak_flops_dp=48 * 2.3e9 * 32,
+    mem_bandwidth=205e9,  # measured STREAM (256 GB/s nominal)
+    cache_per_core=2.375e6,
+    n_cores=48,
+    network_latency=1.7e-6,  # OmniPath MPI latency
+    network_bandwidth=12.5e9,
+    matvec_dofs_per_s_k3=1.4e9,  # Figure 6 (left), k = 3 DP
+)
+
+#: One Nvidia V100 of Summit (CEED BP3 results of [39])
+SUMMIT_V100 = MachineModel(
+    name="Summit (1 x V100)",
+    peak_flops_dp=7.8e12,
+    mem_bandwidth=900e9,
+    cache_per_core=6e6 / 80,
+    n_cores=80,  # SMs
+    network_latency=3.0e-6,  # incl. kernel-launch/host latency
+    network_bandwidth=25e9,
+    matvec_dofs_per_s_k3=2.4e9,
+)
+
+#: One Fujitsu A64FX node of Fugaku (CEED BP3 results of [40])
+FUGAKU_A64FX = MachineModel(
+    name="Fugaku (1 x A64FX)",
+    peak_flops_dp=48 * 2.2e9 * 32,
+    mem_bandwidth=900e9,  # HBM2 (1024 GB/s nominal)
+    cache_per_core=8e6 / 12,
+    n_cores=48,
+    network_latency=1.5e-6,
+    network_bandwidth=6.8e9,
+    matvec_dofs_per_s_k3=1.7e9,
+)
+
+#: The Python/NumPy "node" this reproduction actually runs on; the
+#: absolute throughput anchor is measured at import time by benchmarks
+#: that need it (see repro.perf.measure.calibrate_local_machine).
+LOCAL_PYTHON = MachineModel(
+    name="local NumPy (this reproduction)",
+    peak_flops_dp=5e10,
+    mem_bandwidth=2e10,
+    cache_per_core=3e7,
+    n_cores=1,
+    network_latency=1e-6,
+    network_bandwidth=1e10,
+    matvec_dofs_per_s_k3=1e7,
+)

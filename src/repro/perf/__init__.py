@@ -1,0 +1,41 @@
+"""Performance accounting: analytic Flop counts of the sum-factorized
+kernels, the memory-transfer model of Figure 7, and the throughput
+measurement harness."""
+
+from .flops import (
+    OperatorFlops,
+    cg_laplace_flops,
+    chebyshev_iteration_flops,
+    flops_apply_1d,
+    laplace_flops,
+    mults_1d,
+)
+from .memory import (
+    TransferModel,
+    arithmetic_intensity,
+    laplace_transfer,
+    measured_transfer,
+)
+from .measure import (
+    ThroughputResult,
+    calibrate_local_machine,
+    measure_operator,
+    measure_throughput,
+)
+
+__all__ = [
+    "OperatorFlops",
+    "laplace_flops",
+    "cg_laplace_flops",
+    "chebyshev_iteration_flops",
+    "flops_apply_1d",
+    "mults_1d",
+    "TransferModel",
+    "laplace_transfer",
+    "measured_transfer",
+    "arithmetic_intensity",
+    "ThroughputResult",
+    "measure_throughput",
+    "measure_operator",
+    "calibrate_local_machine",
+]

@@ -1,0 +1,128 @@
+"""Analytic arithmetic-operation counts of the sum-factorized kernels.
+
+Section 5.1 / Figure 7: "The number of arithmetic operations follows a
+slight modification of the data in Table 4 of [Kronbichler & Kormann
+2019] ... confirmed to be accurate within a few percent by hardware
+performance counters."  We compute the counts directly from the kernel
+structure implemented in :mod:`repro.core.sum_factorization`, including
+the even-odd reduction, so the roofline placement (Figure 7) uses the
+same arithmetic the code executes.
+
+Conventions: one fused multiply-add counts as 2 Flop; d = 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def mults_1d(n_out: int, n_in: int, even_odd: bool = True) -> int:
+    """Multiplications of one 1D kernel application to one line."""
+    if even_odd:
+        return 2 * ((n_out + 1) // 2) * ((n_in + 1) // 2)
+    return n_out * n_in
+
+
+def flops_apply_1d(n_out: int, n_in: int, n_lines: int, even_odd: bool = True) -> int:
+    """Flops (mults + adds ~ 2x mults) of a full tensor sweep along one
+    dimension: ``n_lines`` independent 1D applications."""
+    return 2 * mults_1d(n_out, n_in, even_odd) * n_lines
+
+
+@dataclass(frozen=True)
+class OperatorFlops:
+    """Per-cell and per-face Flop counts for one polynomial degree."""
+
+    degree: int
+    n_q: int
+    cell: int
+    inner_face: int
+    boundary_face: int
+
+    def matvec_total(self, n_cells: int, n_inner_faces: int, n_boundary_faces: int) -> int:
+        return (
+            self.cell * n_cells
+            + self.inner_face * n_inner_faces
+            + self.boundary_face * n_boundary_faces
+        )
+
+
+def laplace_flops(degree: int, n_q: int | None = None, even_odd: bool = True,
+                  collocation: bool = False) -> OperatorFlops:
+    """Flop counts of the SIP DG Laplacian evaluation (Eq. (7)).
+
+    Cell part (per cell): gradients = 3 sweeps of shared interpolation +
+    per-component derivative sweeps (the implementation's
+    values_and_gradients layout: 8 tensor sweeps), quadrature-point work
+    (3x3 symmetric matrix x vector: 9 FMA), integration (transpose, 9
+    sweeps equivalent).  Face part: traces, tangential derivatives,
+    metric applications, flux arithmetic for both sides.
+    """
+    k = degree
+    n = k + 1
+    nq = n_q or n
+    n2 = n * n
+    nq2 = nq * nq
+
+    # -- cell -------------------------------------------------------------
+    if collocation and nq == n:
+        # change of basis (3 sweeps) + one derivative sweep per direction,
+        # and the symmetric transpose structure on the way back
+        fwd = 3 * flops_apply_1d(nq, n, n2, even_odd)  # transform
+        fwd += 3 * flops_apply_1d(nq, nq, nq2, even_odd)  # collocation grads
+        bwd = 3 * flops_apply_1d(nq, nq, nq2, even_odd)
+        bwd += 3 * flops_apply_1d(n, nq, nq2, even_odd)
+    else:
+        # forward: ux (n2 lines n->nq), uxy (n*nq), vals (nq2), g0 (3
+        # sweeps), g1 (2 sweeps), g2 (1 sweep) as in values_and_gradients
+        fwd = 0
+        fwd += flops_apply_1d(nq, n, n2, even_odd)  # ux
+        fwd += flops_apply_1d(nq, n, n * nq, even_odd)  # uxy
+        fwd += flops_apply_1d(nq, n, nq2, even_odd)  # vals (reused by g2 path)
+        # g0: interp(y) + grad(x) + interp(z)
+        fwd += flops_apply_1d(nq, n, n2, even_odd) + flops_apply_1d(nq, n, n * nq, even_odd) + flops_apply_1d(nq, n, nq2, even_odd)
+        # g1: grad(y) on ux + interp(z)
+        fwd += flops_apply_1d(nq, n, n * nq, even_odd) + flops_apply_1d(nq, n, nq2, even_odd)
+        # g2: grad(z) on uxy
+        fwd += flops_apply_1d(nq, n, nq2, even_odd)
+        # integration: transpose of the gradient sweep structure (9 sweeps)
+        bwd = 3 * (
+            flops_apply_1d(n, nq, nq2, even_odd)
+            + flops_apply_1d(n, nq, nq * n, even_odd)
+            + flops_apply_1d(n, nq, n2, even_odd)
+        )
+    # quadrature-point work: symmetric 3x3 apply: 9 FMA = 18 Flop per point
+    qwork = 18 * nq**3
+    cell = fwd + qwork + bwd
+
+    # -- interior face ------------------------------------------------------
+    # per side: value trace (free at GL nodes), normal-derivative trace
+    # (1 sweep over n2 lines), 2 tangential nodal derivative sweeps,
+    # interpolation of val+3 gradient components to quadrature
+    # (4 fields x 2 sweeps), per-point flux (J^{-T} 2x, dots, penalty
+    # ~ 60 Flop/point), and the transposed integration of val+grad.
+    per_side_eval = (
+        2 * n * n2  # normal-derivative contraction (vector dot per line)
+        + 2 * flops_apply_1d(n, n, n2, even_odd)  # tangential nodal derivs
+        + 4 * (flops_apply_1d(nq, n, n, even_odd) + flops_apply_1d(nq, n, nq, even_odd))
+    )
+    flux = 60 * nq2
+    per_side_int = per_side_eval  # transpose costs the same
+    inner_face = 2 * (per_side_eval + per_side_int) + flux
+    boundary_face = per_side_eval + per_side_int + 40 * nq2
+    return OperatorFlops(degree=k, n_q=nq, cell=cell, inner_face=inner_face,
+                         boundary_face=boundary_face)
+
+
+def cg_laplace_flops(degree: int, n_q: int | None = None, even_odd: bool = True) -> OperatorFlops:
+    """Continuous FE Laplacian: cell work only (no face terms); gather /
+    scatter indirection is memory, not Flops."""
+    lap = laplace_flops(degree, n_q, even_odd)
+    return OperatorFlops(degree=degree, n_q=lap.n_q, cell=lap.cell,
+                         inner_face=0, boundary_face=0)
+
+
+def chebyshev_iteration_flops(degree: int, n_dofs_per_cell: int) -> int:
+    """Vector-update Flops per smoother iteration and cell on top of the
+    mat-vec: d = rho*rho_old*d + c*P(r); x += d; r -= A d -> ~6 Flop/DoF."""
+    return 6 * n_dofs_per_cell

@@ -1,0 +1,92 @@
+"""Throughput measurement harness (Table 1's node-level metric).
+
+Follows the paper's methodology: a series of repetitions of the same
+operator application, reporting the *best* sample (Section 4: "All
+experiments are based on a series of 20 repetitions, taking the
+best-performing sample"), converted to processed unknowns per second
+(DoF/s)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ThroughputResult:
+    name: str
+    n_dofs: int
+    best_seconds: float
+    mean_seconds: float
+    repetitions: int
+
+    @property
+    def dofs_per_second(self) -> float:
+        return self.n_dofs / self.best_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:<40s} {self.n_dofs:>10d} DoF  "
+            f"{self.best_seconds * 1e3:8.2f} ms  {self.dofs_per_second:12.3e} DoF/s"
+        )
+
+
+def measure_throughput(
+    fn,
+    n_dofs: int,
+    name: str = "",
+    repetitions: int = 20,
+    warmup: int = 2,
+) -> ThroughputResult:
+    """Time ``fn()`` ``repetitions`` times; best sample counts."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repetitions):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return ThroughputResult(
+        name=name,
+        n_dofs=n_dofs,
+        best_seconds=min(samples),
+        mean_seconds=float(np.mean(samples)),
+        repetitions=repetitions,
+    )
+
+
+def measure_operator(op, name: str = "", repetitions: int = 20,
+                     dtype=np.float64) -> ThroughputResult:
+    """Throughput of ``op.vmult`` on a random vector."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(op.n_dofs).astype(dtype)
+    return measure_throughput(
+        lambda: op.vmult(x), op.n_dofs, name or type(op).__name__, repetitions
+    )
+
+
+def calibrate_local_machine(degree: int = 3, refinements: int = 2,
+                            repetitions: int = 5):
+    """Measure the DG-Laplacian mat-vec throughput of *this* machine and
+    return a :class:`repro.parallel.machine.MachineModel` anchored to it,
+    so the scaling model can also be evaluated in local units."""
+    import dataclasses
+
+    from ..core.dof_handler import DGDofHandler
+    from ..core.operators import DGLaplaceOperator
+    from ..mesh.connectivity import build_connectivity
+    from ..mesh.generators import box
+    from ..mesh.mapping import GeometryField
+    from ..mesh.octree import Forest
+    from ..parallel.machine import LOCAL_PYTHON
+
+    mesh = box(subdivisions=(2, 1, 1), boundary_ids={0: 1})
+    forest = Forest(mesh).refine_all(refinements)
+    geo = GeometryField(forest, degree)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, degree)
+    op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
+    r = measure_operator(op, repetitions=repetitions)
+    return dataclasses.replace(LOCAL_PYTHON, matvec_dofs_per_s_k3=r.dofs_per_second)

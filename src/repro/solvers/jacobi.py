@@ -1,0 +1,33 @@
+"""Point-Jacobi preconditioner computed matrix-free from the operator
+diagonal — the inner preconditioner of the Chebyshev smoother
+(Section 3.4, following Adams et al. 2003)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class JacobiPreconditioner:
+    """M^{-1} r = r / diag(A), with zero-diagonal protection."""
+
+    def __init__(self, op, dtype=np.float64) -> None:
+        diag = np.asarray(op.diagonal(), dtype=np.float64)
+        if diag.size == 0:
+            raise ValueError("empty operator diagonal")
+        bad = np.abs(diag) < 1e-300
+        if bad.any():
+            diag = diag.copy()
+            diag[bad] = 1.0
+        self.inv_diag = (1.0 / diag).astype(dtype)
+
+    @property
+    def n_dofs(self) -> int:
+        return self.inv_diag.size
+
+    def vmult(self, r: np.ndarray) -> np.ndarray:
+        return r * self.inv_diag
+
+    def to_precision(self, dtype) -> "JacobiPreconditioner":
+        clone = object.__new__(JacobiPreconditioner)
+        clone.inv_diag = self.inv_diag.astype(dtype)
+        return clone

@@ -1,0 +1,254 @@
+"""The hybrid geometric–polynomial–algebraic multigrid preconditioner.
+
+Implements Algorithm 1 / Figure 5 of the paper for the pressure Poisson
+operator: starting from the symmetric interior penalty DG discretization
+of degree ``k`` on the (possibly locally refined) forest,
+
+1. transfer to the *continuous* auxiliary space of the same degree and
+   mesh (c-transfer),
+2. coarsen the polynomial degree by bisection down to 1 (p-levels),
+3. coarsen the mesh by global coarsening down to the unstructured coarse
+   mesh (h-levels),
+4. solve the coarsest problem with algebraic multigrid (substituting
+   BoomerAMG by :class:`~repro.solvers.amg.SmoothedAggregationAMG`) in
+   double precision.
+
+Every level except the AMG root is smoothed by a degree-3 Chebyshev
+iteration with point-Jacobi preconditioning, and the whole V-cycle runs
+in **single precision** while the outer conjugate gradient iterates in
+double precision — the mixed-precision strategy of Section 3.4.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, fields, is_dataclass
+
+import numpy as np
+
+from ..core.dof_handler import CGDofHandler, DGDofHandler
+from ..core.operators.laplace import CGLaplaceOperator, DGLaplaceOperator
+from ..mesh.mapping import GeometryField
+from ..mesh.octree import Forest
+from .amg import SmoothedAggregationAMG
+from .assemble import assemble_cg_laplace
+from .chebyshev import ChebyshevSmoother
+from .jacobi import JacobiPreconditioner
+from .transfer import Transfer, dg_from_cg, h_transfer, p_transfer
+
+
+def _cast_arrays(obj, dtype, _seen=None):
+    """Recursively cast ndarray attributes of dataclasses to ``dtype``."""
+    if isinstance(obj, np.ndarray):
+        return obj.astype(dtype) if obj.dtype == np.float64 else obj
+    if is_dataclass(obj) and not isinstance(obj, type):
+        clone = copy.copy(obj)
+        for f in fields(obj):
+            object.__setattr__(clone, f.name, _cast_arrays(getattr(obj, f.name), dtype))
+        return clone
+    if isinstance(obj, list):
+        return [_cast_arrays(v, dtype) for v in obj]
+    return obj
+
+
+def single_precision_operator(op):
+    """Shallow-clone an operator with float32 metric data so that NumPy
+    keeps all kernel arithmetic in single precision (doubling the cells
+    per 'SIMD' batch and halving the memory traffic, as in the paper)."""
+    clone = copy.copy(op)
+    for name in ("cell_metrics", "face_metrics", "bdry_metrics", "tau", "tau_b", "jxw"):
+        if hasattr(clone, name):
+            setattr(clone, name, _cast_arrays(getattr(clone, name), np.float32))
+    if hasattr(clone, "dof") and hasattr(clone.dof, "C"):
+        dof_clone = copy.copy(clone.dof)
+        dof_clone.C = clone.dof.C.astype(np.float32)
+        dof_clone.Ct = clone.dof.Ct.astype(np.float32)
+        clone.dof = dof_clone
+    clone.dtype = np.float32
+    return clone
+
+
+@dataclass
+class MGLevel:
+    """One multigrid level: its operator, smoother, and the transfer that
+    connects it to the next *coarser* level."""
+
+    name: str
+    operator: object
+    smoother: ChebyshevSmoother | None
+    to_coarser: Transfer | None
+    n_dofs: int
+
+
+class HybridMultigridPreconditioner:
+    """V-cycle preconditioner for a :class:`DGLaplaceOperator`.
+
+    Parameters
+    ----------
+    dg_op:
+        The fine-level operator (defines forest, degree, Dirichlet ids).
+    smoother_degree:
+        Chebyshev degree per pre/post smoothing (paper: 3).
+    precision:
+        dtype of the V-cycle (paper: single precision).
+    coarse_amg_cycles:
+        V-cycles of the SA-AMG coarse solver per visit (paper: 2).
+    p_sequence:
+        Optional explicit degree sequence; default bisection k, k/2, ..., 1.
+    """
+
+    def __init__(
+        self,
+        dg_op: DGLaplaceOperator,
+        smoother_degree: int = 3,
+        smoothing_range: float = 15.0,
+        precision=np.float32,
+        coarse_amg_cycles: int = 2,
+        p_sequence: tuple[int, ...] | None = None,
+    ) -> None:
+        self.dg_op = dg_op
+        self.precision = precision
+        forest: Forest = dg_op.geo.forest
+        degree = dg_op.dof.degree
+        dirichlet = dg_op.dirichlet_ids
+        conn = dg_op.conn
+
+        if p_sequence is None:
+            seq = [degree]
+            while seq[-1] > 1:
+                seq.append(max(1, seq[-1] // 2))
+            p_sequence = tuple(seq)
+        if p_sequence[0] != degree:
+            raise ValueError("p_sequence must start at the DG degree")
+
+        levels: list[MGLevel] = []
+        # finest: the DG level itself
+        dg_sp = single_precision_operator(dg_op) if precision == np.float32 else dg_op
+        levels.append(
+            MGLevel(
+                name=f"DG(k={degree})",
+                operator=dg_sp,
+                smoother=ChebyshevSmoother(dg_sp, smoother_degree, smoothing_range),
+                to_coarser=None,
+                n_dofs=dg_op.n_dofs,
+            )
+        )
+        # continuous level of the same degree
+        cg_dofs: list[CGDofHandler] = []
+        cg_ops: list[CGLaplaceOperator] = []
+        for k in p_sequence:
+            dof = CGDofHandler(forest, k, connectivity=conn, dirichlet_ids=dirichlet)
+            if dof.n_dofs == 0:
+                break  # everything constrained: stop p-coarsening here
+            geo = dg_op.geo if k == degree else GeometryField(forest, k)
+            cg_dofs.append(dof)
+            cg_ops.append(CGLaplaceOperator(dof, geo))
+        if not cg_dofs:
+            raise ValueError(
+                "the conforming auxiliary space has no unconstrained DoFs; "
+                "the mesh is too coarse for the hybrid multigrid"
+            )
+        p_sequence = p_sequence[: len(cg_dofs)]
+        levels[0].to_coarser = dg_from_cg(dg_op.dof, cg_dofs[0])
+        for i, k in enumerate(p_sequence):
+            op = cg_ops[i]
+            op_sp = single_precision_operator(op) if precision == np.float32 else op
+            levels.append(
+                MGLevel(
+                    name=f"CG(k={k})",
+                    operator=op_sp,
+                    smoother=ChebyshevSmoother(op_sp, smoother_degree, smoothing_range),
+                    to_coarser=None,
+                    n_dofs=op.n_dofs,
+                )
+            )
+            if i + 1 < len(p_sequence):
+                levels[-1].to_coarser = p_transfer(cg_dofs[i], cg_dofs[i + 1])
+
+        # geometric levels by global coarsening at degree 1
+        h_forest = forest
+        h_dof = cg_dofs[-1]
+        while h_forest.max_level > 0:
+            coarser, cmap = h_forest.global_coarsening_level()
+            if coarser.n_cells == h_forest.n_cells:
+                break
+            c_dof = CGDofHandler(coarser, 1, dirichlet_ids=dirichlet)
+            if c_dof.n_dofs == 0:
+                break  # a fully constrained level cannot host the AMG
+            c_geo = GeometryField(coarser, 1)
+            c_op = CGLaplaceOperator(c_dof, c_geo)
+            levels[-1].to_coarser = h_transfer(h_dof, c_dof, cmap)
+            op_sp = single_precision_operator(c_op) if precision == np.float32 else c_op
+            levels.append(
+                MGLevel(
+                    name=f"CG(k=1, {coarser.n_cells} cells)",
+                    operator=op_sp,
+                    smoother=ChebyshevSmoother(op_sp, smoother_degree, smoothing_range),
+                    to_coarser=None,
+                    n_dofs=c_op.n_dofs,
+                )
+            )
+            h_forest, h_dof = coarser, c_dof
+
+        # coarse AMG solver (double precision, as in the paper)
+        coarse_dof = h_dof
+        coarse_geo = (
+            dg_op.geo
+            if coarse_dof.degree == degree and coarse_dof.forest is forest
+            else GeometryField(coarse_dof.forest, coarse_dof.degree)
+        )
+        A_coarse = assemble_cg_laplace(coarse_dof, coarse_geo)
+        self.amg = SmoothedAggregationAMG(A_coarse, n_cycles=coarse_amg_cycles)
+
+        if precision == np.float32:
+            for lev in levels:
+                if lev.to_coarser is not None:
+                    lev.to_coarser = lev.to_coarser.to_precision(np.float32)
+        self.levels = levels  # fine -> coarse
+        self.level_mults: list[int] = [0] * (len(levels) + 1)
+        self.amg_calls = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Number of levels in Algorithm-1 terms: the coarsest stored
+        level is solved by AMG (level 0)."""
+        return len(self.levels)
+
+    def describe(self) -> str:
+        lines = []
+        for i, lev in enumerate(self.levels):
+            label = lev.name
+            if i == len(self.levels) - 1:
+                label += f" + AMG({self.amg.n_levels} alg. levels)"
+            lines.append(
+                f"level {len(self.levels) - 1 - i}: {label:<36s} {lev.n_dofs:>12d} DoF"
+            )
+        return "\n".join(lines)
+
+    def _vcycle(self, i: int, b: np.ndarray) -> np.ndarray:
+        """Algorithm 1 on level index ``i`` of self.levels (0 = finest).
+
+        The coarsest stored level is the linear FE space on the coarse
+        mesh — exactly the space the AMG hierarchy was assembled on — so
+        reaching it triggers the coarse solve instead of smoothing."""
+        if i == len(self.levels) - 1:
+            self.amg_calls += 1
+            return self.amg.vmult(np.asarray(b, dtype=np.float64)).astype(b.dtype)
+        lev = self.levels[i]
+        x = lev.smoother.smooth(b)  # pre-smoothing from zero initial guess
+        self.level_mults[i] += lev.smoother.degree
+        r = b - lev.operator.vmult(x)
+        self.level_mults[i] += 1
+        bc = lev.to_coarser.restrict(r)
+        xc = self._vcycle(i + 1, bc)
+        x = x + lev.to_coarser.prolongate(xc)
+        x = lev.smoother.smooth(b, x)  # post-smoothing
+        self.level_mults[i] += lev.smoother.degree + 1
+        return x
+
+    def vmult(self, r: np.ndarray) -> np.ndarray:
+        """One V-cycle in the configured (single) precision."""
+        r_p = np.asarray(r, dtype=self.precision)
+        x = self._vcycle(0, r_p)
+        return np.asarray(x, dtype=np.float64)

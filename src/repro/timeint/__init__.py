@@ -1,0 +1,16 @@
+"""Time integration: variable-step BDF coefficients, CFL-adaptive step
+control (Eq. (6)), and the dual splitting scheme (Eqs. (1)-(5))."""
+
+from .bdf import BDFCoefficients, bdf_coefficients, constant_step_coefficients
+from .cfl import CFLController
+from .dual_splitting import DualSplittingScheme, SplittingOperators, StepStatistics
+
+__all__ = [
+    "BDFCoefficients",
+    "bdf_coefficients",
+    "constant_step_coefficients",
+    "CFLController",
+    "DualSplittingScheme",
+    "SplittingOperators",
+    "StepStatistics",
+]

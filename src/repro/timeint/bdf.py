@@ -1,0 +1,80 @@
+"""Variable-step BDF and extrapolation coefficients.
+
+The dual splitting scheme (Eqs. (1)-(5)) uses BDF time derivatives
+``(gamma0 u^{n+1} - sum_i alpha_i u^{n-i}) / dt_n`` and explicit
+extrapolation ``sum_i beta_i f(u^{n-i})`` of the convective term, both
+of order J (paper: J = 2) with *variable step sizes* driven by the CFL
+condition.  The coefficients are derived from Lagrange interpolation on
+the non-uniform time grid, so the formal order is preserved under step
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BDFCoefficients:
+    """gamma0, alpha[i] (history weights), beta[i] (extrapolation)."""
+
+    gamma0: float
+    alpha: np.ndarray
+    beta: np.ndarray
+
+    @property
+    def order(self) -> int:
+        return len(self.alpha)
+
+
+def bdf_coefficients(order: int, dt_history: list[float]) -> BDFCoefficients:
+    """Coefficients for the step from t_n to t_{n+1} = t_n + dt_history[0].
+
+    ``dt_history[i]`` is the step size ``t_{n+1-i} - t_{n-i}``; only the
+    first ``order`` entries are used.  For order J, the scheme needs J
+    previous solutions.
+
+    Derivation: let t_{n+1} = 0 and t_{n-i} = -(dt_0 + ... + dt_i) for
+    i = 0..J-1.  The BDF derivative is the derivative at 0 of the
+    polynomial interpolating (t_{n+1}, u^{n+1}) and the history points;
+    gamma0 and alpha_i are the (dt_0-scaled) weights.  beta_i are the
+    weights extrapolating the history to t_{n+1}.
+    """
+    if order < 1 or order > 3:
+        raise ValueError("supported BDF orders: 1, 2, 3")
+    if len(dt_history) < order:
+        raise ValueError(f"need {order} step sizes, got {len(dt_history)}")
+    dt = np.asarray(dt_history[:order], dtype=float)
+    if np.any(dt <= 0):
+        raise ValueError("step sizes must be positive")
+    # node positions: t_{n+1} = 0, t_n = -dt0, t_{n-1} = -(dt0+dt1), ...
+    nodes = np.concatenate([[0.0], -np.cumsum(dt)])
+    m = order + 1
+    # derivative weights of Lagrange basis at x = 0
+    w_der = np.empty(m)
+    for j in range(m):
+        others = np.delete(nodes, j)
+        denom = np.prod(nodes[j] - others)
+        # d/dx prod (x - others) at 0 = sum_k prod_{l != k} (0 - others_l)
+        s = 0.0
+        for k_ in range(m - 1):
+            rest = np.delete(others, k_)
+            s += np.prod(-rest)
+        w_der[j] = s / denom
+    gamma0 = w_der[0] * dt[0]
+    alpha = -w_der[1:] * dt[0]
+    # extrapolation to 0 from history nodes only
+    hist = nodes[1:]
+    beta = np.empty(order)
+    for j in range(order):
+        others = np.delete(hist, j)
+        beta[j] = np.prod(-others) / np.prod(hist[j] - others)
+    return BDFCoefficients(gamma0=float(gamma0), alpha=alpha, beta=beta)
+
+
+def constant_step_coefficients(order: int) -> BDFCoefficients:
+    """Classical constant-dt coefficients (BDF2: gamma0 = 3/2,
+    alpha = (2, -1/2), beta = (2, -1))."""
+    return bdf_coefficients(order, [1.0] * order)

@@ -1,0 +1,166 @@
+"""Tests of 1D Lagrange bases and transfer/shape matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.basis import (
+    LagrangeBasis1D,
+    change_of_basis_matrix,
+    embedding_matrix,
+    lagrange_derivatives,
+    lagrange_values,
+    mass_matrix_1d,
+    shape_matrices,
+    subinterval_matrix,
+)
+from repro.core.quadrature import gauss
+
+
+class TestLagrangeValues:
+    @pytest.mark.parametrize("k", range(1, 8))
+    def test_kronecker_delta_at_nodes(self, k):
+        basis = LagrangeBasis1D(k)
+        V = basis.values(basis.nodes)
+        assert np.allclose(V, np.eye(k + 1), atol=1e-12)
+
+    @pytest.mark.parametrize("k", range(1, 8))
+    def test_partition_of_unity(self, k):
+        basis = LagrangeBasis1D(k)
+        x = np.linspace(0, 1, 17)
+        assert np.allclose(basis.values(x).sum(axis=1), 1.0, atol=1e-11)
+
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_reproduces_polynomials(self, k):
+        basis = LagrangeBasis1D(k)
+        x = np.linspace(0.05, 0.95, 13)
+        for p in range(k + 1):
+            coeffs = basis.nodes**p
+            assert np.allclose(basis.values(x) @ coeffs, x**p, atol=1e-11)
+
+    def test_degree_zero(self):
+        basis = LagrangeBasis1D(0)
+        assert np.allclose(basis.values([0.2, 0.8]), 1.0)
+
+
+class TestLagrangeDerivatives:
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_derivative_of_polynomials(self, k):
+        basis = LagrangeBasis1D(k)
+        x = np.linspace(0.0, 1.0, 11)  # includes nodes and non-nodes
+        for p in range(1, k + 1):
+            coeffs = basis.nodes**p
+            exact = p * x ** (p - 1)
+            assert np.allclose(basis.derivatives(x) @ coeffs, exact, atol=1e-9)
+
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_derivative_sums_to_zero(self, k):
+        # derivative of the partition of unity
+        basis = LagrangeBasis1D(k)
+        x = np.linspace(0, 1, 9)
+        assert np.allclose(basis.derivatives(x).sum(axis=1), 0.0, atol=1e-9)
+
+    def test_at_node_matches_near_node(self):
+        basis = LagrangeBasis1D(4)
+        node = basis.nodes[2]
+        d_at = basis.derivatives(np.array([node]))
+        d_near = basis.derivatives(np.array([node + 1e-9]))
+        assert np.allclose(d_at, d_near, atol=1e-5)
+
+
+class TestShapeMatrices:
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_face_values_pick_endpoints(self, k):
+        sm = shape_matrices(k)
+        # Gauss-Lobatto basis: node 0 at x=0, node k at x=1
+        e0 = np.zeros(k + 1)
+        e0[0] = 1
+        ek = np.zeros(k + 1)
+        ek[-1] = 1
+        assert np.allclose(sm.face_value[0], e0, atol=1e-12)
+        assert np.allclose(sm.face_value[1], ek, atol=1e-12)
+
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_mass_matrix_spd_and_exact(self, k):
+        M = mass_matrix_1d(k)
+        assert np.allclose(M, M.T)
+        assert np.all(np.linalg.eigvalsh(M) > 0)
+        # integral of the constant 1: sum of all entries = |[0,1]| = 1
+        assert np.isclose(M.sum(), 1.0)
+
+    def test_gauss_nodes_variant(self):
+        sm = shape_matrices(3, 4, nodes="gauss")
+        # collocation: interp matrix is the identity
+        assert np.allclose(sm.interp, np.eye(4), atol=1e-12)
+
+    def test_unknown_node_family_raises(self):
+        with pytest.raises(ValueError):
+            shape_matrices(2, 3, nodes="chebyshev")
+
+
+class TestChangeOfBasis:
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_roundtrip_identity(self, k):
+        """Nodal -> collocation -> evaluate == direct evaluation."""
+        S = change_of_basis_matrix(k)
+        sm_gl = shape_matrices(k, k + 1)
+        sm_co = shape_matrices(k, k + 1, nodes="gauss")
+        # evaluating collocation coefficients at Gauss points is identity
+        rng = np.random.default_rng(0)
+        u = rng.standard_normal(k + 1)
+        assert np.allclose(sm_gl.interp @ u, sm_co.interp @ (S @ u), atol=1e-11)
+
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_invertible(self, k):
+        S = change_of_basis_matrix(k)
+        assert np.linalg.cond(S) < 1e6
+
+
+class TestTransferMatrices:
+    @pytest.mark.parametrize("kc,kf", [(1, 2), (1, 3), (2, 4), (3, 6)])
+    def test_embedding_preserves_polynomials(self, kc, kf):
+        E = embedding_matrix(kc, kf)
+        coarse = LagrangeBasis1D(kc)
+        fine = LagrangeBasis1D(kf)
+        x = np.linspace(0, 1, 7)
+        for p in range(kc + 1):
+            uc = coarse.nodes**p
+            uf = E @ uc
+            assert np.allclose(fine.values(x) @ uf, x**p, atol=1e-10)
+
+    def test_embedding_wrong_order_raises(self):
+        with pytest.raises(ValueError):
+            embedding_matrix(3, 2)
+
+    @pytest.mark.parametrize("k", range(1, 5))
+    @pytest.mark.parametrize("child", [0, 1])
+    def test_subinterval_preserves_polynomials(self, k, child):
+        E = subinterval_matrix(k, child)
+        basis = LagrangeBasis1D(k)
+        xi = np.linspace(0, 1, 9)  # child-local coordinate
+        x_global = 0.5 * xi + 0.5 * child
+        for p in range(k + 1):
+            u_parent = basis.nodes**p
+            u_child = E @ u_parent
+            assert np.allclose(basis.values(xi) @ u_child, x_global**p, atol=1e-10)
+
+    def test_subinterval_bad_child_raises(self):
+        with pytest.raises(ValueError):
+            subinterval_matrix(2, 2)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_interpolation_exactness_property(k, seed):
+    """Interpolating any polynomial of degree <= k at the nodes and
+    re-evaluating anywhere reproduces it (fundamental Lagrange property)."""
+    rng = np.random.default_rng(seed)
+    coeffs = rng.standard_normal(k + 1)
+    poly = np.polynomial.Polynomial(coeffs)
+    basis = LagrangeBasis1D(k)
+    u = poly(basis.nodes)
+    x = rng.uniform(0, 1, size=8)
+    assert np.allclose(basis.values(x) @ u, poly(x), atol=1e-8 * max(1, abs(coeffs).max()))

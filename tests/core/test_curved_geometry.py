@@ -1,0 +1,63 @@
+"""Poisson solves on curved (transfinite-cylinder) geometry — exercises
+the high-order metric terms end to end, the boundary-fitted capability
+Section 2.3 emphasizes."""
+
+import numpy as np
+import pytest
+
+from repro.core.dof_handler import DGDofHandler
+from repro.core.operators import DGLaplaceOperator, InverseMassOperator
+from repro.mesh.connectivity import build_connectivity
+from repro.mesh.generators import cylinder
+from repro.mesh.mapping import GeometryField
+from repro.mesh.octree import Forest
+from repro.solvers import JacobiPreconditioner, conjugate_gradient
+
+
+def solve_on_cylinder(levels: int, degree: int):
+    """Manufactured axisymmetric solution u = (R^2 - r^2)/4 on the smooth
+    cylinder: -lap(u) = 1 with u = 0 on the lateral surface and the exact
+    Neumann data on the end caps (zero, since du/dz = 0)."""
+    R = 1.0
+    mesh = cylinder(radius=R, length=2.0, n_axial=2, smooth=True,
+                    inlet_id=2, outlet_id=2)
+    # re-tag: lateral wall keeps id 0 -> make IT the Dirichlet boundary
+    forest = Forest(mesh).refine_all(levels)
+    geo = GeometryField(forest, degree)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, degree)
+    op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(0,))
+    b = op.assemble_rhs(
+        f=lambda x, y, z: np.ones_like(x),
+        dirichlet=lambda x, y, z: 0.0 * x,
+        neumann=lambda x, y, z: 0.0 * x,  # end caps: du/dn = 0
+    )
+    res = conjugate_gradient(op, b, InverseMassOperator(dof, geo),
+                             tol=1e-11, max_iter=4000)
+    assert res.converged
+    cm = geo.cell_metrics()
+    r2 = cm.points[:, 0] ** 2 + cm.points[:, 1] ** 2
+    exact = (R * R - r2) / 4.0
+    uq = geo.kernel.values(dof.cell_view(res.x))
+    err = float(np.sqrt(np.sum((uq - exact) ** 2 * cm.jxw)))
+    return err
+
+
+class TestCurvedPoisson:
+    def test_convergence_under_refinement(self):
+        """The curved-boundary solution converges under h-refinement —
+        only possible if the transfinite geometry and its metric terms are
+        consistently resolved at high order."""
+        e0 = solve_on_cylinder(0, degree=2)
+        e1 = solve_on_cylinder(1, degree=2)
+        rate = np.log2(e0 / e1)
+        assert e1 < e0
+        # the solution is quadratic, so the error is purely the geometric
+        # approximation of the circle; preasymptotic order ~1.2 on these
+        # coarse meshes — require robust first-order-plus convergence
+        assert rate > 1.0
+
+    def test_degree_beats_h_for_smooth_solution(self):
+        e_k2 = solve_on_cylinder(0, degree=2)
+        e_k4 = solve_on_cylinder(0, degree=4)
+        assert e_k4 < 0.2 * e_k2

@@ -1,0 +1,111 @@
+"""Direct tests of the DG/CG dof handlers and constraint machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.dof_handler import CGDofHandler, DGDofHandler
+from repro.mesh.generators import box, cylinder
+from repro.mesh.octree import Forest
+
+
+class TestDGDofHandler:
+    def test_counts(self):
+        forest = Forest(box(subdivisions=(2, 1, 1)))
+        dof = DGDofHandler(forest, 3, n_components=3)
+        assert dof.dofs_per_cell == 3 * 64
+        assert dof.n_dofs == 2 * 3 * 64
+
+    def test_views_are_views(self):
+        """cell_view and flat reshape without copying: writes through the
+        view land in the flat vector (the zero-cost gather/scatter of DG)."""
+        forest = Forest(box())
+        dof = DGDofHandler(forest, 2)
+        v = dof.zeros()
+        cells = dof.cell_view(v)
+        cells[0, 1, 1, 1] = 7.0
+        assert 7.0 in v
+        assert np.shares_memory(v, cells)
+        assert np.shares_memory(dof.flat(cells), v)
+
+
+class TestCGNumbering:
+    def test_shared_nodes_counted_once(self):
+        """On a 2x1x1 box of degree k the shared face nodes unify:
+        n_global = (2k+1)(k+1)^2."""
+        forest = Forest(box(subdivisions=(2, 1, 1)))
+        for k in (1, 2, 3):
+            dof = CGDofHandler(forest, k)
+            assert dof.n_global == (2 * k + 1) * (k + 1) ** 2
+
+    def test_cylinder_cross_section_sharing(self):
+        """The 12-cell disc shares the inner lattice between blocks; the
+        global count matches vertices+edges+faces counting via Euler:
+        simply require strictly fewer than cell-local dofs."""
+        forest = Forest(cylinder(n_axial=2, smooth=False))
+        dof = CGDofHandler(forest, 2)
+        assert dof.n_global < forest.n_cells * 27
+        # continuity: expanding a random master vector gives equal values
+        # at all shared positions (checked by construction of expand)
+        x = np.random.default_rng(0).standard_normal(dof.n_dofs)
+        cells = dof.gather_cells(x)
+        assert cells.shape == (forest.n_cells, 3, 3, 3)
+
+    def test_gather_scatter_adjoint(self):
+        forest = Forest(box(subdivisions=(2, 1, 1))).refine_all(1)
+        dof = CGDofHandler(forest, 2)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(dof.n_dofs)
+        cells = rng.standard_normal((forest.n_cells, 3, 3, 3))
+        lhs = np.sum(dof.gather_cells(x) * cells)
+        rhs = x @ dof.scatter_add_cells(cells)
+        assert np.isclose(lhs, rhs, rtol=1e-12)
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CGDofHandler(Forest(box()), 0)
+
+
+class TestHangingConstraints:
+    def make(self, degree=2):
+        f = Forest(box(subdivisions=(2, 1, 1)))
+        f = f.refine([f.leaves[0]]).balance()
+        return CGDofHandler(f, degree)
+
+    def test_constraint_rows_partition_of_unity(self):
+        """Interpolating the constant: every constrained dof's weights sum
+        to one (no Dirichlet constraints here)."""
+        dof = self.make()
+        assert dof.constraints  # hanging faces exist
+        for slave, entries in dof.constraints.items():
+            assert np.isclose(sum(w for _, w in entries), 1.0, atol=1e-12)
+
+    def test_masters_are_unconstrained(self):
+        dof = self.make()
+        for slave, entries in dof.constraints.items():
+            assert dof.is_constrained[slave]
+            for master, _ in entries:
+                assert not dof.is_constrained[master]
+
+    def test_expansion_matrix_shape_and_identity_part(self):
+        dof = self.make()
+        assert dof.C.shape == (dof.n_global, dof.n_dofs)
+        # master rows carry exactly one unit entry
+        masters = np.nonzero(~dof.is_constrained)[0]
+        sub = dof.C[masters]
+        assert np.allclose(sub.sum(axis=1), 1.0)
+        assert sub.nnz == len(masters)
+
+    def test_dirichlet_rows_empty(self):
+        f = Forest(box(subdivisions=(2, 1, 1), boundary_ids={0: 1}))
+        dof = CGDofHandler(f, 2, dirichlet_ids=(1,))
+        # some nodes constrained to zero: their C rows are empty
+        zero_rows = [g for g, e in dof.constraints.items() if not e]
+        assert zero_rows
+        row_sums = np.asarray(np.abs(dof.C[zero_rows]).sum(axis=1)).ravel()
+        assert np.allclose(row_sums, 0.0)
+
+    def test_nodal_points_roundtrip(self):
+        dof = self.make()
+        pts = dof.nodal_points()
+        assert pts.shape == (dof.n_global, 3)
+        assert pts.min() >= -1e-12 and pts.max() <= 2 + 1e-12

@@ -1,0 +1,92 @@
+"""Tests of the even-odd decomposition of 1D kernel matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.basis import shape_matrices
+from repro.core.even_odd import EvenOddMatrix
+
+
+def random_symmetric_matrix(m, n, sign, seed):
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((m, n))
+    return 0.5 * (M + sign * M[::-1, ::-1])
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_interp_matrices_are_even(self, k):
+        sm = shape_matrices(k)
+        EvenOddMatrix(sm.interp, "even")  # must not raise
+
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_grad_matrices_are_odd(self, k):
+        sm = shape_matrices(k)
+        EvenOddMatrix(sm.grad, "odd")
+
+    def test_wrong_kind_raises(self):
+        sm = shape_matrices(3)
+        with pytest.raises(ValueError):
+            EvenOddMatrix(sm.interp, "odd")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            EvenOddMatrix(np.eye(3), "mixed")
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            EvenOddMatrix(np.zeros(3), "even")
+
+
+@pytest.mark.parametrize("m,n", [(2, 2), (3, 3), (4, 4), (5, 5), (3, 4), (4, 3), (5, 2), (2, 5), (6, 5)])
+@pytest.mark.parametrize("sign,kind", [(1.0, "even"), (-1.0, "odd")])
+class TestCorrectness:
+    def test_matvec_matches_dense(self, m, n, sign, kind):
+        M = random_symmetric_matrix(m, n, sign, seed=m * 10 + n)
+        eo = EvenOddMatrix(M, kind)
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((7, n))
+        assert np.allclose(eo.matvec(v), v @ M.T, atol=1e-12)
+
+    def test_apply_along_tensor_dims(self, m, n, sign, kind):
+        from repro.core.sum_factorization import apply_1d
+
+        M = random_symmetric_matrix(m, n, sign, seed=3)
+        eo = EvenOddMatrix(M, kind)
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal((2, n, n, n))
+        for dim in range(3):
+            assert np.allclose(eo.apply(u, dim), apply_1d(M, u, dim), atol=1e-12)
+
+
+class TestFlopReduction:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10])
+    def test_even_sizes_halve_mults(self, n):
+        M = random_symmetric_matrix(n, n, 1.0, seed=n)
+        eo = EvenOddMatrix(M, "even")
+        assert eo.mults_per_vector() == eo.mults_dense() // 2
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_odd_sizes_near_half(self, n):
+        M = random_symmetric_matrix(n, n, 1.0, seed=n)
+        eo = EvenOddMatrix(M, "even")
+        # 2*ceil(n/2)^2 vs n^2: slightly above half for odd n
+        assert eo.mults_per_vector() < eo.mults_dense()
+        assert eo.mults_per_vector() == 2 * ((n + 1) // 2) ** 2
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    m=st.integers(min_value=1, max_value=9),
+    n=st.integers(min_value=1, max_value=9),
+    sign=st.sampled_from([1.0, -1.0]),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_matvec_property(m, n, sign, seed):
+    kind = "even" if sign > 0 else "odd"
+    M = random_symmetric_matrix(m, n, sign, seed)
+    eo = EvenOddMatrix(M, kind)
+    rng = np.random.default_rng(seed + 1)
+    v = rng.standard_normal((3, n))
+    assert np.allclose(eo.matvec(v), v @ M.T, atol=1e-11)

@@ -1,0 +1,97 @@
+"""Tests of the SIMD-lane abstraction (Section 3.2 analogue)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lanes import (
+    LANES_DP,
+    LANES_SP,
+    LaneBatch,
+    batch_cells,
+    n_lane_batches,
+    simd_fill_statistics,
+    unbatch_cells,
+)
+
+
+class TestLaneBatch:
+    def test_arithmetic_operators(self):
+        a = LaneBatch(np.arange(8.0), 8)
+        b = LaneBatch(np.ones(8), 8)
+        assert np.allclose((a + b).data, np.arange(8.0) + 1)
+        assert np.allclose((a - b).data, np.arange(8.0) - 1)
+        assert np.allclose((a * 2.0).data, 2 * np.arange(8.0))
+        assert np.allclose((a / 2.0).data, np.arange(8.0) / 2)
+        assert np.allclose((-a).data, -np.arange(8.0))
+        assert np.allclose((1.0 + a).data, 1 + np.arange(8.0))
+        assert np.allclose((2.0 - a).data, 2 - np.arange(8.0))
+        assert np.allclose((8.0 / (a + 1)).data, 8.0 / (np.arange(8.0) + 1))
+
+    def test_sqrt_abs(self):
+        a = LaneBatch(np.array([-4.0, 9.0, -16.0, 1.0]), 4)
+        assert np.allclose(a.abs().data, [4, 9, 16, 1])
+        assert np.allclose(a.abs().sqrt().data, [2, 3, 4, 1])
+
+    def test_fill_fraction(self):
+        b = LaneBatch(np.zeros(8), 5)
+        assert b.fill_fraction == 5 / 8
+
+    def test_invalid_fill_raises(self):
+        with pytest.raises(ValueError):
+            LaneBatch(np.zeros(4), 0)
+        with pytest.raises(ValueError):
+            LaneBatch(np.zeros(4), 5)
+
+    def test_broadcast(self):
+        b = LaneBatch.broadcast(3.5, lanes=4)
+        assert b.lanes == 4 and np.allclose(b.data, 3.5)
+
+    def test_gather_scatter_roundtrip(self):
+        src = np.arange(20.0)
+        idx = np.array([3, 7, 11, 2])
+        b = LaneBatch.gather(src, idx)
+        assert b.n_filled == 4
+        assert np.allclose(b.data[:4], src[idx])
+        target = np.zeros(20)
+        b.scatter(target, idx)
+        assert np.allclose(target[idx], src[idx])
+
+    def test_scatter_add_accumulates(self):
+        target = np.ones(10)
+        b = LaneBatch.gather(np.arange(10.0), np.array([2, 2]))
+        # duplicate indices must accumulate (np.add.at semantics)
+        b.scatter_add(target, np.array([5, 5]))
+        assert np.isclose(target[5], 1 + 2 + 2)
+
+
+class TestBatching:
+    def test_n_lane_batches(self):
+        assert n_lane_batches(16, 8) == 2
+        assert n_lane_batches(17, 8) == 3
+        assert n_lane_batches(1, 8) == 1
+
+    @given(n=st.integers(min_value=1, max_value=40))
+    @settings(deadline=None, max_examples=20)
+    def test_batch_unbatch_roundtrip(self, n):
+        data = np.random.default_rng(n).standard_normal((n, 3))
+        batches = batch_cells(data, lanes=8)
+        assert len(batches) == n_lane_batches(n, 8)
+        back = unbatch_cells(batches)
+        assert np.allclose(back, data)
+
+    def test_last_batch_padded_with_copy(self):
+        data = np.arange(10.0)[:, None]
+        batches = batch_cells(data, lanes=8)
+        last = batches[-1]
+        assert last.n_filled == 2
+        assert np.allclose(last.data[2:], data[9])  # padding = last cell
+
+    def test_fill_statistics(self):
+        assert simd_fill_statistics([], 8) == 1.0
+        assert np.isclose(simd_fill_statistics([8, 8], 8), 1.0)
+        # the partially-filled-lane overhead of mixed-orientation faces
+        assert np.isclose(simd_fill_statistics([8, 2], 8), 10 / 16)
+
+    def test_lane_widths(self):
+        assert LANES_SP == 2 * LANES_DP  # SP doubles cells per register

@@ -1,0 +1,99 @@
+"""Tests of the 1D quadrature rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quadrature import gauss, gauss_lobatto, tensor_points, tensor_weights
+
+
+class TestGauss:
+    @pytest.mark.parametrize("n", range(1, 12))
+    def test_weights_sum_to_one(self, n):
+        assert np.isclose(gauss(n).weights.sum(), 1.0)
+
+    @pytest.mark.parametrize("n", range(1, 12))
+    def test_points_inside_unit_interval(self, n):
+        pts = gauss(n).points
+        assert np.all(pts > 0.0) and np.all(pts < 1.0)
+        assert np.all(np.diff(pts) > 0)
+
+    @pytest.mark.parametrize("n", range(1, 10))
+    def test_exactness_degree(self, n):
+        # exact for all monomials up to degree 2n-1
+        rule = gauss(n)
+        for p in range(2 * n):
+            exact = 1.0 / (p + 1)
+            assert np.isclose(rule.integrate(lambda x: x**p), exact, rtol=1e-12)
+
+    def test_not_exact_beyond_order(self):
+        rule = gauss(2)
+        p = 4  # 2n = 4 is one past the exactness limit 2n-1 = 3
+        assert not np.isclose(rule.integrate(lambda x: x**p), 1.0 / (p + 1), rtol=1e-10)
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            gauss(0)
+
+    def test_symmetry(self):
+        rule = gauss(7)
+        assert np.allclose(rule.points + rule.points[::-1], 1.0)
+        assert np.allclose(rule.weights, rule.weights[::-1])
+
+
+class TestGaussLobatto:
+    @pytest.mark.parametrize("n", range(2, 12))
+    def test_includes_endpoints(self, n):
+        pts = gauss_lobatto(n).points
+        assert pts[0] == pytest.approx(0.0, abs=1e-14)
+        assert pts[-1] == pytest.approx(1.0, abs=1e-14)
+
+    @pytest.mark.parametrize("n", range(2, 12))
+    def test_weights_sum_to_one(self, n):
+        assert np.isclose(gauss_lobatto(n).weights.sum(), 1.0)
+
+    @pytest.mark.parametrize("n", range(2, 10))
+    def test_exactness_degree(self, n):
+        rule = gauss_lobatto(n)
+        for p in range(2 * n - 2):
+            assert np.isclose(rule.integrate(lambda x: x**p), 1.0 / (p + 1), rtol=1e-11)
+
+    def test_symmetry(self):
+        rule = gauss_lobatto(6)
+        assert np.allclose(rule.points + rule.points[::-1], 1.0)
+        assert np.allclose(rule.weights, rule.weights[::-1])
+
+    def test_known_gl3(self):
+        # 3-point rule on [0,1]: points 0, 1/2, 1 with weights 1/6, 4/6, 1/6
+        rule = gauss_lobatto(3)
+        assert np.allclose(rule.points, [0.0, 0.5, 1.0])
+        assert np.allclose(rule.weights, [1 / 6, 4 / 6, 1 / 6])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            gauss_lobatto(1)
+
+
+class TestTensorProducts:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_weights_sum_to_one(self, dim):
+        rule = gauss(3)
+        assert np.isclose(tensor_weights(rule, dim).sum(), 1.0)
+
+    def test_points_ordering_x_fastest(self):
+        rule = gauss(2)
+        pts = tensor_points(rule, 3)
+        n = rule.n_points
+        # consecutive flat indices vary the x coordinate first
+        assert pts[0, 0] != pts[1, 0]
+        assert pts[0, 1] == pts[1, 1] and pts[0, 2] == pts[1, 2]
+        # index n flips y
+        assert pts[0, 1] != pts[n, 1]
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=3))
+    def test_tensor_integrates_separable_polynomial(self, n, dim):
+        rule = gauss(n)
+        pts, w = tensor_points(rule, dim), tensor_weights(rule, dim)
+        p = min(2 * n - 1, 4)
+        vals = np.prod(pts**p, axis=1)
+        assert np.isclose(np.dot(w, vals), (1.0 / (p + 1)) ** dim, rtol=1e-10)

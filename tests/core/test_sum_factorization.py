@@ -1,0 +1,179 @@
+"""Tests of the sum-factorized tensor kernels against direct evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.basis import LagrangeBasis1D, shape_matrices
+from repro.core.quadrature import gauss, tensor_points, tensor_weights
+from repro.core.sum_factorization import TensorProductKernel, apply_1d
+
+
+def eval_nodal_3d(u, nodes, pts):
+    """Direct (slow) evaluation of a tensor-product Lagrange interpolant at
+    arbitrary points; reference for the fast kernels.  ``u`` has layout
+    (z, y, x)."""
+    basis = LagrangeBasis1D(len(nodes) - 1, nodes=nodes)
+    lx = basis.values(pts[:, 0])
+    ly = basis.values(pts[:, 1])
+    lz = basis.values(pts[:, 2])
+    return np.einsum("zyx,qx,qy,qz->q", u, lx, ly, lz)
+
+
+def grad_nodal_3d(u, nodes, pts):
+    basis = LagrangeBasis1D(len(nodes) - 1, nodes=nodes)
+    lx, ly, lz = (basis.values(pts[:, i]) for i in range(3))
+    dx, dy, dz = (basis.derivatives(pts[:, i]) for i in range(3))
+    g0 = np.einsum("zyx,qx,qy,qz->q", u, dx, ly, lz)
+    g1 = np.einsum("zyx,qx,qy,qz->q", u, lx, dy, lz)
+    g2 = np.einsum("zyx,qx,qy,qz->q", u, lx, ly, dz)
+    return np.stack([g0, g1, g2])
+
+
+class TestApply1D:
+    def test_matches_einsum_all_dims(self):
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal((4, 3, 3, 3))
+        M = rng.standard_normal((5, 3))
+        assert np.allclose(apply_1d(M, u, 0), np.einsum("qx,czyx->czyq", M, u))
+        assert np.allclose(apply_1d(M, u, 1), np.einsum("qy,czyx->czqx", M, u))
+        assert np.allclose(apply_1d(M, u, 2), np.einsum("qz,czyx->cqyx", M, u))
+
+    def test_no_batch_axis(self):
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal((3, 3, 3))
+        M = rng.standard_normal((2, 3))
+        assert apply_1d(M, u, 1).shape == (3, 2, 3)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+@pytest.mark.parametrize("use_even_odd", [False, True])
+class TestCellKernels:
+    def _setup(self, k, use_even_odd, ncells=3, seed=0):
+        kern = TensorProductKernel(k, use_even_odd=use_even_odd)
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((ncells, k + 1, k + 1, k + 1))
+        pts = tensor_points(gauss(kern.n_q_points), 3)
+        nodes = kern.shape.basis.nodes
+        return kern, u, pts, nodes
+
+    def test_values_match_direct(self, k, use_even_odd):
+        kern, u, pts, nodes = self._setup(k, use_even_odd)
+        fast = kern.values(u)
+        for c in range(u.shape[0]):
+            direct = eval_nodal_3d(u[c], nodes, pts)
+            assert np.allclose(fast[c].ravel(), direct, atol=1e-11)
+
+    def test_gradients_match_direct(self, k, use_even_odd):
+        kern, u, pts, nodes = self._setup(k, use_even_odd)
+        fast = kern.gradients(u)
+        nq = kern.n_q_points
+        for c in range(u.shape[0]):
+            direct = grad_nodal_3d(u[c], nodes, pts)
+            assert np.allclose(fast[c].reshape(3, -1), direct, atol=1e-10)
+
+    def test_values_and_gradients_consistent(self, k, use_even_odd):
+        kern, u, _, _ = self._setup(k, use_even_odd)
+        v, g = kern.values_and_gradients(u)
+        assert np.allclose(v, kern.values(u))
+        assert np.allclose(g, kern.gradients(u))
+
+    def test_integrate_values_is_transpose(self, k, use_even_odd):
+        """<I^T q, u> == <q, I u> for all q, u (adjoint identity)."""
+        kern, u, _, _ = self._setup(k, use_even_odd, ncells=2)
+        rng = np.random.default_rng(7)
+        q = rng.standard_normal((2, kern.n_q_points) * 1 + (kern.n_q_points,) * 2)
+        q = rng.standard_normal((2,) + (kern.n_q_points,) * 3)
+        lhs = np.sum(kern.integrate_values(q) * u)
+        rhs = np.sum(q * kern.values(u))
+        assert np.isclose(lhs, rhs, rtol=1e-11)
+
+    def test_integrate_gradients_is_transpose(self, k, use_even_odd):
+        kern, u, _, _ = self._setup(k, use_even_odd, ncells=2)
+        rng = np.random.default_rng(8)
+        q = rng.standard_normal((2, 3) + (kern.n_q_points,) * 3)
+        lhs = np.sum(kern.integrate_gradients(q) * u)
+        rhs = np.sum(q * kern.gradients(u))
+        assert np.isclose(lhs, rhs, rtol=1e-11)
+
+    def test_mass_integral_of_one(self, k, use_even_odd):
+        """integrate(1 * w_q) over the reference cell gives nodal weights
+        that sum to the cell volume 1."""
+        kern, _, _, _ = self._setup(k, use_even_odd)
+        q = np.broadcast_to(kern.quadrature_weights, (1,) + (kern.n_q_points,) * 3)
+        nodal = kern.integrate_values(np.array(q))
+        assert np.isclose(nodal.sum(), 1.0)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+@pytest.mark.parametrize("face", range(6))
+class TestFaceKernels:
+    def test_face_values_match_direct(self, k, face):
+        kern = TensorProductKernel(k)
+        rng = np.random.default_rng(3)
+        u = rng.standard_normal((2, k + 1, k + 1, k + 1))
+        d, s = divmod(face, 2)
+        qpts1d = gauss(kern.n_q_points).points
+        # build the 3D points of this face: coordinate d fixed at s
+        fv = kern.face_values(u, face)
+        nq = kern.n_q_points
+        nodes = kern.shape.basis.nodes
+        # face array axes are remaining dims in descending order
+        rem = [dd for dd in (2, 1, 0) if dd != d]  # array axis order
+        for c in range(2):
+            for a in range(nq):
+                for b in range(nq):
+                    coord = [0.0, 0.0, 0.0]
+                    coord[d] = float(s)
+                    coord[rem[0]] = qpts1d[a]
+                    coord[rem[1]] = qpts1d[b]
+                    direct = eval_nodal_3d(u[c], nodes, np.array([coord]))
+                    assert np.isclose(fv[c, a, b], direct[0], atol=1e-11)
+
+    def test_face_integrate_adjoint(self, k, face):
+        kern = TensorProductKernel(k)
+        rng = np.random.default_rng(4)
+        u = rng.standard_normal((2, k + 1, k + 1, k + 1))
+        q = rng.standard_normal((2, kern.n_q_points, kern.n_q_points))
+        lhs = np.sum(kern.face_integrate_values(q, face) * u)
+        rhs = np.sum(q * kern.face_values(u, face))
+        assert np.isclose(lhs, rhs, rtol=1e-11)
+
+    def test_face_normal_derivative_adjoint(self, k, face):
+        kern = TensorProductKernel(k)
+        rng = np.random.default_rng(5)
+        u = rng.standard_normal((2, k + 1, k + 1, k + 1))
+        q = rng.standard_normal((2, kern.n_q_points, kern.n_q_points))
+        lhs = np.sum(kern.face_integrate_normal_derivative(q, face) * u)
+        rhs = np.sum(q * kern.face_normal_derivative(u, face))
+        assert np.isclose(lhs, rhs, rtol=1e-11)
+
+    def test_face_normal_derivative_of_linear(self, k, face):
+        """d/dx_d of the coordinate function x_d is 1 on every face."""
+        kern = TensorProductKernel(k)
+        d, s = divmod(face, 2)
+        nodes = kern.shape.basis.nodes
+        n = k + 1
+        # nodal coefficients of f(x) = x_d
+        grids = np.meshgrid(nodes, nodes, nodes, indexing="ij")  # x, y, z
+        f = grids[d].transpose(2, 1, 0)[None]  # layout (1, z, y, x)
+        deriv = kern.face_normal_derivative(f, face)
+        assert np.allclose(deriv, 1.0, atol=1e-11)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_even_odd_path_matches_dense_path(k, seed):
+    """Property: the Flop-optimized even-odd kernels agree with the dense
+    kernels to machine precision for every degree and random input."""
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((2, k + 1, k + 1, k + 1))
+    dense = TensorProductKernel(k, use_even_odd=False)
+    eo = TensorProductKernel(k, use_even_odd=True)
+    assert np.allclose(dense.values(u), eo.values(u), atol=1e-12)
+    assert np.allclose(dense.gradients(u), eo.gradients(u), atol=1e-12)
+    q = rng.standard_normal((2, 3) + (k + 1,) * 3)
+    assert np.allclose(dense.integrate_gradients(q), eo.integrate_gradients(q), atol=1e-12)

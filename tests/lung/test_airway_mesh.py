@@ -1,0 +1,99 @@
+"""Tests of the hex-only airway mesh generator and the coupled
+ventilation simulation."""
+
+import numpy as np
+import pytest
+
+from repro.lung import (
+    INLET_ID,
+    OUTLET_ID_START,
+    LungVentilationSimulation,
+    airway_tree_mesh,
+    grow_airway_tree,
+)
+from repro.lung.morphometry import CMH2O
+from repro.lung.ventilator import VentilationSettings
+from repro.mesh.connectivity import build_connectivity
+from repro.mesh.hexmesh import trilinear_jacobian
+from repro.ns.solver import SolverSettings
+
+
+def all_jacobians_positive(mesh):
+    ref = np.array([[x, y, z] for z in (0.0, 1.0) for y in (0.0, 1.0) for x in (0.0, 1.0)])
+    for c in range(mesh.n_cells):
+        if np.linalg.det(trilinear_jacobian(mesh.cell_corners(c), ref)).min() <= 0:
+            return False
+    return True
+
+
+class TestAirwayMesh:
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    def test_valid_watertight_mesh(self, g):
+        lm = airway_tree_mesh(grow_airway_tree(g, seed=0))
+        mesh = lm.forest.coarse
+        assert all_jacobians_positive(mesh)
+        conn = build_connectivity(lm.forest)
+        conf = conn.n_interior_faces - conn.n_hanging_faces
+        slots = 2 * conf + conn.n_hanging_faces + conn.n_hanging_faces // 4 + conn.n_boundary_faces
+        assert slots == 6 * mesh.n_cells
+
+    def test_outlet_ids_unique_and_complete(self):
+        lm = airway_tree_mesh(grow_airway_tree(3, seed=1))
+        assert len(lm.outlet_ids) == 8
+        assert len(set(lm.outlet_ids)) == 8
+        assert min(lm.outlet_ids) == OUTLET_ID_START
+
+    def test_all_openings_present_in_connectivity(self):
+        lm = airway_tree_mesh(grow_airway_tree(2, seed=0))
+        conn = build_connectivity(lm.forest)
+        present = {b.boundary_id for b in conn.boundary}
+        assert INLET_ID in present
+        for bid in lm.outlet_ids:
+            assert bid in present
+        # each opening consists of exactly 4 quad faces (2x2 duct end)
+        for bid in [INLET_ID] + lm.outlet_ids:
+            assert sum(b.n_faces for b in conn.boundary if b.boundary_id == bid) == 4
+
+    def test_upper_airway_refinement_adds_hanging_faces(self):
+        lm = airway_tree_mesh(
+            grow_airway_tree(3, seed=0),
+            refine_upper_generations=1,
+            max_refine_generation=1,
+        )
+        conn = build_connectivity(lm.forest)
+        assert conn.n_hanging_faces > 0
+        assert lm.forest.max_level >= 1
+
+    def test_cell_counts_scale_with_generations(self):
+        n3 = airway_tree_mesh(grow_airway_tree(3, seed=0)).forest.n_cells
+        n5 = airway_tree_mesh(grow_airway_tree(5, seed=0)).forest.n_cells
+        assert n5 > 3 * n3
+
+
+class TestLungVentilationSimulation:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        # tiny g=1 lung (1 bifurcation, 2 outlets) for a quick coupled run
+        return LungVentilationSimulation(
+            generations=1,
+            degree=2,
+            solver_settings=SolverSettings(solver_tolerance=1e-4, cfl=0.3),
+        )
+
+    def test_construction(self, sim):
+        assert sim.lung.n_outlets == 2
+        assert sim.windkessels.n_outlets == 2
+        assert sim.solver.pressure_dirichlet  # inlet + outlets
+
+    def test_inhalation_fills_compartments(self, sim):
+        """A few time steps of pressure-driven inhalation must push
+        volume into the windkessel compartments."""
+        for _ in range(12):
+            sim.step()
+        assert sim.time > 0
+        assert sim.tidal_volume_delivered() > 0
+        assert sim._inlet_flow > 0  # air flows into the patient
+
+    def test_outlet_pressures_rise_with_volume(self, sim):
+        p0 = sim.windkessels.peep
+        assert sim.windkessels.outlet_pressure(0) > p0

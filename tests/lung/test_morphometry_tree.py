@@ -1,0 +1,132 @@
+"""Tests of airway morphometry, resistance models, and tree growth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lung.morphometry import (
+    CMH2O,
+    LITER,
+    airway_dimensions,
+    n_airways,
+    poiseuille_resistance,
+    truncated_tree_resistance,
+)
+from repro.lung.tree import grow_airway_tree
+
+
+class TestMorphometry:
+    def test_trachea_dimensions(self):
+        d = airway_dimensions(0)
+        assert 0.015 < d.diameter < 0.022  # ~18 mm adult trachea
+        assert 0.10 < d.length < 0.13
+
+    def test_monotone_diameter_decrease(self):
+        diams = [airway_dimensions(g).diameter for g in range(17)]
+        assert all(d1 > d2 for d1, d2 in zip(diams, diams[1:]))
+
+    def test_extrapolation_beyond_table(self):
+        d24 = airway_dimensions(24)
+        d25 = airway_dimensions(25)
+        assert np.isclose(d25.diameter / d24.diameter, 2 ** (-1 / 3))
+
+    def test_negative_generation_raises(self):
+        with pytest.raises(ValueError):
+            airway_dimensions(-1)
+
+    def test_n_airways(self):
+        assert n_airways(0) == 1
+        assert n_airways(11) == 2048
+
+    def test_total_cross_section_grows(self):
+        """The accumulated cross-section increases with generation —
+        the reason low generations limit the CFL step (Section 3.3)."""
+        area = lambda g: n_airways(g) * np.pi * airway_dimensions(g).radius ** 2
+        assert area(16) > area(8) > area(4)
+
+
+class TestResistance:
+    def test_poiseuille_formula(self):
+        # R = 128 mu L / (pi d^4)
+        R = poiseuille_resistance(0.01, 1.0, mu=1.0)
+        assert np.isclose(R, 128.0 / (np.pi * 1e-8))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            poiseuille_resistance(0.0, 1.0)
+
+    def test_subtree_resistance_decreases_with_truncation_depth(self):
+        """Resolving more generations in 3D leaves less resistance in the
+        lumped model."""
+        r5 = truncated_tree_resistance(6, 25)
+        r9 = truncated_tree_resistance(10, 25)
+        assert r9 > r5  # a *single* deeper subtree has higher resistance
+
+    def test_total_airway_resistance_physiological(self):
+        """Airway (tree) resistance from the trachea down should land in
+        the physiological sub-kPa.s/l range (~0.05-0.15 kPa s/l)."""
+        r = truncated_tree_resistance(0, 25)
+        r_kpa_per_lps = r * LITER / 1000.0
+        assert 0.01 < r_kpa_per_lps < 0.3
+
+    def test_ordering_of_arguments(self):
+        with pytest.raises(ValueError):
+            truncated_tree_resistance(10, 5)
+
+
+class TestTreeGrowth:
+    @pytest.mark.parametrize("g", [1, 3, 5])
+    def test_counts_complete_dichotomy(self, g):
+        tree = grow_airway_tree(g)
+        assert tree.n_airways == 2 ** (g + 1) - 1
+        assert len(tree.terminal_airways()) == 2**g
+        assert tree.n_generations == g
+
+    def test_terminal_count_exceeds_state_of_the_art(self):
+        """Section 2.1: the paper resolves 1005 terminals at g = 11; the
+        symmetric synthetic tree yields 2048."""
+        tree = grow_airway_tree(11)
+        assert len(tree.terminal_airways()) == 2048
+
+    def test_parent_child_links(self):
+        tree = grow_airway_tree(3)
+        for a in tree.airways:
+            for c in a.children:
+                child = tree.airways[c]
+                assert child.parent == a.index
+                assert np.allclose(child.start, a.end)
+                assert child.generation == a.generation + 1
+
+    def test_directions_normalized(self):
+        tree = grow_airway_tree(4, seed=3)
+        for a in tree.airways:
+            assert np.isclose(np.linalg.norm(a.direction), 1.0)
+
+    def test_children_diverge(self):
+        tree = grow_airway_tree(3)
+        for a in tree.airways:
+            if len(a.children) == 2:
+                c1, c2 = (tree.airways[c] for c in a.children)
+                assert np.dot(c1.direction, c2.direction) < 0.99
+
+    def test_tree_extends_caudally(self):
+        tree = grow_airway_tree(5)
+        lo, hi = tree.bounding_box()
+        assert hi[2] > tree.trachea.length  # grows beyond the trachea
+
+    def test_cross_section_metric(self):
+        tree = grow_airway_tree(6)
+        assert tree.total_cross_section(6) > tree.total_cross_section(2)
+
+    def test_invalid_generations(self):
+        with pytest.raises(ValueError):
+            grow_airway_tree(0)
+
+    @settings(deadline=None, max_examples=5)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_reproducible_given_seed(self, seed):
+        t1 = grow_airway_tree(3, seed=seed)
+        t2 = grow_airway_tree(3, seed=seed)
+        for a, b in zip(t1.airways, t2.airways):
+            assert np.allclose(a.direction, b.direction)
+            assert a.length == b.length

@@ -1,0 +1,164 @@
+"""Tests of the windkessel compartments, ventilator, and tubus model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lung.morphometry import CMH2O, LITER
+from repro.lung.ventilator import (
+    PressureControlledVentilator,
+    TubusModel,
+    VentilationSettings,
+    expected_tidal_volume,
+)
+from repro.lung.windkessel import (
+    TOTAL_COMPLIANCE,
+    TOTAL_RESISTANCE,
+    Compartment,
+    WindkesselBank,
+)
+
+
+class TestCompartment:
+    def test_pressure_components(self):
+        c = Compartment(resistance=2.0, compliance=0.5)
+        c.advance(flow=1.0, dt=0.1)
+        # p = R Q + V/C = 2*1 + 0.1/0.5
+        assert np.isclose(c.pressure(), 2.0 + 0.2)
+
+    def test_volume_integration(self):
+        c = Compartment(resistance=1.0, compliance=1.0)
+        for _ in range(10):
+            c.advance(flow=0.5, dt=0.1)
+        assert np.isclose(c.volume, 0.5)
+
+    def test_exhalation_reduces_volume(self):
+        c = Compartment(resistance=1.0, compliance=1.0, volume=1.0)
+        c.advance(flow=-2.0, dt=0.25)
+        assert np.isclose(c.volume, 0.5)
+
+
+class TestWindkesselBank:
+    def test_equivalent_lumped_values(self):
+        bank = WindkesselBank(terminal_generation=5, n_outlets=32)
+        # compliances add in parallel -> total compliance recovered
+        assert np.isclose(bank.equivalent_compliance(), TOTAL_COMPLIANCE)
+        # equivalent resistance is positive and at least the tissue part
+        assert bank.equivalent_resistance() > 0.2 * TOTAL_RESISTANCE * 0.5
+
+    def test_resistance_grows_with_resolved_depth(self):
+        """Resolving more generations in 3D leaves a higher per-outlet
+        subtree resistance but more outlets in parallel."""
+        b5 = WindkesselBank(terminal_generation=5, n_outlets=32)
+        b9 = WindkesselBank(terminal_generation=9, n_outlets=512)
+        assert b9.compartments[0].resistance > b5.compartments[0].resistance
+
+    def test_time_constant_physiological(self):
+        """RC of the respiratory system ~ 0.3-1.5 s (supports the 1:2
+        exhalation ratio of the ventilation protocol)."""
+        bank = WindkesselBank(terminal_generation=7, n_outlets=128)
+        assert 0.02 < bank.time_constant() < 3.0
+
+    def test_outlet_pressure_includes_peep(self):
+        bank = WindkesselBank(terminal_generation=3, n_outlets=8, peep=800.0)
+        assert bank.outlet_pressure(0) == pytest.approx(800.0)
+
+    def test_advance_validates_flows(self):
+        bank = WindkesselBank(terminal_generation=3, n_outlets=8)
+        with pytest.raises(ValueError):
+            bank.advance([1.0, 2.0], dt=0.1)
+
+    def test_total_volume(self):
+        bank = WindkesselBank(terminal_generation=3, n_outlets=4)
+        bank.advance([1e-4] * 4, dt=1.0)
+        assert np.isclose(bank.total_volume(), 4e-4)
+
+    def test_needs_outlets(self):
+        with pytest.raises(ValueError):
+            WindkesselBank(terminal_generation=3, n_outlets=0)
+
+
+class TestTubus:
+    def test_quadratic_drop(self):
+        t = TubusModel()
+        q = 0.5 * LITER / 1.0 * 1000  # 0.5 l/s in m^3/s
+        q = 0.5e-3
+        dp = t.pressure_drop(q)
+        expected = 4.6 * CMH2O * 0.5 + 2.9 * CMH2O * 0.25
+        assert np.isclose(dp, expected)
+
+    def test_sign_symmetry(self):
+        t = TubusModel()
+        assert np.isclose(t.pressure_drop(-1e-3), -t.pressure_drop(1e-3))
+
+
+class TestVentilator:
+    def test_square_wave_timing(self):
+        v = PressureControlledVentilator()
+        s = v.settings
+        assert v.is_inhaling(0.1)
+        assert v.is_inhaling(0.99)
+        assert not v.is_inhaling(1.01)  # T = 3, I:E = 1:2 -> t_I = 1 s
+        assert v.is_inhaling(3.05)  # next cycle
+
+    def test_pressure_levels(self):
+        v = PressureControlledVentilator()
+        s = v.settings
+        assert np.isclose(v.ventilator_pressure(0.5), s.peep + v.dp)
+        assert np.isclose(v.ventilator_pressure(2.0), s.peep)
+
+    def test_tracheal_pressure_subtracts_tubus_drop(self):
+        v = PressureControlledVentilator()
+        p0 = v.tracheal_pressure(0.5, flow=0.0)
+        p1 = v.tracheal_pressure(0.5, flow=0.5e-3)
+        assert p1 < p0
+
+    def test_controller_converges_on_rc_model(self):
+        """Closed loop with the first-order RC lung model reaches the
+        tidal-volume target within a few cycles (Section 5.3's controller;
+        the paper simulates only the first cycle, we verify convergence)."""
+        v = PressureControlledVentilator(
+            VentilationSettings(dp_initial=4.0 * CMH2O)
+        )
+        R = TOTAL_RESISTANCE
+        C = TOTAL_COMPLIANCE
+        for _ in range(12):
+            vt = expected_tidal_volume(v.dp, C, R, v.inhalation_time)
+            v.end_of_cycle(vt)
+        final_vt = expected_tidal_volume(v.dp, C, R, v.inhalation_time)
+        assert abs(final_vt - v.settings.tidal_volume_target) < 0.03 * v.settings.tidal_volume_target
+
+    def test_controller_handles_zero_volume(self):
+        v = PressureControlledVentilator()
+        dp0 = v.dp
+        v.end_of_cycle(0.0)
+        assert v.dp > dp0
+
+    @settings(deadline=None, max_examples=20)
+    @given(dp0=st.floats(min_value=1.0, max_value=30.0))
+    def test_controller_monotone_pressure_update(self, dp0):
+        """Under-delivery raises dp, over-delivery lowers it."""
+        v = PressureControlledVentilator(
+            VentilationSettings(dp_initial=dp0 * CMH2O)
+        )
+        target = v.settings.tidal_volume_target
+        dp_before = v.dp
+        v.end_of_cycle(0.5 * target)
+        assert v.dp >= dp_before
+        v2 = PressureControlledVentilator(
+            VentilationSettings(dp_initial=dp0 * CMH2O)
+        )
+        v2.end_of_cycle(2.0 * target)
+        assert v2.dp <= dp0 * CMH2O
+
+
+class TestExpectedTidalVolume:
+    def test_long_inhalation_saturates(self):
+        vt = expected_tidal_volume(1000.0, 1e-6, 1e3, t_inhale=100.0)
+        assert np.isclose(vt, 1000.0 * 1e-6)
+
+    def test_short_inhalation_linear(self):
+        R, C = 1e5, 1e-6
+        dt = 1e-4 * R * C
+        vt = expected_tidal_volume(1.0, C, R, dt)
+        assert np.isclose(vt, dt / R, rtol=1e-3)

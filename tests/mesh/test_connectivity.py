@@ -1,0 +1,157 @@
+"""Tests of geometric face matching: conforming, hanging, boundary,
+orientations."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.connectivity import (
+    IDENTITY,
+    Orientation,
+    build_connectivity,
+    orient_face_array,
+    orient_to_plus,
+)
+from repro.mesh.generators import bifurcation, box, cylinder, unit_cube
+from repro.mesh.octree import Forest
+
+
+def all_orientations():
+    return [
+        Orientation(sw, fa, fb)
+        for sw in (False, True)
+        for fa in (False, True)
+        for fb in (False, True)
+    ]
+
+
+class TestOrientation:
+    def test_codes_unique(self):
+        codes = {o.code for o in all_orientations()}
+        assert codes == set(range(8))
+
+    @pytest.mark.parametrize("o", all_orientations())
+    def test_inverse_roundtrip_coords(self, o):
+        for a, b in [(0, 0), (1, 0), (0, 1), (1, 1), (0.25, 0.75)]:
+            ap, bp = o.apply_coords(a, b)
+            a2, b2 = o.inverse().apply_coords(ap, bp)
+            assert np.isclose(a2, a) and np.isclose(b2, b)
+
+    @pytest.mark.parametrize("o", all_orientations())
+    def test_orient_array_roundtrip(self, o):
+        rng = np.random.default_rng(o.code)
+        arr = rng.standard_normal((2, 4, 4))
+        back = orient_to_plus(orient_face_array(arr, o), o)
+        assert np.allclose(back, arr)
+
+    @pytest.mark.parametrize("o", all_orientations())
+    def test_orient_array_matches_coordinate_map(self, o):
+        """orient_face_array must agree with the coordinate map on a
+        symmetric lattice."""
+        from repro.core.quadrature import gauss
+
+        n = 4
+        pts = gauss(n).points
+        # plus-frame array: value = f(a', b')
+        f = lambda a, b: 2 * a + 7 * b * b  # noqa: E731
+        plus = np.array([[f(a, b) for b in pts] for a in pts])
+        got = orient_face_array(plus, o)
+        for ia in range(n):
+            for ib in range(n):
+                ap, bp = o.apply_coords(pts[ia], pts[ib])
+                assert np.isclose(got[ia, ib], f(ap, bp))
+
+
+class TestConformingConnectivity:
+    def test_unit_cube_boundary_only(self):
+        conn = build_connectivity(Forest(unit_cube()))
+        assert conn.n_interior_faces == 0
+        assert conn.n_boundary_faces == 6
+
+    def test_refined_cube_counts(self):
+        conn = build_connectivity(Forest(unit_cube()).refine_all(1))
+        assert conn.n_interior_faces == 12
+        assert conn.n_boundary_faces == 24
+        assert conn.n_hanging_faces == 0
+
+    def test_box_2x1x1(self):
+        conn = build_connectivity(Forest(box(subdivisions=(2, 1, 1))))
+        assert conn.n_interior_faces == 1
+        assert conn.n_boundary_faces == 10
+        batch = conn.interior[0]
+        # structured mesh: identity orientation, opposite faces
+        assert batch.orientation.is_identity
+        assert {batch.face_m, batch.face_p} == {0, 1}
+
+    def test_interior_face_count_formula(self):
+        n = (3, 2, 2)
+        conn = build_connectivity(Forest(box(subdivisions=n)))
+        expected = (n[0] - 1) * n[1] * n[2] + n[0] * (n[1] - 1) * n[2] + n[0] * n[1] * (n[2] - 1)
+        assert conn.n_interior_faces == expected
+
+    def test_cylinder_mesh_is_watertight(self):
+        mesh = cylinder(n_axial=2, smooth=False)
+        conn = build_connectivity(Forest(mesh))
+        # every face is interior or boundary; Euler-style count:
+        # 6 * n_cells = 2 * interior + boundary
+        assert 6 * mesh.n_cells == 2 * conn.n_interior_faces + conn.n_boundary_faces
+        # inlet and outlet both have 12 faces
+        inlet = sum(b.n_faces for b in conn.boundary if b.boundary_id == 1)
+        outlet = sum(b.n_faces for b in conn.boundary if b.boundary_id == 2)
+        assert inlet == 12 and outlet == 12
+
+    def test_bifurcation_watertight_with_three_openings(self):
+        mesh = bifurcation()
+        conn = build_connectivity(Forest(mesh))
+        assert 6 * mesh.n_cells == 2 * conn.n_interior_faces + conn.n_boundary_faces
+        for bid in (1, 2, 3):
+            assert sum(b.n_faces for b in conn.boundary if b.boundary_id == bid) == 4
+
+
+class TestHangingConnectivity:
+    def make_hanging_forest(self):
+        f = Forest(box(subdivisions=(2, 1, 1)))
+        # refine only tree 0 -> 2:1 interface with tree 1
+        return f.refine([f.leaves[0]])
+
+    def test_hanging_face_count(self):
+        conn = build_connectivity(self.make_hanging_forest())
+        assert conn.n_hanging_faces == 4
+        # fine side is always the minus side
+        for b in conn.interior:
+            if b.is_hanging:
+                assert b.subface is not None
+
+    def test_hanging_subfaces_distinct(self):
+        conn = build_connectivity(self.make_hanging_forest())
+        subs = [b.subface for b in conn.interior if b.is_hanging for _ in range(b.n_faces)]
+        assert sorted(set(subs)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_boundary_counts_with_hanging(self):
+        forest = self.make_hanging_forest()
+        conn = build_connectivity(forest)
+        # face-slot accounting: every conforming interior face covers 2 cell
+        # face slots, each hanging face 1 fine slot, each distinct coarse
+        # face (hanging / 4) 1 slot, each boundary face 1 slot
+        conforming = conn.n_interior_faces - conn.n_hanging_faces
+        slots = 2 * conforming + conn.n_hanging_faces + conn.n_hanging_faces // 4 + conn.n_boundary_faces
+        assert 6 * forest.n_cells == slots
+        # tree 1 contributes 5 boundary faces, tree 0 children 5 * 4 = 20
+        assert conn.n_boundary_faces == 25
+
+    def test_unbalanced_mesh_raises(self):
+        f = Forest(box(subdivisions=(2, 1, 1)))
+        f = f.refine([f.leaves[0]])
+        fine_corner = [
+            c for c in f.leaves if c.tree == 0 and (c.i, c.j, c.k) == (1, 0, 0)
+        ]
+        f = f.refine(fine_corner)  # level-2 cells adjacent to level-0 tree 1
+        with pytest.raises(RuntimeError):
+            build_connectivity(f)
+
+    def test_mixed_orientation_fraction(self):
+        conn_box = build_connectivity(Forest(box(subdivisions=(2, 2, 2))))
+        assert conn_box.mixed_orientation_fraction() == 0.0
+        mesh = bifurcation()
+        conn_bif = build_connectivity(Forest(mesh))
+        # the tube-tree junctions introduce rotated faces
+        assert conn_bif.mixed_orientation_fraction() >= 0.0

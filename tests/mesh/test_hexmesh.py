@@ -1,0 +1,180 @@
+"""Tests of the coarse hex mesh, generators, and trilinear mapping."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.hexmesh import (
+    HexMesh,
+    face_corner_vertices,
+    merge_meshes,
+    trilinear,
+    trilinear_jacobian,
+)
+from repro.mesh.generators import box, unit_cube, cylinder, disc_cross_section
+
+
+class TestTrilinear:
+    def test_identity_on_unit_cube(self):
+        corners = np.array(
+            [[v & 1, (v >> 1) & 1, (v >> 2) & 1] for v in range(8)], dtype=float
+        )
+        ref = np.random.default_rng(0).uniform(0, 1, (10, 3))
+        assert np.allclose(trilinear(corners, ref), ref)
+
+    def test_affine_map(self):
+        A = np.array([[2.0, 0.5, 0.0], [0.0, 1.5, 0.2], [0.1, 0.0, 3.0]])
+        b = np.array([1.0, -2.0, 0.5])
+        corners = np.array(
+            [[v & 1, (v >> 1) & 1, (v >> 2) & 1] for v in range(8)], dtype=float
+        )
+        mapped = corners @ A.T + b
+        ref = np.random.default_rng(1).uniform(0, 1, (7, 3))
+        assert np.allclose(trilinear(mapped, ref), ref @ A.T + b)
+        J = trilinear_jacobian(mapped, ref)
+        assert np.allclose(J, A[None])
+
+    def test_jacobian_matches_finite_difference(self):
+        rng = np.random.default_rng(2)
+        corners = np.array(
+            [[v & 1, (v >> 1) & 1, (v >> 2) & 1] for v in range(8)], dtype=float
+        )
+        corners += 0.1 * rng.standard_normal((8, 3))
+        ref = np.array([[0.3, 0.6, 0.2]])
+        J = trilinear_jacobian(corners, ref)[0]
+        eps = 1e-6
+        for j in range(3):
+            dp = ref.copy()
+            dm = ref.copy()
+            dp[0, j] += eps
+            dm[0, j] -= eps
+            fd = (trilinear(corners, dp)[0] - trilinear(corners, dm)[0]) / (2 * eps)
+            assert np.allclose(J[:, j], fd, atol=1e-8)
+
+
+class TestHexMesh:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HexMesh(np.zeros((4, 2)), np.zeros((1, 8), dtype=int))
+        with pytest.raises(ValueError):
+            HexMesh(np.zeros((4, 3)), np.zeros((1, 6), dtype=int))
+        with pytest.raises(ValueError):
+            HexMesh(np.zeros((4, 3)), np.full((1, 8), 9))
+
+    def test_face_corner_vertices_cover_cell(self):
+        seen = set()
+        for f in range(6):
+            fc = face_corner_vertices(f)
+            assert fc.shape == (2, 2)
+            seen.update(int(v) for v in fc.ravel())
+        assert seen == set(range(8))
+
+    def test_face_corner_frame_convention(self):
+        # face 0 (normal x, low side): a runs along z, b along y
+        fc = face_corner_vertices(0)
+        # (a=0,b=0) -> vertex 0; (a=0,b=1) -> +y = vertex 2; (a=1,b=0) -> +z = 4
+        assert fc[0][0] == 0 and fc[0][1] == 2 and fc[1][0] == 4 and fc[1][1] == 6
+
+    def test_volume_of_unit_cube(self):
+        mesh = unit_cube()
+        assert np.isclose(mesh.cell_volume_estimate(0), 1.0)
+
+
+class TestBoxGenerator:
+    def test_counts(self):
+        mesh = box(subdivisions=(2, 3, 4))
+        assert mesh.n_cells == 24
+        assert mesh.n_vertices == 3 * 4 * 5
+
+    def test_total_volume(self):
+        mesh = box(lower=(0, 0, 0), upper=(2, 1, 1), subdivisions=(3, 2, 2))
+        vol = sum(mesh.cell_volume_estimate(c) for c in range(mesh.n_cells))
+        assert np.isclose(vol, 2.0)
+
+    def test_boundary_ids(self):
+        mesh = box(subdivisions=(2, 2, 2), boundary_ids={4: 1, 5: 2})
+        n_inlet = sum(1 for bid in mesh.boundary_ids.values() if bid == 1)
+        n_outlet = sum(1 for bid in mesh.boundary_ids.values() if bid == 2)
+        assert n_inlet == 4 and n_outlet == 4
+
+    def test_invalid_subdivisions(self):
+        with pytest.raises(ValueError):
+            box(subdivisions=(0, 1, 1))
+
+    def test_positive_jacobians(self):
+        mesh = box(subdivisions=(2, 2, 2))
+        ref = np.array([[0.5, 0.5, 0.5]])
+        for c in range(mesh.n_cells):
+            J = trilinear_jacobian(mesh.cell_corners(c), ref)[0]
+            assert np.linalg.det(J) > 0
+
+
+class TestMergeMeshes:
+    def test_merge_two_boxes_shares_interface(self):
+        m1 = box(lower=(0, 0, 0), upper=(1, 1, 1), subdivisions=(1, 1, 1))
+        m2 = box(lower=(1, 0, 0), upper=(2, 1, 1), subdivisions=(1, 1, 1))
+        merged = merge_meshes([m1, m2])
+        assert merged.n_cells == 2
+        assert merged.n_vertices == 12  # 16 - 4 shared
+
+    def test_merge_preserves_boundary_ids(self):
+        m1 = box(subdivisions=(1, 1, 1), boundary_ids={0: 1})
+        m2 = box(lower=(1, 0, 0), upper=(2, 1, 1), subdivisions=(1, 1, 1),
+                 boundary_ids={1: 2})
+        merged = merge_meshes([m1, m2])
+        assert 1 in merged.boundary_ids.values()
+        assert 2 in merged.boundary_ids.values()
+
+
+class TestDiscAndCylinder:
+    def test_disc_has_12_quads(self):
+        pts, quads, outer = disc_cross_section()
+        assert quads.shape == (12, 4)
+        assert len(outer) == 8
+
+    def test_disc_quads_positively_oriented(self):
+        pts, quads, _ = disc_cross_section()
+        for quad in quads:
+            p = pts[quad]
+            ex = p[1] - p[0]
+            ey = p[2] - p[0]
+            assert ex[0] * ey[1] - ex[1] * ey[0] > 0  # 2D cross product
+
+    def test_cylinder_counts_and_jacobians(self):
+        mesh = cylinder(radius=1.0, length=4.0, n_axial=3, smooth=False)
+        assert mesh.n_cells == 36
+        ref = np.array([[0.5, 0.5, 0.5]])
+        for c in range(mesh.n_cells):
+            J = trilinear_jacobian(mesh.cell_corners(c), ref)[0]
+            assert np.linalg.det(J) > 0, f"cell {c} inverted"
+
+    def test_cylinder_boundary_ids(self):
+        mesh = cylinder(n_axial=3, smooth=False)
+        ids = list(mesh.boundary_ids.values())
+        assert ids.count(1) == 12 and ids.count(2) == 12
+
+    def test_smooth_cylinder_surface_points_on_radius(self):
+        mesh = cylinder(radius=2.0, length=4.0, n_axial=2, smooth=True)
+        # ring cells: outer face is local face 3 (y high); sample points there
+        ref = np.array([[0.3, 1.0, 0.5], [0.8, 1.0, 0.2]])
+        for c in range(4, 12):  # ring cells of the first slice
+            pts = mesh.map_geometry(c, ref)
+            r = np.hypot(pts[:, 0], pts[:, 1])
+            assert np.allclose(r, 2.0, atol=1e-12)
+
+    def test_smooth_cylinder_interior_consistent_across_cells(self):
+        """Geometry evaluated from two neighboring cells agrees on the
+        shared face (watertightness of the transfinite blend)."""
+        mesh = cylinder(radius=1.0, length=2.0, n_axial=2, smooth=True)
+        # ring cell 4 and its axial neighbor 16 share the z face
+        ref_top = np.array([[0.25, 0.7, 1.0]])
+        ref_bot = np.array([[0.25, 0.7, 0.0]])
+        p1 = mesh.map_geometry(4, ref_top)
+        p2 = mesh.map_geometry(16, ref_bot)
+        assert np.allclose(p1, p2, atol=1e-12)
+
+    def test_tapered_cylinder(self):
+        mesh = cylinder(radius=1.0, taper_radius=0.5, length=4.0, n_axial=2)
+        # outlet slice vertices should lie within radius ~0.5
+        outlet_verts = mesh.vertices[-17:]
+        r = np.hypot(outlet_verts[:, 0], outlet_verts[:, 1])
+        assert r.max() <= 0.5 + 1e-9

@@ -1,0 +1,100 @@
+"""Property-based invariants of the forest/connectivity machinery under
+randomized refinement — the structural guarantees every operator relies
+on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.connectivity import build_connectivity, find_unbalanced_cells
+from repro.mesh.generators import box
+from repro.mesh.octree import Forest
+
+
+def random_refined_forest(seed: int, n_rounds: int, subdivisions=(2, 1, 1)) -> Forest:
+    rng = np.random.default_rng(seed)
+    forest = Forest(box(subdivisions=subdivisions))
+    for _ in range(n_rounds):
+        n = forest.n_cells
+        pick = rng.random(n) < 0.3
+        cells = [forest.leaves[i] for i in np.nonzero(pick)[0]]
+        if cells:
+            forest = forest.refine(cells).balance()
+    return forest
+
+
+@settings(deadline=None, max_examples=12)
+@given(seed=st.integers(0, 10_000), rounds=st.integers(1, 3))
+def test_random_refinement_invariants(seed, rounds):
+    forest = random_refined_forest(seed, rounds)
+    # (1) balanced
+    assert find_unbalanced_cells(forest) == []
+    conn = build_connectivity(forest)
+    # (2) watertight face-slot accounting
+    conf = conn.n_interior_faces - conn.n_hanging_faces
+    slots = (2 * conf + conn.n_hanging_faces + conn.n_hanging_faces // 4
+             + conn.n_boundary_faces)
+    assert slots == 6 * forest.n_cells
+    # (3) hanging faces come in complete groups of 4 per coarse face
+    assert conn.n_hanging_faces % 4 == 0
+    # (4) leaves cover each tree exactly once: volumes sum to the domain
+    vol = sum(1.0 / 8 ** leaf.level for leaf in forest.leaves)
+    assert np.isclose(vol, forest.coarse.n_cells)
+
+
+@settings(deadline=None, max_examples=8)
+@given(seed=st.integers(0, 10_000))
+def test_coarsening_hierarchy_invariants(seed):
+    forest = random_refined_forest(seed, 2)
+    levels = forest.coarsening_hierarchy()
+    # monotone cell counts, coarsest is level 0 everywhere
+    counts = [lv.n_cells for lv in levels]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert levels[-1].max_level <= max(0, levels[0].max_level - len(levels) + 1) + 1
+    for lv in levels:
+        assert find_unbalanced_cells(lv) == []
+    # every level's leaves still tile the domain
+    for lv in levels:
+        vol = sum(1.0 / 8 ** leaf.level for leaf in lv.leaves)
+        assert np.isclose(vol, lv.coarse.n_cells)
+
+
+@settings(deadline=None, max_examples=8)
+@given(seed=st.integers(0, 10_000))
+def test_constants_in_laplacian_kernel_on_random_mesh(seed):
+    """On any balanced random mesh the pure-Neumann DG Laplacian
+    annihilates constants — the strongest single check of cell terms,
+    conforming faces, hanging faces, and orientations together."""
+    from repro.core.dof_handler import DGDofHandler
+    from repro.core.operators import DGLaplaceOperator
+    from repro.mesh.mapping import GeometryField
+
+    forest = random_refined_forest(seed, 2)
+    geo = GeometryField(forest, 2)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, 2)
+    op = DGLaplaceOperator(dof, geo, conn)
+    ones = np.ones(dof.n_dofs)
+    assert np.abs(op.vmult(ones)).max() < 1e-9
+
+
+@settings(deadline=None, max_examples=8)
+@given(seed=st.integers(0, 10_000))
+def test_cg_expansion_continuity_on_random_mesh(seed):
+    """Constrained CG fields are single-valued at every shared physical
+    node position, whatever the hanging-node configuration."""
+    from repro.core.dof_handler import CGDofHandler
+
+    forest = random_refined_forest(seed, 2)
+    dof = CGDofHandler(forest, 2)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(dof.n_dofs)
+    full = dof.expand(x)
+    # gather per cell and compare values at shared quantized positions
+    pts = dof._nodal_points_trilinear().reshape(-1, 3)
+    vals = full[dof.cell_to_global.ravel()]
+    key = np.round(pts / 1e-9).astype(np.int64)
+    _, inv = np.unique(key, axis=0, return_inverse=True)
+    for g in range(inv.max() + 1):
+        group = vals[inv == g]
+        assert np.allclose(group, group[0], atol=1e-12)

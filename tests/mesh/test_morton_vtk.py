@@ -1,0 +1,129 @@
+"""Tests of Morton keys, forest ordering, contiguous partitioning, and
+the VTK export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.generators import box, unit_cube
+from repro.mesh.morton import forest_order, morton_key, partition_contiguous
+from repro.mesh.octree import Forest
+from repro.mesh.vtk import write_vtk
+
+
+class TestMortonKey:
+    def test_interleaving_small(self):
+        # morton(1,0,0)=1, morton(0,1,0)=2, morton(0,0,1)=4, morton(1,1,1)=7
+        assert morton_key(1, 0, 0) == 1
+        assert morton_key(0, 1, 0) == 2
+        assert morton_key(0, 0, 1) == 4
+        assert morton_key(1, 1, 1) == 7
+
+    def test_vectorized(self):
+        i = np.array([0, 1, 2])
+        k = morton_key(i, 0 * i, 0 * i)
+        assert list(k) == [0, 1, 8]
+
+    @given(
+        i=st.integers(min_value=0, max_value=2**20 - 1),
+        j=st.integers(min_value=0, max_value=2**20 - 1),
+        k=st.integers(min_value=0, max_value=2**20 - 1),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_bijective_on_bits(self, i, j, k):
+        key = int(morton_key(i, j, k))
+        # de-interleave and compare
+        di = dj = dk = 0
+        for b in range(21):
+            di |= ((key >> (3 * b)) & 1) << b
+            dj |= ((key >> (3 * b + 1)) & 1) << b
+            dk |= ((key >> (3 * b + 2)) & 1) << b
+        assert (di, dj, dk) == (i, j, k)
+
+    def test_locality_of_children(self):
+        """The 8 children of any cell are contiguous in Morton order."""
+        keys = [int(morton_key(2 + (c & 1), 4 + ((c >> 1) & 1), 6 + ((c >> 2) & 1)))
+                for c in range(8)]
+        assert sorted(keys) == list(range(min(keys), min(keys) + 8))
+
+
+class TestForestOrder:
+    def test_tree_major(self):
+        tree = np.array([1, 0, 1, 0])
+        level = np.zeros(4, dtype=int)
+        anchors = np.zeros((4, 3), dtype=int)
+        order = forest_order(tree, level, anchors)
+        assert list(tree[order]) == [0, 0, 1, 1]
+
+    def test_mixed_levels_nested(self):
+        """A parent's position in the curve precedes (or equals) the range
+        of its children: scaled anchors make levels comparable."""
+        tree = np.array([0, 0, 0])
+        level = np.array([1, 2, 2])
+        anchors = np.array([[1, 0, 0], [0, 1, 1], [3, 3, 3]])
+        order = forest_order(tree, level, anchors)
+        # anchor (0,1,1)@2 scales to (0,2,2); (1,0,0)@1 -> (2,0,0);
+        # (3,3,3)@2 -> (6,6,6): morton orders (0,2,2) < (2,0,0) < (6,6,6)
+        assert list(order) == [1, 0, 2]
+
+
+class TestPartitionContiguous:
+    def test_equal_weights(self):
+        part = partition_contiguous(np.ones(8), 4)
+        assert list(part) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_weighted_cut(self):
+        w = np.array([10.0, 1, 1, 1, 1, 1, 1, 4])
+        part = partition_contiguous(w, 2)
+        assert part[0] == 0
+        assert part[-1] == 1
+        # total weight 20: the heavy first item fills rank 0 almost alone
+        assert np.sum(part == 0) <= 3
+
+    def test_more_parts_than_items(self):
+        part = partition_contiguous(np.ones(2), 5)
+        assert part.max() < 5 and len(part) == 2
+
+    def test_empty(self):
+        assert len(partition_contiguous(np.ones(0), 3)) == 0
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_contiguous(np.ones(3), 0)
+
+    @given(n=st.integers(1, 50), p=st.integers(1, 10))
+    @settings(deadline=None, max_examples=30)
+    def test_monotone_and_complete(self, n, p):
+        part = partition_contiguous(np.ones(n), p)
+        assert np.all(np.diff(part) >= 0)
+        assert part.min() >= 0 and part.max() < p
+
+
+class TestVTK:
+    def test_write_and_structure(self, tmp_path):
+        forest = Forest(box(subdivisions=(2, 1, 1))).refine_all(1)
+        path = write_vtk(tmp_path / "mesh.vtk", forest,
+                         cell_data={"level": np.ones(forest.n_cells)})
+        text = path.read_text()
+        assert "DATASET UNSTRUCTURED_GRID" in text
+        assert f"CELLS {forest.n_cells} {forest.n_cells * 9}" in text
+        assert text.count("\n12") >= forest.n_cells - 1  # hexahedron type
+        assert "SCALARS level double 1" in text
+
+    def test_bad_cell_data_raises(self, tmp_path):
+        forest = Forest(unit_cube())
+        with pytest.raises(ValueError):
+            write_vtk(tmp_path / "m.vtk", forest, cell_data={"x": np.ones(3)})
+
+    def test_vtk_vertex_order_positive_volume(self, tmp_path):
+        """VTK hexahedron ordering must produce a positively oriented
+        cell: check via the scalar triple product of the first corner."""
+        forest = Forest(unit_cube())
+        write_vtk(tmp_path / "m.vtk", forest)
+        from repro.mesh.vtk import _VTK_ORDER
+
+        pts = forest.cell_corner_points(0)[_VTK_ORDER]
+        e1 = pts[1] - pts[0]  # along x
+        e2 = pts[3] - pts[0]  # along y in VTK order
+        e3 = pts[4] - pts[0]  # along z
+        assert np.dot(np.cross(e1, e2), e3) > 0

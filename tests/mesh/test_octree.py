@@ -1,0 +1,136 @@
+"""Tests of the forest-of-octrees refinement structure."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import box, unit_cube
+from repro.mesh.octree import CellId, Forest
+
+
+class TestCellId:
+    def test_children_and_parent_roundtrip(self):
+        c = CellId(2, 1, 0, 1, 1)
+        kids = c.children()
+        assert len(kids) == 8
+        assert all(k.parent() == c for k in kids)
+        assert sorted(k.child_index() for k in kids) == list(range(8))
+
+    def test_anchor_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CellId(0, 1, 2, 0, 0)
+        with pytest.raises(ValueError):
+            CellId(0, 0, 0, 0, 1)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            CellId(0, 0, 0, 0, 0).parent()
+
+    def test_ref_corners_of_child(self):
+        c = CellId(0, 1, 1, 0, 1)
+        corners = c.ref_corners()
+        assert np.allclose(corners[0], [0.5, 0.0, 0.5])
+        assert np.allclose(corners[7], [1.0, 0.5, 1.0])
+
+    def test_ref_points_scaling(self):
+        c = CellId(0, 2, 3, 0, 1)
+        pts = c.ref_points(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]))
+        assert np.allclose(pts[0], [0.75, 0.0, 0.25])
+        assert np.allclose(pts[1], [1.0, 0.25, 0.5])
+
+
+class TestForest:
+    def test_initial_leaves_are_roots(self):
+        f = Forest(box(subdivisions=(2, 1, 1)))
+        assert f.n_cells == 2
+        assert f.max_level == 0
+
+    def test_uniform_refinement_counts(self):
+        f = Forest(unit_cube()).refine_all(2)
+        assert f.n_cells == 64
+        assert f.min_level == f.max_level == 2
+
+    def test_refine_single_cell(self):
+        f = Forest(unit_cube())
+        f2 = f.refine([f.leaves[0]])
+        assert f2.n_cells == 8
+
+    def test_refine_non_leaf_raises(self):
+        f = Forest(unit_cube())
+        f2 = f.refine([f.leaves[0]])
+        with pytest.raises(KeyError):
+            f2.refine([f.leaves[0]])
+
+    def test_coarsen_restores(self):
+        f = Forest(unit_cube())
+        f2 = f.refine_all(1)
+        f3 = f2.coarsen([CellId(0, 0, 0, 0, 0)])
+        assert f3.n_cells == 1
+
+    def test_coarsen_partial_group_raises(self):
+        f = Forest(unit_cube()).refine_all(1)
+        f = f.refine([f.leaves[0]])
+        with pytest.raises(KeyError):
+            # children of the root are not all leaves anymore
+            f.coarsen([CellId(0, 0, 0, 0, 0)])
+
+    def test_leaves_in_morton_order(self):
+        f = Forest(box(subdivisions=(2, 1, 1))).refine_all(1)
+        trees = [c.tree for c in f.leaves]
+        assert trees == sorted(trees)
+        # within tree 0 the first leaf is the origin child
+        first = f.leaves[0]
+        assert (first.i, first.j, first.k) == (0, 0, 0)
+
+    def test_index_of(self):
+        f = Forest(unit_cube()).refine_all(1)
+        for i, leaf in enumerate(f.leaves):
+            assert f.index_of(leaf) == i
+        with pytest.raises(KeyError):
+            f.index_of(CellId(0, 0, 0, 0, 0))
+
+
+class TestBalance:
+    def test_balanced_after_local_refinement(self):
+        f = Forest(unit_cube())
+        f = f.refine_all(1)
+        # refine the origin cell, then its (1,1,1) child: the level-3 cells
+        # then touch level-1 siblings -> a 4:1 violation across their faces
+        f = f.refine([f.leaves[0]])
+        corner = [c for c in f.leaves if c.level == 2 and (c.i, c.j, c.k) == (1, 1, 1)]
+        f = f.refine(corner)
+        balanced = f.balance()
+        # check no face-neighbor differs by more than 1 level
+        from repro.mesh.connectivity import find_unbalanced_cells
+
+        assert find_unbalanced_cells(balanced) == []
+        assert balanced.n_cells > f.n_cells
+
+    def test_already_balanced_is_noop(self):
+        f = Forest(unit_cube()).refine_all(1)
+        assert f.balance().n_cells == f.n_cells
+
+
+class TestGlobalCoarsening:
+    def test_uniform_hierarchy(self):
+        f = Forest(unit_cube()).refine_all(2)
+        levels = f.coarsening_hierarchy()
+        assert [lv.n_cells for lv in levels] == [64, 8, 1]
+
+    def test_transfer_map_children(self):
+        f = Forest(unit_cube()).refine_all(1)
+        coarse, transfer = f.global_coarsening_level()
+        assert coarse.n_cells == 1
+        parent = coarse.leaves[0]
+        assert len(transfer[parent]) == 8
+
+    def test_adaptive_hierarchy_keeps_fine_cells(self):
+        f = Forest(box(subdivisions=(2, 1, 1))).refine_all(1)
+        f = f.refine([leaf for leaf in f.leaves if leaf.tree == 0]).balance()
+        coarse, transfer = f.global_coarsening_level()
+        # tree-0 cells coarsen one level; tree-1 cells were level 1 -> level 0
+        assert coarse.max_level <= 1
+        for p, kids in transfer.items():
+            if len(kids) == 8:
+                assert all(k.parent() == p for k in kids)
+            else:
+                assert kids == [p]

@@ -1,0 +1,78 @@
+"""Tests of the mesh-quality metrics and the quality of the generated
+lung meshes (the mesher's design goal, Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.lung import airway_tree_mesh, grow_airway_tree
+from repro.mesh.generators import bifurcation, box, cylinder
+from repro.mesh.hexmesh import HexMesh
+from repro.mesh.octree import Forest
+from repro.mesh.quality import mesh_quality
+
+
+class TestQualityMetrics:
+    def test_unit_cube_is_perfect(self):
+        rep = mesh_quality(Forest(box()))
+        assert rep.worst_scaled_jacobian == pytest.approx(1.0)
+        assert rep.max_aspect_ratio == pytest.approx(1.0)
+        assert rep.max_skewness == pytest.approx(0.0, abs=1e-12)
+        assert rep.all_valid()
+
+    def test_stretched_box_aspect_ratio(self):
+        rep = mesh_quality(Forest(box(upper=(4.0, 1.0, 1.0))))
+        assert rep.max_aspect_ratio == pytest.approx(4.0)
+        assert rep.worst_scaled_jacobian == pytest.approx(1.0)  # still orthogonal
+
+    def test_sheared_cell_skewness(self):
+        vertices = np.array(
+            [[0, 0, 0], [1, 0, 0], [0.5, 1, 0], [1.5, 1, 0],
+             [0, 0, 1], [1, 0, 1], [0.5, 1, 1], [1.5, 1, 1]], dtype=float
+        )
+        mesh = HexMesh(vertices, np.arange(8)[None, :])
+        rep = mesh_quality(Forest(mesh))
+        assert rep.max_skewness > 0.3  # 45-degree shear: cos = 1/sqrt(2) ~ 0.45
+        assert rep.worst_scaled_jacobian < 1.0
+        assert rep.all_valid()
+
+    def test_inverted_cell_detected(self):
+        mesh = box()
+        cells = mesh.cells.copy()
+        cells[0, [0, 1]] = cells[0, [1, 0]]
+        bad = HexMesh(mesh.vertices, cells)
+        rep = mesh_quality(Forest(bad))
+        assert not rep.all_valid()
+
+    def test_refinement_preserves_quality(self):
+        rep0 = mesh_quality(Forest(box(upper=(2.0, 1.0, 1.0))))
+        rep1 = mesh_quality(Forest(box(upper=(2.0, 1.0, 1.0))).refine_all(1))
+        assert np.isclose(rep0.worst_scaled_jacobian, rep1.worst_scaled_jacobian)
+        assert np.isclose(rep0.max_aspect_ratio, rep1.max_aspect_ratio)
+
+    def test_summary_string(self):
+        rep = mesh_quality(Forest(box(subdivisions=(2, 1, 1))))
+        s = rep.summary()
+        assert "2 cells" in s and "scaled Jacobian" in s
+
+
+class TestGeneratedMeshQuality:
+    def test_cylinder_quality(self):
+        rep = mesh_quality(Forest(cylinder(n_axial=3, smooth=False)))
+        assert rep.all_valid()
+        assert rep.worst_scaled_jacobian > 0.2
+
+    def test_bifurcation_quality(self):
+        rep = mesh_quality(Forest(bifurcation()))
+        assert rep.all_valid()
+        assert rep.worst_scaled_jacobian > 0.1
+
+    @pytest.mark.parametrize("g,seed", [(3, 0), (3, 1), (5, 0)])
+    def test_lung_mesh_quality(self, g, seed):
+        """Every generated airway mesh stays valid with bounded
+        distortion — the property the tube-tree mesher was iterated on
+        (see DESIGN.md 5a)."""
+        lm = airway_tree_mesh(grow_airway_tree(g, seed=seed))
+        rep = mesh_quality(lm.forest)
+        assert rep.all_valid(), rep.summary()
+        assert rep.worst_scaled_jacobian > 0.01
+        assert rep.max_aspect_ratio < 12.0

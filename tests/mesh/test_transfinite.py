@@ -1,0 +1,78 @@
+"""Tests of the transfinite surface-blend geometry machinery."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import box, cylinder
+from repro.mesh.transfinite import CylinderGeometry, SurfaceBlendGeometry
+
+
+class TestSurfaceBlendGeometry:
+    def test_base_class_requires_projector(self):
+        geo = SurfaceBlendGeometry(box(), {0: 3})
+        with pytest.raises(NotImplementedError):
+            geo(0, np.array([[0.5, 1.0, 0.5]]))
+
+    def test_unlisted_tree_stays_trilinear(self):
+        mesh = box()
+        geo = CylinderGeometry(mesh, {}, (0, 0, 0), (0, 0, 1), 1.0, 10.0)
+        ref = np.random.default_rng(0).uniform(0, 1, (5, 3))
+        assert np.allclose(geo(0, ref), mesh.map_trilinear(0, ref))
+
+    def test_blend_vanishes_on_inner_face(self):
+        """The correction is zero on the face opposite to the surface,
+        keeping the mesh watertight against non-surface neighbors."""
+        mesh = cylinder(radius=2.0, length=1.0, n_axial=1, smooth=True)
+        geo = mesh.geometry
+        tree = 4  # a ring cell; surface face = 3 (y high), inner = y low
+        ref_inner = np.array([[0.3, 0.0, 0.7], [0.9, 0.0, 0.1]])
+        assert np.allclose(geo(tree, ref_inner),
+                           mesh.map_trilinear(tree, ref_inner), atol=1e-14)
+
+    def test_surface_face_lands_on_cylinder(self):
+        mesh = cylinder(radius=1.5, length=2.0, n_axial=2, smooth=True)
+        geo = mesh.geometry
+        ref_surface = np.array([[0.2, 1.0, 0.4], [0.8, 1.0, 0.9]])
+        for tree in range(4, 12):
+            pts = geo(tree, ref_surface)
+            assert np.allclose(np.hypot(pts[:, 0], pts[:, 1]), 1.5, atol=1e-12)
+
+    def test_interior_blend_monotone(self):
+        """Moving from the inner to the surface face, the radial
+        correction grows linearly (Gordon-Hall blending)."""
+        mesh = cylinder(radius=1.0, length=1.0, n_axial=1, smooth=True)
+        geo = mesh.geometry
+        tree = 4
+        radii = []
+        for b in (0.0, 0.5, 1.0):
+            p = geo(tree, np.array([[0.5, b, 0.5]]))[0]
+            radii.append(np.hypot(p[0], p[1]))
+        assert radii[0] < radii[1] < radii[2]
+        # the correction *vector* is exactly linear in the blend coordinate
+        def corr(b):
+            ref = np.array([[0.5, b, 0.5]])
+            return geo(tree, ref)[0] - mesh.map_trilinear(tree, ref)[0]
+
+        assert np.allclose(corr(0.5), 0.5 * corr(1.0), atol=1e-14)
+        assert np.allclose(corr(0.0), 0.0, atol=1e-14)
+
+
+class TestCylinderProjection:
+    def test_projects_radially(self):
+        geo = CylinderGeometry(box(), {}, (0, 0, 0), (0, 0, 1), 4.0, 2.0)
+        pts = np.array([[1.0, 0.0, 1.0], [0.0, 3.0, 2.5]])
+        proj = geo.project(pts)
+        assert np.allclose(np.hypot(proj[:, 0], proj[:, 1]), 2.0)
+        assert np.allclose(proj[:, 2], pts[:, 2])  # axial coordinate kept
+
+    def test_tapered_radius(self):
+        geo = CylinderGeometry(box(), {}, (0, 0, 0), (0, 0, 1), 2.0, 2.0, 1.0)
+        p0 = geo.project(np.array([[1.0, 0.0, 0.0]]))[0]
+        p1 = geo.project(np.array([[1.0, 0.0, 2.0]]))[0]
+        assert np.hypot(p0[0], p0[1]) == pytest.approx(2.0)
+        assert np.hypot(p1[0], p1[1]) == pytest.approx(1.0)
+
+    def test_axis_point_degenerate_safe(self):
+        geo = CylinderGeometry(box(), {}, (0, 0, 0), (0, 0, 1), 1.0, 1.0)
+        proj = geo.project(np.array([[0.0, 0.0, 0.5]]))
+        assert np.all(np.isfinite(proj))

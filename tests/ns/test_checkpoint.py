@@ -1,0 +1,108 @@
+"""Tests of checkpoint/restart: a restarted run must continue exactly."""
+
+import numpy as np
+import pytest
+
+from repro.lung import LungVentilationSimulation
+from repro.mesh.generators import box
+from repro.mesh.octree import Forest
+from repro.ns import (
+    BeltramiFlow,
+    BoundaryConditions,
+    IncompressibleNavierStokesSolver,
+    SolverSettings,
+    VelocityDirichlet,
+)
+from repro.ns.checkpoint import (
+    load_lung_state,
+    load_scheme_state,
+    save_lung_state,
+    save_scheme_state,
+)
+
+
+def beltrami_solver():
+    mesh = box(subdivisions=(1, 1, 1), boundary_ids={i: 1 for i in range(6)})
+    forest = Forest(mesh).refine_all(1)
+    flow = BeltramiFlow(0.05)
+    bcs = BoundaryConditions(
+        {1: VelocityDirichlet(lambda x, y, z, t: flow.velocity(x, y, z, t))}
+    )
+    s = IncompressibleNavierStokesSolver(
+        forest, 2, 0.05, bcs, SolverSettings(solver_tolerance=1e-8)
+    )
+    s.initialize(flow.velocity)
+    return s
+
+
+class TestSchemeCheckpoint:
+    def test_restart_is_bit_identical(self, tmp_path):
+        ref = beltrami_solver()
+        for _ in range(4):
+            ref.step(0.01)
+        # save at step 2 of an identical twin, restore, and continue
+        twin = beltrami_solver()
+        for _ in range(2):
+            twin.step(0.01)
+        path = tmp_path / "state.npz"
+        save_scheme_state(path, twin.scheme)
+
+        fresh = beltrami_solver()
+        load_scheme_state(path, fresh.scheme)
+        assert fresh.scheme.t == pytest.approx(twin.scheme.t)
+        for _ in range(2):
+            fresh.step(0.01)
+        assert np.allclose(fresh.velocity, ref.velocity, atol=1e-12)
+        assert np.allclose(fresh.pressure, ref.pressure, atol=1e-12)
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        s = beltrami_solver()
+        s.step(0.01)
+        path = tmp_path / "state.npz"
+        save_scheme_state(path, s.scheme)
+        other = IncompressibleNavierStokesSolver(
+            Forest(box(boundary_ids={0: 1})).refine_all(1), 3, 0.05,
+            BoundaryConditions({1: VelocityDirichlet.no_slip()}),
+            SolverSettings(solver_tolerance=1e-6),
+        )
+        other.initialize()
+        with pytest.raises(ValueError, match="does not match"):
+            load_scheme_state(path, other.scheme)
+
+
+class TestLungCheckpoint:
+    def test_lung_restart_continues_exactly(self, tmp_path):
+        settings = SolverSettings(solver_tolerance=1e-4, cfl=0.3)
+        ref = LungVentilationSimulation(generations=1, degree=2,
+                                        solver_settings=settings)
+        twin = LungVentilationSimulation(generations=1, degree=2,
+                                         solver_settings=settings)
+        for _ in range(4):
+            ref.step()
+        for _ in range(2):
+            twin.step()
+        path = tmp_path / "lung.npz"
+        save_lung_state(path, twin)
+
+        fresh = LungVentilationSimulation(generations=1, degree=2,
+                                          solver_settings=settings)
+        load_lung_state(path, fresh)
+        for _ in range(2):
+            fresh.step()
+        assert fresh.time == pytest.approx(ref.time, rel=1e-12)
+        assert np.allclose(fresh.solver.velocity, ref.solver.velocity, atol=1e-10)
+        assert fresh.tidal_volume_delivered() == pytest.approx(
+            ref.tidal_volume_delivered(), rel=1e-10
+        )
+
+    def test_outlet_count_validated(self, tmp_path):
+        settings = SolverSettings(solver_tolerance=1e-4, cfl=0.3)
+        sim1 = LungVentilationSimulation(generations=1, degree=2,
+                                         solver_settings=settings)
+        sim1.step()
+        path = tmp_path / "lung.npz"
+        save_lung_state(path, sim1)
+        sim2 = LungVentilationSimulation(generations=2, degree=2,
+                                         solver_settings=settings)
+        with pytest.raises(ValueError, match="outlet count"):
+            load_lung_state(path, sim2)

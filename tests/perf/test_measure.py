@@ -1,0 +1,52 @@
+"""Tests of the throughput measurement harness."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.perf.measure import ThroughputResult, measure_operator, measure_throughput
+
+
+class TestMeasureThroughput:
+    def test_best_of_n_semantics(self):
+        calls = []
+
+        def fn():
+            # first timed call is slow, later ones fast: best must win
+            time.sleep(0.02 if len(calls) < 3 else 0.001)
+            calls.append(1)
+
+        r = measure_throughput(fn, n_dofs=1000, repetitions=6, warmup=1)
+        assert r.repetitions == 6
+        assert len(calls) == 7  # warmup + 6
+        assert r.best_seconds <= r.mean_seconds
+        assert r.best_seconds < 0.015
+
+    def test_dofs_per_second(self):
+        r = ThroughputResult("x", n_dofs=100, best_seconds=0.01,
+                             mean_seconds=0.02, repetitions=3)
+        assert r.dofs_per_second == pytest.approx(1e4)
+        assert "DoF/s" in str(r)
+
+    def test_measure_operator_uses_vmult(self):
+        class Op:
+            n_dofs = 50
+            calls = 0
+
+            def vmult(self, x):
+                type(self).calls += 1
+                return x * 2.0
+
+        op = Op()
+        r = measure_operator(op, repetitions=4)
+        assert Op.calls >= 4
+        assert r.n_dofs == 50
+        assert r.name == "Op"
+
+    def test_calibrate_local_machine(self):
+        from repro.perf.measure import calibrate_local_machine
+
+        m = calibrate_local_machine(degree=2, refinements=1, repetitions=2)
+        assert m.matvec_dofs_per_s_k3 > 1e3  # any working machine
+        assert "NumPy" in m.name

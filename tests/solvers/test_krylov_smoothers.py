@@ -1,0 +1,173 @@
+"""Tests of CG, Jacobi, Chebyshev, and the Lanczos eigenvalue estimate."""
+
+import numpy as np
+import pytest
+
+from repro.core.dof_handler import DGDofHandler
+from repro.core.operators import DGLaplaceOperator, InverseMassOperator
+from repro.mesh.connectivity import build_connectivity
+from repro.mesh.generators import box
+from repro.mesh.mapping import GeometryField
+from repro.mesh.octree import Forest
+from repro.solvers import (
+    ChebyshevSmoother,
+    JacobiPreconditioner,
+    conjugate_gradient,
+    lanczos_max_eigenvalue,
+)
+
+
+class DenseOp:
+    def __init__(self, A):
+        self.A = np.asarray(A)
+
+    @property
+    def n_dofs(self):
+        return self.A.shape[0]
+
+    def vmult(self, x):
+        return self.A @ x
+
+    def diagonal(self):
+        return np.diag(self.A).copy()
+
+
+def spd_matrix(n, cond=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.geomspace(1.0, cond, n)
+    return (Q * eigs) @ Q.T
+
+
+class TestConjugateGradient:
+    def test_solves_dense_spd(self):
+        A = spd_matrix(40)
+        rng = np.random.default_rng(1)
+        x_ref = rng.standard_normal(40)
+        b = A @ x_ref
+        res = conjugate_gradient(DenseOp(A), b, tol=1e-12, max_iter=200)
+        assert res.converged
+        assert np.allclose(res.x, x_ref, atol=1e-8)
+
+    def test_jacobi_preconditioning_reduces_iterations(self):
+        # strongly scaled diagonal -> Jacobi helps a lot
+        A = spd_matrix(40, cond=10.0)
+        D = np.diag(np.geomspace(1, 1e4, 40))
+        A = D @ A @ D
+        op = DenseOp(A)
+        b = np.ones(40)
+        plain = conjugate_gradient(op, b, tol=1e-10, max_iter=2000)
+        pre = conjugate_gradient(op, b, JacobiPreconditioner(op), tol=1e-10, max_iter=2000)
+        assert pre.converged
+        assert pre.n_iterations < plain.n_iterations
+
+    def test_initial_guess(self):
+        A = spd_matrix(20)
+        b = np.ones(20)
+        x_exact = np.linalg.solve(A, b)
+        res = conjugate_gradient(DenseOp(A), b, x0=x_exact, tol=1e-10)
+        assert res.n_iterations == 0
+
+    def test_zero_rhs(self):
+        A = spd_matrix(10)
+        res = conjugate_gradient(DenseOp(A), np.zeros(10))
+        assert res.converged and res.n_iterations == 0
+
+    def test_non_spd_raises(self):
+        A = -np.eye(5)
+        with pytest.raises(RuntimeError, match="SPD"):
+            conjugate_gradient(DenseOp(A), np.ones(5))
+
+    def test_max_iter_reports_failure(self):
+        A = spd_matrix(50, cond=1e6, seed=3)
+        res = conjugate_gradient(DenseOp(A), np.ones(50), tol=1e-14, max_iter=3)
+        assert not res.converged
+
+
+class TestLanczos:
+    @pytest.mark.parametrize("cond", [10.0, 1000.0])
+    def test_estimates_largest_eigenvalue(self, cond):
+        A = spd_matrix(60, cond=cond, seed=5)
+        est = lanczos_max_eigenvalue(DenseOp(A), n_iter=25)
+        lam = np.linalg.eigvalsh(A).max()
+        assert 0.7 * lam <= est <= 1.001 * lam
+
+    def test_preconditioned_estimate(self):
+        A = spd_matrix(30, cond=100, seed=6)
+        op = DenseOp(A)
+        est = lanczos_max_eigenvalue(op, JacobiPreconditioner(op), n_iter=20)
+        Dinv = np.diag(1.0 / np.diag(A))
+        lam = np.abs(np.linalg.eigvals(Dinv @ A)).max()
+        assert 0.6 * lam <= est <= 1.05 * lam
+
+
+class TestChebyshev:
+    def test_damps_targeted_spectrum(self):
+        A = spd_matrix(50, cond=200, seed=7)
+        sm = ChebyshevSmoother(DenseOp(A), degree=3, smoothing_range=15.0)
+        # the theoretical bound on [a, b] is 1/|T_3((b+a)/(b-a))| ~ 0.45
+        for lam in np.linspace(sm.lambda_min, sm.lambda_max / 1.2, 10):
+            assert sm.error_amplification(lam) < 0.46
+        # degree 6 damps much harder
+        sm6 = ChebyshevSmoother(DenseOp(A), degree=6, smoothing_range=15.0)
+        for lam in np.linspace(sm6.lambda_min, sm6.lambda_max / 1.2, 10):
+            assert sm6.error_amplification(lam) < sm.error_amplification(lam) + 1e-12
+
+    def test_smoother_reduces_residual(self):
+        A = spd_matrix(50, cond=50, seed=8)
+        op = DenseOp(A)
+        sm = ChebyshevSmoother(op, degree=3)
+        b = np.ones(50)
+        x = sm.smooth(b)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+
+    def test_post_smoothing_with_initial_guess(self):
+        A = spd_matrix(30, seed=9)
+        op = DenseOp(A)
+        sm = ChebyshevSmoother(op, degree=3)
+        b = np.ones(30)
+        x1 = sm.smooth(b)
+        x2 = sm.smooth(b, x1)
+        r1 = np.linalg.norm(b - A @ x1)
+        r2 = np.linalg.norm(b - A @ x2)
+        assert r2 < r1
+
+    def test_invalid_degree(self):
+        A = spd_matrix(5)
+        with pytest.raises(ValueError):
+            ChebyshevSmoother(DenseOp(A), degree=0)
+
+    def test_fixed_point_is_solution(self):
+        A = spd_matrix(20, seed=10)
+        op = DenseOp(A)
+        sm = ChebyshevSmoother(op, degree=3)
+        x_exact = np.linalg.solve(A, np.ones(20))
+        x = sm.smooth(np.ones(20), x_exact)
+        assert np.allclose(x, x_exact, atol=1e-10)
+
+
+class TestOnDGLaplacian:
+    def make_op(self):
+        mesh = box(subdivisions=(2, 2, 2), boundary_ids={0: 1})
+        forest = Forest(mesh)
+        geo = GeometryField(forest, 2)
+        conn = build_connectivity(forest)
+        dof = DGDofHandler(forest, 2)
+        return dof, geo, DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
+
+    def test_cg_with_jacobi_converges(self):
+        dof, geo, op = self.make_op()
+        rng = np.random.default_rng(11)
+        b = rng.standard_normal(dof.n_dofs)
+        res = conjugate_gradient(op, b, JacobiPreconditioner(op), tol=1e-8, max_iter=2000)
+        assert res.converged
+        assert np.allclose(op.vmult(res.x), b, atol=1e-6 * np.linalg.norm(b))
+
+    def test_chebyshev_smooths_dg_operator(self):
+        dof, geo, op = self.make_op()
+        sm = ChebyshevSmoother(op, degree=3)
+        rng = np.random.default_rng(12)
+        b = rng.standard_normal(dof.n_dofs)
+        x = sm.smooth(b)
+        # one smoothing application reduces the residual
+        assert np.linalg.norm(b - op.vmult(x)) < np.linalg.norm(b)

@@ -1,0 +1,34 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_poisson(self, capsys):
+        assert main(["poisson", "--refinements", "1", "--degree", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+
+    def test_mesh_with_vtk(self, tmp_path, capsys):
+        vtk = tmp_path / "tree.vtk"
+        assert main(["mesh", "--generations", "2", "--vtk", str(vtk)]) == 0
+        assert vtk.exists()
+        out = capsys.readouterr().out
+        assert "airway tree: 7 airways" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--dofs", "22e6"]) == 0
+        out = capsys.readouterr().out
+        assert "strong scaling" in out
+        assert "GDoF/s" in out
+
+    def test_lung_short_run(self, capsys):
+        assert main(["lung", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lung g=1" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,103 @@
+"""Tests of BDF/extrapolation coefficients and the CFL controller."""
+
+import numpy as np
+import pytest
+
+from repro.timeint.bdf import bdf_coefficients, constant_step_coefficients
+from repro.timeint.cfl import CFLController
+
+
+class TestBDFCoefficients:
+    def test_bdf1_constant(self):
+        c = constant_step_coefficients(1)
+        assert np.isclose(c.gamma0, 1.0)
+        assert np.allclose(c.alpha, [1.0])
+        assert np.allclose(c.beta, [1.0])
+
+    def test_bdf2_constant(self):
+        c = constant_step_coefficients(2)
+        assert np.isclose(c.gamma0, 1.5)
+        assert np.allclose(c.alpha, [2.0, -0.5])
+        assert np.allclose(c.beta, [2.0, -1.0])
+
+    def test_bdf3_constant(self):
+        c = constant_step_coefficients(3)
+        assert np.isclose(c.gamma0, 11.0 / 6.0)
+        assert np.allclose(c.alpha, [3.0, -1.5, 1.0 / 3.0])
+        assert np.allclose(c.beta, [3.0, -3.0, 1.0])
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    @pytest.mark.parametrize("ratio", [0.5, 1.0, 1.7])
+    def test_variable_step_exactness(self, order, ratio):
+        """The BDF derivative must be exact for polynomials of degree <=
+        order, and the extrapolation must reproduce them at t_{n+1}."""
+        dt0 = 0.1
+        dts = [dt0 * ratio**i for i in range(order)]
+        c = bdf_coefficients(order, dts)
+        rng = np.random.default_rng(order)
+        coeffs = rng.standard_normal(order + 1)
+        p = np.polynomial.Polynomial(coeffs)
+        t_new = 0.0
+        t_hist = [-np.sum(dts[: i + 1]) for i in range(order)]
+        # derivative identity: (gamma0 p(0) - sum alpha_i p(t_i)) / dt0 = p'(0)
+        lhs = (c.gamma0 * p(t_new) - sum(a * p(t) for a, t in zip(c.alpha, t_hist))) / dt0
+        assert np.isclose(lhs, p.deriv()(t_new), rtol=1e-10)
+        # extrapolation identity for degree <= order - 1
+        q = np.polynomial.Polynomial(coeffs[:order])
+        ext = sum(b * q(t) for b, t in zip(c.beta, t_hist))
+        assert np.isclose(ext, q(t_new), rtol=1e-9)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            bdf_coefficients(4, [0.1] * 4)
+        with pytest.raises(ValueError):
+            bdf_coefficients(0, [])
+
+    def test_missing_history(self):
+        with pytest.raises(ValueError):
+            bdf_coefficients(2, [0.1])
+
+    def test_negative_dt(self):
+        with pytest.raises(ValueError):
+            bdf_coefficients(2, [0.1, -0.1])
+
+
+class TestCFLController:
+    def test_basic_scaling(self):
+        ctl = CFLController(cfl=0.4, degree=3)
+        dt = ctl.step_size(max_ref_velocity=10.0)
+        assert np.isclose(dt, 0.4 / 3**1.5 / 10.0)
+
+    def test_degree_exponent(self):
+        """Eq. (6): dt ~ k^{-1.5}."""
+        dt2 = CFLController(cfl=1.0, degree=2).step_size(1.0)
+        dt8 = CFLController(cfl=1.0, degree=8).step_size(1.0)
+        assert np.isclose(dt2 / dt8, (8 / 2) ** 1.5)
+
+    def test_growth_limited(self):
+        ctl = CFLController(cfl=1.0, degree=2, max_growth=1.2)
+        dt = ctl.step_size(max_ref_velocity=0.001, dt_previous=0.01)
+        assert np.isclose(dt, 0.012)
+
+    def test_bounds(self):
+        ctl = CFLController(cfl=1.0, degree=2, dt_min=1e-6, dt_max=0.1)
+        assert ctl.step_size(1e12) == 1e-6
+        assert ctl.step_size(0.0) == 0.1
+
+    def test_adaptivity_reduces_step_count(self):
+        """A velocity ramp with adaptive dt takes fewer steps than the
+        worst-case fixed dt (the rationale for variable stepping)."""
+        ctl = CFLController(cfl=0.5, degree=3)
+        T = 1.0
+        # velocity grows linearly in time: v(t) = 1 + 9 t
+        t, steps_adaptive = 0.0, 0
+        dt_prev = None
+        while t < T:
+            v = 1 + 9 * t
+            dt = ctl.step_size(v, dt_prev)
+            t += dt
+            dt_prev = dt
+            steps_adaptive += 1
+        dt_fixed = ctl.step_size(10.0)  # worst case velocity
+        steps_fixed = int(np.ceil(T / dt_fixed))
+        assert steps_adaptive < steps_fixed
