@@ -9,6 +9,7 @@ airway-mesh generation with VTK export.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -26,41 +27,123 @@ def cmd_poisson(args) -> int:
     conn = build_connectivity(forest)
     dof = DGDofHandler(forest, args.degree)
     op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
-    print(f"Poisson: {forest.n_cells} cells, {dof.n_dofs} DoF, k={args.degree}")
+    if not args.json:
+        print(f"Poisson: {forest.n_cells} cells, {dof.n_dofs} DoF, k={args.degree}")
     mg = HybridMultigridPreconditioner(op)
-    print(mg.describe())
+    if not args.json:
+        print(mg.describe())
     b = op.assemble_rhs(f=lambda x, y, z: np.ones_like(x),
                         dirichlet=lambda x, y, z: 0.0 * x)
-    res = conjugate_gradient(op, b, mg, tol=args.tolerance)
-    print(f"converged: {res.converged} in {res.n_iterations} iterations "
-          f"(reduction rate {res.reduction_rate:.3f})")
+    res = conjugate_gradient(op, b, mg, tol=args.tolerance, name="poisson")
+    if args.json:
+        print(json.dumps({
+            "command": "poisson",
+            "n_cells": forest.n_cells,
+            "n_dofs": dof.n_dofs,
+            "degree": args.degree,
+            "tolerance": args.tolerance,
+            "converged": res.converged,
+            "n_iterations": res.n_iterations,
+            "reduction_rate": res.reduction_rate,
+            "residuals": res.residuals,
+        }))
+    else:
+        print(f"converged: {res.converged} in {res.n_iterations} iterations "
+              f"(reduction rate {res.reduction_rate:.3f})")
     return 0 if res.converged else 1
 
 
 def cmd_lung(args) -> int:
     from .lung import LungVentilationSimulation
     from .ns.solver import SolverSettings
+    from .telemetry import (
+        TRACER,
+        RunLogWriter,
+        aggregate_steps,
+        render_breakdown,
+        render_counters,
+        render_span_tree,
+    )
 
+    if args.trace:
+        TRACER.reset()
+        TRACER.enable()
     sim = LungVentilationSimulation(
         generations=args.generations,
         degree=args.degree,
         solver_settings=SolverSettings(solver_tolerance=1e-3),
         seed=args.seed,
     )
+    n_dofs = sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs
     print(f"lung g={args.generations}: {sim.lung.forest.n_cells} cells, "
-          f"{sim.lung.n_outlets} outlets, "
-          f"{sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs} DoF")
+          f"{sim.lung.n_outlets} outlets, {n_dofs} DoF")
+    writer = None
+    if args.log_file:
+        writer = RunLogWriter(args.log_file, meta={
+            "command": "lung",
+            "generations": args.generations,
+            "degree": args.degree,
+            "seed": args.seed,
+            "n_cells": sim.lung.forest.n_cells,
+            "n_dofs": n_dofs,
+        })
+    stats = []
     for i in range(args.steps):
         st = sim.step()
+        stats.append(st)
+        if writer is not None:
+            writer.write_step(st, extra={
+                "inflow_m3_s": sim._inlet_flow,
+                "tidal_volume_ml": sim.tidal_volume_delivered() * 1e6,
+            })
         if (i + 1) % max(1, args.steps // 5) == 0:
             print(f"  step {i + 1:4d}: t={sim.time:.5f}s dt={st.dt:.2e} "
                   f"inflow={sim._inlet_flow * 1e3:.3f} l/s "
                   f"V={sim.tidal_volume_delivered() * 1e6:.2f} ml")
+    if writer is not None:
+        writer.write_summary(TRACER if args.trace else None)
+        writer.close()
+        print(f"run log written to {writer.path}")
+    if args.trace:
+        print()
+        print(render_breakdown(aggregate_steps(stats)))
+        print()
+        print("span profile:")
+        print(render_span_tree(TRACER))
+        counters = render_counters(TRACER)
+        if counters:
+            print(counters)
+        TRACER.disable()
     if args.vtk:
         from .mesh.vtk import write_vtk
 
         path = write_vtk(args.vtk, sim.lung.forest)
         print(f"mesh written to {path}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .telemetry import aggregate_steps, read_run_log, render_breakdown
+
+    try:
+        header, steps, summary = read_run_log(args.run_log)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    meta = ", ".join(
+        f"{k}={v}" for k, v in header.items() if k not in ("type", "schema")
+    )
+    print(f"run log: {args.run_log}" + (f" ({meta})" if meta else ""))
+    if not steps:
+        print("no step records (empty or truncated run)")
+        return 1
+    print()
+    print(render_breakdown(aggregate_steps(steps)))
+    if summary is not None and summary.get("counters"):
+        print()
+        print("counters:")
+        for name in sorted(summary["counters"]):
+            print(f"  {name:<42s} {summary['counters'][name]:>12d}")
     return 0
 
 
@@ -100,8 +183,16 @@ def cmd_calibrate(args) -> int:
     from .perf import calibrate_local_machine
 
     m = calibrate_local_machine(degree=args.degree)
-    print(f"local machine anchor: {m.matvec_dofs_per_s_k3:.3e} DoF/s "
-          f"(k={args.degree} DG Laplacian mat-vec, best of 5)")
+    if args.json:
+        print(json.dumps({
+            "command": "calibrate",
+            "degree": args.degree,
+            "machine": m.name,
+            "matvec_dofs_per_s_k3": m.matvec_dofs_per_s_k3,
+        }))
+    else:
+        print(f"local machine anchor: {m.matvec_dofs_per_s_k3:.3e} DoF/s "
+              f"(k={args.degree} DG Laplacian mat-vec, best of 5)")
     return 0
 
 
@@ -116,6 +207,8 @@ def main(argv=None) -> int:
     p.add_argument("--degree", type=int, default=3)
     p.add_argument("--refinements", type=int, default=2)
     p.add_argument("--tolerance", type=float, default=1e-10)
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON object instead of text")
     p.set_defaults(fn=cmd_poisson)
 
     p = sub.add_parser("lung", help="coupled ventilated-lung simulation")
@@ -124,7 +217,18 @@ def main(argv=None) -> int:
     p.add_argument("--steps", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--vtk", type=str, default=None)
+    p.add_argument("--trace", action="store_true",
+                   help="enable the telemetry tracer and print the "
+                        "per-sub-step wall-time breakdown and span profile")
+    p.add_argument("--log-file", type=str, default=None,
+                   help="write a schema-versioned JSONL run log "
+                        "(one record per time step)")
     p.set_defaults(fn=cmd_lung)
+
+    p = sub.add_parser("report", help="aggregate a JSONL run log")
+    p.add_argument("run_log", type=str,
+                   help="path to a run log written with --log-file")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("mesh", help="generate an airway mesh")
     p.add_argument("--generations", type=int, default=3)
@@ -140,6 +244,8 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("calibrate", help="measure this machine's throughput")
     p.add_argument("--degree", type=int, default=3)
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON object instead of text")
     p.set_defaults(fn=cmd_calibrate)
 
     args = parser.parse_args(argv)

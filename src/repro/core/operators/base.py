@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...mesh.connectivity import FaceBatch, Orientation, orient_face_array, orient_to_plus
+from ...mesh.connectivity import Orientation, orient_face_array, orient_to_plus
+from ...telemetry import TRACER
 from ..sum_factorization import TensorProductKernel, apply_1d_2d
 
 
@@ -145,6 +146,12 @@ class MatrixFreeOperator:
     """Minimal linear-operator interface shared by all operators."""
 
     dtype = np.float64
+
+    def _count_vmult(self) -> None:
+        """Telemetry: count one application of this operator under
+        ``vmult.<ClassName>``; a single attribute check when disabled."""
+        if TRACER.enabled:
+            TRACER.incr("vmult." + type(self).__name__)
 
     @property
     def n_dofs(self) -> int:  # pragma: no cover - abstract

@@ -92,6 +92,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
         return np.einsum("fijab,fiab->fjab", jinv_t, rg_phys, optimize=True)
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         u = self.dof.cell_view(x)
         out = self._cell_term(u)
         fk = self.fk
@@ -259,6 +260,7 @@ class CGLaplaceOperator(MatrixFreeOperator):
         return self.dof.n_dofs
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         u = self.dof.gather_cells(x)
         g = self.kern.gradients(u)
         Dg = np.einsum("cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True)

@@ -17,7 +17,7 @@ import numpy as np
 
 from ...mesh.mapping import GeometryField
 from ..dof_handler import DGDofHandler
-from ..sum_factorization import TensorProductKernel, apply_1d
+from ..sum_factorization import apply_1d
 from .base import MatrixFreeOperator
 
 
@@ -36,6 +36,7 @@ class MassOperator(MatrixFreeOperator):
         return self.dof.n_dofs
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         u = self.dof.cell_view(x)
         q = self.kern.values(u)
         if self.dof.n_components == 1:
@@ -78,6 +79,7 @@ class InverseMassOperator(MatrixFreeOperator):
         return u
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         u = self.dof.cell_view(x)
         t = self._apply_matrix_3d(self.Sinv.T, u)
         if self.dof.n_components == 1:

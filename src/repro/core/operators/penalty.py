@@ -72,6 +72,7 @@ class DivergenceContinuityPenalty(MatrixFreeOperator):
         ]
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         u = self.dof.cell_view(x)
         kern = self.kern
         cm = self.cell_metrics
@@ -118,6 +119,7 @@ class PenaltyStepOperator(MatrixFreeOperator):
         return self.mass.n_dofs
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         return self.mass.vmult(x) + self.dt * self.penalty.vmult(x)
 
     def diagonal(self) -> np.ndarray:  # pragma: no cover

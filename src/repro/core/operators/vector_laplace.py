@@ -33,6 +33,7 @@ class VectorDGLaplace(MatrixFreeOperator):
         return self.dof.n_dofs
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         u = self.dof.cell_view(x)  # (N, 3, n, n, n)
         out = np.empty_like(u)
         for c in range(3):
@@ -94,6 +95,7 @@ class HelmholtzOperator(MatrixFreeOperator):
         return self.mass.n_dofs
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        self._count_vmult()
         return self.mass_factor * self.mass.vmult(x) + self.nu * self.laplace.vmult(x)
 
     def diagonal(self) -> np.ndarray:

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..mesh.hexmesh import HexMesh
 from ..mesh.octree import Forest
 from ..mesh.tube_tree import BranchSpec, tube_tree_mesh
 from .tree import AirwayTree

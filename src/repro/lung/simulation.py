@@ -14,12 +14,14 @@ cycle end the tidal-volume controller adjusts dp.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..ns.bc import BoundaryConditions, PressureDirichlet, VelocityDirichlet
+from ..ns.bc import BoundaryConditions, PressureDirichlet
 from ..ns.solver import IncompressibleNavierStokesSolver, SolverSettings
+from ..telemetry import TRACER
 from .airway_mesh import INLET_ID, LungMesh, airway_tree_mesh
 from .morphometry import AIR_KINEMATIC_VISCOSITY
 from .tree import grow_airway_tree
@@ -106,11 +108,18 @@ class LungVentilationSimulation:
         """One coupled time step; returns the solver statistics."""
         was_inhaling = self.ventilator.is_inhaling(self.time)
         stats = self.solver.step(dt)
-        # outlet flows (outward = into the compartments)
-        flows = [self.solver.flow_rate(bid) for bid in self.lung.outlet_ids]
-        self.windkessels.advance(flows, stats.dt)
-        # inlet flow: inward positive for the tubus model
-        self._inlet_flow = -self.solver.flow_rate(INLET_ID)
+        t0 = time.perf_counter()
+        with TRACER.span("coupling"):
+            # outlet flows (outward = into the compartments)
+            flows = [self.solver.flow_rate(bid) for bid in self.lung.outlet_ids]
+            self.windkessels.advance(flows, stats.dt)
+            # inlet flow: inward positive for the tubus model
+            self._inlet_flow = -self.solver.flow_rate(INLET_ID)
+        # the coupling stage is part of this step's cost
+        elapsed = time.perf_counter() - t0
+        stats.wall_time += elapsed
+        if TRACER.enabled:
+            stats.substep_seconds["coupling"] = elapsed
         if was_inhaling:
             self._cycle_inhaled += max(self._inlet_flow, 0.0) * stats.dt
         self._steps_this_cycle += 1

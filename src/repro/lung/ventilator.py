@@ -13,7 +13,7 @@ according to [Guttmann et al. 1993]."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -25,9 +25,8 @@ integrated with the same (explicit) step as the flow solver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from .morphometry import CMH2O, LITER, truncated_tree_resistance
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .hexmesh import HexMesh, face_corner_vertices, merge_meshes
+from .hexmesh import HexMesh
 from .transfinite import CylinderGeometry
 
 

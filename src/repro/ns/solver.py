@@ -30,7 +30,7 @@ from ..solvers.jacobi import JacobiPreconditioner
 from ..solvers.multigrid import HybridMultigridPreconditioner
 from ..timeint.cfl import CFLController
 from ..timeint.dual_splitting import DualSplittingScheme, SplittingOperators
-from .bc import BoundaryConditions, VelocityDirichlet
+from .bc import BoundaryConditions
 
 
 @dataclass
@@ -297,12 +297,22 @@ class IncompressibleNavierStokesSolver:
             u = np.asarray(u0, dtype=float)
         self.scheme.initialize(u, t0)
 
+    def _stamp_cfl(self, stats, vmax: float):
+        """Record the realized CFL number on the step statistics: the
+        inverse of Eq. (6), ``CFL = dt * k^1.5 * max|J^{-1} u|``."""
+        stats.cfl = stats.dt * self.degree**1.5 * vmax
+        return stats
+
     def step(self, dt: float | None = None):
+        vmax = None
         if dt is None:
             vmax = self.convective.max_reference_velocity(self.scheme.velocity)
             prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
             dt = self.cfl.step_size(vmax, prev)
-        return self.scheme.step(dt)
+        stats = self.scheme.step(dt)
+        if vmax is not None:
+            self._stamp_cfl(stats, vmax)
+        return stats
 
     def run(self, t_end: float, max_steps: int = 10**7, dt_initial: float | None = None):
         """Advance to ``t_end`` with adaptive steps; returns statistics."""
@@ -314,7 +324,7 @@ class IncompressibleNavierStokesSolver:
             prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
             dt = self.cfl.step_size(vmax, prev)
             dt = min(dt, t_end - self.scheme.t)
-            stats.append(self.scheme.step(dt))
+            stats.append(self._stamp_cfl(self.scheme.step(dt), vmax))
         return stats
 
     # -- post-processing ---------------------------------------------------

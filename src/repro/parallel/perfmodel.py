@@ -20,7 +20,7 @@ on the lung vs 9 on the bifurcation; Table 2 wall-times).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

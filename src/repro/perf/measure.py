@@ -8,6 +8,7 @@ best-performing sample"), converted to processed unknowns per second
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
 
@@ -21,6 +22,7 @@ class ThroughputResult:
     best_seconds: float
     mean_seconds: float
     repetitions: int
+    std_seconds: float = 0.0  # sample standard deviation across repetitions
 
     @property
     def dofs_per_second(self) -> float:
@@ -29,7 +31,9 @@ class ThroughputResult:
     def __str__(self) -> str:
         return (
             f"{self.name:<40s} {self.n_dofs:>10d} DoF  "
-            f"{self.best_seconds * 1e3:8.2f} ms  {self.dofs_per_second:12.3e} DoF/s"
+            f"{self.best_seconds * 1e3:8.2f} ms "
+            f"(±{self.std_seconds * 1e3:.2f} ms)  "
+            f"{self.dofs_per_second:12.3e} DoF/s"
         )
 
 
@@ -40,20 +44,32 @@ def measure_throughput(
     repetitions: int = 20,
     warmup: int = 2,
 ) -> ThroughputResult:
-    """Time ``fn()`` ``repetitions`` times; best sample counts."""
+    """Time ``fn()`` ``repetitions`` times; best sample counts.
+
+    The garbage collector is paused around the timed samples so a cycle
+    collection landing inside one repetition cannot distort the best/mean
+    statistics; the sample standard deviation is reported alongside as a
+    noise indicator."""
     for _ in range(warmup):
         fn()
     samples = []
-    for _ in range(repetitions):
-        t0 = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - t0)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repetitions):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return ThroughputResult(
         name=name,
         n_dofs=n_dofs,
         best_seconds=min(samples),
         mean_seconds=float(np.mean(samples)),
         repetitions=repetitions,
+        std_seconds=float(np.std(samples, ddof=1)) if len(samples) > 1 else 0.0,
     )
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import TRACER
 from .jacobi import JacobiPreconditioner
 from .krylov import lanczos_max_eigenvalue
 
@@ -68,6 +69,7 @@ class ChebyshevSmoother:
         """Apply ``degree`` Chebyshev iterations to ``A x = b`` starting
         from ``x`` (zero if omitted); returns the smoothed iterate."""
         op, P = self.op, self.jacobi
+        TRACER.incr("chebyshev.applications")
         theta, delta = self.theta, self.delta
         if x is None:
             x = np.zeros_like(b)

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import TRACER
+
 
 @dataclass
 class SolverResult:
@@ -23,9 +25,16 @@ class SolverResult:
 
     @property
     def reduction_rate(self) -> float:
-        """Average residual reduction per iteration."""
+        """Geometric-mean residual reduction per iteration.
+
+        A solve whose initial residual already met the tolerance (zero
+        iterations) reports 0.0 — instant convergence; a solve that ran
+        out of iterations without recording a second residual reports
+        1.0 — no progress.  With at least one iteration the actual
+        reduction is returned, including the one-step ``r1 / r0`` of a
+        single-iteration solve."""
         if len(self.residuals) < 2 or self.residuals[0] == 0:
-            return 0.0
+            return 0.0 if self.converged else 1.0
         return (self.residuals[-1] / self.residuals[0]) ** (1.0 / (len(self.residuals) - 1))
 
 
@@ -42,13 +51,32 @@ def conjugate_gradient(
     abs_tol: float = 0.0,
     max_iter: int = 1000,
     x0: np.ndarray | None = None,
+    name: str = "",
 ) -> SolverResult:
     """Solve ``A x = b`` for SPD ``A`` given by ``op.vmult``.
 
     ``preconditioner.vmult`` applies M^{-1} (e.g. a multigrid V-cycle run
     in single precision — the mixed-precision strategy of Section 3.4:
     the outer iteration and residuals stay in double precision).
+
+    ``name`` labels this solve in the telemetry span tree and counters
+    (e.g. ``"pressure"``); unnamed solves report under plain ``cg``.
     """
+    label = f"cg[{name}]" if name else "cg"
+    with TRACER.span(label):
+        result = _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0)
+    if TRACER.enabled:
+        TRACER.incr(f"{label}.solves")
+        TRACER.incr(f"{label}.iterations", result.n_iterations)
+        if result.residuals and result.residuals[0] > 0:
+            TRACER.gauge(
+                f"{label}.last_relative_residual",
+                result.residuals[-1] / result.residuals[0],
+            )
+    return result
+
+
+def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
     b = np.asarray(b, dtype=np.float64)
     x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
     r = b - op.vmult(x) if x0 is not None else b.copy()

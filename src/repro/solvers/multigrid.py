@@ -26,14 +26,14 @@ from dataclasses import dataclass, fields, is_dataclass
 
 import numpy as np
 
-from ..core.dof_handler import CGDofHandler, DGDofHandler
+from ..core.dof_handler import CGDofHandler
 from ..core.operators.laplace import CGLaplaceOperator, DGLaplaceOperator
 from ..mesh.mapping import GeometryField
 from ..mesh.octree import Forest
+from ..telemetry import TRACER
 from .amg import SmoothedAggregationAMG
 from .assemble import assemble_cg_laplace
 from .chebyshev import ChebyshevSmoother
-from .jacobi import JacobiPreconditioner
 from .transfer import Transfer, dg_from_cg, h_transfer, p_transfer
 
 
@@ -234,21 +234,27 @@ class HybridMultigridPreconditioner:
         reaching it triggers the coarse solve instead of smoothing."""
         if i == len(self.levels) - 1:
             self.amg_calls += 1
-            return self.amg.vmult(np.asarray(b, dtype=np.float64)).astype(b.dtype)
+            with TRACER.span("amg_coarse"):
+                TRACER.incr("mg.amg_solves")
+                return self.amg.vmult(np.asarray(b, dtype=np.float64)).astype(b.dtype)
         lev = self.levels[i]
-        x = lev.smoother.smooth(b)  # pre-smoothing from zero initial guess
-        self.level_mults[i] += lev.smoother.degree
-        r = b - lev.operator.vmult(x)
-        self.level_mults[i] += 1
-        bc = lev.to_coarser.restrict(r)
+        with TRACER.span(f"level[{lev.name}]"):
+            x = lev.smoother.smooth(b)  # pre-smoothing from zero initial guess
+            self.level_mults[i] += lev.smoother.degree
+            r = b - lev.operator.vmult(x)
+            self.level_mults[i] += 1
+            bc = lev.to_coarser.restrict(r)
         xc = self._vcycle(i + 1, bc)
-        x = x + lev.to_coarser.prolongate(xc)
-        x = lev.smoother.smooth(b, x)  # post-smoothing
-        self.level_mults[i] += lev.smoother.degree + 1
+        with TRACER.span(f"level[{lev.name}]"):
+            x = x + lev.to_coarser.prolongate(xc)
+            x = lev.smoother.smooth(b, x)  # post-smoothing
+            self.level_mults[i] += lev.smoother.degree + 1
         return x
 
     def vmult(self, r: np.ndarray) -> np.ndarray:
         """One V-cycle in the configured (single) precision."""
-        r_p = np.asarray(r, dtype=self.precision)
-        x = self._vcycle(0, r_p)
-        return np.asarray(x, dtype=np.float64)
+        with TRACER.span("mg_vcycle"):
+            TRACER.incr("mg.vcycles")
+            r_p = np.asarray(r, dtype=self.precision)
+            x = self._vcycle(0, r_p)
+            return np.asarray(x, dtype=np.float64)

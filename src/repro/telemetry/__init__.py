@@ -1,0 +1,41 @@
+"""Solver telemetry: hierarchical tracing spans, per-step statistics
+sinks, and run reports.
+
+The solve stack (time integrator, Krylov/multigrid solvers, matrix-free
+operators) reports into the process-global :data:`TRACER`, which is
+disabled by default and costs one attribute check per call site when
+off.  Enable it (``TRACER.enable()`` or ``repro lung --trace``) to
+collect a hierarchical wall-time profile, vmult/iteration counters, and
+per-sub-step timings; pair it with :class:`RunLogWriter` to stream a
+schema-versioned JSONL record per time step that ``repro report`` can
+aggregate into the paper's Table-2-style breakdown.
+"""
+
+from .report import (
+    RunAggregate,
+    aggregate_steps,
+    render_breakdown,
+    render_counters,
+    render_span_tree,
+)
+from .sinks import SCHEMA, RunLogWriter, read_run_log, step_record
+from .tracer import NULL_SPAN, SpanNode, Tracer
+
+#: Process-global tracer the instrumented solve stack reports into.
+TRACER = Tracer(enabled=False)
+
+__all__ = [
+    "NULL_SPAN",
+    "SCHEMA",
+    "RunAggregate",
+    "RunLogWriter",
+    "SpanNode",
+    "TRACER",
+    "Tracer",
+    "aggregate_steps",
+    "read_run_log",
+    "render_breakdown",
+    "render_counters",
+    "render_span_tree",
+    "step_record",
+]

@@ -1,0 +1,114 @@
+"""Structured run-log sinks.
+
+The JSONL run log is the machine-readable record of a solver run — one
+JSON object per line: a schema-versioned ``header`` first, one ``step``
+record per time step, and an optional ``summary`` footer carrying the
+tracer's counters/gauges and span tree.  ``repro report`` (and any
+external tooling) consumes these files; the schema string is bumped on
+breaking changes so readers can refuse logs they do not understand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+SCHEMA = "repro-runlog/1"
+
+
+def step_record(stats, step_index: int, extra: dict | None = None) -> dict:
+    """Flatten a :class:`~repro.timeint.dual_splitting.StepStatistics`
+    into one JSON-serializable run-log record."""
+    rec = {
+        "type": "step",
+        "step": step_index,
+        "t": stats.t,
+        "dt": stats.dt,
+        "cfl": stats.cfl,
+        "wall_time_s": stats.wall_time,
+        "iterations": {
+            "pressure": stats.pressure_iterations,
+            "viscous": stats.viscous_iterations,
+            "penalty": stats.penalty_iterations,
+        },
+        "substeps_s": dict(stats.substep_seconds),
+    }
+    if extra:
+        rec.update(extra)
+    return rec
+
+
+class RunLogWriter:
+    """Streaming JSONL writer: header, then one record per time step,
+    then a summary footer.  Usable as a context manager."""
+
+    def __init__(self, path: str | Path, meta: dict | None = None) -> None:
+        self.path = Path(path)
+        self._f: IO[str] | None = self.path.open("w")
+        self.n_steps = 0
+        self._write({"type": "header", "schema": SCHEMA, **(meta or {})})
+
+    def _write(self, rec: dict) -> None:
+        if self._f is None:
+            raise ValueError(f"run log {self.path} is already closed")
+        json.dump(rec, self._f, allow_nan=True)
+        self._f.write("\n")
+        self._f.flush()
+
+    def write_step(self, stats, extra: dict | None = None) -> dict:
+        rec = step_record(stats, self.n_steps, extra)
+        self._write(rec)
+        self.n_steps += 1
+        return rec
+
+    def write_summary(self, tracer=None, extra: dict | None = None) -> None:
+        rec: dict = {"type": "summary", "n_steps": self.n_steps}
+        if tracer is not None:
+            rec.update(tracer.snapshot())
+        if extra:
+            rec.update(extra)
+        self._write(rec)
+
+    def close(self) -> None:
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "RunLogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_run_log(path: str | Path):
+    """Parse a JSONL run log; returns ``(header, steps, summary)`` where
+    ``summary`` is ``None`` for truncated logs (e.g. a crashed run)."""
+    header: dict | None = None
+    steps: list[dict] = []
+    summary: dict | None = None
+    with Path(path).open() as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{line_no}: not valid JSON: {e}") from e
+            kind = rec.get("type")
+            if kind == "header":
+                if rec.get("schema") != SCHEMA:
+                    raise ValueError(
+                        f"{path}: unsupported run-log schema "
+                        f"{rec.get('schema')!r} (expected {SCHEMA!r})"
+                    )
+                header = rec
+            elif kind == "step":
+                steps.append(rec)
+            elif kind == "summary":
+                summary = rec
+    if header is None:
+        raise ValueError(f"{path}: no {SCHEMA!r} header record found")
+    return header, steps, summary

@@ -1,0 +1,169 @@
+"""Zero-dependency hierarchical span tracer with counters and gauges.
+
+The solve stack is instrumented with *spans* — named, nested timing
+regions entered through a context manager::
+
+    with TRACER.span("pressure_poisson"):
+        ...
+
+Each distinct (parent, name) pair accumulates inclusive wall time and a
+call count into one :class:`SpanNode`; exclusive time (inclusive minus
+the children's inclusive time) is derived at report time.  Flat *typed
+counters* (monotonic integers, e.g. ``vmult.DGLaplaceOperator``) and
+*gauges* (last-written floats) ride along in the same tracer.
+
+The process-global tracer is **disabled by default** and every entry
+point has a no-op fast path — a single attribute check — so the
+instrumentation can stay in the hot paths permanently.  Enabling costs
+one ``perf_counter`` pair plus a dict lookup per span, far below the
+cost of any instrumented solver stage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class SpanNode:
+    """Accumulated statistics of one named region under one parent."""
+
+    name: str
+    total: float = 0.0  # inclusive seconds across all visits
+    count: int = 0
+    children: dict[str, "SpanNode"] = field(default_factory=dict)
+
+    @property
+    def exclusive(self) -> float:
+        """Inclusive time minus the time spent in child spans."""
+        return self.total - sum(c.total for c in self.children.values())
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "SpanNode"]]:
+        """Depth-first (depth, node) pairs over the subtree, self first."""
+        yield depth, self
+        for c in self.children.values():
+            yield from c.walk(depth + 1)
+
+    def to_dict(self) -> dict:
+        d: dict = {"total_s": self.total, "count": self.count}
+        if self.children:
+            d["children"] = {k: v.to_dict() for k, v in self.children.items()}
+        return d
+
+
+class _NullSpan:
+    """Shared no-op span returned while the tracer is disabled."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: pushes its node on the tracer stack for the duration
+    and accumulates elapsed time on exit (kept in ``self.elapsed`` so
+    callers can also read the single-visit timing)."""
+
+    __slots__ = ("_tracer", "_node", "_t0", "elapsed")
+
+    def __init__(self, tracer: "Tracer", node: SpanNode) -> None:
+        self._tracer = tracer
+        self._node = node
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack.append(self._node)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self._t0
+        self._node.total += self.elapsed
+        self._node.count += 1
+        self._tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Hierarchical span tracer plus flat counters and gauges.
+
+    One process-global instance (:data:`repro.telemetry.TRACER`) is the
+    registry the whole solve stack reports into; independent instances
+    can be created for tests.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.root = SpanNode("root")
+        self._stack: list[SpanNode] = [self.root]
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans, counters, and gauges (keeps the
+        enabled flag)."""
+        self.root = SpanNode("root")
+        self._stack = [self.root]
+        self.counters.clear()
+        self.gauges.clear()
+
+    # -- recording -------------------------------------------------------
+    def span(self, name: str):
+        """Context manager timing a named region nested under the
+        currently open span; a shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, self._stack[-1].child(name))
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named monotonic counter."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a named gauge."""
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
+
+    # -- inspection ------------------------------------------------------
+    def find(self, *path: str) -> SpanNode | None:
+        """Look up a span node by its name path from the root."""
+        node = self.root
+        for name in path:
+            node = node.children.get(name)
+            if node is None:
+                return None
+        return node
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of everything recorded so far."""
+        return {
+            "spans": {k: v.to_dict() for k, v in self.root.children.items()},
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }

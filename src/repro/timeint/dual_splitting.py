@@ -20,21 +20,34 @@ extrapolated from previous steps, which is what allows the relaxed
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..solvers.krylov import conjugate_gradient
+from ..telemetry import TRACER
 from .bdf import bdf_coefficients
 
 
 @dataclass
 class StepStatistics:
+    """Per-time-step solver record: what the run log stores per step.
+
+    ``wall_time`` is always measured (two clock reads per step);
+    ``substep_seconds`` is filled from the tracing spans and stays empty
+    while the global tracer is disabled.  ``cfl`` is the realized CFL
+    number, stamped by the driving solver when it knows the velocity
+    scale (NaN otherwise)."""
+
     dt: float
     t: float
     pressure_iterations: int
     viscous_iterations: int
     penalty_iterations: int
+    cfl: float = float("nan")
+    wall_time: float = 0.0
+    substep_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -121,98 +134,127 @@ class DualSplittingScheme:
         g0 = coeffs.gamma0
         t_new = self.t + dt
 
-        # -- 1. explicit convective step (Eq. (1)) -----------------------
-        acc = sum(
-            a * u for a, u in zip(coeffs.alpha, self.u_history[:order])
-        )
-        conv = sum(
-            b * c for b, c in zip(coeffs.beta, self.conv_history[:order])
-        )
-        rhs_extra = -conv
-        if ops.body_force is not None:
-            rhs_extra = rhs_extra + ops.body_force(t_new)
-        u_hat = (acc + dt * ops.inverse_mass.vmult(rhs_extra)) / g0
+        t_step0 = time.perf_counter()
+        with TRACER.span("step"):
+            # -- 1. explicit convective step (Eq. (1)) -------------------
+            with TRACER.span("convective") as sp_conv:
+                acc = sum(
+                    a * u for a, u in zip(coeffs.alpha, self.u_history[:order])
+                )
+                conv = sum(
+                    b * c for b, c in zip(coeffs.beta, self.conv_history[:order])
+                )
+                rhs_extra = -conv
+                if ops.body_force is not None:
+                    rhs_extra = rhs_extra + ops.body_force(t_new)
+                u_hat = (acc + dt * ops.inverse_mass.vmult(rhs_extra)) / g0
 
-        # -- 2. pressure Poisson step (Eq. (2)) --------------------------
-        b_p = -(g0 / dt) * ops.divergence.apply(
-            u_hat, t_new, interior_trace_everywhere=True
-        )
-        if ops.pressure_neumann_rhs is not None:
-            t_hist = [self.t - (sum(self.dt_history[1 : i + 1])) for i in range(order)]
-            b_p = b_p + ops.pressure_neumann_rhs(
-                t_new, self.u_history[:order], t_hist, coeffs, dt
-            )
-        if ops.pressure_dirichlet_rhs is not None:
-            b_p = b_p + ops.pressure_dirichlet_rhs(t_new)
-        if not self.pressure_has_dirichlet:
-            b_p = self._project_mean_free(b_p)
-        if self.p_history:
-            if len(self.p_history) >= 2:
-                p_guess = 2.0 * self.p_history[0] - self.p_history[1]
-            else:
-                p_guess = self.p_history[0].copy()
-        else:
-            p_guess = None
-        res_p = conjugate_gradient(
-            ops.pressure_poisson,
-            b_p,
-            ops.pressure_preconditioner,
-            tol=self.pressure_tol,
-            max_iter=self.max_iter,
-            x0=p_guess,
-        )
-        p_new = res_p.x
-        if not self.pressure_has_dirichlet:
-            p_new = self._project_mean_free(p_new)
+            # -- 2. pressure Poisson step (Eq. (2)) ----------------------
+            with TRACER.span("pressure_poisson") as sp_p:
+                b_p = -(g0 / dt) * ops.divergence.apply(
+                    u_hat, t_new, interior_trace_everywhere=True
+                )
+                if ops.pressure_neumann_rhs is not None:
+                    t_hist = [
+                        self.t - (sum(self.dt_history[1 : i + 1]))
+                        for i in range(order)
+                    ]
+                    b_p = b_p + ops.pressure_neumann_rhs(
+                        t_new, self.u_history[:order], t_hist, coeffs, dt
+                    )
+                if ops.pressure_dirichlet_rhs is not None:
+                    b_p = b_p + ops.pressure_dirichlet_rhs(t_new)
+                if not self.pressure_has_dirichlet:
+                    b_p = self._project_mean_free(b_p)
+                if self.p_history:
+                    if len(self.p_history) >= 2:
+                        p_guess = 2.0 * self.p_history[0] - self.p_history[1]
+                    else:
+                        p_guess = self.p_history[0].copy()
+                else:
+                    p_guess = None
+                res_p = conjugate_gradient(
+                    ops.pressure_poisson,
+                    b_p,
+                    ops.pressure_preconditioner,
+                    tol=self.pressure_tol,
+                    max_iter=self.max_iter,
+                    x0=p_guess,
+                    name="pressure",
+                )
+                p_new = res_p.x
+                if not self.pressure_has_dirichlet:
+                    p_new = self._project_mean_free(p_new)
 
-        # -- 3. explicit projection step (Eq. (3)) -----------------------
-        grad_p = ops.gradient.apply(p_new, t_new)
-        u_hathat = u_hat - (dt / g0) * ops.inverse_mass.vmult(grad_p)
+            # -- 3. explicit projection step (Eq. (3)) -------------------
+            with TRACER.span("projection") as sp_proj:
+                grad_p = ops.gradient.apply(p_new, t_new)
+                u_hathat = u_hat - (dt / g0) * ops.inverse_mass.vmult(grad_p)
 
-        # -- 4. implicit viscous step (Eq. (4)) --------------------------
-        ops.helmholtz.set_time_factor(g0 / dt)
-        b_v = (g0 / dt) * ops.mass.vmult(u_hathat)
-        b_v = b_v + ops.helmholtz.boundary_rhs(t_new)
-        res_v = conjugate_gradient(
-            ops.helmholtz,
-            b_v,
-            ops.inverse_mass,
-            tol=self.viscous_tol,
-            max_iter=self.max_iter,
-            x0=u_hathat,
-        )
-        u_visc = res_v.x
+            # -- 4. implicit viscous step (Eq. (4)) ----------------------
+            with TRACER.span("helmholtz") as sp_visc:
+                ops.helmholtz.set_time_factor(g0 / dt)
+                b_v = (g0 / dt) * ops.mass.vmult(u_hathat)
+                b_v = b_v + ops.helmholtz.boundary_rhs(t_new)
+                res_v = conjugate_gradient(
+                    ops.helmholtz,
+                    b_v,
+                    ops.inverse_mass,
+                    tol=self.viscous_tol,
+                    max_iter=self.max_iter,
+                    x0=u_hathat,
+                    name="viscous",
+                )
+                u_visc = res_v.x
 
-        # -- 5. penalty step (Eq. (5)) -----------------------------------
-        ops.penalty_step.penalty.update_parameters(u_visc)
-        ops.penalty_step.set_dt(dt)
-        b_pen = ops.mass.vmult(u_visc)
-        res_pen = conjugate_gradient(
-            ops.penalty_step,
-            b_pen,
-            ops.inverse_mass,
-            tol=self.penalty_tol,
-            max_iter=self.max_iter,
-            x0=u_visc,
-        )
-        u_new = res_pen.x
+            # -- 5. penalty step (Eq. (5)) -------------------------------
+            with TRACER.span("penalty") as sp_pen:
+                ops.penalty_step.penalty.update_parameters(u_visc)
+                ops.penalty_step.set_dt(dt)
+                b_pen = ops.mass.vmult(u_visc)
+                res_pen = conjugate_gradient(
+                    ops.penalty_step,
+                    b_pen,
+                    ops.inverse_mass,
+                    tol=self.penalty_tol,
+                    max_iter=self.max_iter,
+                    x0=u_visc,
+                    name="penalty",
+                )
+                u_new = res_pen.x
 
-        # -- bookkeeping --------------------------------------------------
-        self.t = t_new
-        self.u_history.insert(0, u_new)
-        self.conv_history.insert(0, ops.convective.apply(u_new, t_new))
-        self.p_history.insert(0, p_new)
-        keep = self.order
-        self.u_history = self.u_history[: keep + 1]
-        self.conv_history = self.conv_history[: keep + 1]
-        self.p_history = self.p_history[:2]
-        self.dt_history = self.dt_history[: keep + 1]
+            # -- bookkeeping ---------------------------------------------
+            self.t = t_new
+            self.u_history.insert(0, u_new)
+            # convective term of the *new* iterate, reused by the next
+            # step's extrapolation — a real sub-step cost, timed on its own
+            with TRACER.span("convective_eval") as sp_ceval:
+                self.conv_history.insert(0, ops.convective.apply(u_new, t_new))
+            self.p_history.insert(0, p_new)
+            keep = self.order
+            self.u_history = self.u_history[: keep + 1]
+            self.conv_history = self.conv_history[: keep + 1]
+            self.p_history = self.p_history[:2]
+            self.dt_history = self.dt_history[: keep + 1]
+        wall = time.perf_counter() - t_step0
+        substeps = {}
+        if TRACER.enabled:
+            substeps = {
+                "convective": sp_conv.elapsed,
+                "pressure_poisson": sp_p.elapsed,
+                "projection": sp_proj.elapsed,
+                "helmholtz": sp_visc.elapsed,
+                "penalty": sp_pen.elapsed,
+                "convective_eval": sp_ceval.elapsed,
+            }
         stats = StepStatistics(
             dt=dt,
             t=t_new,
             pressure_iterations=res_p.n_iterations,
             viscous_iterations=res_v.n_iterations,
             penalty_iterations=res_pen.n_iterations,
+            wall_time=wall,
+            substep_seconds=substeps,
         )
         self.statistics.append(stats)
         return stats

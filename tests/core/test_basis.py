@@ -8,8 +8,6 @@ from repro.core.basis import (
     LagrangeBasis1D,
     change_of_basis_matrix,
     embedding_matrix,
-    lagrange_derivatives,
-    lagrange_values,
     mass_matrix_1d,
     shape_matrices,
     subinterval_matrix,

@@ -3,7 +3,6 @@ the high-order metric terms end to end, the boundary-fitted capability
 Section 2.3 emphasizes."""
 
 import numpy as np
-import pytest
 
 from repro.core.dof_handler import DGDofHandler
 from repro.core.operators import DGLaplaceOperator, InverseMassOperator
@@ -11,7 +10,7 @@ from repro.mesh.connectivity import build_connectivity
 from repro.mesh.generators import cylinder
 from repro.mesh.mapping import GeometryField
 from repro.mesh.octree import Forest
-from repro.solvers import JacobiPreconditioner, conjugate_gradient
+from repro.solvers import conjugate_gradient
 
 
 def solve_on_cylinder(levels: int, degree: int):

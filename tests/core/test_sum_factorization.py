@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.basis import LagrangeBasis1D, shape_matrices
-from repro.core.quadrature import gauss, tensor_points, tensor_weights
+from repro.core.basis import LagrangeBasis1D
+from repro.core.quadrature import gauss, tensor_points
 from repro.core.sum_factorization import TensorProductKernel, apply_1d
 
 

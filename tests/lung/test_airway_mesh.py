@@ -11,8 +11,6 @@ from repro.lung import (
     airway_tree_mesh,
     grow_airway_tree,
 )
-from repro.lung.morphometry import CMH2O
-from repro.lung.ventilator import VentilationSettings
 from repro.mesh.connectivity import build_connectivity
 from repro.mesh.hexmesh import trilinear_jacobian
 from repro.ns.solver import SolverSettings

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lung.morphometry import (
-    CMH2O,
     LITER,
     airway_dimensions,
     n_airways,

@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.mesh.connectivity import (
-    IDENTITY,
     Orientation,
     build_connectivity,
     orient_face_array,

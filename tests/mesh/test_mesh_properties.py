@@ -3,7 +3,6 @@ randomized refinement — the structural guarantees every operator relies
 on."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mesh.connectivity import build_connectivity, find_unbalanced_cells

@@ -2,7 +2,6 @@
 memory models, and the scaling performance model."""
 
 import numpy as np
-import pytest
 
 from repro.core.dof_handler import DGDofHandler
 from repro.core.sum_factorization import TensorProductKernel
@@ -24,7 +23,6 @@ from repro.perf import (
     arithmetic_intensity,
     laplace_flops,
     laplace_transfer,
-    measure_throughput,
     measured_transfer,
 )
 

@@ -29,6 +29,40 @@ class TestMeasureThroughput:
         assert r.dofs_per_second == pytest.approx(1e4)
         assert "DoF/s" in str(r)
 
+    def test_reports_sample_std(self):
+        r = measure_throughput(lambda: time.sleep(0.001), n_dofs=10,
+                               repetitions=5, warmup=0)
+        assert r.std_seconds >= 0.0
+        samples_implied = np.array([r.best_seconds, r.mean_seconds])
+        assert np.all(samples_implied > 0)
+        # a constant workload cannot have std larger than its mean
+        assert r.std_seconds < r.mean_seconds
+
+    def test_single_repetition_has_zero_std(self):
+        r = measure_throughput(lambda: None, n_dofs=1, repetitions=1, warmup=0)
+        assert r.std_seconds == 0.0
+
+    def test_gc_disabled_during_samples_and_restored(self):
+        import gc
+
+        states = []
+        r = measure_throughput(lambda: states.append(gc.isenabled()),
+                               n_dofs=1, repetitions=3, warmup=1)
+        # warmup runs with GC on, timed samples with GC off
+        assert states == [True, False, False, False]
+        assert gc.isenabled()
+        assert r.repetitions == 3
+
+    def test_gc_stays_disabled_if_it_was(self):
+        import gc
+
+        gc.disable()
+        try:
+            measure_throughput(lambda: None, n_dofs=1, repetitions=2, warmup=0)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
     def test_measure_operator_uses_vmult(self):
         class Op:
             n_dofs = 50

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.dof_handler import DGDofHandler
-from repro.core.operators import DGLaplaceOperator, InverseMassOperator
+from repro.core.operators import DGLaplaceOperator
 from repro.mesh.connectivity import build_connectivity
 from repro.mesh.generators import box
 from repro.mesh.mapping import GeometryField
@@ -82,6 +82,40 @@ class TestConjugateGradient:
         A = spd_matrix(50, cond=1e6, seed=3)
         res = conjugate_gradient(DenseOp(A), np.ones(50), tol=1e-14, max_iter=3)
         assert not res.converged
+
+
+class TestReductionRate:
+    def test_one_iteration_reports_actual_reduction(self):
+        # identity system: CG converges in exactly one iteration, and the
+        # reported rate must be the actual one-step reduction, not 0.0
+        res = conjugate_gradient(DenseOp(np.eye(8)), np.ones(8), tol=1e-10)
+        assert res.converged and res.n_iterations == 1
+        assert len(res.residuals) == 2
+        assert res.reduction_rate == pytest.approx(
+            res.residuals[1] / res.residuals[0]
+        )
+        assert res.reduction_rate < 1e-10
+
+    def test_instant_convergence_is_zero(self):
+        # exact initial guess: zero iterations, rate 0.0 (instant)
+        A = spd_matrix(20)
+        b = np.ones(20)
+        res = conjugate_gradient(DenseOp(A), b, x0=np.linalg.solve(A, b), tol=1e-10)
+        assert res.converged and res.n_iterations == 0
+        assert res.reduction_rate == 0.0
+
+    def test_no_progress_is_one(self):
+        # a non-converged result with a single residual means no progress
+        from repro.solvers.krylov import SolverResult
+
+        res = SolverResult(np.zeros(3), 0, False, [1.0])
+        assert res.reduction_rate == 1.0
+
+    def test_multi_iteration_geometric_mean(self):
+        from repro.solvers.krylov import SolverResult
+
+        res = SolverResult(np.zeros(2), 2, True, [1.0, 0.1, 0.01])
+        assert res.reduction_rate == pytest.approx(0.1)
 
 
 class TestLanczos:

@@ -2,7 +2,6 @@
 counts and mixed precision per Section 3.4 / Figures 9-10."""
 
 import numpy as np
-import pytest
 
 from repro.core.dof_handler import CGDofHandler, DGDofHandler
 from repro.core.operators import DGLaplaceOperator

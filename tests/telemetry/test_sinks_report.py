@@ -1,0 +1,147 @@
+"""Tests of the JSONL run-log sink and the report aggregation."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SCHEMA,
+    RunLogWriter,
+    Tracer,
+    aggregate_steps,
+    read_run_log,
+    render_breakdown,
+    render_counters,
+    render_span_tree,
+    step_record,
+)
+from repro.timeint.dual_splitting import StepStatistics
+
+
+def make_stats(i, wall=0.1):
+    return StepStatistics(
+        dt=0.01,
+        t=0.01 * (i + 1),
+        pressure_iterations=3 + i,
+        viscous_iterations=2,
+        penalty_iterations=5,
+        cfl=0.4,
+        wall_time=wall,
+        substep_seconds={
+            "convective": 0.01 * wall / 0.1,
+            "pressure_poisson": 0.06 * wall / 0.1,
+            "projection": 0.005 * wall / 0.1,
+            "helmholtz": 0.015 * wall / 0.1,
+            "penalty": 0.01 * wall / 0.1,
+        },
+    )
+
+
+class TestRunLog:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tr = Tracer(enabled=True)
+        with tr.span("step"):
+            tr.incr("vmult.Op", 7)
+        with RunLogWriter(path, meta={"command": "test", "n_dofs": 42}) as w:
+            for i in range(3):
+                w.write_step(make_stats(i), extra={"inflow_m3_s": 0.1 * i})
+            w.write_summary(tr)
+        header, steps, summary = read_run_log(path)
+        assert header["schema"] == SCHEMA
+        assert header["n_dofs"] == 42
+        assert len(steps) == 3
+        assert steps[0]["step"] == 0 and steps[2]["step"] == 2
+        assert steps[1]["iterations"]["pressure"] == 4
+        assert steps[1]["substeps_s"]["pressure_poisson"] == pytest.approx(0.06)
+        assert steps[2]["inflow_m3_s"] == pytest.approx(0.2)
+        assert summary["n_steps"] == 3
+        assert summary["counters"]["vmult.Op"] == 7
+        assert summary["spans"]["step"]["count"] == 1
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogWriter(path) as w:
+            w.write_step(make_stats(0))
+            w.write_summary()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + step + summary
+        for line in lines:
+            json.loads(line)
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header", "schema": "other/9"}\n')
+        with pytest.raises(ValueError, match="unsupported run-log schema"):
+            read_run_log(path)
+
+    def test_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "step", "step": 0}\n')
+        with pytest.raises(ValueError, match="no .* header"):
+            read_run_log(path)
+
+    def test_truncated_log_has_no_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        w = RunLogWriter(path)
+        w.write_step(make_stats(0))
+        w.close()  # crashed run: no summary record
+        _, steps, summary = read_run_log(path)
+        assert len(steps) == 1 and summary is None
+
+    def test_write_after_close_raises(self, tmp_path):
+        w = RunLogWriter(tmp_path / "run.jsonl")
+        w.close()
+        with pytest.raises(ValueError, match="closed"):
+            w.write_step(make_stats(0))
+
+
+class TestAggregation:
+    def test_aggregates_dicts_and_stats_identically(self, tmp_path):
+        stats = [make_stats(i) for i in range(4)]
+        recs = [step_record(s, i) for i, s in enumerate(stats)]
+        for agg in (aggregate_steps(stats), aggregate_steps(recs)):
+            assert agg.n_steps == 4
+            assert agg.t_end == pytest.approx(0.04)
+            assert agg.mean_dt == pytest.approx(0.01)
+            assert agg.mean_cfl == pytest.approx(0.4)
+            assert agg.total_wall_s == pytest.approx(0.4)
+            assert agg.wall_per_step_s == pytest.approx(0.1)
+            assert agg.substep_totals_s["pressure_poisson"] == pytest.approx(0.24)
+            # pressure iterations: 3, 4, 5, 6 -> mean 4.5
+            assert agg.mean_iterations["pressure"] == pytest.approx(4.5)
+
+    def test_breakdown_shares_sum_to_one(self):
+        agg = aggregate_steps([make_stats(i) for i in range(3)])
+        text = render_breakdown(agg)
+        assert "pressure_poisson" in text and "total step" in text
+        assert "iters/solve" in text
+        # sub-step seconds of make_stats sum to 0.1 == wall -> fully accounted
+        accounted = sum(agg.substep_totals_s.values()) / agg.total_wall_s
+        assert accounted == pytest.approx(1.0)
+
+    def test_empty_aggregate(self):
+        agg = aggregate_steps([])
+        assert agg.n_steps == 0 and agg.wall_per_step_s == 0.0
+        assert "total step" in render_breakdown(agg)
+
+
+class TestRenderers:
+    def test_span_tree_render(self):
+        tr = Tracer(enabled=True)
+        with tr.span("step"):
+            with tr.span("pressure_poisson"):
+                pass
+        out = render_span_tree(tr)
+        assert "step" in out
+        assert "  pressure_poisson" in out  # indented child
+        assert "calls" in out
+
+    def test_counter_render(self):
+        tr = Tracer(enabled=True)
+        tr.incr("vmult.Op", 3)
+        tr.gauge("res", 1e-8)
+        out = render_counters(tr)
+        assert "vmult.Op" in out and "3" in out
+        assert "res" in out
+        assert render_counters(Tracer(enabled=True)) == ""

@@ -1,0 +1,136 @@
+"""Tests of the hierarchical span tracer: nesting, timing, counters,
+gauges, and the disabled-mode no-op fast path."""
+
+import time
+
+import pytest
+
+from repro.telemetry import NULL_SPAN, TRACER, Tracer
+
+
+class TestSpans:
+    def test_nested_span_timing(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            time.sleep(0.02)
+            with tr.span("inner"):
+                time.sleep(0.03)
+        outer = tr.find("outer")
+        inner = tr.find("outer", "inner")
+        assert outer is not None and inner is not None
+        assert outer.count == 1 and inner.count == 1
+        assert inner.total >= 0.03
+        assert outer.total >= inner.total + 0.02
+        # exclusive = inclusive minus children
+        assert outer.exclusive == pytest.approx(outer.total - inner.total)
+        assert outer.exclusive >= 0.02
+        assert inner.exclusive == inner.total
+
+    def test_repeated_spans_accumulate(self):
+        tr = Tracer(enabled=True)
+        for _ in range(5):
+            with tr.span("a"):
+                with tr.span("b"):
+                    pass
+        assert tr.find("a").count == 5
+        assert tr.find("a", "b").count == 5
+
+    def test_same_name_different_parents_are_distinct(self):
+        tr = Tracer(enabled=True)
+        with tr.span("p1"):
+            with tr.span("x"):
+                pass
+        with tr.span("p2"):
+            with tr.span("x"):
+                pass
+        assert tr.find("p1", "x").count == 1
+        assert tr.find("p2", "x").count == 1
+        assert tr.find("x") is None
+
+    def test_span_handle_reports_elapsed(self):
+        tr = Tracer(enabled=True)
+        with tr.span("s") as sp:
+            time.sleep(0.01)
+        assert sp.elapsed >= 0.01
+        assert tr.find("s").total == pytest.approx(sp.elapsed)
+
+    def test_recursion_nests(self):
+        tr = Tracer(enabled=True)
+
+        def rec(depth):
+            if depth == 0:
+                return
+            with tr.span(f"d{depth}"):
+                rec(depth - 1)
+
+        rec(3)
+        assert tr.find("d3", "d2", "d1") is not None
+
+    def test_walk_and_snapshot(self):
+        tr = Tracer(enabled=True)
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        depths = [d for d, _ in tr.find("a").walk()]
+        assert depths == [0, 1]
+        snap = tr.snapshot()
+        assert "a" in snap["spans"]
+        assert "b" in snap["spans"]["a"]["children"]
+        assert snap["spans"]["a"]["count"] == 1
+
+
+class TestCountersGauges:
+    def test_counter_accumulation(self):
+        tr = Tracer(enabled=True)
+        tr.incr("x")
+        tr.incr("x", 4)
+        tr.incr("y", 2)
+        assert tr.counters == {"x": 5, "y": 2}
+
+    def test_gauge_keeps_last_value(self):
+        tr = Tracer(enabled=True)
+        tr.gauge("g", 1.5)
+        tr.gauge("g", 2.5)
+        assert tr.gauges["g"] == 2.5
+
+    def test_reset_clears_everything(self):
+        tr = Tracer(enabled=True)
+        with tr.span("a"):
+            tr.incr("c")
+            tr.gauge("g", 1.0)
+        tr.reset()
+        assert tr.root.children == {}
+        assert tr.counters == {} and tr.gauges == {}
+        assert tr.enabled  # reset keeps the enabled flag
+
+
+class TestDisabledMode:
+    def test_disabled_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("a"):
+            tr.incr("c")
+            tr.gauge("g", 1.0)
+        assert tr.root.children == {}
+        assert tr.counters == {} and tr.gauges == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("a") is NULL_SPAN
+        assert tr.span("b") is NULL_SPAN
+        assert NULL_SPAN.elapsed == 0.0
+
+    def test_disabled_overhead_is_small(self):
+        """The no-op fast path must be cheap enough to leave in hot
+        paths: well under a microsecond per call on any machine."""
+        tr = Tracer(enabled=False)
+        n = 50_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tr.span("hot"):
+                pass
+            tr.incr("hot")
+        per_call = (time.perf_counter() - t0) / n
+        assert per_call < 20e-6  # generous bound for slow CI machines
+
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACER.enabled is False

@@ -1,5 +1,8 @@
 """Tests of the command-line interface."""
 
+import json
+import math
+
 import pytest
 
 from repro.cli import main
@@ -32,3 +35,95 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_poisson_json(self, capsys):
+        assert main(["poisson", "--refinements", "1", "--degree", "2",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        rec = json.loads(out)  # the whole output is one JSON object
+        assert rec["command"] == "poisson"
+        assert rec["converged"] is True
+        assert rec["n_iterations"] == len(rec["residuals"]) - 1
+        assert 0.0 < rec["reduction_rate"] < 1.0
+
+    def test_calibrate_json(self, capsys):
+        assert main(["calibrate", "--degree", "2", "--json"]) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["command"] == "calibrate"
+        assert rec["matvec_dofs_per_s_k3"] > 0
+
+
+class TestTelemetryCLI:
+    def test_lung_trace_and_log_file(self, tmp_path, capsys):
+        from repro.telemetry import TRACER, read_run_log
+
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "3", "--trace",
+                     "--log-file", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "wall time per time step" in out
+        assert "pressure_poisson" in out
+        assert "span profile:" in out
+        assert "vmult.DGLaplaceOperator" in out
+        assert not TRACER.enabled  # the command restores the global state
+
+        header, steps, summary = read_run_log(log)
+        assert header["command"] == "lung"
+        assert len(steps) == 3  # one schema-valid record per time step
+        for rec in steps:
+            assert rec["dt"] > 0 and rec["wall_time_s"] > 0
+            assert set(rec["iterations"]) == {"pressure", "viscous", "penalty"}
+            # sub-step times account for the step wall time (within 10%)
+            assert math.fsum(rec["substeps_s"].values()) == pytest.approx(
+                rec["wall_time_s"], rel=0.1
+            )
+        assert summary["n_steps"] == 3
+        assert summary["counters"]["cg[pressure].solves"] == 3
+
+    def test_lung_log_file_without_trace(self, tmp_path, capsys):
+        from repro.telemetry import read_run_log
+
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "2", "--log-file", str(log)]) == 0
+        _, steps, _ = read_run_log(log)
+        assert len(steps) == 2
+        # without --trace the per-sub-step profile is not collected
+        assert steps[0]["substeps_s"] == {}
+        assert steps[0]["wall_time_s"] > 0
+
+    def test_report_aggregates_run_log(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "3", "--trace",
+                     "--log-file", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "wall time per time step (3 steps" in out
+        assert "pressure_poisson" in out and "iters/solve" in out
+        assert "counters:" in out
+
+    def test_report_synthetic_log(self, tmp_path, capsys):
+        from repro.telemetry import SCHEMA
+
+        log = tmp_path / "synthetic.jsonl"
+        records = [{"type": "header", "schema": SCHEMA, "command": "x"}]
+        for i in range(2):
+            records.append({
+                "type": "step", "step": i, "t": 0.1 * (i + 1), "dt": 0.1,
+                "cfl": 0.5, "wall_time_s": 1.0,
+                "iterations": {"pressure": 10, "viscous": 2, "penalty": 4},
+                "substeps_s": {"pressure_poisson": 0.6, "helmholtz": 0.4},
+            })
+        log.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "2 steps" in out
+        assert "60.0%" in out  # pressure Poisson share
+        assert "10.0" in out  # mean pressure iterations
+
+    def test_report_rejects_empty_log(self, tmp_path, capsys):
+        from repro.telemetry import SCHEMA
+
+        log = tmp_path / "empty.jsonl"
+        log.write_text(json.dumps({"type": "header", "schema": SCHEMA}) + "\n")
+        assert main(["report", str(log)]) == 1
