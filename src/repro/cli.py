@@ -36,6 +36,9 @@ def cmd_poisson(args) -> int:
                         dirichlet=lambda x, y, z: 0.0 * x)
     res = conjugate_gradient(op, b, mg, tol=args.tolerance, name="poisson")
     if args.json:
+        from .perf.measure import measure_operator
+
+        perf = measure_operator(op, name="dg_laplace_vmult", repetitions=5)
         print(json.dumps({
             "command": "poisson",
             "n_cells": forest.n_cells,
@@ -46,6 +49,10 @@ def cmd_poisson(args) -> int:
             "n_iterations": res.n_iterations,
             "reduction_rate": res.reduction_rate,
             "residuals": res.residuals,
+            "vmult_best_seconds": perf.best_seconds,
+            "vmult_dofs_per_second": perf.dofs_per_second,
+            "vmult_alloc_peak_bytes": perf.alloc_peak_bytes,
+            "vmult_alloc_net_blocks": perf.alloc_net_blocks,
         }))
     else:
         print(f"converged: {res.converged} in {res.n_iterations} iterations "

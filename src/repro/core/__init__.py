@@ -12,6 +12,7 @@ from .basis import (
     change_of_basis_matrix,
 )
 from .even_odd import EvenOddMatrix
+from .plans import FlatScatterPlan, ScatterPlan, Workspace, contract
 from .sum_factorization import TensorProductKernel, apply_1d
 from .lanes import LaneBatch, batch_cells, unbatch_cells, n_lane_batches
 
@@ -26,6 +27,10 @@ __all__ = [
     "subinterval_matrix",
     "change_of_basis_matrix",
     "EvenOddMatrix",
+    "ScatterPlan",
+    "FlatScatterPlan",
+    "Workspace",
+    "contract",
     "TensorProductKernel",
     "apply_1d",
     "LaneBatch",

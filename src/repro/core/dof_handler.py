@@ -25,6 +25,7 @@ import scipy.sparse as sp
 from ..mesh.connectivity import MeshConnectivity, orient_face_array
 from ..mesh.octree import Forest
 from .basis import LagrangeBasis1D
+from .plans import FlatScatterPlan
 from .sum_factorization import TensorProductKernel
 
 
@@ -236,10 +237,19 @@ class CGDofHandler:
         """Master vector -> cell tensors (N, n, n, n)."""
         return self.expand(x_master)[self.cell_to_global]
 
+    @property
+    def flat_scatter_plan(self) -> FlatScatterPlan:
+        """Planned cell-to-global scatter (built lazily, dtype-agnostic,
+        shared by float64 operators and their float32 clones)."""
+        plan = self.__dict__.get("_flat_scatter_plan")
+        if plan is None:
+            plan = FlatScatterPlan(self.cell_to_global, self.n_global)
+            self.__dict__["_flat_scatter_plan"] = plan
+        return plan
+
     def scatter_add_cells(self, cell_data: np.ndarray) -> np.ndarray:
         """Accumulate cell tensors into a master-space residual vector."""
-        r_global = np.zeros(self.n_global, dtype=cell_data.dtype)
-        np.add.at(r_global, self.cell_to_global.ravel(), cell_data.ravel())
+        r_global = self.flat_scatter_plan.scatter(cell_data, dtype=cell_data.dtype)
         return self.restrict_add(r_global)
 
     def nodal_points(self) -> np.ndarray:

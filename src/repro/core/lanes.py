@@ -124,8 +124,11 @@ class LaneBatch:
 
     def scatter_add(self, target: np.ndarray, indices: np.ndarray) -> None:
         """Accumulate filled lanes: ``target[indices[l]] += lane l``."""
+        from .plans import ScatterPlan
+
         indices = np.asarray(indices)
-        np.add.at(target, indices[: self.n_filled], self.data[: self.n_filled])
+        plan = ScatterPlan(indices[: self.n_filled], target.shape[0])
+        plan.add(target, self.data[: self.n_filled])
 
 
 def n_lane_batches(n_items: int, lanes: int = LANES_DP) -> int:

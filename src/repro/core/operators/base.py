@@ -19,6 +19,7 @@ import numpy as np
 
 from ...mesh.connectivity import Orientation, orient_face_array, orient_to_plus
 from ...telemetry import TRACER
+from ..plans import Workspace, cached_scatter_plan, contract
 from ..sum_factorization import TensorProductKernel, apply_1d_2d
 
 
@@ -36,12 +37,14 @@ class FaceKernels:
         self.kern = kernel
 
     # -- evaluation ------------------------------------------------------
-    def nodal_traces(self, u_cells: np.ndarray, face: int):
+    def nodal_traces(self, u_cells: np.ndarray, face: int, ws=None):
         """Nodal face value and 3-component reference gradient.
 
         ``u_cells``: (F, ..., n, n, n) -> val (F, ..., n, n) and
         grad (F, ..., 3, n, n) with the component axis indexing the
-        *cell's own* reference dimensions.
+        *cell's own* reference dimensions.  ``ws`` (a
+        :class:`repro.core.plans.Workspace`) assembles the gradient stack
+        in a reusable buffer instead of a fresh allocation.
         """
         kern = self.kern
         t_val = kern.face_nodal_trace(u_cells, face)
@@ -49,11 +52,20 @@ class FaceKernels:
         d = face // 2
         a_dim, b_dim = tangential_dims(face)
         D = kern.nodal_diff
-        g = [None, None, None]
-        g[d] = t_nd
-        g[a_dim] = apply_1d_2d(D, t_val, 1)
-        g[b_dim] = apply_1d_2d(D, t_val, 0)
-        return t_val, np.stack(g, axis=-3)
+        if ws is None:
+            g = [None, None, None]
+            g[d] = t_nd
+            g[a_dim] = apply_1d_2d(D, t_val, 1)
+            g[b_dim] = apply_1d_2d(D, t_val, 0)
+            return t_val, np.stack(g, axis=-3)
+        dt = np.result_type(t_val.dtype, D.dtype)
+        grad = ws.take(
+            "fk.traces", t_val.shape[:-2] + (3,) + t_val.shape[-2:], dt
+        )
+        grad[..., d, :, :] = t_nd
+        apply_1d_2d(D, t_val, 1, out=grad[..., a_dim, :, :])
+        apply_1d_2d(D, t_val, 0, out=grad[..., b_dim, :, :])
+        return t_val, grad
 
     def to_quad(
         self,
@@ -72,12 +84,13 @@ class FaceKernels:
         face: int,
         orientation: Orientation | None = None,
         subface: tuple[int, int] | None = None,
+        ws=None,
     ):
         """Evaluate one side of a face batch at the minus quadrature points.
 
         Returns (values (F, ..., q, q), ref_grad (F, ..., 3, q, q)).
         """
-        t_val, t_grad = self.nodal_traces(u_cells, face)
+        t_val, t_grad = self.nodal_traces(u_cells, face, ws)
         return (
             self.to_quad(t_val, orientation, subface),
             self.to_quad(t_grad, orientation, subface),
@@ -129,23 +142,80 @@ class FaceKernels:
         return out
 
 
-def physical_gradient(jinv_t: np.ndarray, ref_grad: np.ndarray) -> np.ndarray:
+def physical_gradient(
+    jinv_t: np.ndarray,
+    ref_grad: np.ndarray,
+    planned: bool = True,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Apply J^{-T} per quadrature point.
 
     jinv_t: (F, 3, 3, q, q); ref_grad: (F, 3, q, q) for scalar fields or
     (F, C, 3, q, q) for vector fields (component axis at -4).
+    ``planned=False`` selects the legacy per-call path search (kept for
+    the before/after benchmark gate).
     """
     if ref_grad.ndim == 4:
+        if planned:
+            return contract("fijab,fjab->fiab", jinv_t, ref_grad, out=out)
         return np.einsum("fijab,fjab->fiab", jinv_t, ref_grad, optimize=True)
     if ref_grad.ndim == 5:
+        if planned:
+            return contract("fijab,fcjab->fciab", jinv_t, ref_grad, out=out)
         return np.einsum("fijab,fcjab->fciab", jinv_t, ref_grad, optimize=True)
     raise ValueError(f"unsupported ref_grad rank {ref_grad.ndim}")
 
 
 class MatrixFreeOperator:
-    """Minimal linear-operator interface shared by all operators."""
+    """Minimal linear-operator interface shared by all operators.
+
+    Every operator carries a lazily created plan cache (scatter plans,
+    contraction paths, reusable workspaces).  ``use_plans = False``
+    reverts an instance to the legacy unplanned execution path —
+    ``np.add.at`` scatters and per-call einsum path searches — which the
+    equivalence tests and the vmult benchmark gate use as the reference.
+    Shallow clones (e.g. the float32 operators inside the multigrid
+    V-cycle) may share the cache: scatter plans are dtype-agnostic and
+    workspace buffers are keyed by dtype.
+    """
 
     dtype = np.float64
+    use_plans = True
+
+    @property
+    def plan_cache(self) -> dict:
+        cache = self.__dict__.get("_plan_cache")
+        if cache is None:
+            cache = {}
+            self.__dict__["_plan_cache"] = cache
+        return cache
+
+    def workspace(self) -> Workspace:
+        cache = self.plan_cache
+        ws = cache.get("workspace")
+        if ws is None:
+            ws = Workspace()
+            cache["workspace"] = ws
+        return ws
+
+    def _scatter_add(self, out: np.ndarray, indices: np.ndarray,
+                     contrib: np.ndarray, key) -> None:
+        """Planned ``out[indices] += contrib`` (first axis); ``key``
+        identifies the index set in the plan cache."""
+        if not self.use_plans:
+            np.add.at(out, indices, contrib)
+            return
+        plan = cached_scatter_plan(
+            self.plan_cache, ("scatter", key), indices, out.shape[0]
+        )
+        plan.add(out, contrib)
+
+    def _contract(self, subscripts: str, *operands, out: np.ndarray | None = None):
+        """Cached-plan einsum; falls back to the legacy per-call
+        ``optimize=True`` search when ``use_plans`` is off."""
+        if self.use_plans:
+            return contract(subscripts, *operands, out=out)
+        return np.einsum(subscripts, *operands, optimize=True, out=out)
 
     def _count_vmult(self) -> None:
         """Telemetry: count one application of this operator under

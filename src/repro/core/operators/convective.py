@@ -61,11 +61,10 @@ class ConvectiveOperator(MatrixFreeOperator):
         vp = self.fk.to_quad(tp, batch.orientation, batch.subface)
         return vm, vp
 
-    @staticmethod
-    def _lax_friedrichs(vm, vp, normal):
+    def _lax_friedrichs(self, vm, vp, normal):
         """Numerical flux (F, 3, a, b) in the minus normal direction."""
-        un_m = np.einsum("fiab,fiab->fab", normal, vm, optimize=True)
-        un_p = np.einsum("fiab,fiab->fab", normal, vp, optimize=True)
+        un_m = self._contract("fiab,fiab->fab", normal, vm)
+        un_p = self._contract("fiab,fiab->fab", normal, vp)
         lam = np.maximum(np.abs(un_m), np.abs(un_p))
         central = 0.5 * (vm * un_m[:, None] + vp * un_p[:, None])
         return central + 0.5 * lam[:, None] * (vm - vp)
@@ -79,22 +78,22 @@ class ConvectiveOperator(MatrixFreeOperator):
         uq = kern.values(u)  # (N, 3, q, q, q)
         # F[i, j] = u_i u_j; ref-grad coefficient of v_i:
         #   rg_i[l] = -sum_j F[i,j] jinv_t[j,l] * jxw
-        Fu = np.einsum("cizyx,cjzyx->cijzyx", uq, uq, optimize=True)
-        rg = -np.einsum("cijzyx,cjlzyx->cilzyx", Fu, cm.jinv_t, optimize=True)
+        Fu = self._contract("cizyx,cjzyx->cijzyx", uq, uq)
+        rg = -self._contract("cijzyx,cjlzyx->cilzyx", Fu, cm.jinv_t)
         rg = rg * cm.jxw[:, None, None]
         out = np.stack([kern.integrate_gradients(rg[:, i]) for i in range(3)], axis=1)
         # interior faces
-        for batch, fm in zip(self.conn.interior, self.face_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.interior, self.face_metrics)):
             vm, vp = self._face_vals(u, batch)
             flux = self._lax_friedrichs(vm, vp, fm.normal) * fm.jxw[:, None]
             contrib_m = self.fk.integrate_side(batch.face_m, flux, None)
             contrib_p = self.fk.integrate_side(
                 batch.face_p, -flux, None, batch.orientation, batch.subface
             )
-            np.add.at(out, batch.cells_m, contrib_m)
-            np.add.at(out, batch.cells_p, contrib_p)
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
         # boundary faces
-        for batch, fm in zip(self.conn.boundary, self.bdry_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.boundary, self.bdry_metrics)):
             tm = self.kern.face_nodal_trace(u[batch.cells], batch.face)
             vm = self.fk.to_quad(tm)
             if batch.boundary_id in self.velocity_dirichlet:
@@ -113,7 +112,7 @@ class ConvectiveOperator(MatrixFreeOperator):
                 vp = vm
             flux = self._lax_friedrichs(vm, vp, fm.normal) * fm.jxw[:, None]
             contrib = self.fk.integrate_side(batch.face, flux, None)
-            np.add.at(out, batch.cells, contrib)
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
         return self.dof.flat(out)
 
     def vmult(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - nonlinear
@@ -129,5 +128,5 @@ class ConvectiveOperator(MatrixFreeOperator):
         uq = self.kern.values(u)
         cm = self.cell_metrics
         # J^{-1} u: ref-space velocity = (jinv)[l,i] u_i; jinv_t[i,l] = jinv[l,i]
-        uref = np.einsum("cilzyx,cizyx->clzyx", cm.jinv_t, uq, optimize=True)
+        uref = self._contract("cilzyx,cizyx->clzyx", cm.jinv_t, uq)
         return float(np.sqrt((uref**2).sum(axis=1)).max())

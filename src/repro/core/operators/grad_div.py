@@ -95,22 +95,22 @@ class DivergenceOperator(_MixedSpaceOperator):
         cm = self.cell_metrics
         # cell term: -int grad(q) . u
         uq = kern_u.values(u)  # (N, 3, q, q, q)
-        rg = -np.einsum("cilzyx,cizyx->clzyx", cm.jinv_t, uq, optimize=True)
+        rg = -self._contract("cilzyx,cizyx->clzyx", cm.jinv_t, uq)
         out = kern_p.integrate_gradients(rg * cm.jxw[:, None])
         # interior faces: central flux
-        for batch, fm in zip(self.conn.interior, self.face_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.interior, self.face_metrics)):
             um, up = self._face_values(self.fk_u, u, batch)
-            un = np.einsum("fiab,fiab->fab", fm.normal, 0.5 * (um + up), optimize=True)
+            un = self._contract("fiab,fiab->fab", fm.normal, 0.5 * (um + up))
             w = fm.jxw
             rv_m = un * w
             contrib_m = self.fk_p.integrate_side(batch.face_m, rv_m, None)
             contrib_p = self.fk_p.integrate_side(
                 batch.face_p, -rv_m, None, batch.orientation, batch.subface
             )
-            np.add.at(out, batch.cells_m, contrib_m)
-            np.add.at(out, batch.cells_p, contrib_p)
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
         # boundary faces
-        for batch, fm in zip(self.conn.boundary, self.bdry_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.boundary, self.bdry_metrics)):
             if batch.boundary_id in self.velocity_dirichlet and not interior_trace_everywhere:
                 pts = fm.points
                 g = np.asarray(
@@ -122,9 +122,9 @@ class DivergenceOperator(_MixedSpaceOperator):
             else:
                 tm = self.kern_u.face_nodal_trace(u[batch.cells], batch.face)
                 ustar = self.fk_u.to_quad(tm)
-            un = np.einsum("fiab,fiab->fab", fm.normal, ustar, optimize=True)
+            un = self._contract("fiab,fiab->fab", fm.normal, ustar)
             contrib = self.fk_p.integrate_side(batch.face, un * fm.jxw, None)
-            np.add.at(out, batch.cells, contrib)
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
         return self.dof_p.flat(out)
 
     def vmult(self, u_flat: np.ndarray) -> np.ndarray:
@@ -157,12 +157,12 @@ class GradientOperator(_MixedSpaceOperator):
         # cell term: -int p div(v) -> ref-grad coefficients of each v_i
         pq = kern_p.values(p)  # (N, q, q, q)
         coeff = -(pq * cm.jxw)
-        rg = np.einsum("cilzyx,czyx->cilzyx", cm.jinv_t, coeff, optimize=True)
+        rg = self._contract("cilzyx,czyx->cilzyx", cm.jinv_t, coeff)
         out = np.stack(
             [kern_u.integrate_gradients(rg[:, i]) for i in range(3)], axis=1
         )
         # interior faces: central flux {p} n . [v]
-        for batch, fm in zip(self.conn.interior, self.face_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.interior, self.face_metrics)):
             pm, pp = self._face_values(self.fk_p, p, batch)
             pavg = 0.5 * (pm + pp)
             w = fm.jxw
@@ -171,10 +171,10 @@ class GradientOperator(_MixedSpaceOperator):
             contrib_p = self.fk_u.integrate_side(
                 batch.face_p, -rv_m, None, batch.orientation, batch.subface
             )
-            np.add.at(out, batch.cells_m, contrib_m)
-            np.add.at(out, batch.cells_p, contrib_p)
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
         # boundary faces
-        for batch, fm in zip(self.conn.boundary, self.bdry_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.boundary, self.bdry_metrics)):
             tm = self.kern_p.face_nodal_trace(p[batch.cells], batch.face)
             pm = self.fk_p.to_quad(tm)
             if batch.boundary_id in self.pressure_dirichlet:
@@ -186,7 +186,7 @@ class GradientOperator(_MixedSpaceOperator):
                 pstar = pm
             rv = (pstar * fm.jxw)[:, None] * fm.normal
             contrib = self.fk_u.integrate_side(batch.face, rv, None)
-            np.add.at(out, batch.cells, contrib)
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
         return self.dof_u.flat(out)
 
     def vmult(self, p_flat: np.ndarray) -> np.ndarray:

@@ -8,6 +8,15 @@ levels (Section 3.4), including hanging-node constraints.
 
 Weak Dirichlet data (SIP/Nitsche) and Neumann data enter through
 :meth:`DGLaplaceOperator.assemble_rhs`.
+
+Execution plans (see :mod:`repro.core.plans`): every instance owns a
+lazily built cache of scatter plans, einsum contraction plans, and
+workspace buffers, threaded through the whole hot path.  Setting
+``use_plans = False`` on an instance restores the legacy execution
+(``np.add.at`` scatters, per-call einsum path searches, fresh
+temporaries and the unit-vector diagonal) — the reference the
+equivalence tests and the ``bench_vmult_gate`` before/after numbers are
+measured against.
 """
 
 from __future__ import annotations
@@ -17,7 +26,8 @@ import numpy as np
 from ...mesh.connectivity import MeshConnectivity
 from ...mesh.mapping import GeometryField
 from ..dof_handler import CGDofHandler, DGDofHandler
-from .base import FaceKernels, MatrixFreeOperator, physical_gradient
+from ..plans import contract
+from .base import FaceKernels, MatrixFreeOperator, physical_gradient, tangential_dims
 
 
 class DGLaplaceOperator(MatrixFreeOperator):
@@ -63,46 +73,65 @@ class DGLaplaceOperator(MatrixFreeOperator):
         return self.dof.n_dofs
 
     def _cell_term(self, u: np.ndarray) -> np.ndarray:
-        g = self.kern.gradients(u)
-        Dg = np.einsum("cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True)
-        return self.kern.integrate_gradients(Dg)
+        if not self.use_plans:
+            g = self.kern.gradients(u)
+            Dg = np.einsum(
+                "cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True
+            )
+            return self.kern.integrate_gradients(Dg)
+        ws = self.workspace()
+        g = self.kern.gradients(u, ws)
+        D = self.cell_metrics.laplace_d
+        Dg = contract(
+            "cijzyx,cjzyx->cizyx", D, g,
+            out=ws.take("lap.Dg", g.shape, np.result_type(D.dtype, g.dtype)),
+        )
+        # fresh output: the result escapes to the caller, workspace
+        # buffers only ever hold intermediates
+        out = np.empty(u.shape, dtype=np.result_type(Dg.dtype, np.float64))
+        return self.kern.integrate_gradients(Dg, ws, out=out)
 
     def _face_flux(self, fm, tau, vm, Gm, vp, Gp):
         """SIP numerical flux in quadrature space (minus frame).
 
         Returns the value/physical-gradient coefficient fields for both
-        test sides: (rv_m, rgphys_m, rv_p, rgphys_p).
+        test sides: (rv_m, rgphys_m, rv_p, rgphys_p).  The gradient
+        coefficient is the *same* field ``-0.5 [u] w n`` on both sides,
+        so one array is computed and returned twice (callers only read).
         """
         n = fm.normal
         jump = vm - vp
-        dn_m = np.einsum("fiab,fiab->fab", n, Gm, optimize=True)
-        dn_p = np.einsum("fiab,fiab->fab", n, Gp, optimize=True)
+        dn_m = self._contract("fiab,fiab->fab", n, Gm)
+        dn_p = self._contract("fiab,fiab->fab", n, Gp)
         avg_dn = 0.5 * (dn_m + dn_p)
         w = fm.jxw
         rv_m = (-avg_dn + tau[:, None, None] * jump) * w
         rv_p = (avg_dn - tau[:, None, None] * jump) * w
-        half_jump_w = (-0.5) * jump * w
-        rg_m = half_jump_w[:, None] * n
-        rg_p = half_jump_w[:, None] * n
-        return rv_m, rg_m, rv_p, rg_p
+        rg = ((-0.5) * jump * w)[:, None] * n
+        return rv_m, rg, rv_p, rg
 
     def _to_ref_grad(self, jinv_t, rg_phys):
         """Physical-gradient test coefficients -> reference components:
         contribution r.(J^{-T} grad v) = (J^{-1} r).grad v."""
-        return np.einsum("fijab,fiab->fjab", jinv_t, rg_phys, optimize=True)
+        return self._contract("fijab,fiab->fjab", jinv_t, rg_phys)
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
         self._count_vmult()
         u = self.dof.cell_view(x)
         out = self._cell_term(u)
         fk = self.fk
-        for batch, fm, tau in zip(self.conn.interior, self.face_metrics, self.tau):
+        ws = self.workspace() if self.use_plans else None
+        for ib, (batch, fm, tau) in enumerate(
+            zip(self.conn.interior, self.face_metrics, self.tau)
+        ):
             um = u[batch.cells_m]
             up = u[batch.cells_p]
-            vm, gm = fk.eval_side(um, batch.face_m)
-            vp, gp = fk.eval_side(up, batch.face_p, batch.orientation, batch.subface)
-            Gm = physical_gradient(fm.minus.jinv_t, gm)
-            Gp = physical_gradient(fm.plus.jinv_t, gp)
+            vm, gm = fk.eval_side(um, batch.face_m, ws=ws)
+            vp, gp = fk.eval_side(
+                up, batch.face_p, batch.orientation, batch.subface, ws=ws
+            )
+            Gm = physical_gradient(fm.minus.jinv_t, gm, planned=self.use_plans)
+            Gp = physical_gradient(fm.plus.jinv_t, gp, planned=self.use_plans)
             rv_m, rg_m, rv_p, rg_p = self._face_flux(fm, tau, vm, Gm, vp, Gp)
             contrib_m = fk.integrate_side(
                 batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t, rg_m)
@@ -114,23 +143,25 @@ class DGLaplaceOperator(MatrixFreeOperator):
                 batch.orientation,
                 batch.subface,
             )
-            np.add.at(out, batch.cells_m, contrib_m)
-            np.add.at(out, batch.cells_p, contrib_p)
-        for batch, fm, tau in zip(self.conn.boundary, self.bdry_metrics, self.tau_b):
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
+        for ib, (batch, fm, tau) in enumerate(
+            zip(self.conn.boundary, self.bdry_metrics, self.tau_b)
+        ):
             if batch.boundary_id not in self.dirichlet_ids:
                 continue  # natural (Neumann) boundary: no operator term
             um = u[batch.cells]
-            vm, gm = fk.eval_side(um, batch.face)
-            Gm = physical_gradient(fm.minus.jinv_t, gm)
+            vm, gm = fk.eval_side(um, batch.face, ws=ws)
+            Gm = physical_gradient(fm.minus.jinv_t, gm, planned=self.use_plans)
             n = fm.normal
-            dn_m = np.einsum("fiab,fiab->fab", n, Gm, optimize=True)
+            dn_m = self._contract("fiab,fiab->fab", n, Gm)
             w = fm.jxw
             rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
             rg_phys = (-vm * w)[:, None] * n
             contrib = fk.integrate_side(
                 batch.face, rv, self._to_ref_grad(fm.minus.jinv_t, rg_phys)
             )
-            np.add.at(out, batch.cells, contrib)
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
         return self.dof.flat(out)
 
     # ------------------------------------------------------------------
@@ -151,7 +182,9 @@ class DGLaplaceOperator(MatrixFreeOperator):
             fv = f(pts[:, 0], pts[:, 1], pts[:, 2]) * self.cell_metrics.jxw
             out += self.kern.integrate_values(fv)
         fk = self.fk
-        for batch, fm, tau in zip(self.conn.boundary, self.bdry_metrics, self.tau_b):
+        for ib, (batch, fm, tau) in enumerate(
+            zip(self.conn.boundary, self.bdry_metrics, self.tau_b)
+        ):
             p = fm.points
             if batch.boundary_id in self.dirichlet_ids:
                 if dirichlet is None:
@@ -175,26 +208,148 @@ class DGLaplaceOperator(MatrixFreeOperator):
                     continue
                 h = neumann(p[:, 0], p[:, 1], p[:, 2])
                 contrib = fk.integrate_side(batch.face, h * fm.jxw, None)
-            np.add.at(out, batch.cells, contrib)
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
         return self.dof.flat(out)
 
     # ------------------------------------------------------------------
     def diagonal(self) -> np.ndarray:
-        """Exact operator diagonal, computed by applying the cell and the
-        *cell-local part* of the face terms to local unit vectors."""
+        """Exact operator diagonal.
+
+        Planned path: closed-form tensor evaluation — the cell part by
+        the squared-1D-factor einsum trick (as
+        :meth:`CGLaplaceOperator.diagonal`), the face self-couplings by
+        precomputed trace-product tensors per (face, orientation,
+        subface) signature — a handful of einsums instead of the
+        ``(k+1)^3`` full operator applications of
+        :meth:`diagonal_reference`."""
+        if not self.use_plans:
+            return self.diagonal_reference()
+        diag = self._cell_diagonal()
+        self._add_face_diagonal(diag)
+        return self.dof.flat(diag)
+
+    def diagonal_reference(self) -> np.ndarray:
+        """Legacy unit-vector diagonal: apply the cell term and the
+        cell-local part of the face terms to every local basis vector.
+        Kept as the reference implementation for the fast path."""
         n = self.kern.n_dofs_1d
         N = self.dof.n_cells
         diag = np.zeros((N, n, n, n))
-        zero = np.zeros((1, n, n, n))
         for iz in range(n):
             for iy in range(n):
                 for ix in range(n):
                     e = np.zeros((N, n, n, n))
                     e[:, iz, iy, ix] = 1.0
                     y = self._cell_term(e)
-                    y += self._face_self_term(e)
+                    y = y + self._face_self_term(e)
                     diag[:, iz, iy, ix] = y[:, iz, iy, ix]
         return self.dof.flat(diag)
+
+    def _cell_diagonal(self) -> np.ndarray:
+        """diag of the cell term via squared 1D shape-function factors."""
+        kern = self.kern
+        Ng = kern.shape.interp
+        Dg = kern.shape.grad
+        D = self.cell_metrics.laplace_d  # (c, i, j, q, q, q)
+        ldiag = np.zeros((self.dof.n_cells,) + (kern.n_dofs_1d,) * 3)
+        for a in range(3):
+            for b in range(3):
+                fx = (Dg if a == 0 else Ng) * (Dg if b == 0 else Ng)
+                fy = (Dg if a == 1 else Ng) * (Dg if b == 1 else Ng)
+                fz = (Dg if a == 2 else Ng) * (Dg if b == 2 else Ng)
+                ldiag += contract("czyx,zZ,yY,xX->cZYX", D[:, a, b], fz, fy, fx)
+        return ldiag
+
+    def _face_trace_products(self, face, orientation, subface):
+        """Precompute, per (face, orientation, subface) signature, the
+        quadrature products of own-frame nodal trace sheets:
+
+        ``RR[qa,qb,ja,jb]``  = phi_{ja,jb}(q)^2,
+        ``RRa[qa,qb,ja,jb]`` = phi_{ja,jb}(q) (d_a phi_{ja,jb})(q),
+        ``RRb`` analogously for the second tangential direction —
+        with the quadrature axes in the *minus* frame (orientation and
+        2:1 subface interpolation included), built numerically by pushing
+        the n^2 unit sheets through the face-evaluation kernel."""
+        code = None if orientation is None else orientation.code
+        sf = None if subface is None else tuple(subface)
+        key = ("facediag", face, code, sf)
+        cached = self.plan_cache.get(key)
+        if cached is None:
+            kern = self.kern
+            n = kern.n_dofs_1d
+            eye = np.eye(n * n).reshape(n * n, n, n)
+            R = self.fk.to_quad(eye, orientation, subface)  # (n^2, qa, qb)
+            qa, qb = R.shape[-2], R.shape[-1]
+            R = np.ascontiguousarray(
+                np.moveaxis(R.reshape(n, n, qa, qb), (0, 1), (2, 3))
+            )  # (qa, qb, ja, jb)
+            D = kern.nodal_diff
+            Ra = np.einsum("abkj,kJ->abJj", R, D)
+            Rb = np.einsum("abjk,kJ->abjJ", R, D)
+            cached = (R * R, R * Ra, R * Rb)
+            self.plan_cache[key] = cached
+        return cached
+
+    def _face_diag_contrib(self, fm, tau, jinv_t, face, orientation, subface,
+                           sign: float, scale: float) -> np.ndarray:
+        """Diagonal of one side's self-coupling over one face batch:
+
+        ``scale * int_f w (tau phi^2 + sign * phi n.grad(phi))``
+
+        with ``n`` the minus-side outward normal and ``phi`` ranging over
+        this side's basis functions (sign = -1 minus side / Dirichlet
+        boundary, +1 plus side; scale = 2 on Dirichlet boundaries)."""
+        RR, RRa, RRb = self._face_trace_products(face, orientation, subface)
+        d, s = divmod(face, 2)
+        a_dim, b_dim = tangential_dims(face)
+        w = fm.jxw  # (F, qa, qb)
+        # c_j = sum_i n_i jinv_t[i, j]: normal derivative coefficients in
+        # this side's own reference components
+        c = self._contract("fiab,fijab->fjab", fm.normal, jinv_t)
+        T_tau = self._contract("fab,abxy->fxy", tau[:, None, None] * w, RR)
+        T_d = self._contract("fab,abxy->fxy", w * c[:, d], RR)
+        T_a = self._contract("fab,abxy->fxy", w * c[:, a_dim], RRa)
+        T_b = self._contract("fab,abxy->fxy", w * c[:, b_dim], RRb)
+        f_v = self.kern.shape.face_value[s]  # (n,) value trace weights
+        f_g = self.kern.shape.face_grad[s]  # (n,) normal-derivative weights
+        vv = f_v * f_v
+        vg = f_v * f_g
+        tang = T_tau + sign * (T_a + T_b)
+        per = (
+            vv[None, :, None, None] * tang[:, None]
+            + (sign * vg)[None, :, None, None] * T_d[:, None]
+        )
+        per *= scale
+        # axes (F, i_d, ja, jb) -> cell layout (F, z, y, x): the
+        # tangential dims (a_dim > b_dim) are already in descending
+        # order, the normal-dim axis slots in at position 3 - d
+        return np.moveaxis(per, 1, 3 - d)
+
+    def _add_face_diagonal(self, diag: np.ndarray) -> None:
+        """Accumulate the face self-coupling diagonals into ``diag``."""
+        for ib, (batch, fm, tau) in enumerate(
+            zip(self.conn.interior, self.face_metrics, self.tau)
+        ):
+            dm = self._face_diag_contrib(
+                fm, tau, fm.minus.jinv_t, batch.face_m, None, None,
+                sign=-1.0, scale=1.0,
+            )
+            self._scatter_add(diag, batch.cells_m, dm, ("int", ib, "m"))
+            dp = self._face_diag_contrib(
+                fm, tau, fm.plus.jinv_t, batch.face_p,
+                batch.orientation, batch.subface, sign=+1.0, scale=1.0,
+            )
+            self._scatter_add(diag, batch.cells_p, dp, ("int", ib, "p"))
+        for ib, (batch, fm, tau) in enumerate(
+            zip(self.conn.boundary, self.bdry_metrics, self.tau_b)
+        ):
+            if batch.boundary_id not in self.dirichlet_ids:
+                continue
+            db = self._face_diag_contrib(
+                fm, tau, fm.minus.jinv_t, batch.face, None, None,
+                sign=-1.0, scale=2.0,
+            )
+            self._scatter_add(diag, batch.cells, db, ("bdy", ib))
 
     def _face_self_term(self, u: np.ndarray) -> np.ndarray:
         """Face contributions keeping only the block-diagonal (same-cell)
@@ -205,7 +360,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
             # minus-to-minus: treat the neighbor trace as zero
             um = u[batch.cells_m]
             vm, gm = fk.eval_side(um, batch.face_m)
-            Gm = physical_gradient(fm.minus.jinv_t, gm)
+            Gm = physical_gradient(fm.minus.jinv_t, gm, planned=self.use_plans)
             zeros_v = np.zeros_like(vm)
             zeros_G = np.zeros_like(Gm)
             rv_m, rg_m, _, _ = self._face_flux(fm, tau, vm, Gm, zeros_v, zeros_G)
@@ -216,7 +371,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
             # plus-to-plus
             up = u[batch.cells_p]
             vp, gp = fk.eval_side(up, batch.face_p, batch.orientation, batch.subface)
-            Gp = physical_gradient(fm.plus.jinv_t, gp)
+            Gp = physical_gradient(fm.plus.jinv_t, gp, planned=self.use_plans)
             _, _, rv_p, rg_p = self._face_flux(fm, tau, zeros_v, zeros_G, vp, Gp)
             contrib_p = fk.integrate_side(
                 batch.face_p,
@@ -231,8 +386,8 @@ class DGLaplaceOperator(MatrixFreeOperator):
                 continue
             um = u[batch.cells]
             vm, gm = fk.eval_side(um, batch.face)
-            Gm = physical_gradient(fm.minus.jinv_t, gm)
-            dn_m = np.einsum("fiab,fiab->fab", fm.normal, Gm, optimize=True)
+            Gm = physical_gradient(fm.minus.jinv_t, gm, planned=self.use_plans)
+            dn_m = self._contract("fiab,fiab->fab", fm.normal, Gm)
             w = fm.jxw
             rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
             rg_phys = (-vm * w)[:, None] * fm.normal
@@ -262,9 +417,23 @@ class CGLaplaceOperator(MatrixFreeOperator):
     def vmult(self, x: np.ndarray) -> np.ndarray:
         self._count_vmult()
         u = self.dof.gather_cells(x)
-        g = self.kern.gradients(u)
-        Dg = np.einsum("cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True)
-        return self.dof.scatter_add_cells(self.kern.integrate_gradients(Dg))
+        if not self.use_plans:
+            g = self.kern.gradients(u)
+            Dg = np.einsum(
+                "cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True
+            )
+            return self.dof.scatter_add_cells(self.kern.integrate_gradients(Dg))
+        ws = self.workspace()
+        g = self.kern.gradients(u, ws)
+        D = self.cell_metrics.laplace_d
+        Dg = contract(
+            "cijzyx,cjzyx->cizyx", D, g,
+            out=ws.take("lap.Dg", g.shape, np.result_type(D.dtype, g.dtype)),
+        )
+        r = self.kern.integrate_gradients(Dg, ws)
+        # scatter_add_cells reduces into a fresh global vector, so the
+        # workspace-owned cell residual never escapes
+        return self.dof.scatter_add_cells(r)
 
     def diagonal(self) -> np.ndarray:
         """Jacobi diagonal: local cell diagonals accumulated with squared
@@ -273,7 +442,6 @@ class CGLaplaceOperator(MatrixFreeOperator):
         Ng = kern.shape.interp
         Dg = kern.shape.grad
         D = self.cell_metrics.laplace_d  # (c, i, j, q, q, q)
-        mats = {0: Ng, 1: Dg}
         ldiag = np.zeros((self.dof.n_cells,) + (kern.n_dofs_1d,) * 3)
         # diag_i = sum_q (d_a phi_i)(q) D[a,b](q) (d_b phi_i)(q)
         for a in range(3):
@@ -281,11 +449,8 @@ class CGLaplaceOperator(MatrixFreeOperator):
                 fx = (Dg if a == 0 else Ng) * (Dg if b == 0 else Ng)
                 fy = (Dg if a == 1 else Ng) * (Dg if b == 1 else Ng)
                 fz = (Dg if a == 2 else Ng) * (Dg if b == 2 else Ng)
-                ldiag += np.einsum(
-                    "czyx,zZ,yY,xX->cZYX", D[:, a, b], fz, fy, fx, optimize=True
-                )
-        dg = np.zeros(self.dof.n_global)
-        np.add.at(dg, self.dof.cell_to_global.ravel(), ldiag.ravel())
+                ldiag += contract("czyx,zZ,yY,xX->cZYX", D[:, a, b], fz, fy, fx)
+        dg = self.dof.flat_scatter_plan.scatter(ldiag, dtype=ldiag.dtype)
         C2 = self.dof.C.copy()
         C2.data = C2.data**2
         return C2.T @ dg

@@ -17,6 +17,7 @@ import numpy as np
 
 from ...mesh.mapping import GeometryField
 from ..dof_handler import DGDofHandler
+from ..plans import contract
 from ..sum_factorization import apply_1d
 from .base import MatrixFreeOperator
 
@@ -38,18 +39,27 @@ class MassOperator(MatrixFreeOperator):
     def vmult(self, x: np.ndarray) -> np.ndarray:
         self._count_vmult()
         u = self.dof.cell_view(x)
-        q = self.kern.values(u)
+        if not self.use_plans:
+            q = self.kern.values(u)
+            if self.dof.n_components == 1:
+                q = q * self.jxw
+            else:
+                q = q * self.jxw[:, None]
+            return self.dof.flat(self.kern.integrate_values(q))
+        ws = self.workspace()
+        q = self.kern.values(u, ws)
         if self.dof.n_components == 1:
-            q = q * self.jxw
+            q *= self.jxw
         else:
-            q = q * self.jxw[:, None]
-        return self.dof.flat(self.kern.integrate_values(q))
+            q *= self.jxw[:, None]
+        out = np.empty(u.shape, dtype=np.result_type(q.dtype, np.float64))
+        return self.dof.flat(self.kern.integrate_values(q, ws, out=out))
 
     def diagonal(self) -> np.ndarray:
         """Matrix-free diagonal via squared 1D interpolation factors."""
         kern = self.kern
         N2 = kern.shape.interp**2  # (nq, n)
-        diag = np.einsum("czyx,zZ,yY,xX->cZYX", self.jxw, N2, N2, N2, optimize=True)
+        diag = contract("czyx,zZ,yY,xX->cZYX", self.jxw, N2, N2, N2)
         if self.dof.n_components > 1:
             diag = np.repeat(diag[:, None], self.dof.n_components, axis=1)
         return self.dof.flat(diag)

@@ -78,25 +78,27 @@ class DivergenceContinuityPenalty(MatrixFreeOperator):
         cm = self.cell_metrics
         # divergence penalty: tau_div (div u)(div v)
         grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
-        div = np.einsum("cilzyx,cilzyx->czyx", cm.jinv_t, grads, optimize=True)
+        div = self._contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
         coeff = div * cm.jxw * self.tau_div[:, None, None, None]
-        rg = np.einsum("cilzyx,czyx->cilzyx", cm.jinv_t, coeff, optimize=True)
+        rg = self._contract("cilzyx,czyx->cilzyx", cm.jinv_t, coeff)
         out = np.stack([kern.integrate_gradients(rg[:, i]) for i in range(3)], axis=1)
         # continuity penalty: tau_c [u.n][v.n]
-        for batch, fm, tau in zip(self.conn.interior, self.face_metrics, self.tau_cont):
+        for ib, (batch, fm, tau) in enumerate(
+            zip(self.conn.interior, self.face_metrics, self.tau_cont)
+        ):
             tm = kern.face_nodal_trace(u[batch.cells_m], batch.face_m)
             tp = kern.face_nodal_trace(u[batch.cells_p], batch.face_p)
             vm = self.fk.to_quad(tm)
             vp = self.fk.to_quad(tp, batch.orientation, batch.subface)
-            jump_n = np.einsum("fiab,fiab->fab", fm.normal, vm - vp, optimize=True)
+            jump_n = self._contract("fiab,fiab->fab", fm.normal, vm - vp)
             q = tau[:, None, None] * jump_n * fm.jxw
             rv = q[:, None] * fm.normal
             contrib_m = self.fk.integrate_side(batch.face_m, rv, None)
             contrib_p = self.fk.integrate_side(
                 batch.face_p, -rv, None, batch.orientation, batch.subface
             )
-            np.add.at(out, batch.cells_m, contrib_m)
-            np.add.at(out, batch.cells_p, contrib_p)
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
         return self.dof.flat(out)
 
     def diagonal(self) -> np.ndarray:  # pragma: no cover - inv-mass preconditioned

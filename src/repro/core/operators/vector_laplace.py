@@ -36,8 +36,20 @@ class VectorDGLaplace(MatrixFreeOperator):
         self._count_vmult()
         u = self.dof.cell_view(x)  # (N, 3, n, n, n)
         out = np.empty_like(u)
+        if not self.use_plans:
+            for c in range(3):
+                yc = self.scalar.vmult(
+                    self.scalar.dof.flat(np.ascontiguousarray(u[:, c]))
+                )
+                out[:, c] = self.scalar.dof.cell_view(yc)
+            return self.dof.flat(out)
+        # one reusable contiguous staging buffer instead of a fresh
+        # ascontiguousarray copy per component per application
+        ws = self.workspace()
+        comp = ws.take("veclap.comp", (u.shape[0],) + u.shape[2:], u.dtype)
         for c in range(3):
-            yc = self.scalar.vmult(self.scalar.dof.flat(np.ascontiguousarray(u[:, c])))
+            np.copyto(comp, u[:, c])
+            yc = self.scalar.vmult(comp.reshape(-1))
             out[:, c] = self.scalar.dof.cell_view(yc)
         return self.dof.flat(out)
 
@@ -96,7 +108,12 @@ class HelmholtzOperator(MatrixFreeOperator):
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
         self._count_vmult()
-        return self.mass_factor * self.mass.vmult(x) + self.nu * self.laplace.vmult(x)
+        y = self.mass.vmult(x)
+        y *= self.mass_factor
+        L = self.laplace.vmult(x)
+        L *= self.nu
+        y += L
+        return y
 
     def diagonal(self) -> np.ndarray:
         return self.mass_factor * self.mass.diagonal() + self.nu * self.laplace.diagonal()

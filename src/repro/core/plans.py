@@ -1,0 +1,242 @@
+"""Precomputed execution plans for the matrix-free hot path.
+
+Kronbichler & Kormann (2017) attribute the memory-bandwidth-limited
+throughput of matrix-free operator evaluation to one discipline: do all
+index computation and data-movement planning *once*, so the per-
+application loop is nothing but streaming arithmetic.  This module is
+the NumPy rendition of that discipline, shared by every operator in
+:mod:`repro.core.operators`:
+
+* :class:`ScatterPlan` — a precomputed destination-index plan replacing
+  ``np.add.at(out, cells, contrib)``.  ``ufunc.at`` is unbuffered and
+  typically 10-50x slower than indexed assignment; within one face batch
+  every cell appears at most once (the batch key fixes the local face
+  number and subface), so the scatter is a plain fancy ``+=``.  Index
+  sets *with* duplicates fall back to an argsort + ``np.add.reduceat``
+  segment sum planned once.
+* :class:`FlatScatterPlan` — the duplicate-heavy flat variant used for
+  continuous (CG) assembly, where one global node receives up to eight
+  cell contributions.  Sorting and segment boundaries are precomputed;
+  the dtype of the contribution is preserved (unlike ``np.bincount``),
+  which the float32 multigrid levels rely on.
+* :func:`contract` — an einsum dispatcher with a global plan cache.
+  Contractions with at most two operands and a small contracted extent
+  (the ``J^{-T} g`` style metric applications, contracting a length-3
+  component axis) run fastest through the *direct* C einsum loop;
+  routing them through ``optimize=True``/``einsum_path`` pays a
+  tensordot round trip with transposed copies that costs several times
+  the arithmetic.  Multi-operand contractions (the closed-form diagonal
+  formulas) do benefit from a precomputed ``np.einsum_path``.  The
+  dispatch is decided once per (subscripts, shapes) signature and
+  cached — deterministically, from the contraction structure, so runs
+  are reproducible.
+* :class:`Workspace` — a keyed arena of preallocated scratch buffers so
+  steady-state operator applications (the inner loop of Chebyshev
+  smoothing and CG, hitting identical shapes thousands of times) perform
+  no large allocations.  Buffers are keyed by (tag, shape, dtype), so a
+  float32 clone of an operator (see
+  :func:`repro.solvers.multigrid.single_precision_operator`) transparently
+  gets its own set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Contracted-extent threshold below which a 1- or 2-operand einsum is
+#: dispatched to the direct C loop instead of a precomputed path (the
+#: path would route through tensordot/BLAS whose packing copies dominate
+#: at these sizes).
+DIRECT_CONTRACTION_LIMIT = 8
+
+_PATH_CACHE: dict = {}
+
+
+def _contraction_strategy(subscripts: str, operands) -> object:
+    """Deterministic plan for one einsum signature: ``False`` for the
+    direct C loop, or a precomputed ``np.einsum_path`` path list."""
+    if len(operands) <= 1:
+        return False
+    if "->" in subscripts:
+        lhs = subscripts.split("->")[0]
+    else:
+        lhs = subscripts
+    inputs = lhs.split(",")
+    if len(operands) == 2:
+        # extent of the contracted index space
+        dims: dict[str, int] = {}
+        for labels, op in zip(inputs, operands):
+            for ax, ch in enumerate(labels):
+                dims[ch] = op.shape[ax]
+        out_labels = (
+            subscripts.split("->")[1]
+            if "->" in subscripts
+            else "".join(sorted(c for c in set(lhs) if lhs.count(c) == 1))
+        )
+        contracted = set(lhs) - set(out_labels) - {","}
+        extent = 1
+        for ch in contracted:
+            extent *= dims[ch]
+        if extent <= DIRECT_CONTRACTION_LIMIT:
+            return False
+    path, _ = np.einsum_path(subscripts, *operands, optimize="optimal")
+    return path
+
+
+def contract(subscripts: str, *operands, out: np.ndarray | None = None):
+    """``np.einsum`` with a cached, deterministic contraction plan.
+
+    The plan (direct C loop vs. precomputed path) is decided on first use
+    per (subscripts, operand shapes) and reused for every later call —
+    no per-application path search.
+    """
+    key = (subscripts, tuple(op.shape for op in operands))
+    strategy = _PATH_CACHE.get(key)
+    if strategy is None:
+        strategy = _contraction_strategy(subscripts, operands)
+        _PATH_CACHE[key] = strategy
+    return np.einsum(subscripts, *operands, out=out, optimize=strategy)
+
+
+class ScatterPlan:
+    """Precomputed scatter-add ``out[indices] += contrib`` along axis 0.
+
+    When the planned index set has no duplicates — true for every face
+    batch, whose key fixes (face_m, face_p, orientation, subface) so a
+    cell can appear at most once — the scatter is an indexed ``+=``.
+    Otherwise an argsort order and ``np.add.reduceat`` segment starts are
+    precomputed once and every application folds duplicates first.
+    """
+
+    __slots__ = ("indices", "n_rows", "is_unique", "order", "segments", "targets")
+
+    def __init__(self, indices: np.ndarray, n_rows: int) -> None:
+        idx = np.ascontiguousarray(np.asarray(indices, dtype=np.intp))
+        if idx.ndim != 1:
+            raise ValueError("ScatterPlan needs a 1D index array")
+        if idx.size and (idx.min() < 0 or idx.max() >= n_rows):
+            raise ValueError("scatter indices out of range")
+        self.indices = idx
+        self.n_rows = int(n_rows)
+        if idx.size == 0:
+            self.is_unique = True
+            self.order = self.segments = self.targets = None
+            return
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        new_segment = np.empty(idx.size, dtype=bool)
+        new_segment[0] = True
+        np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=new_segment[1:])
+        if new_segment.all():
+            self.is_unique = True
+            self.order = self.segments = self.targets = None
+        else:
+            self.is_unique = False
+            self.order = order
+            self.segments = np.flatnonzero(new_segment)
+            self.targets = sorted_idx[self.segments]
+
+    def add(self, out: np.ndarray, contrib: np.ndarray) -> np.ndarray:
+        """Accumulate ``contrib[e]`` into ``out[indices[e]]``."""
+        if self.indices.size == 0:
+            return out
+        if self.is_unique:
+            out[self.indices] += contrib
+        else:
+            folded = np.add.reduceat(contrib[self.order], self.segments, axis=0)
+            out[self.targets] += folded
+        return out
+
+
+class FlatScatterPlan:
+    """Planned scatter-add into a flat vector with many duplicates.
+
+    The CG assembly pattern: ``cell_to_global`` maps every local node of
+    every cell to a global node, and up to eight cells contribute to one
+    node.  The argsort order and segment starts are computed once; each
+    application is one gather, one ``reduceat``, one indexed ``+=`` —
+    preserving the contribution dtype (``np.bincount`` would force
+    float64, breaking the float32 V-cycle levels).
+    """
+
+    __slots__ = ("n_rows", "order", "segments", "targets", "size")
+
+    def __init__(self, indices: np.ndarray, n_rows: int) -> None:
+        idx = np.asarray(indices, dtype=np.intp).ravel()
+        if idx.size and (idx.min() < 0 or idx.max() >= n_rows):
+            raise ValueError("scatter indices out of range")
+        self.n_rows = int(n_rows)
+        self.size = idx.size
+        if idx.size == 0:
+            self.order = self.segments = self.targets = None
+            return
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        new_segment = np.empty(idx.size, dtype=bool)
+        new_segment[0] = True
+        np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=new_segment[1:])
+        self.order = order
+        self.segments = np.flatnonzero(new_segment)
+        self.targets = sorted_idx[self.segments]
+
+    def scatter_add(self, out: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """``out[indices[e]] += values.ravel()[e]`` for all entries."""
+        if self.size == 0:
+            return out
+        v = np.asarray(values).reshape(-1)
+        folded = np.add.reduceat(v[self.order], self.segments)
+        out[self.targets] += folded
+        return out
+
+    def scatter(self, values: np.ndarray, dtype=None) -> np.ndarray:
+        """Fresh accumulation vector of length ``n_rows``."""
+        v = np.asarray(values)
+        out = np.zeros(self.n_rows, dtype=dtype or v.dtype)
+        return self.scatter_add(out, v)
+
+
+class Workspace:
+    """Keyed arena of reusable scratch arrays.
+
+    ``take(tag, shape, dtype)`` returns a preallocated buffer (contents
+    undefined) for the given key, allocating it on first use.  Callers
+    must consume a buffer before requesting the same tag again; distinct
+    tags never alias.  Because the key includes dtype, float64 and
+    float32 operator applications sharing one workspace keep separate
+    buffers.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self) -> None:
+        self._arrays: dict = {}
+
+    def take(self, tag: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        key = (tag, tuple(shape), np.dtype(dtype).str)
+        arr = self._arrays.get(key)
+        if arr is None:
+            arr = np.empty(shape, dtype=dtype)
+            self._arrays[key] = arr
+        return arr
+
+    def zeros(self, tag: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        arr = self.take(tag, shape, dtype)
+        arr[...] = 0
+        return arr
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+
+def cached_scatter_plan(cache: dict, key, indices, n_rows: int) -> ScatterPlan:
+    """Fetch or build a :class:`ScatterPlan` in a per-object cache."""
+    plan = cache.get(key)
+    if plan is None:
+        plan = ScatterPlan(indices, n_rows)
+        cache[key] = plan
+    return plan

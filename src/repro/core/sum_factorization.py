@@ -27,7 +27,9 @@ from .basis import ShapeMatrices, shape_matrices
 from .even_odd import EvenOddMatrix
 
 
-def apply_1d(M: np.ndarray, u: np.ndarray, dim: int) -> np.ndarray:
+def apply_1d(
+    M: np.ndarray, u: np.ndarray, dim: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Contract matrix ``M`` with tensor ``u`` along tensor dimension ``dim``.
 
     ``u`` has shape ``(..., n_2, n_1, n_0)`` (trailing three axes are the
@@ -35,14 +37,23 @@ def apply_1d(M: np.ndarray, u: np.ndarray, dim: int) -> np.ndarray:
     of dimension ``dim`` by ``M.shape[0]``:
 
         out[..., i_dim'] = sum_j M[i_dim', j] u[..., j ...]
+
+    ``out``, when given, receives the result (its dtype must match the
+    promoted result dtype so no rounding changes sneak in).
     """
     axis = u.ndim - 1 - dim
     if dim == 0:
         # contraction along the last (contiguous) axis: plain matmul
-        return u @ M.T
+        if out is None:
+            return u @ M.T
+        np.matmul(u, M.T, out=out)
+        return out
     moved = np.moveaxis(u, axis, -1)
-    out = moved @ M.T
-    return np.moveaxis(out, -1, axis)
+    if out is None:
+        res = moved @ M.T
+        return np.moveaxis(res, -1, axis)
+    np.matmul(moved, M.T, out=np.moveaxis(out, axis, -1))
+    return out
 
 
 @dataclass(frozen=True)
@@ -135,76 +146,174 @@ class TensorProductKernel:
         return apply_1d(M, u, dim)
 
     # -- cell kernels (operator I_e and I_e^T of Eq. (7)) ---------------
-    def values(self, u: np.ndarray) -> np.ndarray:
+    def _ws_dtype(self, u: np.ndarray) -> np.dtype:
+        """Promoted dtype of a sweep result (shape matrices are float64,
+        so float32 inputs promote — matching the allocating path)."""
+        return np.result_type(u.dtype, self.shape.interp.dtype)
+
+    def values(self, u: np.ndarray, ws=None) -> np.ndarray:
         """Interpolate nodal coefficients to quadrature-point values.
 
         ``u``: ``(..., n, n, n)`` -> ``(..., n_q, n_q, n_q)``.
-        """
-        v = self._apply("interp", u, 0)
-        v = self._apply("interp", v, 1)
-        return self._apply("interp", v, 2)
 
-    def gradients(self, u: np.ndarray) -> np.ndarray:
+        ``ws`` (a :class:`repro.core.plans.Workspace`) routes every sweep
+        through preallocated buffers; the returned array is workspace-
+        owned and must be consumed before the next ``ws``-based call.
+        """
+        if ws is None or self.use_even_odd:
+            v = self._apply("interp", u, 0)
+            v = self._apply("interp", v, 1)
+            return self._apply("interp", v, 2)
+        M = self.shape.interp
+        lead, n, nq = u.shape[:-3], self.n_dofs_1d, self.n_q_points
+        dt = self._ws_dtype(u)
+        v = apply_1d(M, u, 0, out=ws.take("tpk.val.0", lead + (n, n, nq), dt))
+        v = apply_1d(M, v, 1, out=ws.take("tpk.val.1", lead + (n, nq, nq), dt))
+        return apply_1d(M, v, 2, out=ws.take("tpk.val.2", lead + (nq, nq, nq), dt))
+
+    def gradients(self, u: np.ndarray, ws=None) -> np.ndarray:
         """Reference-coordinate gradients at quadrature points.
 
         ``u``: ``(..., n, n, n)`` -> ``(..., 3, n_q, n_q, n_q)`` where the
-        new axis indexes d/dx̂_0, d/dx̂_1, d/dx̂_2.
+        new axis indexes d/dx̂_0, d/dx̂_1, d/dx̂_2.  See :meth:`values`
+        for the ``ws`` contract.
         """
         if self.use_collocation:
-            return self.values_and_gradients(u)[1]
-        # shared partial interpolations to save work (collocation reuse)
-        ux = self._apply("interp", u, 0)
-        uxy = self._apply("interp", ux, 1)
-        g0 = self._apply("interp", self._apply("grad", self._apply("interp", u, 1), 0), 2)
-        g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
-        g2 = self._apply("grad", uxy, 2)
-        return np.stack([g0, g1, g2], axis=-4)
+            return self.values_and_gradients(u, ws)[1]
+        if ws is None or self.use_even_odd:
+            # shared partial interpolations to save work (collocation reuse)
+            ux = self._apply("interp", u, 0)
+            uxy = self._apply("interp", ux, 1)
+            g0 = self._apply("interp", self._apply("grad", self._apply("interp", u, 1), 0), 2)
+            g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
+            g2 = self._apply("grad", uxy, 2)
+            return np.stack([g0, g1, g2], axis=-4)
+        M, G = self.shape.interp, self.shape.grad
+        lead, n, nq = u.shape[:-3], self.n_dofs_1d, self.n_q_points
+        dt = self._ws_dtype(u)
+        out = ws.take("tpk.grad.out", lead + (3, nq, nq, nq), dt)
+        ux = apply_1d(M, u, 0, out=ws.take("tpk.grad.ux", lead + (n, n, nq), dt))
+        uxy = apply_1d(M, ux, 1, out=ws.take("tpk.grad.uxy", lead + (n, nq, nq), dt))
+        uy = apply_1d(M, u, 1, out=ws.take("tpk.grad.uy", lead + (n, nq, n), dt))
+        t = ws.take("tpk.grad.t", lead + (n, nq, nq), dt)
+        apply_1d(M, apply_1d(G, uy, 0, out=t), 2, out=out[..., 0, :, :, :])
+        apply_1d(M, apply_1d(G, ux, 1, out=t), 2, out=out[..., 1, :, :, :])
+        apply_1d(G, uxy, 2, out=out[..., 2, :, :, :])
+        return out
 
-    def values_and_gradients(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def values_and_gradients(
+        self, u: np.ndarray, ws=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Both values and reference gradients, sharing intermediates."""
         if self.use_collocation:
             # change of basis: 3 transform sweeps, then one collocation-
             # derivative sweep per direction (6 total instead of 9)
             D = self._co_grad  # type: ignore[attr-defined]
-            vals = self.values(u)
-            g0 = apply_1d(D, vals, 0)
-            g1 = apply_1d(D, vals, 1)
-            g2 = apply_1d(D, vals, 2)
+            vals = self.values(u, ws)
+            if ws is None:
+                g0 = apply_1d(D, vals, 0)
+                g1 = apply_1d(D, vals, 1)
+                g2 = apply_1d(D, vals, 2)
+                return vals, np.stack([g0, g1, g2], axis=-4)
+            g = ws.take("tpk.vg.grad", vals.shape[:-3] + (3,) + vals.shape[-3:],
+                        self._ws_dtype(vals))
+            apply_1d(D, vals, 0, out=g[..., 0, :, :, :])
+            apply_1d(D, vals, 1, out=g[..., 1, :, :, :])
+            apply_1d(D, vals, 2, out=g[..., 2, :, :, :])
+            return vals, g
+        if ws is None or self.use_even_odd:
+            ux = self._apply("interp", u, 0)
+            uxy = self._apply("interp", ux, 1)
+            vals = self._apply("interp", uxy, 2)
+            g0 = self._apply("interp", self._apply("grad", self._apply("interp", u, 1), 0), 2)
+            g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
+            g2 = self._apply("grad", uxy, 2)
             return vals, np.stack([g0, g1, g2], axis=-4)
-        ux = self._apply("interp", u, 0)
-        uxy = self._apply("interp", ux, 1)
-        vals = self._apply("interp", uxy, 2)
-        g0 = self._apply("interp", self._apply("grad", self._apply("interp", u, 1), 0), 2)
-        g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
-        g2 = self._apply("grad", uxy, 2)
-        return vals, np.stack([g0, g1, g2], axis=-4)
+        M, G = self.shape.interp, self.shape.grad
+        lead, n, nq = u.shape[:-3], self.n_dofs_1d, self.n_q_points
+        dt = self._ws_dtype(u)
+        g = ws.take("tpk.vg.grad", lead + (3, nq, nq, nq), dt)
+        ux = apply_1d(M, u, 0, out=ws.take("tpk.grad.ux", lead + (n, n, nq), dt))
+        uxy = apply_1d(M, ux, 1, out=ws.take("tpk.grad.uxy", lead + (n, nq, nq), dt))
+        vals = apply_1d(M, uxy, 2, out=ws.take("tpk.vg.vals", lead + (nq, nq, nq), dt))
+        uy = apply_1d(M, u, 1, out=ws.take("tpk.grad.uy", lead + (n, nq, n), dt))
+        t = ws.take("tpk.grad.t", lead + (n, nq, nq), dt)
+        apply_1d(M, apply_1d(G, uy, 0, out=t), 2, out=g[..., 0, :, :, :])
+        apply_1d(M, apply_1d(G, ux, 1, out=t), 2, out=g[..., 1, :, :, :])
+        apply_1d(G, uxy, 2, out=g[..., 2, :, :, :])
+        return vals, g
 
-    def integrate_values(self, q: np.ndarray) -> np.ndarray:
+    def integrate_values(self, q: np.ndarray, ws=None,
+                         out: np.ndarray | None = None) -> np.ndarray:
         """Test against values: transpose of :meth:`values`.
 
         ``q``: quadrature data ``(..., n_q, n_q, n_q)`` (already multiplied
         by JxW etc.) -> nodal residual contributions ``(..., n, n, n)``.
+        ``out`` (optional, with ``ws``) receives the final sweep so the
+        result is caller-owned rather than workspace-owned.
         """
-        v = self._apply("interp_t", q, 0)
-        v = self._apply("interp_t", v, 1)
-        return self._apply("interp_t", v, 2)
+        if ws is None or self.use_even_odd:
+            v = self._apply("interp_t", q, 0)
+            v = self._apply("interp_t", v, 1)
+            res = self._apply("interp_t", v, 2)
+            if out is not None:
+                np.copyto(out, res)
+                return out
+            return res
+        Mt = self.shape.interp.T
+        lead, n, nq = q.shape[:-3], self.n_dofs_1d, self.n_q_points
+        dt = self._ws_dtype(q)
+        v = apply_1d(Mt, q, 0, out=ws.take("tpk.iv.0", lead + (nq, nq, n), dt))
+        v = apply_1d(Mt, v, 1, out=ws.take("tpk.iv.1", lead + (nq, n, n), dt))
+        if out is None:
+            out = ws.take("tpk.iv.2", lead + (n, n, n), dt)
+        return apply_1d(Mt, v, 2, out=out)
 
-    def integrate_gradients(self, q: np.ndarray) -> np.ndarray:
+    def integrate_gradients(self, q: np.ndarray, ws=None,
+                            out: np.ndarray | None = None) -> np.ndarray:
         """Test against gradients: transpose of :meth:`gradients`.
 
-        ``q``: ``(..., 3, n_q, n_q, n_q)`` -> ``(..., n, n, n)``.
+        ``q``: ``(..., 3, n_q, n_q, n_q)`` -> ``(..., n, n, n)``; see
+        :meth:`integrate_values` for the ``ws``/``out`` contract.
         """
         q0 = q[..., 0, :, :, :]
         q1 = q[..., 1, :, :, :]
         q2 = q[..., 2, :, :, :]
         if self.use_collocation:
             Dt = self._co_grad.T  # type: ignore[attr-defined]
-            acc = apply_1d(Dt, q0, 0) + apply_1d(Dt, q1, 1) + apply_1d(Dt, q2, 2)
-            return self.integrate_values(acc)
-        r = self._apply("interp_t", self._apply("interp_t", self._apply("grad_t", q0, 0), 1), 2)
-        r += self._apply("interp_t", self._apply("grad_t", self._apply("interp_t", q1, 0), 1), 2)
-        r += self._apply("grad_t", self._apply("interp_t", self._apply("interp_t", q2, 0), 1), 2)
-        return r
+            if ws is None:
+                acc = apply_1d(Dt, q0, 0) + apply_1d(Dt, q1, 1) + apply_1d(Dt, q2, 2)
+                res = self.integrate_values(acc)
+                if out is not None:
+                    np.copyto(out, res)
+                    return out
+                return res
+            dt = self._ws_dtype(q)
+            acc = apply_1d(Dt, q0, 0, out=ws.take("tpk.ig.acc", q0.shape, dt))
+            t = ws.take("tpk.ig.t", q0.shape, dt)
+            acc += apply_1d(Dt, q1, 1, out=t)
+            acc += apply_1d(Dt, q2, 2, out=t)
+            return self.integrate_values(acc, ws, out=out)
+        if ws is None or self.use_even_odd:
+            r = self._apply("interp_t", self._apply("interp_t", self._apply("grad_t", q0, 0), 1), 2)
+            r += self._apply("interp_t", self._apply("grad_t", self._apply("interp_t", q1, 0), 1), 2)
+            r += self._apply("grad_t", self._apply("interp_t", self._apply("interp_t", q2, 0), 1), 2)
+            if out is not None:
+                np.copyto(out, r)
+                return out
+            return r
+        Mt, Gt = self.shape.interp.T, self.shape.grad.T
+        lead, n, nq = q0.shape[:-3], self.n_dofs_1d, self.n_q_points
+        dt = self._ws_dtype(q)
+        b0 = ws.take("tpk.ig.0", lead + (nq, nq, n), dt)
+        b1 = ws.take("tpk.ig.1", lead + (nq, n, n), dt)
+        if out is None:
+            out = ws.take("tpk.ig.out", lead + (n, n, n), dt)
+        t = ws.take("tpk.ig.tmp", lead + (n, n, n), dt)
+        apply_1d(Mt, apply_1d(Mt, apply_1d(Gt, q0, 0, out=b0), 1, out=b1), 2, out=out)
+        out += apply_1d(Mt, apply_1d(Gt, apply_1d(Mt, q1, 0, out=b0), 1, out=b1), 2, out=t)
+        out += apply_1d(Gt, apply_1d(Mt, apply_1d(Mt, q2, 0, out=b0), 1, out=b1), 2, out=t)
+        return out
 
     def integrate_values_and_gradients(
         self, qv: np.ndarray, qg: np.ndarray
@@ -365,11 +474,19 @@ class TensorProductKernel:
         return expanded * fvec.reshape(shape_vec)
 
 
-def apply_1d_2d(M: np.ndarray, t: np.ndarray, dim: int) -> np.ndarray:
+def apply_1d_2d(
+    M: np.ndarray, t: np.ndarray, dim: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Apply a 1D matrix along dimension ``dim`` of a (batched) 2D tensor
     ``t`` of shape ``(..., n_1, n_0)`` (dim 0 = last axis)."""
     axis = t.ndim - 1 - dim
     if dim == 0:
-        return t @ M.T
+        if out is None:
+            return t @ M.T
+        np.matmul(t, M.T, out=out)
+        return out
     moved = np.moveaxis(t, axis, -1)
-    return np.moveaxis(moved @ M.T, -1, axis)
+    if out is None:
+        return np.moveaxis(moved @ M.T, -1, axis)
+    np.matmul(moved, M.T, out=np.moveaxis(out, axis, -1))
+    return out

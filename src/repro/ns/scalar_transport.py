@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.dof_handler import DGDofHandler
 from ..core.operators.base import FaceKernels
+from ..core.plans import cached_scatter_plan, contract
 from ..core.operators.laplace import DGLaplaceOperator
 from ..core.operators.mass import InverseMassOperator
 from ..mesh.connectivity import MeshConnectivity
@@ -61,6 +62,7 @@ class ScalarAdvectionOperator:
         #: boundary id -> prescribed inflow concentration
         self.inflow_values = dict(inflow_values or {})
         self.outflow_ids = set(outflow_ids)
+        self._plan_cache: dict = {}
 
     @property
     def n_dofs(self) -> int:
@@ -79,11 +81,10 @@ class ScalarAdvectionOperator:
         cq = kern.values(c)
         uq = kern.values(u)
         coeff = -(cq * cmx.jxw)
-        rg = np.einsum("cilzyx,cizyx,czyx->clzyx", cmx.jinv_t, uq, coeff,
-                       optimize=True)
+        rg = contract("cilzyx,cizyx,czyx->clzyx", cmx.jinv_t, uq, coeff)
         out = kern.integrate_gradients(rg)
         # interior faces: upwind
-        for batch, fm in zip(self.conn.interior, self.face_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.interior, self.face_metrics)):
             tm = kern.face_nodal_trace(c[batch.cells_m], batch.face_m)
             tp = kern.face_nodal_trace(c[batch.cells_p], batch.face_p)
             cm_ = self.fk.to_quad(tm)
@@ -92,22 +93,25 @@ class ScalarAdvectionOperator:
             tup = kern.face_nodal_trace(u[batch.cells_p], batch.face_p)
             um = self.fk.to_quad(tum)
             up = self.fk.to_quad(tup, batch.orientation, batch.subface)
-            un = np.einsum("fiab,fiab->fab", fm.normal, 0.5 * (um + up),
-                           optimize=True)
+            un = contract("fiab,fiab->fab", fm.normal, 0.5 * (um + up))
             flux = self._upwind(cm_, cp_, un) * fm.jxw
             contrib_m = self.fk.integrate_side(batch.face_m, flux, None)
             contrib_p = self.fk.integrate_side(
                 batch.face_p, -flux, None, batch.orientation, batch.subface
             )
-            np.add.at(out, batch.cells_m, contrib_m)
-            np.add.at(out, batch.cells_p, contrib_p)
+            cached_scatter_plan(
+                self._plan_cache, ("int", ib, "m"), batch.cells_m, out.shape[0]
+            ).add(out, contrib_m)
+            cached_scatter_plan(
+                self._plan_cache, ("int", ib, "p"), batch.cells_p, out.shape[0]
+            ).add(out, contrib_p)
         # boundary faces: inflow data where u.n < 0, free outflow otherwise
-        for batch, fm in zip(self.conn.boundary, self.bdry_metrics):
+        for ib, (batch, fm) in enumerate(zip(self.conn.boundary, self.bdry_metrics)):
             tm = kern.face_nodal_trace(c[batch.cells], batch.face)
             cm_ = self.fk.to_quad(tm)
             tum = kern.face_nodal_trace(u[batch.cells], batch.face)
             um = self.fk.to_quad(tum)
-            un = np.einsum("fiab,fiab->fab", fm.normal, um, optimize=True)
+            un = contract("fiab,fiab->fab", fm.normal, um)
             c_in = self.inflow_values.get(batch.boundary_id, None)
             if c_in is None:
                 cp_ = cm_  # wall / free boundary: use interior value
@@ -115,7 +119,9 @@ class ScalarAdvectionOperator:
                 cp_ = np.full_like(cm_, float(c_in))
             flux = self._upwind(cm_, cp_, un) * fm.jxw
             contrib = self.fk.integrate_side(batch.face, flux, None)
-            np.add.at(out, batch.cells, contrib)
+            cached_scatter_plan(
+                self._plan_cache, ("bdy", ib), batch.cells, out.shape[0]
+            ).add(out, contrib)
         return self.dof_c.flat(out)
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.dof_handler import DGDofHandler
+from ..core.plans import cached_scatter_plan, contract
 from ..core.operators import (
     ConvectiveOperator,
     DGLaplaceOperator,
@@ -77,6 +78,7 @@ class IncompressibleNavierStokesSolver:
             self.settings.use_multigrid = False
 
         self.conn = build_connectivity(forest, periodic=periodic)
+        self._plan_cache: dict = {}
         self.geo_u = GeometryField(forest, degree)
         self.geo_over = GeometryField(forest, degree, n_q_points=degree + 2)
         self.geo_p = GeometryField(forest, degree - 1)
@@ -165,7 +167,7 @@ class IncompressibleNavierStokesSolver:
         cm = self.geo_u.cell_metrics()
         grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
         # physical gradient: dU_i/dx_l = sum_m jinv_t[l, m] * ghat[i, m]
-        G = np.einsum("clmzyx,cimzyx->cilzyx", cm.jinv_t, grads, optimize=True)
+        G = contract("clmzyx,cimzyx->cilzyx", cm.jinv_t, grads)
         curl = np.stack(
             [
                 G[:, 2, 1] - G[:, 1, 2],
@@ -201,7 +203,9 @@ class IncompressibleNavierStokesSolver:
         order = len(u_history)
         omegas = [self.compute_vorticity(u) for u in u_history]
         out = np.zeros((self.dof_p.n_cells,) + (self.dof_p.n1,) * 3)
-        for batch, fm in zip(self.conn.boundary, self.divergence.bdry_metrics):
+        for ib, (batch, fm) in enumerate(
+            zip(self.conn.boundary, self.divergence.bdry_metrics)
+        ):
             if batch.boundary_id not in self.velocity_dirichlet:
                 continue
             pts = fm.points
@@ -227,8 +231,8 @@ class IncompressibleNavierStokesSolver:
                 om = self.dof_u.cell_view(omegas[i])[batch.cells]
                 uv, ug = fk_u.eval_side(u, batch.face)
                 Gu = physical_gradient(fm.minus.jinv_t, ug)
-                conv = np.einsum("fjab,fijab->fiab", uv, Gu, optimize=True)
-                divu = np.einsum("fiiab->fab", Gu)
+                conv = contract("fjab,fijab->fiab", uv, Gu)
+                divu = contract("fiiab->fab", Gu)
                 conv = conv + divu[:, None] * uv
                 ov, og = fk_u.eval_side(om, batch.face)
                 Go = physical_gradient(fm.minus.jinv_t, og)
@@ -241,9 +245,11 @@ class IncompressibleNavierStokesSolver:
                     axis=1,
                 )
                 total = total + beta * (conv + self.nu * curl_om)
-            h = -np.einsum("fiab,fiab->fab", n, total, optimize=True)
+            h = -contract("fiab,fiab->fab", n, total)
             contrib = fk_p.integrate_side(batch.face, h * fm.jxw, None)
-            np.add.at(out, batch.cells, contrib)
+            cached_scatter_plan(
+                self._plan_cache, ("pnbc", ib), batch.cells, out.shape[0]
+            ).add(out, contrib)
         return self.dof_p.flat(out)
 
     def _viscous_boundary_rhs(self, t: float):
@@ -357,7 +363,7 @@ class IncompressibleNavierStokesSolver:
         kern = self.geo_u.kernel
         cm = self.geo_u.cell_metrics()
         grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
-        div = np.einsum("cilzyx,cilzyx->czyx", cm.jinv_t, grads, optimize=True)
+        div = contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
         return float(np.abs(div).max())
 
     def flow_rate(self, boundary_id: int) -> float:
@@ -372,6 +378,6 @@ class IncompressibleNavierStokesSolver:
                 continue
             tm = self.geo_u.kernel.face_nodal_trace(u[batch.cells], batch.face)
             vm = fk.to_quad(tm)
-            un = np.einsum("fiab,fiab->fab", fm.normal, vm, optimize=True)
+            un = contract("fiab,fiab->fab", fm.normal, vm)
             total += float((un * fm.jxw).sum())
         return total

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.operators.base import FaceKernels
 from ..core.operators.laplace import DGLaplaceOperator
+from ..core.plans import cached_scatter_plan, contract
 from ..core.sum_factorization import apply_1d_2d
 from .partition import partition_forest
 
@@ -50,6 +51,17 @@ class DistributedDGLaplace:
         self.fk = FaceKernels(op.kern)
         n1 = op.kern.n_dofs_1d
         self._sheet_bytes = 2 * n1 * n1 * 8
+        # the partition is fixed, so the local/cut split of every face
+        # batch — and the scatter destinations of the local bulk — are
+        # computed once here instead of on every mat-vec
+        self._local: list[np.ndarray] = []
+        self._cut: list[np.ndarray] = []
+        for batch in op.conn.interior:
+            rm = self.ranks[batch.cells_m]
+            rp = self.ranks[batch.cells_p]
+            self._local.append(np.nonzero(rm == rp)[0])
+            self._cut.append(np.nonzero(rm != rp)[0])
+        self._plan_cache: dict = {}
 
     # ------------------------------------------------------------------
     def _exchange(self, u_cells: np.ndarray) -> tuple[dict, ExchangeCensus]:
@@ -60,11 +72,11 @@ class DistributedDGLaplace:
         census = ExchangeCensus()
         buffers: dict = {}
         for ib, batch in enumerate(self.op.conn.interior):
-            rm = self.ranks[batch.cells_m]
-            rp = self.ranks[batch.cells_p]
-            cut = np.nonzero(rm != rp)[0]
+            cut = self._cut[ib]
             if cut.size == 0:
                 continue
+            rm = self.ranks[batch.cells_m]
+            rp = self.ranks[batch.cells_p]
             kern = self.kern
             tm_v = kern.face_nodal_trace(u_cells[batch.cells_m[cut]], batch.face_m)
             tm_g = kern.face_nodal_normal_derivative(
@@ -114,10 +126,8 @@ class DistributedDGLaplace:
         for ib, (batch, fm, tau) in enumerate(
             zip(op.conn.interior, op.face_metrics, op.tau)
         ):
-            rm = self.ranks[batch.cells_m]
-            rp = self.ranks[batch.cells_p]
-            local = np.nonzero(rm == rp)[0]
-            cut = np.nonzero(rm != rp)[0]
+            local = self._local[ib]
+            cut = self._cut[ib]
 
             if local.size:
                 um = u[batch.cells_m[local]]
@@ -125,7 +135,7 @@ class DistributedDGLaplace:
                 vm, gm = fk.eval_side(um, batch.face_m)
                 vp, gp = fk.eval_side(up, batch.face_p, batch.orientation, batch.subface)
                 self._accumulate(out, batch, fm, tau, local, vm, gm, vp, gp,
-                                 minus=True, plus=True)
+                                 minus=True, plus=True, key=("local", ib))
 
             for e in cut:
                 # minus owner: local minus traces + buffered plus sheets
@@ -155,7 +165,7 @@ class DistributedDGLaplace:
         return op.dof.flat(out), census
 
     def _accumulate(self, out, batch, fm, tau, idx, vm, gm, vp, gp,
-                    minus: bool, plus: bool) -> None:
+                    minus: bool, plus: bool, key=None) -> None:
         from ..core.operators.base import physical_gradient
 
         op = self.op
@@ -168,16 +178,28 @@ class DistributedDGLaplace:
         if minus:
             contrib_m = self.fk.integrate_side(
                 batch.face_m, rv_m,
-                np.einsum("fijab,fiab->fjab", fm_m, rg_m, optimize=True),
+                contract("fijab,fiab->fjab", fm_m, rg_m),
             )
-            np.add.at(out, batch.cells_m[idx], contrib_m)
+            self._scatter(out, batch.cells_m[idx], contrib_m,
+                          None if key is None else key + ("m",))
         if plus:
             contrib_p = self.fk.integrate_side(
                 batch.face_p, rv_p,
-                np.einsum("fijab,fiab->fjab", fm_p, rg_p, optimize=True),
+                contract("fijab,fiab->fjab", fm_p, rg_p),
                 batch.orientation, batch.subface,
             )
-            np.add.at(out, batch.cells_p[idx], contrib_p)
+            self._scatter(out, batch.cells_p[idx], contrib_p,
+                          None if key is None else key + ("p",))
+
+    def _scatter(self, out, cells, contrib, key) -> None:
+        """Planned scatter for the precomputed (per-batch) destinations;
+        single cut faces accumulate directly (one row is trivially
+        unique)."""
+        if key is None:
+            out[cells] += contrib
+            return
+        plan = cached_scatter_plan(self._plan_cache, key, cells, out.shape[0])
+        plan.add(out, contrib)
 
     def _boundary_terms(self, u: np.ndarray) -> np.ndarray:
         from ..core.operators.base import physical_gradient
@@ -185,20 +207,22 @@ class DistributedDGLaplace:
         op = self.op
         out = np.zeros_like(u)
         fk = self.fk
-        for batch, fm, tau in zip(op.conn.boundary, op.bdry_metrics, op.tau_b):
+        for ib, (batch, fm, tau) in enumerate(
+            zip(op.conn.boundary, op.bdry_metrics, op.tau_b)
+        ):
             if batch.boundary_id not in op.dirichlet_ids:
                 continue
             um = u[batch.cells]
             vm, gm = fk.eval_side(um, batch.face)
             Gm = physical_gradient(fm.minus.jinv_t, gm)
-            dn_m = np.einsum("fiab,fiab->fab", fm.normal, Gm, optimize=True)
+            dn_m = contract("fiab,fiab->fab", fm.normal, Gm)
             w = fm.jxw
             rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
             rg_phys = (-vm * w)[:, None] * fm.normal
             contrib = fk.integrate_side(
                 batch.face, rv, op._to_ref_grad(fm.minus.jinv_t, rg_phys)
             )
-            np.add.at(out, batch.cells, contrib)
+            self._scatter(out, batch.cells, contrib, ("bdy", ib))
         return out
 
 

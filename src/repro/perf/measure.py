@@ -4,12 +4,22 @@ Follows the paper's methodology: a series of repetitions of the same
 operator application, reporting the *best* sample (Section 4: "All
 experiments are based on a series of 20 repetitions, taking the
 best-performing sample"), converted to processed unknowns per second
-(DoF/s)."""
+(DoF/s).
+
+Alongside timing, :func:`measure_throughput` samples the *allocation
+behavior* of one call via :mod:`tracemalloc` — peak newly allocated
+bytes and the net number of surviving allocation blocks — so workspace
+regressions (a plan layer silently falling back to fresh temporaries)
+show up in the numbers, not just in the timings.  The allocation sample
+runs on one extra call *after* the timed repetitions, so tracemalloc's
+own overhead never pollutes the timing statistics.
+"""
 
 from __future__ import annotations
 
 import gc
 import time
+import tracemalloc
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,18 +33,47 @@ class ThroughputResult:
     mean_seconds: float
     repetitions: int
     std_seconds: float = 0.0  # sample standard deviation across repetitions
+    alloc_peak_bytes: int | None = None  # peak newly allocated bytes per call
+    alloc_net_blocks: int | None = None  # net surviving allocation blocks per call
 
     @property
     def dofs_per_second(self) -> float:
         return self.n_dofs / self.best_seconds
 
     def __str__(self) -> str:
-        return (
+        s = (
             f"{self.name:<40s} {self.n_dofs:>10d} DoF  "
             f"{self.best_seconds * 1e3:8.2f} ms "
             f"(±{self.std_seconds * 1e3:.2f} ms)  "
             f"{self.dofs_per_second:12.3e} DoF/s"
         )
+        if self.alloc_peak_bytes is not None:
+            s += f"  alloc {self.alloc_peak_bytes / 1e6:7.2f} MB peak"
+        return s
+
+
+def measure_allocations(fn) -> tuple[int, int]:
+    """(peak newly allocated bytes, net surviving blocks) of one ``fn()``.
+
+    Peak is measured from a reset high-water mark, so it counts only
+    memory allocated *during* the call; the net block count compares
+    snapshots before/after and is 0 for a call that only writes into
+    preexisting buffers (modulo the returned result itself)."""
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        tracemalloc.reset_peak()
+        base, _ = tracemalloc.get_traced_memory()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        after = tracemalloc.take_snapshot()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    net_blocks = sum(s.count_diff for s in after.compare_to(before, "filename"))
+    return max(0, peak - base), net_blocks
 
 
 def measure_throughput(
@@ -43,13 +82,16 @@ def measure_throughput(
     name: str = "",
     repetitions: int = 20,
     warmup: int = 2,
+    track_allocations: bool = True,
 ) -> ThroughputResult:
     """Time ``fn()`` ``repetitions`` times; best sample counts.
 
     The garbage collector is paused around the timed samples so a cycle
     collection landing inside one repetition cannot distort the best/mean
     statistics; the sample standard deviation is reported alongside as a
-    noise indicator."""
+    noise indicator.  With ``track_allocations`` (default), one extra
+    call after the timed block samples per-call allocation statistics
+    under tracemalloc (see :func:`measure_allocations`)."""
     for _ in range(warmup):
         fn()
     samples = []
@@ -63,6 +105,9 @@ def measure_throughput(
     finally:
         if gc_was_enabled:
             gc.enable()
+    alloc_peak = alloc_blocks = None
+    if track_allocations:
+        alloc_peak, alloc_blocks = measure_allocations(fn)
     return ThroughputResult(
         name=name,
         n_dofs=n_dofs,
@@ -70,6 +115,8 @@ def measure_throughput(
         mean_seconds=float(np.mean(samples)),
         repetitions=repetitions,
         std_seconds=float(np.std(samples, ddof=1)) if len(samples) > 1 else 0.0,
+        alloc_peak_bytes=alloc_peak,
+        alloc_net_blocks=alloc_blocks,
     )
 
 

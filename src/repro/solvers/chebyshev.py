@@ -21,6 +21,23 @@ from .jacobi import JacobiPreconditioner
 from .krylov import lanczos_max_eigenvalue
 
 
+def _iadd(x: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """``x += d`` when dtype-preserving, else the promoting ``x + d`` —
+    bitwise identical to the allocating recurrence either way (a mixed
+    float32/float64 pair must promote exactly as ``x + d`` would)."""
+    if x.dtype == np.result_type(x.dtype, d.dtype):
+        x += d
+        return x
+    return x + d
+
+
+def _isub(x: np.ndarray, d: np.ndarray) -> np.ndarray:
+    if x.dtype == np.result_type(x.dtype, d.dtype):
+        x -= d
+        return x
+    return x - d
+
+
 class ChebyshevSmoother:
     """Chebyshev-accelerated Jacobi iteration of fixed polynomial degree.
 
@@ -60,6 +77,18 @@ class ChebyshevSmoother:
         self.lambda_min = lam_max / smoothing_range
         self.theta = 0.5 * (self.lambda_max + self.lambda_min)
         self.delta = 0.5 * (self.lambda_max - self.lambda_min)
+        self._buffers: dict = {}
+
+    def _jacobi_buffer(self, r: np.ndarray) -> np.ndarray:
+        """Reusable output buffer for ``P.vmult(r, out=...)`` in the
+        promoted result dtype (keyed by shape and dtype)."""
+        dt = np.result_type(r.dtype, self.jacobi.inv_diag.dtype)
+        key = (r.shape, dt.str)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(r.shape, dtype=dt)
+            self._buffers[key] = buf
+        return buf
 
     @property
     def n_dofs(self) -> int:
@@ -67,24 +96,41 @@ class ChebyshevSmoother:
 
     def smooth(self, b: np.ndarray, x: np.ndarray | None = None) -> np.ndarray:
         """Apply ``degree`` Chebyshev iterations to ``A x = b`` starting
-        from ``x`` (zero if omitted); returns the smoothed iterate."""
+        from ``x`` (zero if omitted); returns the smoothed iterate.
+
+        The three-term recurrence updates ``x``, ``r``, and ``d`` in
+        place (a caller-provided ``x`` is never mutated — the first
+        update copies out of it), with a reusable buffer for the Jacobi
+        product — the steady-state loop performs no vector allocations
+        beyond the operator application itself, and stays bitwise
+        identical to the allocating form of the recurrence.
+        """
         op, P = self.op, self.jacobi
         TRACER.incr("chebyshev.applications")
         theta, delta = self.theta, self.delta
         if x is None:
             x = np.zeros_like(b)
             r = b.copy()
+            x_owned = True
         else:
             r = b - op.vmult(x)
+            x_owned = False
         sigma = theta / delta
         rho_old = 1.0 / sigma
-        d = P.vmult(r) / theta
-        x = x + d
+        d = P.vmult(r)
+        d /= theta
+        x = _iadd(x, d) if x_owned else x + d
         for _ in range(1, self.degree):
             rho = 1.0 / (2.0 * sigma - rho_old)
-            r = r - op.vmult(d)
-            d = (rho * rho_old) * d + (2.0 * rho / delta) * P.vmult(r)
-            x = x + d
+            r = _isub(r, op.vmult(d))
+            # d <- (rho rho_old) d + (2 rho / delta) P r, without the two
+            # temporaries (addition of identical summands is bitwise
+            # insensitive to the in-place rewrite)
+            d *= rho * rho_old
+            z = P.vmult(r, out=self._jacobi_buffer(r))
+            z *= 2.0 * rho / delta
+            d += z
+            x = _iadd(x, d)
             rho_old = rho
         return x
 

@@ -24,8 +24,13 @@ class JacobiPreconditioner:
     def n_dofs(self) -> int:
         return self.inv_diag.size
 
-    def vmult(self, r: np.ndarray) -> np.ndarray:
-        return r * self.inv_diag
+    def vmult(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``out`` (optional) must have the promoted result dtype; the
+        product is then written in place (bitwise identical to the
+        allocating form)."""
+        if out is None:
+            return r * self.inv_diag
+        return np.multiply(r, self.inv_diag, out=out)
 
     def to_precision(self, dtype) -> "JacobiPreconditioner":
         clone = object.__new__(JacobiPreconditioner)

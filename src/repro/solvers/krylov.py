@@ -106,7 +106,10 @@ def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
         z = np.asarray(M.vmult(r), dtype=np.float64)
         rz_new = float(r @ z)
         beta = rz_new / rz
-        p = z + beta * p
+        # p <- z + beta p without a temporary (IEEE addition commutes
+        # bitwise, so this matches `z + beta * p` exactly)
+        p *= beta
+        p += z
         rz = rz_new
     return SolverResult(x, max_iter, False, residuals)
 

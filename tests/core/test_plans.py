@@ -1,0 +1,332 @@
+"""Tests of the execution-plan layer (:mod:`repro.core.plans`) and of the
+planned operator paths against their legacy references.
+
+The legacy execution — ``np.add.at`` scatters, per-call einsum path
+searches, fresh temporaries, and the unit-vector diagonal — stays
+available via ``op.use_plans = False`` and serves as the reference for
+every equivalence assertion here, on meshes with hanging faces and with
+non-identity face orientations (the bifurcation junction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dof_handler import CGDofHandler, DGDofHandler
+from repro.core.operators import (
+    CGLaplaceOperator,
+    DGLaplaceOperator,
+    MassOperator,
+    VectorDGLaplace,
+)
+from repro.core.plans import (
+    _PATH_CACHE,
+    FlatScatterPlan,
+    ScatterPlan,
+    Workspace,
+    contract,
+)
+from repro.mesh.connectivity import build_connectivity
+from repro.mesh.generators import bifurcation, box
+from repro.mesh.mapping import GeometryField
+from repro.mesh.octree import Forest
+from repro.solvers import single_precision_operator
+
+
+@pytest.fixture(scope="module")
+def hanging_forest():
+    """Box forest with one extra-refined cell: real hanging faces."""
+    f = Forest(box(subdivisions=(2, 1, 1), boundary_ids={0: 1})).refine_all(1)
+    return f.refine([f.leaves[0]]).balance()
+
+
+@pytest.fixture(scope="module")
+def bifurcation_mesh():
+    """Tube junction: non-identity face orientations."""
+    return Forest(bifurcation())
+
+
+def make_dg_laplace(forest, degree, dirichlet=(1,)):
+    geo = GeometryField(forest, degree)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, degree)
+    return dof, conn, DGLaplaceOperator(dof, geo, conn, dirichlet_ids=dirichlet)
+
+
+class TestScatterPlan:
+    def test_unique_indices_match_add_at(self):
+        rng = np.random.default_rng(0)
+        idx = rng.permutation(50)[:20]
+        contrib = rng.standard_normal((20, 3, 3))
+        ref = rng.standard_normal((50, 3, 3))
+        out = ref.copy()
+        np.add.at(ref, idx, contrib)
+        plan = ScatterPlan(idx, 50)
+        assert plan.is_unique
+        plan.add(out, contrib)
+        assert np.array_equal(out, ref)
+
+    def test_duplicate_indices_match_add_at(self):
+        rng = np.random.default_rng(1)
+        idx = rng.integers(0, 12, size=200)
+        contrib = rng.standard_normal((200, 2, 2))
+        ref = np.zeros((12, 2, 2))
+        out = np.zeros((12, 2, 2))
+        np.add.at(ref, idx, contrib)
+        plan = ScatterPlan(idx, 12)
+        assert not plan.is_unique
+        plan.add(out, contrib)
+        # reduceat folds duplicates before the indexed add: same sums up
+        # to floating-point association
+        np.testing.assert_allclose(out, ref, rtol=1e-14, atol=1e-14)
+
+    def test_empty_plan_is_noop(self):
+        out = np.ones((4, 2))
+        ScatterPlan(np.array([], dtype=np.intp), 4).add(out, np.zeros((0, 2)))
+        assert np.array_equal(out, np.ones((4, 2)))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            ScatterPlan(np.array([0, 5]), 5)
+        with pytest.raises(ValueError):
+            ScatterPlan(np.array([-1, 0]), 5)
+
+    @pytest.mark.parametrize("mesh_fixture", ["hanging_forest", "bifurcation_mesh"])
+    def test_mesh_face_batches_match_add_at(self, mesh_fixture, request):
+        """The real per-batch index sets (hanging faces, rotated faces)
+        scatter identically to ``np.add.at``."""
+        forest = request.getfixturevalue(mesh_fixture)
+        _, conn, _ = make_dg_laplace(forest, 2)
+        if mesh_fixture == "hanging_forest":
+            assert conn.n_hanging_faces > 0
+        else:
+            assert conn.mixed_orientation_fraction() > 0
+        rng = np.random.default_rng(2)
+        n_cells = forest.n_cells
+        for batch in conn.interior:
+            for cells in (batch.cells_m, batch.cells_p):
+                contrib = rng.standard_normal((len(cells), 3, 3, 3))
+                ref = np.zeros((n_cells, 3, 3, 3))
+                out = np.zeros((n_cells, 3, 3, 3))
+                np.add.at(ref, cells, contrib)
+                ScatterPlan(cells, n_cells).add(out, contrib)
+                np.testing.assert_allclose(out, ref, rtol=1e-14, atol=0)
+
+
+class TestFlatScatterPlan:
+    def test_matches_add_at(self):
+        rng = np.random.default_rng(3)
+        idx = rng.integers(0, 30, size=(8, 27))  # CG-style: heavy duplication
+        vals = rng.standard_normal((8, 27))
+        ref = np.zeros(30)
+        np.add.at(ref, idx.ravel(), vals.ravel())
+        plan = FlatScatterPlan(idx, 30)
+        np.testing.assert_allclose(plan.scatter(vals), ref, rtol=1e-14)
+        out = np.ones(30)
+        plan.scatter_add(out, vals)
+        np.testing.assert_allclose(out, 1.0 + ref, rtol=1e-14)
+
+    def test_preserves_float32(self):
+        """Unlike ``np.bincount``, the plan keeps float32 contributions in
+        float32 — the float32 multigrid levels depend on this."""
+        rng = np.random.default_rng(4)
+        idx = rng.integers(0, 10, size=40)
+        vals = rng.standard_normal(40).astype(np.float32)
+        out = FlatScatterPlan(idx, 10).scatter(vals)
+        assert out.dtype == np.float32
+
+    def test_empty(self):
+        plan = FlatScatterPlan(np.array([], dtype=np.intp), 5)
+        assert np.array_equal(plan.scatter(np.array([])), np.zeros(5))
+
+
+class TestContract:
+    @pytest.mark.parametrize("subscripts,shapes", [
+        ("cijzyx,cjzyx->cizyx", [(4, 3, 3, 2, 2, 2), (4, 3, 2, 2, 2)]),
+        ("fiab,fiab->fab", [(5, 3, 4, 4), (5, 3, 4, 4)]),
+        ("fijab,fiab->fjab", [(5, 3, 3, 4, 4), (5, 3, 4, 4)]),
+        ("fab,abxy->fxy", [(5, 4, 4), (4, 4, 3, 3)]),
+        ("czyx,zZ,yY,xX->cZYX", [(4, 3, 3, 3), (3, 3), (3, 3), (3, 3)]),
+    ])
+    def test_matches_einsum(self, subscripts, shapes):
+        rng = np.random.default_rng(5)
+        ops = [rng.standard_normal(s) for s in shapes]
+        ref = np.einsum(subscripts, *ops, optimize=True)
+        np.testing.assert_allclose(contract(subscripts, *ops), ref,
+                                   rtol=1e-13, atol=1e-14)
+        key = (subscripts, tuple(s for s in map(tuple, shapes)))
+        assert key in _PATH_CACHE  # plan decided once, cached
+
+    def test_out_parameter(self):
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((4, 3, 2, 2))
+        b = rng.standard_normal((4, 3, 2, 2))
+        out = np.empty((4, 2, 2))
+        res = contract("fiab,fiab->fab", a, b, out=out)
+        assert res is out
+        np.testing.assert_allclose(out, np.einsum("fiab,fiab->fab", a, b))
+
+    def test_small_contraction_goes_direct(self):
+        """Length-3 metric contractions must use the direct C loop
+        (strategy ``False``), not a tensordot path."""
+        a = np.ones((4, 3, 3, 2, 2, 2))
+        b = np.ones((4, 3, 2, 2, 2))
+        contract("cijzyx,cjzyx->cizyx", a, b)
+        assert _PATH_CACHE[("cijzyx,cjzyx->cizyx", (a.shape, b.shape))] is False
+
+    def test_float32_reuses_shape_keyed_plan(self):
+        a64 = np.ones((3, 3, 2, 2))
+        b64 = np.ones((3, 3, 2, 2))
+        r64 = contract("fiab,fiab->fab", a64, b64)
+        r32 = contract("fiab,fiab->fab", a64.astype(np.float32),
+                       b64.astype(np.float32))
+        assert r32.dtype == np.float32
+        np.testing.assert_allclose(r32, r64, rtol=1e-6)
+
+
+class TestWorkspace:
+    def test_take_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.take("t", (4, 4))
+        b = ws.take("t", (4, 4))
+        assert a is b
+        assert ws.n_buffers == 1
+
+    def test_keys_separate_by_tag_shape_dtype(self):
+        ws = Workspace()
+        a = ws.take("t", (4,))
+        b = ws.take("u", (4,))
+        c = ws.take("t", (5,))
+        d = ws.take("t", (4,), np.float32)
+        assert len({id(x) for x in (a, b, c, d)}) == 4
+        assert ws.n_buffers == 4
+        assert ws.nbytes == 4 * 8 + 4 * 8 + 5 * 8 + 4 * 4
+
+    def test_zeros(self):
+        ws = Workspace()
+        a = ws.take("t", (3,))
+        a[:] = 7.0
+        z = ws.zeros("t", (3,))
+        assert z is a
+        assert np.array_equal(z, np.zeros(3))
+
+
+class TestPlannedVmultEquivalence:
+    """Planned execution == legacy execution to machine precision."""
+
+    def check(self, op, n, seed=0, rtol=1e-13):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        op.use_plans = True
+        y_planned = op.vmult(x)
+        y_planned2 = op.vmult(x)  # second call: warm workspace buffers
+        op.use_plans = False
+        y_legacy = op.vmult(x)
+        del op.use_plans
+        scale = np.abs(y_legacy).max()
+        np.testing.assert_allclose(y_planned, y_legacy, rtol=rtol,
+                                   atol=rtol * scale)
+        assert np.array_equal(y_planned, y_planned2)  # deterministic reuse
+
+    @pytest.mark.parametrize("degree", [1, 2, 3])
+    def test_dg_laplace_hanging(self, hanging_forest, degree):
+        _, conn, op = make_dg_laplace(hanging_forest, degree)
+        assert conn.n_hanging_faces > 0
+        self.check(op, op.n_dofs)
+
+    @pytest.mark.parametrize("degree", [1, 2])
+    def test_dg_laplace_bifurcation(self, bifurcation_mesh, degree):
+        _, conn, op = make_dg_laplace(bifurcation_mesh, degree)
+        assert conn.mixed_orientation_fraction() > 0
+        self.check(op, op.n_dofs)
+
+    def test_dg_laplace_float32_clone(self, hanging_forest):
+        _, _, op = make_dg_laplace(hanging_forest, 2)
+        sp = single_precision_operator(op)
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(sp.n_dofs).astype(np.float32)
+        sp.use_plans = True
+        y_planned = sp.vmult(x)
+        sp.use_plans = False
+        y_legacy = sp.vmult(x)
+        assert y_planned.dtype == y_legacy.dtype
+        scale = np.abs(y_legacy).max()
+        np.testing.assert_allclose(y_planned, y_legacy, rtol=2e-5,
+                                   atol=2e-5 * scale)
+
+    def test_cg_laplace(self, hanging_forest):
+        geo = GeometryField(hanging_forest, 2)
+        conn = build_connectivity(hanging_forest)
+        dof = CGDofHandler(hanging_forest, 2, conn, dirichlet_ids=(1,))
+        op = CGLaplaceOperator(dof, geo)
+        self.check(op, op.n_dofs)
+
+    def test_mass(self, bifurcation_mesh):
+        geo = GeometryField(bifurcation_mesh, 2)
+        dof = DGDofHandler(bifurcation_mesh, 2)
+        op = MassOperator(dof, geo)
+        self.check(op, op.n_dofs)
+
+    def test_vector_laplace(self, hanging_forest):
+        _, _, scalar = make_dg_laplace(hanging_forest, 2)
+        dof_v = DGDofHandler(hanging_forest, 2, n_components=3)
+        op = VectorDGLaplace(scalar, dof_v)
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal(op.n_dofs)
+        op.use_plans = scalar.use_plans = True
+        y_planned = op.vmult(x)
+        op.use_plans = scalar.use_plans = False
+        y_legacy = op.vmult(x)
+        scale = np.abs(y_legacy).max()
+        np.testing.assert_allclose(y_planned, y_legacy, rtol=1e-13,
+                                   atol=1e-13 * scale)
+
+    def test_assemble_rhs(self, hanging_forest):
+        _, _, op = make_dg_laplace(hanging_forest, 2)
+
+        def run():
+            return op.assemble_rhs(
+                f=lambda x, y, z: x * y + z,
+                dirichlet=lambda x, y, z: x - z,
+            )
+
+        op.use_plans = True
+        b_planned = run()
+        op.use_plans = False
+        b_legacy = run()
+        np.testing.assert_allclose(b_planned, b_legacy, rtol=1e-13,
+                                   atol=1e-15)
+
+
+class TestFastDiagonal:
+    """Closed-form ``diagonal()`` == unit-vector ``diagonal_reference()``."""
+
+    @pytest.mark.parametrize("degree", [1, 2, 3])
+    def test_hanging(self, hanging_forest, degree):
+        _, conn, op = make_dg_laplace(hanging_forest, degree)
+        assert conn.n_hanging_faces > 0
+        fast = op.diagonal()
+        ref = op.diagonal_reference()
+        np.testing.assert_allclose(fast, ref, rtol=1e-12,
+                                   atol=1e-12 * np.abs(ref).max())
+
+    @pytest.mark.parametrize("degree", [1, 2])
+    def test_bifurcation(self, bifurcation_mesh, degree):
+        _, conn, op = make_dg_laplace(bifurcation_mesh, degree)
+        assert conn.mixed_orientation_fraction() > 0
+        fast = op.diagonal()
+        ref = op.diagonal_reference()
+        np.testing.assert_allclose(fast, ref, rtol=1e-12,
+                                   atol=1e-12 * np.abs(ref).max())
+
+    def test_float32_clone(self, hanging_forest):
+        _, _, op = make_dg_laplace(hanging_forest, 2)
+        sp = single_precision_operator(op)
+        fast = sp.diagonal()
+        ref = sp.diagonal_reference()
+        np.testing.assert_allclose(fast, ref, rtol=2e-4,
+                                   atol=2e-4 * np.abs(ref).max())
+
+    def test_legacy_toggle_uses_reference(self, hanging_forest):
+        _, _, op = make_dg_laplace(hanging_forest, 1)
+        op.use_plans = False
+        np.testing.assert_array_equal(op.diagonal(), op.diagonal_reference())

@@ -17,7 +17,8 @@ class TestMeasureThroughput:
             time.sleep(0.02 if len(calls) < 3 else 0.001)
             calls.append(1)
 
-        r = measure_throughput(fn, n_dofs=1000, repetitions=6, warmup=1)
+        r = measure_throughput(fn, n_dofs=1000, repetitions=6, warmup=1,
+                               track_allocations=False)
         assert r.repetitions == 6
         assert len(calls) == 7  # warmup + 6
         assert r.best_seconds <= r.mean_seconds
@@ -48,8 +49,9 @@ class TestMeasureThroughput:
         states = []
         r = measure_throughput(lambda: states.append(gc.isenabled()),
                                n_dofs=1, repetitions=3, warmup=1)
-        # warmup runs with GC on, timed samples with GC off
-        assert states == [True, False, False, False]
+        # warmup runs with GC on, timed samples with GC off, and the
+        # allocation sample runs after timing with GC restored
+        assert states == [True, False, False, False, True]
         assert gc.isenabled()
         assert r.repetitions == 3
 
@@ -62,6 +64,39 @@ class TestMeasureThroughput:
             assert not gc.isenabled()
         finally:
             gc.enable()
+
+    def test_allocation_tracking_populates_fields(self):
+        def fn():
+            np.zeros(1 << 16)  # 512 KB transient
+
+        r = measure_throughput(fn, n_dofs=10, repetitions=2, warmup=0)
+        assert r.alloc_peak_bytes is not None
+        assert r.alloc_peak_bytes >= (1 << 16) * 8
+        assert isinstance(r.alloc_net_blocks, int)
+        assert "alloc" in str(r)
+
+    def test_allocation_tracking_opt_out(self):
+        r = measure_throughput(lambda: None, n_dofs=1, repetitions=1,
+                               warmup=0, track_allocations=False)
+        assert r.alloc_peak_bytes is None
+        assert r.alloc_net_blocks is None
+        assert "alloc" not in str(r)
+
+    def test_measure_allocations_buffer_reuse_is_cheap(self):
+        from repro.perf.measure import measure_allocations
+
+        buf = np.empty(1 << 14)
+
+        def into_buffer():
+            buf[...] = 1.0
+
+        def fresh():
+            np.ones(1 << 14)
+
+        peak_reuse, _ = measure_allocations(into_buffer)
+        peak_fresh, _ = measure_allocations(fresh)
+        assert peak_fresh >= (1 << 14) * 8
+        assert peak_reuse < peak_fresh
 
     def test_measure_operator_uses_vmult(self):
         class Op:
