@@ -46,6 +46,7 @@ def cmd_poisson(args) -> int:
             "degree": args.degree,
             "tolerance": args.tolerance,
             "converged": res.converged,
+            "failure_reason": res.failure_reason,
             "n_iterations": res.n_iterations,
             "reduction_rate": res.reduction_rate,
             "residuals": res.residuals,
@@ -55,14 +56,17 @@ def cmd_poisson(args) -> int:
             "vmult_alloc_net_blocks": perf.alloc_net_blocks,
         }))
     else:
+        tail = "" if res.converged else f" [{res.failure_reason}]"
         print(f"converged: {res.converged} in {res.n_iterations} iterations "
-              f"(reduction rate {res.reduction_rate:.3f})")
+              f"(reduction rate {res.reduction_rate:.3f}){tail}")
     return 0 if res.converged else 1
 
 
 def cmd_lung(args) -> int:
+    import os
+
     from .lung import LungVentilationSimulation
-    from .ns.solver import SolverSettings
+    from .robustness import CheckpointManager, RunConfig, StepFailure
     from .telemetry import (
         TRACER,
         RunLogWriter,
@@ -75,38 +79,74 @@ def cmd_lung(args) -> int:
     if args.trace:
         TRACER.reset()
         TRACER.enable()
-    sim = LungVentilationSimulation(
-        generations=args.generations,
-        degree=args.degree,
-        solver_settings=SolverSettings(solver_tolerance=1e-3),
-        seed=args.seed,
-    )
+    try:
+        cfg = RunConfig.from_args(args)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.resume and not cfg.robustness.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir (or a config file "
+              "with robustness.checkpoint_dir set)", file=sys.stderr)
+        return 2
+    sim = LungVentilationSimulation(cfg)
+    manager = CheckpointManager.from_settings(cfg.robustness)
+    if args.resume:
+        try:
+            resumed_from = manager.resume(sim, target=args.resume)
+        except (FileNotFoundError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(f"resumed from {resumed_from} (t={sim.time:.6f}s)")
     n_dofs = sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs
-    print(f"lung g={args.generations}: {sim.lung.forest.n_cells} cells, "
+    print(f"lung g={cfg.generations}: {sim.lung.forest.n_cells} cells, "
           f"{sim.lung.n_outlets} outlets, {n_dofs} DoF")
     writer = None
     if args.log_file:
         writer = RunLogWriter(args.log_file, meta={
             "command": "lung",
-            "generations": args.generations,
-            "degree": args.degree,
-            "seed": args.seed,
+            "generations": cfg.generations,
+            "degree": cfg.degree,
+            "seed": cfg.seed,
             "n_cells": sim.lung.forest.n_cells,
             "n_dofs": n_dofs,
         })
     stats = []
     for i in range(args.steps):
-        st = sim.step()
+        try:
+            st = sim.step()
+        except StepFailure as e:
+            print(f"error: {e}", file=sys.stderr)
+            if manager is not None:
+                path = manager.save(sim)
+                print(f"pre-failure state checkpointed to {path}",
+                      file=sys.stderr)
+            if writer is not None:
+                writer.write_summary(TRACER if args.trace else None)
+                writer.close()
+            return 1
         stats.append(st)
         if writer is not None:
             writer.write_step(st, extra={
                 "inflow_m3_s": sim._inlet_flow,
                 "tidal_volume_ml": sim.tidal_volume_delivered() * 1e6,
             })
+        if manager is not None:
+            manager.maybe_save(sim)
+        if args.crash_after_step is not None and i + 1 >= args.crash_after_step:
+            # deterministic crash injection for kill/resume testing: exit
+            # without any cleanup, as a kill -9 would
+            print(f"simulated crash after step {i + 1}")
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(137)
         if (i + 1) % max(1, args.steps // 5) == 0:
             print(f"  step {i + 1:4d}: t={sim.time:.5f}s dt={st.dt:.2e} "
                   f"inflow={sim._inlet_flow * 1e3:.3f} l/s "
                   f"V={sim.tidal_volume_delivered() * 1e6:.2f} ml")
+    if sim.recovery_log:
+        retries = sum(1 for e in sim.recovery_log if e.kind == "step_retry")
+        print(f"recovery: {retries} step retries "
+              f"({len(sim.recovery_log)} events total)")
     if writer is not None:
         writer.write_summary(TRACER if args.trace else None)
         writer.close()
@@ -219,10 +259,17 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_poisson)
 
     p = sub.add_parser("lung", help="coupled ventilated-lung simulation")
-    p.add_argument("--generations", type=int, default=1)
-    p.add_argument("--degree", type=int, default=2)
+    p.add_argument("--config", type=str, default=None,
+                   help="JSON RunConfig file providing the run description; "
+                        "explicit flags override it")
+    p.add_argument("--generations", type=int, default=None,
+                   help="airway-tree generations (default 1)")
+    p.add_argument("--degree", type=int, default=None,
+                   help="polynomial degree (default 2)")
     p.add_argument("--steps", type=int, default=10)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative solver tolerance (default 1e-3)")
     p.add_argument("--vtk", type=str, default=None)
     p.add_argument("--trace", action="store_true",
                    help="enable the telemetry tracer and print the "
@@ -230,6 +277,21 @@ def main(argv=None) -> int:
     p.add_argument("--log-file", type=str, default=None,
                    help="write a schema-versioned JSONL run log "
                         "(one record per time step)")
+    p.add_argument("--checkpoint-dir", type=str, default=None,
+                   help="directory for rotated auto-checkpoints")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="checkpoint every N steps (with --checkpoint-dir)")
+    p.add_argument("--checkpoint-every-seconds", type=float, default=None,
+                   help="checkpoint every T simulated seconds")
+    p.add_argument("--checkpoint-keep", type=int, default=None,
+                   help="number of rotated checkpoints to retain (default 3)")
+    p.add_argument("--resume", type=str, default=None, metavar="latest|PATH",
+                   help="resume from a checkpoint before stepping "
+                        "('latest' or an explicit file)")
+    p.add_argument("--max-step-retries", type=int, default=None,
+                   help="divergence-recovery retry budget per step (default 3)")
+    p.add_argument("--crash-after-step", type=int, default=None,
+                   help=argparse.SUPPRESS)
     p.set_defaults(fn=cmd_lung)
 
     p = sub.add_parser("report", help="aggregate a JSONL run log")

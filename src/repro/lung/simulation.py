@@ -10,23 +10,43 @@ Coupling is staggered and explicit: after each flow step the outlet flow
 rates update the compartment volumes (hence next step's outlet
 pressures) and the inlet flow updates the tubus pressure drop; at every
 cycle end the tidal-volume controller adjusts dp.
+
+Construction takes a single :class:`~repro.robustness.RunConfig`; the
+scattered keyword arguments of earlier versions still work through a
+deprecation shim that warns once per process.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..ns.bc import BoundaryConditions, PressureDirichlet
-from ..ns.solver import IncompressibleNavierStokesSolver, SolverSettings
+from ..ns.solver import IncompressibleNavierStokesSolver
+from ..robustness.config import LEGACY_SIMULATION_KWARGS, RunConfig
 from ..telemetry import TRACER
 from .airway_mesh import INLET_ID, LungMesh, airway_tree_mesh
-from .morphometry import AIR_KINEMATIC_VISCOSITY
 from .tree import grow_airway_tree
-from .ventilator import PressureControlledVentilator, VentilationSettings
+from .ventilator import PressureControlledVentilator
 from .windkessel import WindkesselBank
+
+_legacy_warned = False
+
+
+def _warn_legacy_once() -> None:
+    global _legacy_warned
+    if not _legacy_warned:
+        _legacy_warned = True
+        warnings.warn(
+            "passing individual keyword arguments to LungVentilationSimulation "
+            "is deprecated; build a repro.robustness.RunConfig and pass it as "
+            "the single 'config' argument",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass
@@ -38,27 +58,58 @@ class CycleRecord:
 
 
 class LungVentilationSimulation:
-    """End-to-end mechanically ventilated lung model."""
+    """End-to-end mechanically ventilated lung model.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.robustness.RunConfig` describing the full run
+        (mesh generation, discretization, solver, ventilation protocol,
+        and fault-tolerance policy).  A bare ``int`` is accepted as the
+        legacy positional ``generations`` argument.
+    lung_mesh:
+        Optional pre-built mesh overriding the tree growth described by
+        the config (kept out of ``RunConfig`` because meshes are not
+        JSON-serializable).
+    """
 
     def __init__(
         self,
-        generations: int = 3,
-        degree: int = 2,
-        scale: float = 1.0,
-        refine_upper_generations: int = 0,
-        ventilation: VentilationSettings | None = None,
-        solver_settings: SolverSettings | None = None,
-        viscosity: float = AIR_KINEMATIC_VISCOSITY,
-        seed: int = 0,
+        config: RunConfig | int | None = None,
+        *,
         lung_mesh: LungMesh | None = None,
+        **legacy,
     ) -> None:
+        if isinstance(config, int):
+            # legacy positional `generations`
+            _warn_legacy_once()
+            config = RunConfig.from_legacy_kwargs(generations=config, **legacy)
+        elif legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either a RunConfig or legacy keyword arguments, "
+                    f"not both (got {sorted(legacy)})"
+                )
+            unknown = set(legacy) - LEGACY_SIMULATION_KWARGS
+            if unknown:
+                raise TypeError(
+                    f"unknown LungVentilationSimulation arguments: {sorted(unknown)}"
+                )
+            _warn_legacy_once()
+            config = RunConfig.from_legacy_kwargs(**legacy)
+        elif config is None:
+            config = RunConfig()
+        self.config = config
+
         if lung_mesh is None:
-            tree = grow_airway_tree(generations, scale=scale, seed=seed)
+            tree = grow_airway_tree(
+                config.generations, scale=config.scale, seed=config.seed
+            )
             lung_mesh = airway_tree_mesh(
-                tree, refine_upper_generations=refine_upper_generations
+                tree, refine_upper_generations=config.refine_upper_generations
             )
         self.lung = lung_mesh
-        self.ventilator = PressureControlledVentilator(ventilation)
+        self.ventilator = PressureControlledVentilator(config.ventilation)
         self.windkessels = WindkesselBank(
             terminal_generation=lung_mesh.tree.n_generations,
             n_outlets=lung_mesh.n_outlets,
@@ -81,17 +132,18 @@ class LungVentilationSimulation:
                 )
             )
         self.bcs = BoundaryConditions(conditions)  # walls default to no-slip
-        settings = solver_settings or SolverSettings()
+        settings = config.solver
         if not np.isfinite(settings.dt_max):
             # the flow starts from rest: bound the startup step by a small
             # fraction of the breathing period
             settings.dt_max = self.ventilator.settings.period / 500.0
         self.solver = IncompressibleNavierStokesSolver(
             lung_mesh.forest,
-            degree,
-            viscosity,
+            config.degree,
+            config.viscosity,
             self.bcs,
             settings,
+            robustness=config.robustness,
         )
         self.solver.initialize()
         self.cycle_records: list[CycleRecord] = []
@@ -103,6 +155,12 @@ class LungVentilationSimulation:
     @property
     def time(self) -> float:
         return self.solver.scheme.t
+
+    @property
+    def recovery_log(self):
+        """Structured :class:`~repro.robustness.RecoveryEvent` history of
+        step retries and solver fallbacks during this run."""
+        return self.solver.recovery_log
 
     def step(self, dt: float | None = None):
         """One coupled time step; returns the solver statistics."""
@@ -140,10 +198,15 @@ class LungVentilationSimulation:
             self._current_cycle = cycle
         return stats
 
-    def run(self, t_end: float, max_steps: int = 10**7):
+    def run(self, t_end: float, max_steps: int = 10**7, checkpoints=None):
+        """Advance to ``t_end``; ``checkpoints`` (an optional
+        :class:`~repro.robustness.CheckpointManager`) is polled after
+        every step so interval policies see the simulated time."""
         stats = []
         while self.time < t_end - 1e-12 and len(stats) < max_steps:
             stats.append(self.step())
+            if checkpoints is not None:
+                checkpoints.maybe_save(self)
         return stats
 
     def tidal_volume_delivered(self) -> float:

@@ -6,19 +6,107 @@ production deployment restarts from checkpoints.  The state needed for a
 history (velocities, their convective evaluations, pressures, step
 sizes) plus the coupled 0D models (windkessel volumes/flows, ventilator
 controller state); everything else is rebuilt from the mesh definition.
+
+Format version 2 additionally embeds the run's configuration
+(:class:`repro.robustness.RunConfig` as JSON) so a resume can detect
+configuration drift — restoring a state into a simulation built with
+different solver settings silently changes the trajectory, which is
+exactly the class of bug a long checkpointed run cannot afford.
+Version-1 files (no embedded config) still load.
 """
 
 from __future__ import annotations
 
+import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: format versions this module can read
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_scheme_state(path, scheme) -> Path:
-    """Serialize a :class:`~repro.timeint.dual_splitting.DualSplittingScheme`."""
+class CheckpointConfigDrift(UserWarning):
+    """The configuration stored in a checkpoint differs from the
+    simulation it is being restored into."""
+
+
+def _written_path(path: Path) -> Path:
+    """The file :func:`np.savez_compressed` actually wrote: numpy
+    appends ``.npz`` unless the *name* already ends with it (a suffixed
+    path like ``state.ckpt`` becomes ``state.ckpt.npz``)."""
+    path = Path(path)
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
+
+
+def _config_dict(config) -> dict | None:
+    if config is None:
+        return None
+    to_dict = getattr(config, "to_dict", None)
+    return to_dict() if callable(to_dict) else dict(config)
+
+
+def _config_payload(config) -> dict:
+    d = _config_dict(config)
+    return {} if d is None else {"config_json": np.array(json.dumps(d))}
+
+
+def _stored_config(data) -> dict | None:
+    if "config_json" in getattr(data, "files", ()):
+        return json.loads(str(data["config_json"].item()))
+    return None
+
+
+def _check_version(data) -> int:
+    version = int(data["version"])
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported checkpoint version {version} "
+            f"(supported: {SUPPORTED_VERSIONS})"
+        )
+    return version
+
+
+def _check_config_drift(stored: dict | None, current, mode: str) -> None:
+    """Compare the checkpoint's embedded config against the target
+    simulation's; ``mode`` is "ignore", "warn" (default), or "raise"."""
+    if mode not in ("ignore", "warn", "raise"):
+        raise ValueError(f"invalid config_drift mode {mode!r}")
+    current = _config_dict(current)
+    if mode == "ignore" or stored is None or current is None:
+        return
+    diffs = _dict_diff(stored, current)
+    if not diffs:
+        return
+    message = (
+        "checkpoint configuration differs from the running simulation: "
+        + "; ".join(diffs)
+    )
+    if mode == "raise":
+        raise ValueError(message)
+    warnings.warn(message, CheckpointConfigDrift, stacklevel=3)
+
+
+def _dict_diff(a: dict, b: dict, prefix: str = "") -> list[str]:
+    out = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if isinstance(va, dict) and isinstance(vb, dict):
+            out += _dict_diff(va, vb, f"{prefix}{key}.")
+        elif va != vb:
+            out.append(f"{prefix}{key}: checkpoint={va!r} current={vb!r}")
+    return out
+
+
+def save_scheme_state(path, scheme, config=None) -> Path:
+    """Serialize a :class:`~repro.timeint.dual_splitting.DualSplittingScheme`.
+
+    ``config`` (anything with ``to_dict()``, normally a
+    :class:`~repro.robustness.RunConfig`) is embedded for drift
+    detection on resume.  Returns the path numpy actually wrote."""
     path = Path(path)
     payload = {
         "version": np.array(FORMAT_VERSION),
@@ -27,6 +115,7 @@ def save_scheme_state(path, scheme) -> Path:
         "dt_history": np.asarray(scheme.dt_history, dtype=float),
         "n_u": np.array(len(scheme.u_history)),
         "n_p": np.array(len(scheme.p_history)),
+        **_config_payload(config),
     }
     for i, u in enumerate(scheme.u_history):
         payload[f"u_{i}"] = u
@@ -35,16 +124,16 @@ def save_scheme_state(path, scheme) -> Path:
     for i, p in enumerate(scheme.p_history):
         payload[f"p_{i}"] = p
     np.savez_compressed(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return _written_path(path)
 
 
-def load_scheme_state(path, scheme) -> None:
+def load_scheme_state(path, scheme, config_drift: str = "warn") -> dict | None:
     """Restore a scheme in place; the scheme must be built over the same
-    discretization (sizes are validated)."""
+    discretization (sizes are validated).  Returns the checkpoint's
+    embedded config dict (``None`` for version-1 files)."""
     with np.load(Path(path)) as data:
-        version = int(data["version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
+        _check_version(data)
+        stored_config = _stored_config(data)
         n_u = int(data["n_u"])
         n_p = int(data["n_p"])
         u_hist = [data[f"u_{i}"] for i in range(n_u)]
@@ -64,12 +153,18 @@ def load_scheme_state(path, scheme) -> None:
     scheme.conv_history = conv_hist
     scheme.p_history = p_hist
     scheme.dt_history = dt_hist
+    return stored_config
 
 
-def save_lung_state(path, sim) -> Path:
+def save_lung_state(path, sim, config=None) -> Path:
     """Serialize a :class:`~repro.lung.simulation.LungVentilationSimulation`
-    (flow state + windkessels + ventilator controller)."""
+    (flow state + windkessels + ventilator controller).  The simulation's
+    own :class:`~repro.robustness.RunConfig` is embedded unless an
+    explicit ``config`` overrides it.  Returns the path numpy actually
+    wrote (``.npz`` appended when missing)."""
     path = Path(path)
+    if config is None:
+        config = getattr(sim, "config", None)
     scheme = sim.solver.scheme
     payload = {
         "version": np.array(FORMAT_VERSION),
@@ -86,6 +181,7 @@ def save_lung_state(path, sim) -> Path:
         "cycle_inhaled": np.array(sim._cycle_inhaled),
         "steps_this_cycle": np.array(sim._steps_this_cycle),
         "current_cycle": np.array(sim._current_cycle),
+        **_config_payload(config),
     }
     for i, u in enumerate(scheme.u_history):
         payload[f"u_{i}"] = u
@@ -94,19 +190,25 @@ def save_lung_state(path, sim) -> Path:
     for i, p in enumerate(scheme.p_history):
         payload[f"p_{i}"] = p
     np.savez_compressed(path, **payload)
-    return path
+    return _written_path(path)
 
 
-def load_lung_state(path, sim) -> None:
-    """Restore a lung simulation in place (same mesh/settings)."""
+def load_lung_state(path, sim, config_drift: str = "warn") -> dict | None:
+    """Restore a lung simulation in place (same mesh/settings).
+
+    ``config_drift`` controls the reaction when the checkpoint's
+    embedded config differs from ``sim.config``: "warn" (default,
+    emits :class:`CheckpointConfigDrift`), "raise", or "ignore".
+    Returns the embedded config dict (``None`` for version-1 files)."""
     scheme = sim.solver.scheme
     with np.load(Path(path)) as data:
-        if int(data["version"]) != FORMAT_VERSION:
-            raise ValueError("unsupported checkpoint version")
+        _check_version(data)
+        stored_config = _stored_config(data)
         n_u = int(data["n_u"])
         n_p = int(data["n_p"])
         if int(data["wk_volumes"].size) != sim.windkessels.n_outlets:
             raise ValueError("checkpoint outlet count does not match the model")
+        _check_config_drift(stored_config, getattr(sim, "config", None), config_drift)
         scheme.t = float(data["t"])
         scheme.dt_history = [float(v) for v in data["dt_history"]]
         scheme.u_history = [data[f"u_{i}"] for i in range(n_u)]
@@ -123,3 +225,4 @@ def load_lung_state(path, sim) -> None:
         sim._cycle_inhaled = float(data["cycle_inhaled"])
         sim._steps_this_cycle = int(data["steps_this_cycle"])
         sim._current_cycle = int(data["current_cycle"])
+    return stored_config

@@ -27,6 +27,12 @@ from ..core.operators import (
 from ..mesh.connectivity import build_connectivity
 from ..mesh.mapping import GeometryField
 from ..mesh.octree import Forest
+from ..robustness.recovery import (
+    FallbackTier,
+    PressureFallbackChain,
+    RecoveryEvent,
+    recoverable_step,
+)
 from ..solvers.jacobi import JacobiPreconditioner
 from ..solvers.multigrid import HybridMultigridPreconditioner
 from ..timeint.cfl import CFLController
@@ -62,11 +68,18 @@ class IncompressibleNavierStokesSolver:
         settings: SolverSettings | None = None,
         body_force=None,
         periodic=None,
+        robustness=None,
     ) -> None:
         """``periodic`` forwards translational periodicity declarations to
         :func:`repro.mesh.connectivity.build_connectivity`; periodic runs
         use the Jacobi-preconditioned pressure solve (the conforming
-        auxiliary space of the hybrid multigrid is not periodic)."""
+        auxiliary space of the hybrid multigrid is not periodic).
+
+        ``robustness`` (a :class:`repro.robustness.RobustnessSettings`)
+        enables the fault-tolerant stepping harness: per-step divergence
+        validation with rollback/retry, and the deterministic pressure
+        fallback chain mixed-precision MG -> double-precision MG ->
+        Jacobi-CG with a raised iteration cap."""
         if degree < 2:
             raise ValueError("mixed-order (k, k-1) spaces need k >= 2")
         self.forest = forest
@@ -125,6 +138,12 @@ class IncompressibleNavierStokesSolver:
         else:
             self.pressure_pre = JacobiPreconditioner(self.pressure_poisson)
 
+        self.robustness = robustness
+        self.recovery_log: list[RecoveryEvent] = []
+        self.pressure_fallback = None
+        if robustness is not None and robustness.enable_fallback:
+            self.pressure_fallback = self._build_pressure_fallback(robustness)
+
         self._body_force_fn = body_force
         tol = self.settings.solver_tolerance
         self.scheme = DualSplittingScheme(
@@ -152,10 +171,43 @@ class IncompressibleNavierStokesSolver:
             penalty_tol=tol,
             pressure_has_dirichlet=bool(self.pressure_dirichlet),
             max_solver_iterations=self.settings.max_solver_iterations,
+            pressure_fallback=self.pressure_fallback,
         )
         self.cfl = CFLController(
             cfl=self.settings.cfl, degree=degree, dt_max=self.settings.dt_max
         )
+
+    def _build_pressure_fallback(self, robustness) -> PressureFallbackChain:
+        """The documented escalation order for the pressure solve.
+
+        Tier 0 is the configured preconditioner (normally the
+        mixed-precision hybrid multigrid); the double-precision V-cycle
+        and the Jacobi-CG rescue tier are built lazily on first
+        activation."""
+        op = self.pressure_poisson
+        tiers = []
+        if isinstance(self.pressure_pre, HybridMultigridPreconditioner):
+            tiers.append(FallbackTier("mg_mixed", lambda: self.pressure_pre))
+            tiers.append(
+                FallbackTier(
+                    "mg_double",
+                    lambda: HybridMultigridPreconditioner(
+                        op,
+                        smoother_degree=self.settings.smoother_degree,
+                        precision=np.float64,
+                    ),
+                )
+            )
+        else:
+            tiers.append(FallbackTier("jacobi", lambda: self.pressure_pre))
+        tiers.append(
+            FallbackTier(
+                "jacobi_cg",
+                lambda: JacobiPreconditioner(op),
+                max_iter_scale=robustness.fallback_max_iter_scale,
+            )
+        )
+        return PressureFallbackChain(tiers)
 
     # ------------------------------------------------------------------
     def compute_vorticity(self, u_flat: np.ndarray) -> np.ndarray:
@@ -309,13 +361,24 @@ class IncompressibleNavierStokesSolver:
         stats.cfl = stats.dt * self.degree**1.5 * vmax
         return stats
 
+    def _advance(self, dt: float):
+        """One scheme step, through the recovery harness when the
+        solver carries a robustness policy (a diverged step rolls back
+        and retries with a backed-off ``dt``; the realized step size is
+        whatever the successful attempt used)."""
+        if self.robustness is not None and self.robustness.max_step_retries > 0:
+            return recoverable_step(
+                self.scheme, dt, self.robustness, events=self.recovery_log
+            )
+        return self.scheme.step(dt)
+
     def step(self, dt: float | None = None):
         vmax = None
         if dt is None:
             vmax = self.convective.max_reference_velocity(self.scheme.velocity)
             prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
             dt = self.cfl.step_size(vmax, prev)
-        stats = self.scheme.step(dt)
+        stats = self._advance(dt)
         if vmax is not None:
             self._stamp_cfl(stats, vmax)
         return stats
@@ -330,7 +393,7 @@ class IncompressibleNavierStokesSolver:
             prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
             dt = self.cfl.step_size(vmax, prev)
             dt = min(dt, t_end - self.scheme.t)
-            stats.append(self._stamp_cfl(self.scheme.step(dt), vmax))
+            stats.append(self._stamp_cfl(self._advance(dt), vmax))
         return stats
 
     # -- post-processing ---------------------------------------------------

@@ -1,0 +1,42 @@
+"""Fault-tolerant run harness: unified run configuration, divergence
+recovery, the pressure-solver fallback chain, and auto-resume
+checkpointing.
+
+The three layers compose into runs that survive the failure modes
+long-horizon production simulations actually hit:
+
+* :class:`RunConfig` / :class:`RobustnessSettings` — one frozen,
+  JSON-round-trippable object configures solver, simulation, CLI, and
+  checkpoint layers;
+* :func:`recoverable_step` / :class:`PressureFallbackChain` — a
+  diverged step rolls back and retries with a smaller ``dt``; a failed
+  pressure solve escalates mixed-precision MG -> double-precision MG ->
+  Jacobi-CG with a raised iteration cap;
+* :class:`CheckpointManager` — rotated, atomically written checkpoints
+  with a ``latest`` pointer, resumable bit-identically
+  (``repro lung --checkpoint-dir ... --resume latest``).
+"""
+
+from .checkpointing import CheckpointManager
+from .config import LEGACY_SIMULATION_KWARGS, RobustnessSettings, RunConfig
+from .recovery import (
+    FallbackTier,
+    PressureFallbackChain,
+    RecoveryEvent,
+    StepFailure,
+    recoverable_step,
+    validate_scheme_state,
+)
+
+__all__ = [
+    "CheckpointManager",
+    "FallbackTier",
+    "LEGACY_SIMULATION_KWARGS",
+    "PressureFallbackChain",
+    "RecoveryEvent",
+    "RobustnessSettings",
+    "RunConfig",
+    "StepFailure",
+    "recoverable_step",
+    "validate_scheme_state",
+]

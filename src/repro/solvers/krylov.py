@@ -18,10 +18,28 @@ from ..telemetry import TRACER
 
 @dataclass
 class SolverResult:
+    """Outcome of an iterative solve.
+
+    A failed solve never raises out of the iteration: ``converged`` is
+    False and ``failure_reason`` is one of
+
+    * ``"nan_residual"`` — a non-finite residual (or right-hand side /
+      preconditioner output) was encountered,
+    * ``"max_iterations"`` — the iteration budget ran out,
+    * ``"breakdown"`` — the operator turned out not to be SPD
+      (``p^T A p <= 0``).
+
+    Callers branch on the result; the fault-tolerant run harness
+    (:mod:`repro.robustness`) uses the reason to pick a fallback tier.
+    ``tier`` is stamped by the fallback chain with the name of the
+    preconditioner tier that produced this result."""
+
     x: np.ndarray
     n_iterations: int
     converged: bool
     residuals: list[float] = field(default_factory=list)
+    failure_reason: str | None = None
+    tier: str = ""
 
     @property
     def reduction_rate(self) -> float:
@@ -68,6 +86,8 @@ def conjugate_gradient(
     if TRACER.enabled:
         TRACER.incr(f"{label}.solves")
         TRACER.incr(f"{label}.iterations", result.n_iterations)
+        if result.failure_reason is not None:
+            TRACER.incr(f"{label}.failures.{result.failure_reason}")
         if result.residuals and result.residuals[0] > 0:
             TRACER.gauge(
                 f"{label}.last_relative_residual",
@@ -83,6 +103,10 @@ def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
     b_norm = float(np.linalg.norm(b))
     threshold = max(tol * b_norm, abs_tol)
     residuals = [float(np.linalg.norm(r))]
+    if not np.isfinite(residuals[0]):
+        # a poisoned right-hand side or initial guess: no iteration can
+        # recover from this, report instead of looping to max_iter
+        return SolverResult(x, 0, False, residuals, failure_reason="nan_residual")
     if residuals[0] <= threshold or b_norm == 0.0:
         return SolverResult(x, 0, True, residuals)
     M = preconditioner or IdentityPreconditioner()
@@ -92,15 +116,26 @@ def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
     for it in range(1, max_iter + 1):
         Ap = op.vmult(p)
         pAp = float(p @ Ap)
+        if not np.isfinite(pAp):
+            # NaN/inf from the operator or preconditioner (e.g. an
+            # overflowed single-precision V-cycle): x is the last finite
+            # iterate, the update that would poison it is not applied
+            return SolverResult(
+                x, it - 1, False, residuals, failure_reason="nan_residual"
+            )
         if pAp <= 0:
-            raise RuntimeError(
-                f"CG breakdown: p^T A p = {pAp:.3e} <= 0 (operator not SPD?)"
+            return SolverResult(
+                x, it - 1, False, residuals, failure_reason="breakdown"
             )
         alpha = rz / pAp
         x += alpha * p
         r -= alpha * Ap
         res = float(np.linalg.norm(r))
         residuals.append(res)
+        if not np.isfinite(res):
+            return SolverResult(
+                x, it, False, residuals, failure_reason="nan_residual"
+            )
         if res <= threshold:
             return SolverResult(x, it, True, residuals)
         z = np.asarray(M.vmult(r), dtype=np.float64)
@@ -111,7 +146,7 @@ def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
         p *= beta
         p += z
         rz = rz_new
-    return SolverResult(x, max_iter, False, residuals)
+    return SolverResult(x, max_iter, False, residuals, failure_reason="max_iterations")
 
 
 def lanczos_max_eigenvalue(op, preconditioner=None, n_iter: int = 12,

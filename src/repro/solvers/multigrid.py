@@ -207,6 +207,7 @@ class HybridMultigridPreconditioner:
         self.levels = levels  # fine -> coarse
         self.level_mults: list[int] = [0] * (len(levels) + 1)
         self.amg_calls = 0
+        self.nonfinite_vcycles = 0
 
     # ------------------------------------------------------------------
     @property
@@ -252,9 +253,18 @@ class HybridMultigridPreconditioner:
         return x
 
     def vmult(self, r: np.ndarray) -> np.ndarray:
-        """One V-cycle in the configured (single) precision."""
+        """One V-cycle in the configured (single) precision.
+
+        A non-finite result (reduced-precision overflow on a mis-scaled
+        residual) is counted but returned as-is: the outer CG detects
+        the poisoned direction on its next residual and reports
+        ``nan_residual``, which lets a fallback chain escalate to a
+        more conservative tier."""
         with TRACER.span("mg_vcycle"):
             TRACER.incr("mg.vcycles")
             r_p = np.asarray(r, dtype=self.precision)
             x = self._vcycle(0, r_p)
+            if not np.isfinite(x).all():
+                self.nonfinite_vcycles += 1
+                TRACER.incr("mg.nonfinite_vcycles")
             return np.asarray(x, dtype=np.float64)

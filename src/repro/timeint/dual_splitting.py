@@ -87,7 +87,13 @@ class DualSplittingScheme:
         penalty_tol: float = 1e-6,
         pressure_has_dirichlet: bool = True,
         max_solver_iterations: int = 200,
+        pressure_fallback=None,
     ) -> None:
+        """``pressure_fallback`` (optional) is a duck-typed escalation
+        chain with ``solve(op, b, tol, max_iter, x0) -> SolverResult``
+        (see :class:`repro.robustness.recovery.PressureFallbackChain`);
+        when set, it owns the pressure Poisson solve instead of the
+        plain preconditioned CG call."""
         self.ops = ops
         self.order = order
         self.pressure_tol = pressure_tol
@@ -95,6 +101,7 @@ class DualSplittingScheme:
         self.penalty_tol = penalty_tol
         self.pressure_has_dirichlet = pressure_has_dirichlet
         self.max_iter = max_solver_iterations
+        self.pressure_fallback = pressure_fallback
         self.u_history: list[np.ndarray] = []
         self.conv_history: list[np.ndarray] = []
         self.p_history: list[np.ndarray] = []
@@ -115,6 +122,30 @@ class DualSplittingScheme:
         """Remove the nullspace component for pure-Neumann pressure."""
         ones = np.ones_like(v)
         return v - (v @ ones) / (ones @ ones) * ones
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the rollback state of the scheme (O(history) shallow
+        copies: ``step`` never mutates history arrays in place, it only
+        prepends freshly allocated iterates)."""
+        return {
+            "t": self.t,
+            "u": list(self.u_history),
+            "conv": list(self.conv_history),
+            "p": list(self.p_history),
+            "dt": list(self.dt_history),
+            "n_stats": len(self.statistics),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Roll the scheme back to a :meth:`snapshot_state` capture
+        (discarding the statistics of any failed steps since)."""
+        self.t = snapshot["t"]
+        self.u_history = list(snapshot["u"])
+        self.conv_history = list(snapshot["conv"])
+        self.p_history = list(snapshot["p"])
+        self.dt_history = list(snapshot["dt"])
+        del self.statistics[snapshot["n_stats"]:]
 
     # ------------------------------------------------------------------
     def step(self, dt: float) -> StepStatistics:
@@ -173,15 +204,24 @@ class DualSplittingScheme:
                         p_guess = self.p_history[0].copy()
                 else:
                     p_guess = None
-                res_p = conjugate_gradient(
-                    ops.pressure_poisson,
-                    b_p,
-                    ops.pressure_preconditioner,
-                    tol=self.pressure_tol,
-                    max_iter=self.max_iter,
-                    x0=p_guess,
-                    name="pressure",
-                )
+                if self.pressure_fallback is not None:
+                    res_p = self.pressure_fallback.solve(
+                        ops.pressure_poisson,
+                        b_p,
+                        tol=self.pressure_tol,
+                        max_iter=self.max_iter,
+                        x0=p_guess,
+                    )
+                else:
+                    res_p = conjugate_gradient(
+                        ops.pressure_poisson,
+                        b_p,
+                        ops.pressure_preconditioner,
+                        tol=self.pressure_tol,
+                        max_iter=self.max_iter,
+                        x0=p_guess,
+                        name="pressure",
+                    )
                 p_new = res_p.x
                 if not self.pressure_has_dirichlet:
                     p_new = self._project_mean_free(p_new)

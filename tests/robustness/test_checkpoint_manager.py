@@ -1,0 +1,231 @@
+"""Tests of CheckpointManager: interval policies, rotation, the latest
+pointer, atomic writes, config-drift detection, and the
+write-path fix of the underlying state serialization."""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.lung import LungVentilationSimulation
+from repro.ns.checkpoint import (
+    CheckpointConfigDrift,
+    load_lung_state,
+    save_lung_state,
+    save_scheme_state,
+)
+from repro.ns.solver import SolverSettings
+from repro.robustness import CheckpointManager, RobustnessSettings, RunConfig
+
+
+def quick_config(**robustness):
+    return RunConfig(
+        generations=1,
+        degree=2,
+        solver=SolverSettings(solver_tolerance=1e-3, cfl=0.3),
+        robustness=RobustnessSettings(**robustness),
+    )
+
+
+@pytest.fixture(scope="module")
+def stepped_sim():
+    sim = LungVentilationSimulation(quick_config())
+    for _ in range(2):
+        sim.step()
+    return sim
+
+
+class TestWrittenPathFix:
+    def test_suffixed_path_returns_real_file(self, tmp_path, stepped_sim):
+        # np.savez_compressed appends ".npz" to "state.ckpt"; the
+        # returned path must name the file that actually exists
+        p = save_scheme_state(tmp_path / "state.ckpt", stepped_sim.solver.scheme)
+        assert p.name == "state.ckpt.npz"
+        assert p.exists()
+        assert not (tmp_path / "state.ckpt").exists()
+
+    def test_npz_path_unchanged(self, tmp_path, stepped_sim):
+        p = save_scheme_state(tmp_path / "state.npz", stepped_sim.solver.scheme)
+        assert p.name == "state.npz" and p.exists()
+
+    def test_lung_save_returns_written_path(self, tmp_path, stepped_sim):
+        p = save_lung_state(tmp_path / "lung.ckpt", stepped_sim)
+        assert p.name == "lung.ckpt.npz" and p.exists()
+
+
+class TestPolicies:
+    def test_step_interval(self, tmp_path, stepped_sim):
+        m = CheckpointManager(tmp_path, every_steps=3)
+        written = [m.maybe_save(stepped_sim) for _ in range(7)]
+        assert [w is not None for w in written] == [
+            False, False, True, False, False, True, False,
+        ]
+        assert len(m.checkpoints()) == 2
+
+    def test_seconds_interval(self, tmp_path, monkeypatch):
+        class FakeSim:
+            time = 0.0
+
+        sim = FakeSim()
+        m = CheckpointManager(tmp_path, every_seconds=0.1)
+        saved = []
+
+        def fake_save(s):  # the interval policy is what is under test
+            saved.append(s.time)
+            m._steps_since = 0
+            m._last_t = float(s.time)
+
+        monkeypatch.setattr(m, "save", fake_save)
+        for k in range(8):
+            sim.time = k * 0.04
+            m.maybe_save(sim)
+        # baseline at the first observed step, then every 0.1 simulated s
+        assert saved == [pytest.approx(0.12), pytest.approx(0.24)]
+
+    def test_disabled_policies_never_save(self, tmp_path, stepped_sim):
+        m = CheckpointManager(tmp_path)
+        for _ in range(5):
+            assert m.maybe_save(stepped_sim) is None
+        assert m.checkpoints() == []
+
+    def test_from_settings_requires_directory(self):
+        assert CheckpointManager.from_settings(RobustnessSettings()) is None
+
+    def test_from_settings_builds_manager(self, tmp_path):
+        s = RobustnessSettings(
+            checkpoint_dir=str(tmp_path), checkpoint_every_steps=2,
+            checkpoint_keep=5,
+        )
+        m = CheckpointManager.from_settings(s)
+        assert m.every_steps == 2 and m.keep == 5
+        assert m.directory == tmp_path
+
+
+class TestRotationAndPointer:
+    def test_rotation_keeps_last_k(self, tmp_path, stepped_sim):
+        m = CheckpointManager(tmp_path, every_steps=1, keep=2)
+        for _ in range(5):
+            m.maybe_save(stepped_sim)
+        files = m.checkpoints()
+        assert [f.name for f in files] == ["ckpt-00000003.npz", "ckpt-00000004.npz"]
+        assert m.latest() == files[-1]
+        assert (tmp_path / "latest").read_text().strip() == "ckpt-00000004.npz"
+
+    def test_sequence_continues_across_managers(self, tmp_path, stepped_sim):
+        m1 = CheckpointManager(tmp_path, every_steps=1)
+        m1.maybe_save(stepped_sim)
+        m2 = CheckpointManager(tmp_path, every_steps=1)
+        p = m2.maybe_save(stepped_sim)
+        assert p.name == "ckpt-00000001.npz"
+
+    def test_no_torn_files_left_behind(self, tmp_path, stepped_sim):
+        m = CheckpointManager(tmp_path, every_steps=1)
+        m.maybe_save(stepped_sim)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_latest_pointer_fallback_when_stale(self, tmp_path, stepped_sim):
+        m = CheckpointManager(tmp_path, every_steps=1)
+        m.maybe_save(stepped_sim)
+        m.maybe_save(stepped_sim)
+        (tmp_path / "latest").write_text("ckpt-99999999.npz\n")
+        assert m.latest().name == "ckpt-00000001.npz"
+
+    def test_resume_without_checkpoints_raises(self, tmp_path, stepped_sim):
+        m = CheckpointManager(tmp_path)
+        with pytest.raises(FileNotFoundError, match="no checkpoint"):
+            m.resume(stepped_sim)
+
+
+class TestResume:
+    def test_in_process_resume_is_bit_identical(self, tmp_path):
+        cfg = quick_config()
+        ref = LungVentilationSimulation(cfg)
+        twin = LungVentilationSimulation(cfg)
+        for _ in range(4):
+            ref.step()
+        m = CheckpointManager(tmp_path, every_steps=2)
+        twin.run(t_end=np.inf, max_steps=2, checkpoints=m)
+        assert m.n_writes == 1
+
+        fresh = LungVentilationSimulation(cfg)
+        path = m.resume(fresh)
+        assert path == m.latest()
+        for _ in range(2):
+            fresh.step()
+        assert fresh.time == ref.time
+        assert np.array_equal(fresh.solver.velocity, ref.solver.velocity)
+        assert np.array_equal(fresh.solver.pressure, ref.solver.pressure)
+        assert fresh.tidal_volume_delivered() == ref.tidal_volume_delivered()
+
+    def test_config_drift_warns(self, tmp_path):
+        sim = LungVentilationSimulation(quick_config())
+        sim.step()
+        m = CheckpointManager(tmp_path, every_steps=1)
+        m.maybe_save(sim)
+
+        drifted = LungVentilationSimulation(
+            dataclasses.replace(
+                quick_config(),
+                solver=SolverSettings(solver_tolerance=1e-4, cfl=0.3),
+            )
+        )
+        with pytest.warns(CheckpointConfigDrift, match="solver_tolerance"):
+            m.resume(drifted)
+
+    def test_config_drift_raise_mode(self, tmp_path):
+        sim = LungVentilationSimulation(quick_config())
+        sim.step()
+        m = CheckpointManager(tmp_path, every_steps=1)
+        m.maybe_save(sim)
+        drifted = LungVentilationSimulation(
+            dataclasses.replace(
+                quick_config(),
+                solver=SolverSettings(solver_tolerance=1e-4, cfl=0.3),
+            )
+        )
+        with pytest.raises(ValueError, match="solver_tolerance"):
+            m.resume(drifted, config_drift="raise")
+
+    def test_config_drift_ignore_mode(self, tmp_path):
+        sim = LungVentilationSimulation(quick_config())
+        sim.step()
+        m = CheckpointManager(tmp_path, every_steps=1)
+        m.maybe_save(sim)
+        drifted = LungVentilationSimulation(
+            dataclasses.replace(
+                quick_config(),
+                solver=SolverSettings(solver_tolerance=1e-4, cfl=0.3),
+            )
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CheckpointConfigDrift)
+            m.resume(drifted, config_drift="ignore")
+
+    def test_identical_config_does_not_warn(self, tmp_path):
+        sim = LungVentilationSimulation(quick_config())
+        sim.step()
+        m = CheckpointManager(tmp_path, every_steps=1)
+        m.maybe_save(sim)
+        fresh = LungVentilationSimulation(quick_config())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CheckpointConfigDrift)
+            m.resume(fresh)
+
+    def test_stored_config_round_trips(self, tmp_path, stepped_sim):
+        p = save_lung_state(tmp_path / "s.npz", stepped_sim)
+        stored = load_lung_state(
+            p, stepped_sim, config_drift="ignore"
+        )
+        assert RunConfig.from_dict(stored) == stepped_sim.config
+
+    def test_unsupported_version_rejected(self, tmp_path, stepped_sim):
+        p = save_lung_state(tmp_path / "s.npz", stepped_sim)
+        with np.load(p) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["version"] = np.array(99)
+        np.savez_compressed(p, **payload)
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_lung_state(p, stepped_sim)

@@ -1,0 +1,117 @@
+"""Kill-and-resume across a real process boundary.
+
+The reference run advances 2N steps and checkpoints every N; the crash
+run checkpoints at step N and then dies with ``os._exit(137)`` (the CLI's
+deterministic crash injection, indistinguishable from kill -9: no flushes,
+no atexit); the resumed process loads ``latest`` and advances N more
+steps.  The state both paths checkpoint at step 2N must agree to the
+last bit."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(args, check_rc=0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lung", *args],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=560,
+    )
+    assert proc.returncode == check_rc, (
+        f"rc={proc.returncode}\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    return proc
+
+
+def checkpoint_arrays(path):
+    with np.load(path) as data:
+        return {k: np.array(data[k]) for k in data.files if k != "config_json"}
+
+
+class TestCrashResume:
+    @pytest.mark.slow
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        ref_dir = tmp_path / "ref"
+        crash_dir = tmp_path / "crash"
+        common = ["--steps", "4", "--checkpoint-every", "2",
+                  "--checkpoint-keep", "5"]
+
+        run_cli([*common, "--checkpoint-dir", str(ref_dir)])
+        crash = run_cli(
+            [*common, "--checkpoint-dir", str(crash_dir),
+             "--crash-after-step", "2"],
+            check_rc=137,
+        )
+        assert "simulated crash after step 2" in crash.stdout
+        # the crashed run left exactly the step-2 checkpoint behind
+        assert sorted(p.name for p in crash_dir.glob("*.npz")) == [
+            "ckpt-00000000.npz"
+        ]
+
+        resumed = run_cli(
+            ["--steps", "2", "--checkpoint-every", "2", "--checkpoint-keep",
+             "5", "--checkpoint-dir", str(crash_dir), "--resume", "latest"],
+        )
+        assert "resumed from" in resumed.stdout
+
+        ref = checkpoint_arrays(ref_dir / "ckpt-00000001.npz")
+        res = checkpoint_arrays(crash_dir / "ckpt-00000001.npz")
+        assert set(ref) == set(res)
+        for key in sorted(ref):
+            assert np.array_equal(ref[key], res[key]), (
+                f"checkpoint field {key} differs after kill/resume"
+            )
+
+
+class TestCheckpointFlags:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["lung", "--steps", "1", "--resume", "latest"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_from_empty_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["lung", "--steps", "1",
+                     "--checkpoint-dir", str(tmp_path / "empty"),
+                     "--resume", "latest"]) == 2
+        assert "no checkpoint" in capsys.readouterr().err
+
+    def test_missing_config_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["lung", "--steps", "1",
+                     "--config", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoints_written_and_rotated(self, tmp_path, capsys):
+        ckpt = tmp_path / "ck"
+        assert main(["lung", "--steps", "4", "--checkpoint-dir", str(ckpt),
+                     "--checkpoint-every", "1", "--checkpoint-keep", "2"]) == 0
+        names = sorted(p.name for p in ckpt.glob("*.npz"))
+        assert names == ["ckpt-00000002.npz", "ckpt-00000003.npz"]
+        assert (ckpt / "latest").read_text().strip() == "ckpt-00000003.npz"
+
+    def test_config_file_drives_the_run(self, tmp_path, capsys):
+        from repro.robustness import RunConfig
+
+        cfg = tmp_path / "run.json"
+        cfg.write_text(RunConfig(generations=1, degree=2).to_json())
+        assert main(["lung", "--steps", "1", "--config", str(cfg)]) == 0
+        assert "lung g=1" in capsys.readouterr().out
+
+    def test_run_log_records_recovery_counters(self, tmp_path):
+        # a clean traced run reports zero-fault telemetry: the counters
+        # namespace exists in the summary only when faults occurred
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "2", "--trace",
+                     "--log-file", str(log)]) == 0
+        summary = [json.loads(line) for line in log.read_text().splitlines()
+                   if json.loads(line).get("type") == "summary"][0]
+        assert not any(k.startswith("recovery.") for k in summary["counters"])

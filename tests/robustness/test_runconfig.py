@@ -1,0 +1,196 @@
+"""Tests of the unified RunConfig API: serialization round-trips, the
+CLI construction front, and the legacy-kwargs deprecation shim."""
+
+import argparse
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.lung.ventilator import VentilationSettings
+from repro.ns.solver import SolverSettings
+from repro.robustness import RobustnessSettings, RunConfig
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_defaults(self):
+        c = RunConfig()
+        assert RunConfig.from_dict(c.to_dict()) == c
+
+    def test_dict_round_trip_customized(self):
+        c = RunConfig(
+            generations=2,
+            degree=3,
+            scale=0.8,
+            seed=7,
+            solver=SolverSettings(solver_tolerance=1e-5, cfl=0.2),
+            ventilation=VentilationSettings(peep=800.0),
+            robustness=RobustnessSettings(max_step_retries=5, dt_backoff=0.25),
+        )
+        assert RunConfig.from_dict(c.to_dict()) == c
+
+    def test_json_round_trip_with_infinite_dt_max(self):
+        c = RunConfig()
+        assert math.isinf(c.solver.dt_max)
+        c2 = RunConfig.from_json(c.to_json())
+        assert c2 == c
+        assert math.isinf(c2.solver.dt_max)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown RunConfig keys"):
+            RunConfig.from_dict({"generations": 1, "turbo": True})
+
+    def test_defaults_filled_lazily(self):
+        c = RunConfig()
+        assert isinstance(c.solver, SolverSettings)
+        assert isinstance(c.ventilation, VentilationSettings)
+        assert isinstance(c.robustness, RobustnessSettings)
+        assert c.viscosity > 0
+
+
+class TestRobustnessSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustnessSettings(max_step_retries=-1)
+        with pytest.raises(ValueError):
+            RobustnessSettings(dt_backoff=1.0)
+        with pytest.raises(ValueError):
+            RobustnessSettings(dt_backoff=0.0)
+        with pytest.raises(ValueError):
+            RobustnessSettings(checkpoint_keep=0)
+
+    def test_frozen(self):
+        s = RobustnessSettings()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            s.max_step_retries = 10
+
+
+def lung_namespace(**overrides):
+    """An argparse namespace matching the `repro lung` parser defaults."""
+    ns = argparse.Namespace(
+        config=None, generations=None, degree=None, seed=None,
+        tolerance=None, checkpoint_dir=None, checkpoint_every=None,
+        checkpoint_every_seconds=None, checkpoint_keep=None,
+        resume=None, max_step_retries=None,
+    )
+    for k, v in overrides.items():
+        setattr(ns, k, v)
+    return ns
+
+
+class TestFromArgs:
+    def test_cli_defaults(self):
+        c = RunConfig.from_args(lung_namespace())
+        assert c.generations == 1
+        assert c.degree == 2
+        assert c.seed == 0
+        assert c.solver.solver_tolerance == 1e-3
+
+    def test_flag_overrides(self):
+        c = RunConfig.from_args(lung_namespace(
+            generations=2, degree=3, seed=5, tolerance=1e-6,
+            checkpoint_dir="/tmp/ck", checkpoint_every=4,
+            checkpoint_keep=2, max_step_retries=1,
+        ))
+        assert c.generations == 2 and c.degree == 3 and c.seed == 5
+        assert c.solver.solver_tolerance == 1e-6
+        assert c.robustness.checkpoint_dir == "/tmp/ck"
+        assert c.robustness.checkpoint_every_steps == 4
+        assert c.robustness.checkpoint_keep == 2
+        assert c.robustness.max_step_retries == 1
+
+    def test_config_file_base_with_flag_override(self, tmp_path):
+        base = RunConfig(
+            generations=2,
+            solver=SolverSettings(solver_tolerance=1e-7),
+            robustness=RobustnessSettings(checkpoint_every_steps=9),
+        )
+        f = tmp_path / "run.json"
+        f.write_text(base.to_json())
+        c = RunConfig.from_args(lung_namespace(config=str(f), degree=4))
+        assert c.generations == 2  # from the file
+        assert c.degree == 4  # flag wins
+        assert c.solver.solver_tolerance == 1e-7  # file, not the CLI default
+        assert c.robustness.checkpoint_every_steps == 9
+
+    def test_config_file_round_trips_through_json_module(self, tmp_path):
+        f = tmp_path / "run.json"
+        f.write_text(RunConfig().to_json())
+        assert RunConfig.from_dict(json.loads(f.read_text())) == RunConfig()
+
+
+class TestLegacyShim:
+    def test_from_legacy_kwargs_maps_solver_settings(self):
+        s = SolverSettings(solver_tolerance=1e-4)
+        c = RunConfig.from_legacy_kwargs(generations=2, solver_settings=s)
+        assert c.generations == 2
+        assert c.solver is s
+
+    def test_unknown_legacy_kwarg_is_type_error(self):
+        with pytest.raises(TypeError, match="unknown"):
+            RunConfig.from_legacy_kwargs(generatons=2)
+
+    def test_simulation_warns_once(self, monkeypatch):
+        import repro.lung.simulation as sim_mod
+
+        monkeypatch.setattr(sim_mod, "_legacy_warned", False)
+        settings = SolverSettings(solver_tolerance=1e-3, cfl=0.3)
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            sim_mod.LungVentilationSimulation(
+                generations=1, degree=2, solver_settings=settings
+            )
+        # second legacy construction stays silent
+        with _no_warning():
+            sim_mod.LungVentilationSimulation(
+                generations=1, degree=2, solver_settings=settings
+            )
+
+    def test_legacy_and_config_are_equivalent(self, monkeypatch):
+        import warnings
+
+        import repro.lung.simulation as sim_mod
+
+        monkeypatch.setattr(sim_mod, "_legacy_warned", True)
+        settings = dict(solver_tolerance=1e-3, cfl=0.3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = sim_mod.LungVentilationSimulation(
+                generations=1, degree=2,
+                solver_settings=SolverSettings(**settings),
+            )
+        modern = sim_mod.LungVentilationSimulation(
+            RunConfig(generations=1, degree=2,
+                      solver=SolverSettings(**settings))
+        )
+        assert legacy.config.to_dict() == modern.config.to_dict()
+        import numpy as np
+
+        legacy.step()
+        modern.step()
+        assert np.array_equal(legacy.solver.velocity, modern.solver.velocity)
+
+    def test_config_plus_legacy_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            from repro.lung.simulation import LungVentilationSimulation
+
+            LungVentilationSimulation(RunConfig(), degree=3)
+
+
+class _no_warning:
+    """Context manager asserting that no DeprecationWarning is emitted."""
+
+    def __enter__(self):
+        import warnings
+
+        self._cm = warnings.catch_warnings(record=True)
+        self._records = self._cm.__enter__()
+        warnings.simplefilter("always")
+        return self._records
+
+    def __exit__(self, *exc):
+        self._cm.__exit__(*exc)
+        assert not any(
+            issubclass(r.category, DeprecationWarning) for r in self._records
+        ), "legacy construction warned more than once"
+        return False

@@ -73,15 +73,31 @@ class TestConjugateGradient:
         res = conjugate_gradient(DenseOp(A), np.zeros(10))
         assert res.converged and res.n_iterations == 0
 
-    def test_non_spd_raises(self):
+    def test_non_spd_reports_breakdown(self):
         A = -np.eye(5)
-        with pytest.raises(RuntimeError, match="SPD"):
-            conjugate_gradient(DenseOp(A), np.ones(5))
+        res = conjugate_gradient(DenseOp(A), np.ones(5))
+        assert not res.converged
+        assert res.failure_reason == "breakdown"
+
+    def test_nan_rhs_reports_nan_residual(self):
+        A = spd_matrix(10)
+        b = np.ones(10)
+        b[3] = np.nan
+        res = conjugate_gradient(DenseOp(A), b)
+        assert not res.converged
+        assert res.failure_reason == "nan_residual"
+        assert res.n_iterations == 0  # detected before iterating
 
     def test_max_iter_reports_failure(self):
         A = spd_matrix(50, cond=1e6, seed=3)
         res = conjugate_gradient(DenseOp(A), np.ones(50), tol=1e-14, max_iter=3)
         assert not res.converged
+        assert res.failure_reason == "max_iterations"
+
+    def test_converged_has_no_failure_reason(self):
+        A = spd_matrix(20)
+        res = conjugate_gradient(DenseOp(A), np.ones(20), tol=1e-10, max_iter=200)
+        assert res.converged and res.failure_reason is None
 
 
 class TestReductionRate:
