@@ -194,6 +194,93 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _parse_int_list(text: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("empty list")
+    return values
+
+
+def cmd_verify(args) -> int:
+    from .verification import (
+        beltrami_temporal_gate,
+        compare_golden,
+        compute_golden_metrics,
+        load_golden,
+        ns_temporal_ladder,
+        poisson_spatial_ladder,
+        rate_table_doc,
+        render_rate_table,
+        womersley_temporal_ladder,
+        write_golden,
+        write_rate_log,
+    )
+
+    # --- golden-snapshot mode -------------------------------------------
+    if args.golden:
+        if args.update_golden:
+            metrics = compute_golden_metrics()
+            path = write_golden(args.golden, metrics)
+            print(f"golden snapshot written to {path}")
+            return 0
+        try:
+            golden = load_golden(args.golden)
+        except (OSError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        mismatches = compare_golden(compute_golden_metrics(), golden)
+        if mismatches:
+            print(f"golden regression FAILED ({len(mismatches)} mismatches):")
+            for m in mismatches:
+                print(f"  - {m}")
+            return 1
+        print("golden regression passed")
+        return 0
+
+    # --- rate-ladder mode -----------------------------------------------
+    studies = []
+    if args.ladder in ("spatial", "all"):
+        for degree in args.degrees:
+            studies.append(
+                poisson_spatial_ladder(degree=degree, levels=args.levels)
+            )
+    step_kw = {"steps": args.steps} if args.steps else {}
+    if args.ladder in ("temporal", "all"):
+        if args.nu is None:
+            # the calibrated gate configuration (see TESTING.md)
+            studies.append(beltrami_temporal_gate(**step_kw))
+        else:
+            from .ns.analytic import BeltramiFlow
+
+            studies.append(
+                ns_temporal_ladder(BeltramiFlow(nu=args.nu), nu=args.nu,
+                                   **step_kw)
+            )
+    if args.ladder in ("womersley", "all"):
+        studies.append(womersley_temporal_ladder(**step_kw))
+
+    doc = rate_table_doc(studies, tolerance=args.rate_tolerance,
+                         meta={"command": "verify", "ladder": args.ladder})
+    table = render_rate_table(studies, tolerance=args.rate_tolerance)
+    if args.json:
+        print(json.dumps(doc))
+    else:
+        print(table)
+    if args.markdown:
+        with open(args.markdown, "w") as f:
+            f.write(table + "\n")
+        print(f"markdown rate table written to {args.markdown}")
+    if args.log_file:
+        write_rate_log(args.log_file, studies,
+                       tolerance=args.rate_tolerance,
+                       meta={"command": "verify", "ladder": args.ladder})
+        print(f"rate log written to {args.log_file}")
+    return 0 if doc["all_passed"] else 1
+
+
 def cmd_mesh(args) -> int:
     from .lung import airway_tree_mesh, grow_airway_tree
     from .mesh import build_connectivity
@@ -298,6 +385,40 @@ def main(argv=None) -> int:
     p.add_argument("run_log", type=str,
                    help="path to a run log written with --log-file")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "verify",
+        help="convergence-rate gates and golden regression snapshots",
+    )
+    p.add_argument("--ladder", choices=("spatial", "temporal", "womersley", "all"),
+                   default="spatial",
+                   help="which refinement ladder(s) to run (default: spatial)")
+    p.add_argument("--degrees", type=_parse_int_list, default=(2,),
+                   help="comma-separated polynomial degrees for the spatial "
+                        "ladder (default: 2)")
+    p.add_argument("--levels", type=_parse_int_list, default=(1, 2, 3),
+                   help="comma-separated refinement levels for the spatial "
+                        "ladder (default: 1,2,3)")
+    p.add_argument("--steps", type=_parse_int_list, default=None,
+                   help="comma-separated step counts for the temporal ladders "
+                        "(default: the ladder's own)")
+    p.add_argument("--nu", type=float, default=None,
+                   help="viscosity for a custom temporal Beltrami ladder "
+                        "(default: the calibrated gate configuration)")
+    p.add_argument("--rate-tolerance", type=float, default=0.4,
+                   help="allowed deficit of fitted vs expected rate")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable rate-table document")
+    p.add_argument("--markdown", type=str, default=None,
+                   help="also write the Markdown rate table to this file")
+    p.add_argument("--log-file", type=str, default=None,
+                   help="write a schema-versioned JSONL rate log")
+    p.add_argument("--golden", type=str, default=None,
+                   help="compare small-case metrics against this golden "
+                        "snapshot instead of running ladders")
+    p.add_argument("--update-golden", action="store_true",
+                   help="with --golden: regenerate the snapshot file")
+    p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("mesh", help="generate an airway mesh")
     p.add_argument("--generations", type=int, default=3)

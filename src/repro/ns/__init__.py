@@ -7,6 +7,7 @@ from .analytic import (
     BeltramiFlow,
     StokesDecayFlow,
     TaylorGreenVortex3D,
+    WomersleyPipeFlow,
     poiseuille_square_duct_flow_rate,
 )
 from .postprocess import FlowDiagnostics, sample_centerline
@@ -21,6 +22,7 @@ __all__ = [
     "BeltramiFlow",
     "StokesDecayFlow",
     "TaylorGreenVortex3D",
+    "WomersleyPipeFlow",
     "poiseuille_square_duct_flow_rate",
     "FlowDiagnostics",
     "sample_centerline",

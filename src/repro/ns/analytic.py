@@ -81,6 +81,93 @@ class StokesDecayFlow:
         return np.stack([0 * x, 0 * y, 0 * z])
 
 
+class WomersleyPipeFlow:
+    """Womersley (1955) pulsatile laminar flow in a rigid circular pipe —
+    the canonical oscillatory-flow profile of airway and vascular fluid
+    mechanics, parameterized by the Womersley number
+    ``alpha = R sqrt(omega / nu)``.
+
+    The flow is driven by the oscillating axial pressure gradient
+    ``-dp/dz = A cos(omega t)``, presented here as the body force
+    ``f = (0, 0, A cos(omega t))`` with ``p = 0`` so that the axial
+    velocity
+
+    ``u_z(r, t) = Re{ (A / (i omega)) [1 - J0(beta r)/J0(beta R)]
+    e^{i omega t} }``,  ``beta = sqrt(-i omega / nu)``,
+
+    is an *exact* solution of the incompressible Navier-Stokes equations
+    (the convective term vanishes identically for a unidirectional,
+    axially uniform field).  The pipe axis is the z-axis through
+    ``center``; no-slip holds at ``r = R``.
+    """
+
+    def __init__(
+        self,
+        radius: float,
+        nu: float,
+        omega: float,
+        amplitude: float = 1.0,
+        center: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if radius <= 0 or nu <= 0 or omega <= 0:
+            raise ValueError("radius, nu, and omega must all be positive")
+        self.radius = float(radius)
+        self.nu = float(nu)
+        self.omega = float(omega)
+        self.amplitude = float(amplitude)
+        self.center = (float(center[0]), float(center[1]))
+        # beta^2 = -i omega / nu; the principal root has arg(-i) = -pi/2
+        self.beta = np.sqrt(self.omega / self.nu) * np.exp(-1j * np.pi / 4)
+
+    @property
+    def alpha(self) -> float:
+        """Womersley number R sqrt(omega / nu)."""
+        return self.radius * np.sqrt(self.omega / self.nu)
+
+    def _profile(self, r: np.ndarray) -> np.ndarray:
+        """Complex amplitude u_hat(r) of the axial velocity."""
+        from scipy.special import jv
+
+        q = jv(0, self.beta * r) / jv(0, self.beta * self.radius)
+        return (self.amplitude / (1j * self.omega)) * (1.0 - q)
+
+    def axial_velocity(self, r, t):
+        """u_z at radius ``r`` and time ``t`` (real field)."""
+        r = np.asarray(r, dtype=float)
+        return np.real(self._profile(r) * np.exp(1j * self.omega * t))
+
+    def velocity(self, x, y, z, t):
+        r = np.hypot(
+            np.asarray(x, float) - self.center[0],
+            np.asarray(y, float) - self.center[1],
+        )
+        uz = self.axial_velocity(r, t)
+        return np.stack([np.zeros_like(uz), np.zeros_like(uz), uz])
+
+    def pressure(self, x, y, z, t):
+        # the driving gradient is modeled as a body force; p = 0
+        return np.zeros_like(np.asarray(x, dtype=float))
+
+    def body_force(self, x, y, z, t):
+        f = np.full_like(
+            np.asarray(x, dtype=float),
+            self.amplitude * np.cos(self.omega * t),
+        )
+        return np.stack([np.zeros_like(f), np.zeros_like(f), f])
+
+    def flow_rate(self, t) -> float:
+        """Exact volumetric flow rate ``int u_z dA`` at time ``t``
+        (uses ``int_0^R J0(beta r) r dr = (R / beta) J1(beta R)``)."""
+        from scipy.special import jv
+
+        bR = self.beta * self.radius
+        area = np.pi * self.radius**2
+        hat = (self.amplitude / (1j * self.omega)) * (
+            area - 2.0 * np.pi * self.radius / self.beta * jv(1, bR) / jv(0, bR)
+        )
+        return float(np.real(hat * np.exp(1j * self.omega * t)))
+
+
 def poiseuille_square_duct_flow_rate(
     dpdx: float, half_width: float, viscosity: float, n_terms: int = 25
 ) -> float:

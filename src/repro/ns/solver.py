@@ -373,15 +373,13 @@ class IncompressibleNavierStokesSolver:
         return self.scheme.step(dt)
 
     def step(self, dt: float | None = None):
-        vmax = None
+        vmax = self.convective.max_reference_velocity(self.scheme.velocity)
         if dt is None:
-            vmax = self.convective.max_reference_velocity(self.scheme.velocity)
             prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
             dt = self.cfl.step_size(vmax, prev)
-        stats = self._advance(dt)
-        if vmax is not None:
-            self._stamp_cfl(stats, vmax)
-        return stats
+        # stamp the realized CFL for fixed dt too, so telemetry and the
+        # verification ladders can flag stability-limit violations
+        return self._stamp_cfl(self._advance(dt), vmax)
 
     def run(self, t_end: float, max_steps: int = 10**7, dt_initial: float | None = None):
         """Advance to ``t_end`` with adaptive steps; returns statistics."""

@@ -18,13 +18,14 @@ from .report import (
     render_counters,
     render_span_tree,
 )
-from .sinks import SCHEMA, RunLogWriter, read_run_log, step_record
+from .sinks import SCHEMA, JsonlWriter, RunLogWriter, read_run_log, step_record
 from .tracer import NULL_SPAN, SpanNode, Tracer
 
 #: Process-global tracer the instrumented solve stack reports into.
 TRACER = Tracer(enabled=False)
 
 __all__ = [
+    "JsonlWriter",
     "NULL_SPAN",
     "SCHEMA",
     "RunAggregate",

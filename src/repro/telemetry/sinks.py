@@ -39,15 +39,18 @@ def step_record(stats, step_index: int, extra: dict | None = None) -> dict:
     return rec
 
 
-class RunLogWriter:
-    """Streaming JSONL writer: header, then one record per time step,
-    then a summary footer.  Usable as a context manager."""
+class JsonlWriter:
+    """Generic streaming JSONL sink: a schema-versioned ``header``
+    record first, then arbitrary records, flushed line by line so a
+    crashed run leaves a readable prefix.  Usable as a context manager.
+    Run logs and the verification rate tables both write through it."""
 
-    def __init__(self, path: str | Path, meta: dict | None = None) -> None:
+    def __init__(
+        self, path: str | Path, schema: str, meta: dict | None = None
+    ) -> None:
         self.path = Path(path)
         self._f: IO[str] | None = self.path.open("w")
-        self.n_steps = 0
-        self._write({"type": "header", "schema": SCHEMA, **(meta or {})})
+        self._write({"type": "header", "schema": schema, **(meta or {})})
 
     def _write(self, rec: dict) -> None:
         if self._f is None:
@@ -55,6 +58,29 @@ class RunLogWriter:
         json.dump(rec, self._f, allow_nan=True)
         self._f.write("\n")
         self._f.flush()
+
+    def write_record(self, rec: dict) -> None:
+        self._write(rec)
+
+    def close(self) -> None:
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RunLogWriter(JsonlWriter):
+    """Streaming JSONL writer: header, then one record per time step,
+    then a summary footer.  Usable as a context manager."""
+
+    def __init__(self, path: str | Path, meta: dict | None = None) -> None:
+        self.n_steps = 0
+        super().__init__(path, SCHEMA, meta)
 
     def write_step(self, stats, extra: dict | None = None) -> dict:
         rec = step_record(stats, self.n_steps, extra)
@@ -69,17 +95,6 @@ class RunLogWriter:
         if extra:
             rec.update(extra)
         self._write(rec)
-
-    def close(self) -> None:
-        if self._f is not None:
-            self._f.close()
-            self._f = None
-
-    def __enter__(self) -> "RunLogWriter":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
 
 
 def read_run_log(path: str | Path):

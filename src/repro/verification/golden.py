@@ -1,0 +1,138 @@
+"""Golden-file regression snapshots.
+
+Small, fast, deterministic cases — Poisson L2 errors on two meshes and a
+short Beltrami run's error/divergence/iteration statistics — whose
+values are committed to the repository with per-metric tolerances.  A
+behavioral change anywhere in the operator or splitting stack moves one
+of these numbers; an *intentional* change regenerates the file with
+``repro verify --update-golden`` (see TESTING.md).
+
+Each metric entry carries its own ``rtol``/``atol`` so noisy quantities
+(iteration counts near a tolerance threshold) get slack while sharp
+ones (discretization errors) stay tight.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_SCHEMA = "repro-golden/1"
+
+
+def compute_golden_metrics() -> dict:
+    """Run the committed small cases and return ``name -> metric`` with
+    per-metric comparison tolerances."""
+    from ..mesh.generators import box
+    from ..mesh.octree import Forest
+    from ..ns import (
+        BeltramiFlow,
+        BoundaryConditions,
+        IncompressibleNavierStokesSolver,
+        SolverSettings,
+        VelocityDirichlet,
+    )
+    from .mms import poisson_spatial_ladder
+
+    metrics: dict = {}
+    study = poisson_spatial_ladder(degree=2, levels=(1, 2))
+    for level, err in zip(study.meta["levels"], study.errors):
+        metrics[f"poisson_k2_l{level}_error_l2"] = {"value": err, "rtol": 1e-4}
+
+    nu = 0.05
+    mesh = box(subdivisions=(1, 1, 1), boundary_ids={i: 1 for i in range(6)})
+    forest = Forest(mesh).refine_all(1)
+    flow = BeltramiFlow(nu)
+    bcs = BoundaryConditions(
+        {1: VelocityDirichlet(lambda x, y, z, t: flow.velocity(x, y, z, t))}
+    )
+    solver = IncompressibleNavierStokesSolver(
+        forest, 2, nu, bcs, SolverSettings(solver_tolerance=1e-8)
+    )
+    solver.initialize(flow.velocity)
+    stats = [solver.step(0.01) for _ in range(5)]
+    metrics["beltrami_k2_error_l2"] = {
+        "value": solver.velocity_error_l2(flow.velocity, solver.scheme.t),
+        "rtol": 1e-3,
+    }
+    metrics["beltrami_k2_max_divergence"] = {
+        "value": solver.max_divergence(),
+        "rtol": 5e-2,  # controlled, not driven, by the penalty step
+    }
+    metrics["beltrami_k2_pressure_iterations"] = {
+        "value": [s.pressure_iterations for s in stats],
+        "atol": 2,
+    }
+    metrics["beltrami_k2_viscous_iterations"] = {
+        "value": [s.viscous_iterations for s in stats],
+        "atol": 2,
+    }
+    metrics["beltrami_k2_penalty_iterations"] = {
+        "value": [s.penalty_iterations for s in stats],
+        "atol": 2,
+    }
+    return metrics
+
+
+def _mismatch(name: str, got, want, rtol: float, atol: float) -> str | None:
+    got = np.asarray(got, dtype=float)
+    want = np.asarray(want, dtype=float)
+    if got.shape != want.shape:
+        return f"{name}: shape {got.shape} != golden {want.shape}"
+    if not np.allclose(got, want, rtol=rtol, atol=atol):
+        return (
+            f"{name}: {np.array2string(got, precision=8)} deviates from "
+            f"golden {np.array2string(want, precision=8)} "
+            f"(rtol={rtol:g}, atol={atol:g})"
+        )
+    return None
+
+
+def compare_golden(computed: dict, golden_doc: dict) -> list[str]:
+    """Compare freshly computed metrics against a loaded golden document;
+    returns a list of human-readable mismatches (empty = pass)."""
+    if golden_doc.get("schema") != GOLDEN_SCHEMA:
+        return [
+            f"unsupported golden schema {golden_doc.get('schema')!r} "
+            f"(expected {GOLDEN_SCHEMA!r})"
+        ]
+    golden = golden_doc.get("metrics", {})
+    problems = []
+    for name in sorted(set(golden) | set(computed)):
+        if name not in computed:
+            problems.append(f"{name}: in golden file but not computed")
+            continue
+        if name not in golden:
+            problems.append(
+                f"{name}: computed but missing from the golden file "
+                "(regenerate with --update-golden)"
+            )
+            continue
+        entry = golden[name]
+        p = _mismatch(
+            name,
+            computed[name]["value"],
+            entry["value"],
+            rtol=float(entry.get("rtol", 0.0)),
+            atol=float(entry.get("atol", 0.0)),
+        )
+        if p:
+            problems.append(p)
+    return problems
+
+
+def load_golden(path: str | Path) -> dict:
+    with Path(path).open() as f:
+        return json.load(f)
+
+
+def write_golden(path: str | Path, metrics: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {"schema": GOLDEN_SCHEMA, "metrics": metrics}
+    with path.open("w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path

@@ -1,0 +1,115 @@
+"""Convergence-rate fitting and assertion gates.
+
+A refinement study collects errors along a ladder of mesh sizes ``h``
+(or time steps ``dt``) and fits the observed order of accuracy by least
+squares on the log-log data, ``log e = rate * log h + c``.  The fitted
+rate is what the paper's verification tables report (spatial order
+``k + 1`` for the DG discretization, temporal order 2 for the J=2 dual
+splitting scheme) and what :func:`assert_rate` gates against — a silent
+order-degrading regression in any operator or sub-step shows up as a
+fitted rate below the expected order minus the tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ConvergenceFailure(AssertionError):
+    """A fitted convergence rate missed its expected order."""
+
+
+def fit_rate(sizes, errors) -> float:
+    """Least-squares slope of ``log(error)`` against ``log(size)``.
+
+    ``sizes`` are the refinement parameters (mesh size ``h`` or time
+    step ``dt``); a positive slope means the error decreases under
+    refinement at that order.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    errors = np.asarray(errors, dtype=float)
+    if sizes.shape != errors.shape or sizes.size < 2:
+        raise ValueError("need at least two (size, error) pairs to fit a rate")
+    if np.any(sizes <= 0):
+        raise ValueError("refinement sizes must be positive")
+    if np.any(errors <= 0):
+        # an exactly-zero error (solution in the discrete space) carries
+        # no rate information; report infinity rather than fitting logs
+        return float("inf")
+    slope, _ = np.polyfit(np.log(sizes), np.log(errors), 1)
+    return float(slope)
+
+
+def pairwise_rates(sizes, errors) -> list[float]:
+    """Observed order between each pair of consecutive ladder rungs."""
+    sizes = np.asarray(sizes, dtype=float)
+    errors = np.asarray(errors, dtype=float)
+    out = []
+    for i in range(len(sizes) - 1):
+        out.append(
+            float(
+                np.log(errors[i] / errors[i + 1])
+                / np.log(sizes[i] / sizes[i + 1])
+            )
+        )
+    return out
+
+
+@dataclass
+class RefinementStudy:
+    """One fitted refinement ladder: the unit of the verification report.
+
+    ``parameter`` names the refinement variable (``"h"`` or ``"dt"``),
+    ``expected_rate`` the theoretical order the gate checks against.
+    """
+
+    name: str
+    parameter: str
+    sizes: list[float]
+    errors: list[float]
+    expected_rate: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def fitted_rate(self) -> float:
+        return fit_rate(self.sizes, self.errors)
+
+    @property
+    def pairwise(self) -> list[float]:
+        return pairwise_rates(self.sizes, self.errors)
+
+    def passed(self, tolerance: float = 0.4) -> bool:
+        return self.fitted_rate >= self.expected_rate - tolerance
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "parameter": self.parameter,
+            "sizes": [float(s) for s in self.sizes],
+            "errors": [float(e) for e in self.errors],
+            "expected_rate": float(self.expected_rate),
+            "fitted_rate": self.fitted_rate,
+            "pairwise_rates": self.pairwise,
+            **({"meta": self.meta} if self.meta else {}),
+        }
+
+
+def assert_rate(study: RefinementStudy, tolerance: float = 0.4) -> float:
+    """Gate: the fitted rate must reach ``expected_rate - tolerance``.
+
+    Returns the fitted rate; raises :class:`ConvergenceFailure` (an
+    ``AssertionError``, so plain pytest reporting applies) otherwise.
+    """
+    rate = study.fitted_rate
+    if rate < study.expected_rate - tolerance:
+        pairs = ", ".join(f"{r:.2f}" for r in study.pairwise)
+        raise ConvergenceFailure(
+            f"{study.name}: fitted {study.parameter}-rate {rate:.2f} below "
+            f"expected {study.expected_rate:.2f} - {tolerance:.2f} "
+            f"(pairwise rates: {pairs}; errors: "
+            + ", ".join(f"{e:.3e}" for e in study.errors)
+            + ")"
+        )
+    return rate

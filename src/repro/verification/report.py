@@ -1,0 +1,86 @@
+"""Rate-table reporting: JSON documents, Markdown tables, JSONL logs.
+
+The verification driver's output surface — ``repro verify`` renders the
+Markdown table to the terminal, emits the JSON document with ``--json``,
+and streams a schema-versioned JSONL record per study through the
+telemetry :class:`~repro.telemetry.sinks.JsonlWriter` with
+``--log-file`` (the artifact the nightly CI job uploads).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..telemetry import JsonlWriter
+from .rates import RefinementStudy
+
+RATE_SCHEMA = "repro-ratetable/1"
+
+
+def rate_table_doc(
+    studies: list[RefinementStudy],
+    tolerance: float = 0.4,
+    meta: dict | None = None,
+) -> dict:
+    """The machine-readable verification report."""
+    entries = []
+    for s in studies:
+        d = s.to_dict()
+        d["passed"] = s.passed(tolerance)
+        entries.append(d)
+    return {
+        "schema": RATE_SCHEMA,
+        "tolerance": tolerance,
+        "all_passed": all(e["passed"] for e in entries),
+        "studies": entries,
+        **(meta or {}),
+    }
+
+
+def render_rate_table(
+    studies: list[RefinementStudy], tolerance: float = 0.4
+) -> str:
+    """GitHub-flavored Markdown: one summary table plus a per-study
+    error ladder."""
+    lines = [
+        "| study | parameter | expected | fitted | status |",
+        "|---|---|---:|---:|---|",
+    ]
+    for s in studies:
+        status = "pass" if s.passed(tolerance) else "**FAIL**"
+        lines.append(
+            f"| {s.name} | {s.parameter} | {s.expected_rate:.2f} "
+            f"| {s.fitted_rate:.2f} | {status} |"
+        )
+    for s in studies:
+        lines.append("")
+        lines.append(f"### {s.name}")
+        lines.append("")
+        lines.append(f"| {s.parameter} | L2 error | observed rate |")
+        lines.append("|---:|---:|---:|")
+        pw = ["-"] + [f"{r:.2f}" for r in s.pairwise]
+        for size, err, rate in zip(s.sizes, s.errors, pw):
+            lines.append(f"| {size:.4e} | {err:.4e} | {rate} |")
+    return "\n".join(lines)
+
+
+def write_rate_log(
+    path: str | Path,
+    studies: list[RefinementStudy],
+    tolerance: float = 0.4,
+    meta: dict | None = None,
+) -> Path:
+    """Stream the report as JSONL: header, one ``study`` record each,
+    and a ``summary`` footer — the same sink discipline as the run log."""
+    with JsonlWriter(path, RATE_SCHEMA, meta) as w:
+        for s in studies:
+            d = s.to_dict()
+            d["passed"] = s.passed(tolerance)
+            w.write_record({"type": "study", **d})
+        w.write_record({
+            "type": "summary",
+            "n_studies": len(studies),
+            "tolerance": tolerance,
+            "all_passed": all(s.passed(tolerance) for s in studies),
+        })
+    return Path(path)

@@ -1,0 +1,67 @@
+"""Shared pytest configuration: test tiers and the seeded RNG fixture.
+
+Tiers (see TESTING.md):
+
+* ``tier1`` — the fast default gate.  Auto-applied to every test that is
+  not marked ``convergence`` or ``nightly``, so a plain ``pytest`` (or
+  ``pytest -m tier1``) runs exactly the seed suite plus any new fast
+  tests.
+* ``convergence`` — refinement-ladder rate gates (minutes).  Skipped by
+  default; enable with ``--run-convergence`` or by selecting them
+  explicitly (``pytest -m convergence``).
+* ``nightly`` — the long verification runs CI schedules overnight.
+  Skipped by default; enable with ``--run-nightly`` or ``-m nightly``.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+_OPTIONAL_TIERS = ("convergence", "nightly")
+
+
+def pytest_addoption(parser):
+    for tier in _OPTIONAL_TIERS:
+        parser.addoption(
+            f"--run-{tier}",
+            action="store_true",
+            default=False,
+            help=f"run tests marked '{tier}' (skipped by default)",
+        )
+
+
+def _tier_enabled(config, tier: str) -> bool:
+    """A tier runs when its flag is passed or when the user's ``-m``
+    expression mentions it (so ``pytest -m convergence`` just works)."""
+    if config.getoption(f"--run-{tier}"):
+        return True
+    return tier in (config.getoption("-m") or "")
+
+
+def pytest_collection_modifyitems(config, items):
+    skips = {
+        tier: pytest.mark.skip(
+            reason=f"{tier} tier: pass --run-{tier} (or -m {tier}) to run"
+        )
+        for tier in _OPTIONAL_TIERS
+        if not _tier_enabled(config, tier)
+    }
+    for item in items:
+        tiers = [t for t in _OPTIONAL_TIERS if t in item.keywords]
+        if not tiers:
+            item.add_marker(pytest.mark.tier1)
+        for t in tiers:
+            if t in skips:
+                item.add_marker(skips[t])
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """Seeded per-test RNG: the seed is derived from the test's node id,
+    so every test gets a distinct but fully reproducible stream and
+    reordering tests never changes any test's random data."""
+    seed = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(seed)

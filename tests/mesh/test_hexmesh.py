@@ -14,27 +14,26 @@ from repro.mesh.generators import box, unit_cube, cylinder, disc_cross_section
 
 
 class TestTrilinear:
-    def test_identity_on_unit_cube(self):
+    def test_identity_on_unit_cube(self, rng):
         corners = np.array(
             [[v & 1, (v >> 1) & 1, (v >> 2) & 1] for v in range(8)], dtype=float
         )
-        ref = np.random.default_rng(0).uniform(0, 1, (10, 3))
+        ref = rng.uniform(0, 1, (10, 3))
         assert np.allclose(trilinear(corners, ref), ref)
 
-    def test_affine_map(self):
+    def test_affine_map(self, rng):
         A = np.array([[2.0, 0.5, 0.0], [0.0, 1.5, 0.2], [0.1, 0.0, 3.0]])
         b = np.array([1.0, -2.0, 0.5])
         corners = np.array(
             [[v & 1, (v >> 1) & 1, (v >> 2) & 1] for v in range(8)], dtype=float
         )
         mapped = corners @ A.T + b
-        ref = np.random.default_rng(1).uniform(0, 1, (7, 3))
+        ref = rng.uniform(0, 1, (7, 3))
         assert np.allclose(trilinear(mapped, ref), ref @ A.T + b)
         J = trilinear_jacobian(mapped, ref)
         assert np.allclose(J, A[None])
 
-    def test_jacobian_matches_finite_difference(self):
-        rng = np.random.default_rng(2)
+    def test_jacobian_matches_finite_difference(self, rng):
         corners = np.array(
             [[v & 1, (v >> 1) & 1, (v >> 2) & 1] for v in range(8)], dtype=float
         )

@@ -54,11 +54,10 @@ def interpolate_vector(dof_u, forest, fn):
 
 
 class TestGradDivDuality:
-    def test_negative_transpose(self, setup):
+    def test_negative_transpose(self, setup, rng):
         forest, geo, _, conn, dof_u, _, dof_p, bcs = setup
         D = DivergenceOperator(dof_u, dof_p, geo, conn, bcs)
         G = GradientOperator(dof_u, dof_p, geo, conn, bcs)
-        rng = np.random.default_rng(0)
         u = rng.standard_normal(dof_u.n_dofs)
         p = rng.standard_normal(dof_p.n_dofs)
         # with homogeneous data: (D u, p) == -(u, G p)
@@ -131,14 +130,13 @@ class TestConvective:
         ones = np.ones(dof_u.n_dofs)
         assert np.isclose(ones @ r, 0.0, atol=1e-10)
 
-    def test_energy_stability_with_noslip(self, setup):
+    def test_energy_stability_with_noslip(self, setup, rng):
         """u . C(u) >= 0 (up to round-off) for no-slip data — the
         Lax-Friedrichs dissipation makes convection energy-stable."""
         forest, _, geo_over, conn, dof_u, _, _, _ = setup
         mesh_ids = {b.boundary_id for b in conn.boundary}
         bcs = BoundaryConditions({bid: VelocityDirichlet.no_slip() for bid in mesh_ids})
         C = ConvectiveOperator(dof_u, geo_over, conn, bcs)
-        rng = np.random.default_rng(1)
         # a smooth divergence-free-ish field
         u = interpolate_vector(
             dof_u, forest,
@@ -169,12 +167,11 @@ class TestPenalty:
         P.tau_cont = [np.ones(b.n_faces) for b in conn.interior]
         assert np.abs(P.vmult(u)).max() < 1e-10
 
-    def test_spsd(self, setup):
+    def test_spsd(self, setup, rng):
         forest, geo, _, conn, dof_u, _, _, _ = setup
         P = DivergenceContinuityPenalty(dof_u, geo, conn)
         P.tau_div = np.ones(forest.n_cells)
         P.tau_cont = [np.ones(b.n_faces) for b in conn.interior]
-        rng = np.random.default_rng(2)
         x, y = rng.standard_normal((2, dof_u.n_dofs))
         assert np.isclose(x @ P.vmult(y), y @ P.vmult(x), rtol=1e-10)
         assert x @ P.vmult(x) >= -1e-10
@@ -215,11 +212,10 @@ class TestPenalty:
 
 
 class TestHelmholtz:
-    def test_vector_laplace_componentwise(self, setup):
+    def test_vector_laplace_componentwise(self, setup, rng):
         forest, geo, _, conn, dof_u, dof_us, _, _ = setup
         scal = DGLaplaceOperator(dof_us, geo, conn, dirichlet_ids=(1,))
         vec = VectorDGLaplace(scal, dof_u)
-        rng = np.random.default_rng(3)
         x = rng.standard_normal(dof_u.n_dofs)
         y = vec.vmult(x)
         xv = dof_u.cell_view(x)
@@ -228,7 +224,7 @@ class TestHelmholtz:
             yc = scal.vmult(dof_us.flat(np.ascontiguousarray(xv[:, c])))
             assert np.allclose(yv[:, c], dof_us.cell_view(yc))
 
-    def test_helmholtz_spd_and_solvable(self, setup):
+    def test_helmholtz_spd_and_solvable(self, setup, rng):
         forest, geo, _, conn, dof_u, dof_us, _, _ = setup
         from repro.solvers.krylov import conjugate_gradient
 
@@ -238,7 +234,6 @@ class TestHelmholtz:
         inv_mass = InverseMassOperator(dof_u, geo)
         H = HelmholtzOperator(mass, vec, nu=0.01)
         H.set_time_factor(100.0)
-        rng = np.random.default_rng(4)
         b = rng.standard_normal(dof_u.n_dofs)
         res = conjugate_gradient(H, b, inv_mass, tol=1e-9, max_iter=300)
         assert res.converged

@@ -22,11 +22,11 @@ def make_op(forest, degree=2, dirichlet=(1,)):
 
 class TestDistributedMatvec:
     @pytest.mark.parametrize("n_ranks", [1, 2, 4, 7])
-    def test_matches_monolithic_on_box(self, n_ranks):
+    def test_matches_monolithic_on_box(self, n_ranks, rng):
         forest = Forest(box(subdivisions=(4, 2, 1), boundary_ids={0: 1}))
         op = make_op(forest)
         dist = DistributedDGLaplace(op, n_ranks)
-        x = np.random.default_rng(0).standard_normal(op.n_dofs)
+        x = rng.standard_normal(op.n_dofs)
         y_ref = op.vmult(x)
         y_dist, census = dist.vmult(x)
         assert np.allclose(y_dist, y_ref, atol=1e-11)
@@ -34,22 +34,22 @@ class TestDistributedMatvec:
             assert census.n_messages > 0
             assert census.bytes_total == census.n_sheets * dist._sheet_bytes
 
-    def test_matches_on_hanging_node_mesh(self):
+    def test_matches_on_hanging_node_mesh(self, rng):
         f = Forest(box(subdivisions=(2, 1, 1), boundary_ids={0: 1}))
         f = f.refine([f.leaves[0]]).balance()
         op = make_op(f, degree=3)
         dist = DistributedDGLaplace(op, 3)
-        x = np.random.default_rng(1).standard_normal(op.n_dofs)
+        x = rng.standard_normal(op.n_dofs)
         y_ref = op.vmult(x)
         y_dist, census = dist.vmult(x)
         assert np.allclose(y_dist, y_ref, atol=1e-10)
         assert census.n_sheets > 0
 
-    def test_matches_on_bifurcation_with_orientations(self):
+    def test_matches_on_bifurcation_with_orientations(self, rng):
         forest = Forest(bifurcation())
         op = make_op(forest, degree=2, dirichlet=(1, 2, 3))
         dist = DistributedDGLaplace(op, 4)
-        x = np.random.default_rng(2).standard_normal(op.n_dofs)
+        x = rng.standard_normal(op.n_dofs)
         y_ref = op.vmult(x)
         y_dist, _ = dist.vmult(x)
         assert np.allclose(y_dist, y_ref, atol=1e-10)

@@ -127,3 +127,85 @@ class TestTelemetryCLI:
         log = tmp_path / "empty.jsonl"
         log.write_text(json.dumps({"type": "header", "schema": SCHEMA}) + "\n")
         assert main(["report", str(log)]) == 1
+
+
+class TestRunConfigCLI:
+    def test_lung_config_round_trip(self, tmp_path, capsys):
+        """A config written by RunConfig.to_json drives the lung command
+        through RunConfig.from_args unchanged."""
+        from repro.robustness import RunConfig
+
+        cfg = RunConfig(generations=1, degree=2, seed=7)
+        path = tmp_path / "run.json"
+        path.write_text(cfg.to_json(indent=2))
+        assert main(["lung", "--steps", "1", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "lung g=1" in out
+
+    def test_lung_config_flag_overrides(self, tmp_path, capsys):
+        from repro.robustness import RunConfig
+
+        path = tmp_path / "run.json"
+        path.write_text(RunConfig(generations=2, degree=2).to_json())
+        assert main(["lung", "--steps", "1", "--config", str(path),
+                     "--generations", "1"]) == 0
+        assert "lung g=1" in capsys.readouterr().out
+
+    def test_lung_rejects_bad_config(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"no_such_key": 1}))
+        assert main(["lung", "--steps", "1", "--config", str(path)]) == 2
+
+
+class TestVerifyCLI:
+    def test_spatial_ladder_table(self, capsys):
+        assert main(["verify", "--ladder", "spatial", "--degrees", "2",
+                     "--levels", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "| study | parameter | expected | fitted | status |" in out
+        assert "poisson_dg_k2" in out
+        assert "pass" in out
+
+    def test_spatial_ladder_json_and_artifacts(self, tmp_path, capsys):
+        md = tmp_path / "rates.md"
+        log = tmp_path / "rates.jsonl"
+        assert main(["verify", "--ladder", "spatial", "--degrees", "2",
+                     "--levels", "1,2", "--json",
+                     "--markdown", str(md), "--log-file", str(log)]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out.splitlines()[0])
+        assert doc["all_passed"] is True
+        assert doc["studies"][0]["name"] == "poisson_dg_k2"
+        assert doc["studies"][0]["fitted_rate"] > 2.6
+        assert "poisson_dg_k2" in md.read_text()
+        records = [json.loads(ln) for ln in log.read_text().splitlines()]
+        assert records[0]["type"] == "header"
+        assert records[-1]["type"] == "summary"
+        assert records[-1]["all_passed"] is True
+
+    def test_golden_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["verify", "--golden",
+                     str(tmp_path / "nope.json")]) == 2
+
+    @pytest.mark.slow
+    def test_golden_update_then_check_round_trip(self, tmp_path, capsys):
+        golden = tmp_path / "golden.json"
+        assert main(["verify", "--golden", str(golden),
+                     "--update-golden"]) == 0
+        assert golden.exists()
+        capsys.readouterr()
+        assert main(["verify", "--golden", str(golden)]) == 0
+        assert "golden regression passed" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_golden_detects_drift(self, tmp_path, capsys):
+        from repro.verification import compute_golden_metrics, write_golden
+
+        metrics = compute_golden_metrics()
+        metrics["poisson_k2_l1_error_l2"]["value"] *= 1.5
+        golden = tmp_path / "golden.json"
+        write_golden(golden, metrics)
+        assert main(["verify", "--golden", str(golden)]) == 1
+        out = capsys.readouterr().out
+        assert "golden regression FAILED" in out
+        assert "poisson_k2_l1_error_l2" in out

@@ -1,0 +1,97 @@
+"""Golden-file regression: comparison semantics (fast) and the real
+recompute-vs-committed check (convergence tier)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verification import (
+    GOLDEN_SCHEMA,
+    compare_golden,
+    compute_golden_metrics,
+    load_golden,
+    write_golden,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden" / "verification.json"
+
+
+def _doc(metrics):
+    return {"schema": GOLDEN_SCHEMA, "metrics": metrics}
+
+
+class TestCompareGolden:
+    def test_identical_metrics_pass(self):
+        m = {"a": {"value": 1.25, "rtol": 1e-6}}
+        assert compare_golden(m, _doc(m)) == []
+
+    def test_within_tolerance_passes(self):
+        golden = {"a": {"value": 1.0, "rtol": 1e-2}}
+        assert compare_golden({"a": {"value": 1.005}}, _doc(golden)) == []
+
+    def test_drift_beyond_tolerance_reported(self):
+        golden = {"a": {"value": 1.0, "rtol": 1e-4}}
+        problems = compare_golden({"a": {"value": 1.01}}, _doc(golden))
+        assert len(problems) == 1 and "a" in problems[0]
+        assert "rtol" in problems[0]
+
+    def test_list_metrics_use_atol(self):
+        golden = {"iters": {"value": [10, 11, 12], "atol": 2}}
+        assert compare_golden({"iters": {"value": [11, 12, 13]}}, _doc(golden)) == []
+        problems = compare_golden({"iters": {"value": [14, 11, 12]}}, _doc(golden))
+        assert len(problems) == 1
+
+    def test_shape_mismatch_reported(self):
+        golden = {"iters": {"value": [10, 11], "atol": 2}}
+        problems = compare_golden({"iters": {"value": [10, 11, 12]}}, _doc(golden))
+        assert "shape" in problems[0]
+
+    def test_missing_and_extra_metrics_reported(self):
+        golden = {"only_golden": {"value": 1.0, "rtol": 1e-6}}
+        problems = compare_golden({"only_computed": {"value": 2.0}}, _doc(golden))
+        assert len(problems) == 2
+        assert any("not computed" in p for p in problems)
+        assert any("--update-golden" in p for p in problems)
+
+    def test_unknown_schema_rejected(self):
+        problems = compare_golden({}, {"schema": "bogus/9", "metrics": {}})
+        assert len(problems) == 1 and "schema" in problems[0]
+
+
+class TestGoldenIo:
+    def test_write_load_round_trip(self, tmp_path):
+        metrics = {"a": {"value": [1.0, 2.0], "atol": 1}}
+        path = write_golden(tmp_path / "sub" / "golden.json", metrics)
+        doc = load_golden(path)
+        assert doc["schema"] == GOLDEN_SCHEMA
+        assert compare_golden(metrics, doc) == []
+
+    def test_committed_file_is_valid(self):
+        # the committed snapshot must parse and carry the right schema
+        doc = load_golden(GOLDEN_PATH)
+        assert doc["schema"] == GOLDEN_SCHEMA
+        assert "poisson_k2_l1_error_l2" in doc["metrics"]
+        assert "beltrami_k2_error_l2" in doc["metrics"]
+        # tolerances must be tight enough to mean something
+        for name, entry in doc["metrics"].items():
+            assert "value" in entry, name
+            assert entry.get("rtol", 0.0) <= 1e-1 and entry.get("atol", 0) <= 4
+
+
+@pytest.mark.convergence
+class TestGoldenRegression:
+    def test_recompute_matches_committed(self):
+        """The real regression gate: rerun the committed cases and demand
+        bit-compatible-within-tolerance agreement."""
+        problems = compare_golden(compute_golden_metrics(), load_golden(GOLDEN_PATH))
+        assert problems == [], "\n".join(problems)
+
+    def test_perturbation_detected(self):
+        """compare_golden must catch a metric drifting beyond tolerance."""
+        doc = json.loads(GOLDEN_PATH.read_text())
+        name = "beltrami_k2_error_l2"
+        entry = doc["metrics"][name]
+        entry["value"] *= 1.0 + 10.0 * entry["rtol"]
+        computed = compute_golden_metrics()
+        assert any(name in p for p in compare_golden(computed, doc))

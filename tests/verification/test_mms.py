@@ -1,0 +1,98 @@
+"""Unit tests of the manufactured-solution machinery (no ladders here —
+the expensive refinement studies live in test_convergence_gates.py)."""
+
+import numpy as np
+import pytest
+
+from repro.ns.analytic import BeltramiFlow, StokesDecayFlow
+from repro.verification.mms import (
+    fd_negative_laplacian,
+    navier_stokes_body_force,
+    resolve_body_force,
+)
+
+
+class TestFdNegativeLaplacian:
+    def test_matches_analytic_laplacian(self, rng):
+        # u = sin(pi x) sin(pi y) sin(pi z)  ->  -lap u = 3 pi^2 u
+        u = lambda x, y, z: np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z)
+        f = fd_negative_laplacian(u)
+        pts = rng.uniform(0.1, 0.9, size=(3, 16))
+        got = f(*pts)
+        want = 3.0 * np.pi**2 * u(*pts)
+        assert np.allclose(got, want, rtol=1e-6)
+
+    def test_quadratic_is_exact(self):
+        # central second differences are exact on polynomials of degree 2
+        u = lambda x, y, z: x**2 + 2.0 * y**2 - z**2 + x * y
+        f = fd_negative_laplacian(u)
+        assert f(0.3, 0.4, 0.5) == pytest.approx(-2.0 * (1.0 + 2.0 - 1.0), abs=1e-6)
+
+
+class TestNavierStokesBodyForce:
+    def test_exact_solution_has_zero_residual(self, rng):
+        # Beltrami solves the homogeneous equations: the FD residual is
+        # pure truncation noise
+        flow = BeltramiFlow(nu=0.1)
+        force = navier_stokes_body_force(flow, nu=0.1)
+        pts = rng.uniform(-0.4, 0.4, size=(3, 8))
+        f = force(*pts, 0.3)
+        assert np.abs(f).max() < 1e-6
+
+    def test_stokes_decay_residual_vanishes(self, rng):
+        flow = StokesDecayFlow(nu=0.05)
+        force = navier_stokes_body_force(flow, nu=0.05)
+        pts = rng.uniform(-0.4, 0.4, size=(3, 8))
+        assert np.abs(force(*pts, 0.1)).max() < 1e-6
+
+    def test_wrong_viscosity_leaves_residual(self, rng):
+        # f = (nu_true - nu_wrong) * lap u != 0: the FD residual really
+        # measures the equations, not just smoothness
+        flow = BeltramiFlow(nu=0.1)
+        force = navier_stokes_body_force(flow, nu=0.4)
+        pts = rng.uniform(-0.4, 0.4, size=(3, 8))
+        assert np.abs(force(*pts, 0.3)).max() > 1e-2
+
+    def test_manufactured_forcing_recovers_momentum_balance(self):
+        # manufactured field u = (sin(pi y), 0, 0), p = 0:
+        # f = du/dt + 0 - nu lap u = nu pi^2 sin(pi y)
+        class Shear:
+            def velocity(self, x, y, z, t):
+                zero = np.zeros_like(np.asarray(y, float))
+                return np.stack([np.sin(np.pi * y), zero, zero])
+
+        force = navier_stokes_body_force(Shear(), nu=0.2)
+        y = np.array([0.25, 0.5])
+        f = force(np.zeros(2), y, np.zeros(2), 0.0)
+        assert np.allclose(f[0], 0.2 * np.pi**2 * np.sin(np.pi * y), rtol=1e-5)
+        assert np.allclose(f[1:], 0.0, atol=1e-8)
+
+
+class TestResolveBodyForce:
+    class _WithHook:
+        def body_force(self, x, y, z, t):
+            return np.zeros((3,) + np.shape(x))
+
+        def velocity(self, x, y, z, t):
+            return np.zeros((3,) + np.shape(x))
+
+    def test_auto_prefers_solution_hook(self):
+        sol = self._WithHook()
+        assert resolve_body_force(sol, 0.1, "auto") == sol.body_force
+
+    def test_auto_falls_back_to_fd_residual(self):
+        flow = BeltramiFlow(nu=0.1)
+        force = resolve_body_force(flow, 0.1, "auto")
+        assert force is not None
+        assert np.abs(force(0.1, 0.2, 0.3, 0.0)).max() < 1e-6
+
+    def test_none_policy(self):
+        assert resolve_body_force(BeltramiFlow(nu=0.1), 0.1, "none") is None
+
+    def test_callable_passes_through(self):
+        fn = lambda x, y, z, t: np.zeros((3,) + np.shape(x))
+        assert resolve_body_force(BeltramiFlow(nu=0.1), 0.1, fn) is fn
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="body_force"):
+            resolve_body_force(BeltramiFlow(nu=0.1), 0.1, "bogus")

@@ -1,0 +1,118 @@
+"""Tests of the convergence-rate machinery (fitting, gates, reports)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.verification import (
+    RATE_SCHEMA,
+    ConvergenceFailure,
+    RefinementStudy,
+    assert_rate,
+    fit_rate,
+    pairwise_rates,
+    rate_table_doc,
+    render_rate_table,
+    write_rate_log,
+)
+
+
+def synthetic_study(rate, sizes=(0.5, 0.25, 0.125), expected=3.0, c=2.0):
+    sizes = np.asarray(sizes)
+    return RefinementStudy(
+        name=f"synthetic_p{rate}",
+        parameter="h",
+        sizes=list(sizes),
+        errors=list(c * sizes**rate),
+        expected_rate=expected,
+    )
+
+
+class TestFitRate:
+    def test_exact_power_law(self):
+        h = np.array([0.4, 0.2, 0.1, 0.05])
+        assert fit_rate(h, 3.0 * h**2.5) == pytest.approx(2.5)
+
+    def test_pairwise_rates(self):
+        h = [0.5, 0.25, 0.125]
+        rates = pairwise_rates(h, [8.0, 1.0, 0.125])
+        assert rates == pytest.approx([3.0, 3.0])
+
+    def test_noisy_data_least_squares(self, rng):
+        h = np.array([0.5, 0.25, 0.125, 0.0625])
+        noise = np.exp(rng.uniform(-0.05, 0.05, size=h.size))
+        assert fit_rate(h, h**4 * noise) == pytest.approx(4.0, abs=0.15)
+
+    def test_zero_error_returns_inf(self):
+        # an identically-zero error column means "already exact"
+        assert fit_rate([0.5, 0.25], [1e-3, 0.0]) == np.inf
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_rate([0.5, 0.25], [1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_rate([0.5], [1.0])
+
+
+class TestAssertRate:
+    def test_passes_at_expected_order(self):
+        assert_rate(synthetic_study(3.0))
+
+    def test_superconvergence_passes(self):
+        assert_rate(synthetic_study(4.0, expected=3.0))
+
+    def test_catches_order_loss(self):
+        # a first-order ladder must not satisfy a third-order gate —
+        # this is the contract that catches dropped operator terms
+        with pytest.raises(ConvergenceFailure) as exc:
+            assert_rate(synthetic_study(1.0, expected=3.0))
+        msg = str(exc.value)
+        assert "synthetic_p1.0" in msg
+        assert "expected" in msg and "fitted" in msg
+
+    def test_tolerance_is_one_sided(self):
+        study = synthetic_study(2.7, expected=3.0)
+        assert_rate(study, tolerance=0.4)
+        with pytest.raises(ConvergenceFailure):
+            assert_rate(study, tolerance=0.2)
+
+    def test_study_passed_matches_assert(self):
+        good, bad = synthetic_study(3.0), synthetic_study(1.5)
+        assert good.passed(0.4) and not bad.passed(0.4)
+
+
+class TestReport:
+    def test_rate_table_doc_schema(self):
+        doc = rate_table_doc([synthetic_study(3.0), synthetic_study(1.0)])
+        assert doc["schema"] == RATE_SCHEMA
+        assert doc["all_passed"] is False
+        assert [e["passed"] for e in doc["studies"]] == [True, False]
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_markdown_table(self):
+        md = render_rate_table([synthetic_study(3.0)])
+        assert "| study | parameter | expected | fitted | status |" in md
+        assert "synthetic_p3.0" in md
+        assert "pass" in md
+        assert "observed rate" in md
+
+    def test_markdown_flags_failures(self):
+        md = render_rate_table([synthetic_study(1.0)])
+        assert "**FAIL**" in md
+
+    def test_jsonl_rate_log_round_trip(self, tmp_path):
+        path = tmp_path / "rates.jsonl"
+        write_rate_log(path, [synthetic_study(3.0)], meta={"command": "test"})
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["schema"] == RATE_SCHEMA
+        assert lines[0]["command"] == "test"
+        assert lines[1]["type"] == "study"
+        assert lines[1]["fitted_rate"] == pytest.approx(3.0)
+        assert lines[-1] == {
+            "type": "summary", "n_studies": 1, "tolerance": 0.4,
+            "all_passed": True,
+        }
