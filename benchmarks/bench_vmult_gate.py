@@ -1,31 +1,22 @@
-"""vmult performance gate: planned vs. legacy execution of the hot path.
+"""vmult performance gate — thin shim over ``repro bench --suite vmult``.
 
-Measures, on the refined box and the bifurcation meshes:
-
-* DG-Laplace vmult throughput (the Figure 6-8 kernel),
-* vector-Laplace vmult throughput (3-component viscous operator),
-* multigrid *setup* cost — operator diagonal + Jacobi preconditioner +
-  Chebyshev smoother construction (the Lanczos eigenvalue estimate) —
-
-each in two execution modes:
-
-* ``legacy``  — ``use_plans = False``: ``np.add.at`` scatters, per-call
-  ``optimize=True`` einsum path searches, fresh temporaries, and the
-  unit-vector ``diagonal_reference()``;
-* ``planned`` — the :mod:`repro.core.plans` layer: precomputed scatter
-  plans, cached contraction paths, workspace buffers, and the
-  closed-form fast diagonal.
-
-Writes a schema-versioned ``BENCH_vmult.json`` at the repository root
-with both numbers and their ratio, seeding the benchmark trajectory with
-before/after evidence.  ``--smoke`` shrinks every case to the smallest
-meshes and a couple of repetitions so CI can assert "runs and emits
-valid JSON" in seconds.
+The measurements (DG-Laplace vmult, vector-Laplace vmult, and multigrid
+setup cost, each in ``legacy`` and ``planned`` execution modes) now live
+in :mod:`repro.perf.bench` as the declared ``vmult`` suite of the
+benchmark regression harness.  This script keeps the historical entry
+point alive for ``scripts/reproduce_all.sh`` and old CI invocations:
+same flags, same ``benchmarks/results/vmult_gate.txt`` table, but the
+JSON it writes is the schema-versioned ``repro/bench/2`` document with a
+machine fingerprint — directly comparable with ``repro bench --compare``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_vmult_gate.py
     PYTHONPATH=src python benchmarks/bench_vmult_gate.py --smoke --output /tmp/b.json
+
+or, equivalently::
+
+    PYTHONPATH=src python -m repro bench --suite vmult [--smoke]
 """
 
 from __future__ import annotations
@@ -33,100 +24,39 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
-
-import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from common import bifurcation_forest, dg_laplace_setup, emit  # noqa: E402
-
-SCHEMA = "repro/bench-vmult/1"
+from common import emit  # noqa: E402
 
 
-def box_forest(refinements: int):
-    from repro.mesh.generators import box
-    from repro.mesh.octree import Forest
-
-    return Forest(
-        box(subdivisions=(2, 1, 1), boundary_ids={0: 1})
-    ).refine_all(refinements)
-
-
-def measure_vmult(op, dtype=np.float64, repetitions: int = 10):
-    from repro.perf.measure import measure_operator
-
-    return measure_operator(op, repetitions=repetitions, dtype=dtype)
-
-
-def measure_mg_setup(make_op, use_plans: bool, repetitions: int = 3) -> float:
-    """Best wall time of the multigrid setup path on a fresh operator:
-    diagonal + Jacobi + Chebyshev/Lanczos construction."""
-    from repro.solvers.chebyshev import ChebyshevSmoother
-    from repro.solvers.jacobi import JacobiPreconditioner
-
-    best = float("inf")
-    for _ in range(repetitions):
-        op = make_op()
-        op.use_plans = use_plans
-        t0 = time.perf_counter()
-        jac = JacobiPreconditioner(op)
-        ChebyshevSmoother(op, degree=3, jacobi=jac)
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
-def run_case(case_name: str, forest, degree: int, repetitions: int) -> dict:
-    from repro.core.dof_handler import DGDofHandler
-    from repro.core.operators import VectorDGLaplace
-
-    dof, geo, conn, _ = dg_laplace_setup(forest, degree)
-    dof_v = DGDofHandler(forest, degree, n_components=3)
-
-    def make_op():
-        return dg_laplace_setup(forest, degree)[3]
-
-    out = {
-        "case": case_name,
-        "n_cells": forest.n_cells,
-        "degree": degree,
-        "n_dofs": dof.n_dofs,
-    }
-
-    for mode, use_plans in (("legacy", False), ("planned", True)):
-        op = make_op()
-        op.use_plans = use_plans
-        r = measure_vmult(op, repetitions=repetitions)
-        vec = VectorDGLaplace(op, dof_v)
-        vec.use_plans = use_plans
-        rv = measure_vmult(vec, repetitions=max(2, repetitions // 2))
-        out[mode] = {
-            "dg_laplace_vmult_seconds": r.best_seconds,
-            "dg_laplace_dofs_per_second": r.dofs_per_second,
-            "dg_laplace_alloc_peak_bytes": r.alloc_peak_bytes,
-            "dg_laplace_alloc_net_blocks": r.alloc_net_blocks,
-            "vector_laplace_vmult_seconds": rv.best_seconds,
-            "vector_laplace_dofs_per_second": rv.dofs_per_second,
-            "mg_setup_seconds": measure_mg_setup(
-                make_op, use_plans, repetitions=min(3, repetitions)
-            ),
-        }
-
-    out["speedup"] = {
-        "dg_laplace_vmult": (
-            out["legacy"]["dg_laplace_vmult_seconds"]
-            / out["planned"]["dg_laplace_vmult_seconds"]
-        ),
-        "vector_laplace_vmult": (
-            out["legacy"]["vector_laplace_vmult_seconds"]
-            / out["planned"]["vector_laplace_vmult_seconds"]
-        ),
-        "mg_setup": (
-            out["legacy"]["mg_setup_seconds"] / out["planned"]["mg_setup_seconds"]
-        ),
-    }
-    return out
+def _gate_table(doc: dict) -> str:
+    """The historical planned-vs-legacy speedup table, recovered from the
+    suite's flat case list."""
+    by_name = {c["name"]: c for c in doc["cases"]}
+    meshes: list[str] = []
+    for c in doc["cases"]:
+        mesh = c["name"].split("/", 1)[0]
+        if mesh not in meshes:
+            meshes.append(mesh)
+    lines = [
+        f"{'case':<18s} {'DoF':>8s} {'vmult legacy':>13s} {'planned':>9s} "
+        f"{'x':>6s} {'mg-setup x':>11s}"
+    ]
+    for mesh in meshes:
+        leg = by_name[f"{mesh}/dg_laplace/legacy"]
+        pla = by_name[f"{mesh}/dg_laplace/planned"]
+        mg_x = (by_name[f"{mesh}/mg_setup/planned"]["throughput"]
+                / by_name[f"{mesh}/mg_setup/legacy"]["throughput"])
+        lines.append(
+            f"{mesh:<18s} {leg['n_dofs']:>8d} "
+            f"{leg['metrics']['best_seconds'] * 1e3:>10.2f} ms "
+            f"{pla['metrics']['best_seconds'] * 1e3:>6.2f} ms "
+            f"{pla['throughput'] / leg['throughput']:>6.2f} "
+            f"{mg_x:>11.2f}"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def main(argv=None) -> int:
@@ -138,43 +68,11 @@ def main(argv=None) -> int:
     ap.add_argument("--degree", type=int, default=3)
     args = ap.parse_args(argv)
 
-    if args.smoke:
-        cases = [
-            ("box_r1", box_forest(1), args.degree, 3),
-            ("bifurcation_r0", bifurcation_forest(0), args.degree, 3),
-        ]
-    else:
-        cases = [
-            ("box_r3", box_forest(3), args.degree, 10),
-            ("bifurcation_r1", bifurcation_forest(1), args.degree, 10),
-        ]
+    from repro.perf.bench import run_suite
 
-    results = [
-        run_case(name, forest, degree, reps)
-        for name, forest, degree, reps in cases
-    ]
-
-    doc = {
-        "schema": SCHEMA,
-        "smoke": bool(args.smoke),
-        "degree": args.degree,
-        "cases": results,
-    }
+    doc = run_suite("vmult", smoke=args.smoke, degree=args.degree)
     args.output.write_text(json.dumps(doc, indent=2) + "\n")
-
-    lines = [
-        f"{'case':<18s} {'DoF':>8s} {'vmult legacy':>13s} {'planned':>9s} "
-        f"{'x':>6s} {'mg-setup x':>11s}"
-    ]
-    for c in results:
-        lines.append(
-            f"{c['case']:<18s} {c['n_dofs']:>8d} "
-            f"{c['legacy']['dg_laplace_vmult_seconds'] * 1e3:>10.2f} ms "
-            f"{c['planned']['dg_laplace_vmult_seconds'] * 1e3:>6.2f} ms "
-            f"{c['speedup']['dg_laplace_vmult']:>6.2f} "
-            f"{c['speedup']['mg_setup']:>11.2f}"
-        )
-    emit("vmult_gate", "\n".join(lines) + "\n")
+    emit("vmult_gate", _gate_table(doc))
     print(f"wrote {args.output}")
     return 0
 

@@ -14,6 +14,10 @@ import sys
 
 import numpy as np
 
+# mirrors repro.perf.attribution.MACHINES (kept literal so building the
+# parser does not import the solver stack; a test asserts they agree)
+_MACHINE_NAMES = ("local", "supermuc-ng", "summit-v100", "fugaku-a64fx")
+
 
 def cmd_poisson(args) -> int:
     from .core.dof_handler import DGDofHandler
@@ -109,6 +113,7 @@ def cmd_lung(args) -> int:
             "seed": cfg.seed,
             "n_cells": sim.lung.forest.n_cells,
             "n_dofs": n_dofs,
+            "steps": args.steps,
         })
     stats = []
     for i in range(args.steps):
@@ -129,6 +134,7 @@ def cmd_lung(args) -> int:
             writer.write_step(st, extra={
                 "inflow_m3_s": sim._inlet_flow,
                 "tidal_volume_ml": sim.tidal_volume_delivered() * 1e6,
+                "recovery_events": len(sim.recovery_log),
             })
         if manager is not None:
             manager.maybe_save(sim)
@@ -170,7 +176,13 @@ def cmd_lung(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from .telemetry import aggregate_steps, read_run_log, render_breakdown
+    from .perf.attribution import MACHINES, render_roofline
+    from .telemetry import (
+        aggregate_steps,
+        read_run_log,
+        render_breakdown,
+        render_robustness,
+    )
 
     try:
         header, steps, summary = read_run_log(args.run_log)
@@ -186,12 +198,159 @@ def cmd_report(args) -> int:
         return 1
     print()
     print(render_breakdown(aggregate_steps(steps)))
-    if summary is not None and summary.get("counters"):
-        print()
-        print("counters:")
-        for name in sorted(summary["counters"]):
-            print(f"  {name:<42s} {summary['counters'][name]:>12d}")
+    if summary is not None:
+        robustness = render_robustness(summary.get("counters") or {})
+        if robustness:
+            print()
+            print(robustness)
+        if summary.get("spans"):
+            roofline = render_roofline(
+                summary, machine=MACHINES[args.machine]
+            )
+            if "(no annotated spans" not in roofline:
+                print()
+                print(roofline)
+        if summary.get("counters"):
+            print()
+            print("counters:")
+            for name in sorted(summary["counters"]):
+                print(f"  {name:<42s} {summary['counters'][name]:>12d}")
     return 0
+
+
+def cmd_roofline(args) -> int:
+    """Run instrumented workloads and report achieved rates against the
+    analytic roofline work models (Figure 7 at reproduction scale)."""
+    from .perf.attribution import MACHINES, render_roofline, roofline_doc
+    from .telemetry import TRACER, read_run_log
+
+    machine = MACHINES[args.machine]
+    meta: dict = {"command": "roofline", "machine": args.machine}
+
+    if args.from_log:
+        try:
+            _, _, summary = read_run_log(args.from_log)
+        except (OSError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+        if summary is None or not summary.get("spans"):
+            print(f"error: {args.from_log} has no traced summary record "
+                  "(rerun with --trace --log-file)", file=sys.stderr)
+            return 1
+        source: object = summary
+        meta["from_log"] = str(args.from_log)
+    else:
+        from .core.dof_handler import DGDofHandler
+        from .core.operators import DGLaplaceOperator
+        from .lung import LungVentilationSimulation
+        from .mesh import Forest, GeometryField, box, build_connectivity
+        from .robustness import RunConfig
+
+        TRACER.reset()
+        TRACER.enable()
+        try:
+            # workload 1: the Figure 6-8 kernel — DG Laplace vmult
+            mesh = box(subdivisions=(2, 1, 1), boundary_ids={0: 1})
+            forest = Forest(mesh).refine_all(args.refinements)
+            geo = GeometryField(forest, args.degree)
+            conn = build_connectivity(forest)
+            dof = DGDofHandler(forest, args.degree)
+            op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
+            x = np.random.default_rng(0).standard_normal(op.n_dofs)
+            op.vmult(x)  # warm-up: plan construction outside the timing
+            for _ in range(args.repetitions):
+                op.vmult(x)
+            # workload 2: one full coupled lung time step
+            sim = LungVentilationSimulation(
+                RunConfig(generations=args.generations, degree=2, seed=0)
+            )
+            for _ in range(args.steps):
+                sim.step()
+            source = TRACER
+            meta.update({
+                "laplace": {"n_dofs": op.n_dofs, "degree": args.degree,
+                            "repetitions": args.repetitions},
+                "lung": {"generations": args.generations,
+                         "steps": args.steps},
+            })
+        finally:
+            TRACER.disable()
+
+    if args.json:
+        doc = roofline_doc(source, machine=machine, meta=meta)
+        if args.output:
+            with open(args.output, "w") as f:
+                json.dump(doc, f, indent=2)
+                f.write("\n")
+            print(f"roofline report written to {args.output}")
+        else:
+            print(json.dumps(doc))
+    else:
+        print(render_roofline(source, machine=machine))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run a declared benchmark suite; optionally gate against a
+    baseline document."""
+    from .perf.bench import (
+        SUITES,
+        compare_bench,
+        load_bench,
+        render_bench,
+        render_compare,
+        run_suite,
+    )
+
+    if args.list_suites:
+        for name in sorted(SUITES):
+            print(name)
+        return 0
+
+    if args.input:
+        try:
+            doc = load_bench(args.input)
+        except (OSError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            doc = run_suite(args.suite, smoke=args.smoke, degree=args.degree,
+                            case_filter=args.cases)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        output = args.output or f"BENCH_{args.suite}.json"
+        with open(output, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(render_bench(doc))
+        print(f"benchmark document written to {output}")
+
+    if not args.compare:
+        return 0
+    try:
+        baseline = load_bench(args.compare)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    report = compare_bench(doc, baseline, max_regression=args.max_regression)
+    print()
+    print(render_compare(report))
+    if not report["ok"]:
+        if args.warn_only:
+            print("warning: throughput regressions detected "
+                  "(--warn-only: not failing)")
+            return 0
+        return 1
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    from .telemetry import monitor_file
+
+    return monitor_file(args.run_log, follow=args.follow,
+                        interval=args.interval)
 
 
 def _parse_int_list(text: str) -> tuple[int, ...]:
@@ -384,7 +543,80 @@ def main(argv=None) -> int:
     p = sub.add_parser("report", help="aggregate a JSONL run log")
     p.add_argument("run_log", type=str,
                    help="path to a run log written with --log-file")
+    p.add_argument("--machine", choices=sorted(_MACHINE_NAMES),
+                   default="local",
+                   help="machine model for the roofline section "
+                        "(default: local)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "roofline",
+        help="achieved GFlop/s, GB/s, and %%-of-model per instrumented "
+             "kernel (runs a DG Laplace vmult and a lung step, or reads "
+             "a traced run log)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the schema-versioned JSON document")
+    p.add_argument("--output", type=str, default=None,
+                   help="with --json: write the document here instead of "
+                        "stdout")
+    p.add_argument("--machine", choices=sorted(_MACHINE_NAMES),
+                   default="local",
+                   help="roofline machine model (default: local)")
+    p.add_argument("--from-log", type=str, default=None,
+                   help="attribute the summary spans of an existing "
+                        "traced run log instead of running workloads")
+    p.add_argument("--degree", type=int, default=3,
+                   help="polynomial degree of the Laplace workload")
+    p.add_argument("--refinements", type=int, default=1,
+                   help="box refinements of the Laplace workload")
+    p.add_argument("--repetitions", type=int, default=5,
+                   help="timed vmult applications")
+    p.add_argument("--generations", type=int, default=1,
+                   help="airway generations of the lung workload")
+    p.add_argument("--steps", type=int, default=1,
+                   help="lung time steps to trace")
+    p.set_defaults(fn=cmd_roofline)
+
+    p = sub.add_parser(
+        "bench",
+        help="run a declared benchmark suite and optionally gate "
+             "against a baseline document",
+    )
+    p.add_argument("--suite", type=str, default="ops",
+                   help="suite to run (see --list-suites; default: ops)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny meshes / few repetitions (CI validity check)")
+    p.add_argument("--degree", type=int, default=3)
+    p.add_argument("--output", type=str, default=None,
+                   help="output path (default: BENCH_<suite>.json)")
+    p.add_argument("--cases", type=str, default=None,
+                   help="only run cases whose name contains this substring")
+    p.add_argument("--input", type=str, default=None,
+                   help="compare an existing benchmark document instead "
+                        "of running the suite")
+    p.add_argument("--compare", type=str, default=None,
+                   help="baseline benchmark JSON to gate against")
+    p.add_argument("--max-regression", type=float, default=0.15,
+                   help="allowed fractional throughput drop (default 0.15)")
+    p.add_argument("--warn-only", action="store_true",
+                   help="report regressions but exit 0 (shared runners)")
+    p.add_argument("--list-suites", action="store_true",
+                   help="print the declared suite names and exit")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "monitor",
+        help="summarize an in-flight run from its JSONL run log "
+             "(step rate, ETA, CFL, iterations, recovery activity)",
+    )
+    p.add_argument("run_log", type=str,
+                   help="path to a run log written with --log-file")
+    p.add_argument("--follow", action="store_true",
+                   help="poll until the summary footer appears")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="polling interval in seconds (with --follow)")
+    p.set_defaults(fn=cmd_monitor)
 
     p = sub.add_parser(
         "verify",

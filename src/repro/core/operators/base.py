@@ -15,6 +15,8 @@ cell's reference dimensions (so the plus ``J^{-T}`` applies directly).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ...mesh.connectivity import Orientation, orient_face_array, orient_to_plus
@@ -166,6 +168,32 @@ def physical_gradient(
     raise ValueError(f"unsupported ref_grad rank {ref_grad.ndim}")
 
 
+def _instrument_entry(raw):
+    """Wrap an operator-application entry point with telemetry.
+
+    When the tracer is enabled, one application records the
+    ``vmult.<ClassName>`` counter, opens a ``vmult[<ClassName>]`` span,
+    and annotates it with the operator's analytic own-work model
+    (flops / bytes / dofs) so the roofline attribution can compute
+    achieved GFlop/s and GB/s per kernel.  When disabled the wrapper is
+    a single attribute check in front of the raw method.
+    """
+
+    @functools.wraps(raw)
+    def wrapped(self, x, *args, **kwargs):
+        if not TRACER.enabled:
+            return raw(self, x, *args, **kwargs)
+        name = type(self).__name__
+        TRACER.incr("vmult." + name)
+        with TRACER.span("vmult[" + name + "]"):
+            wm = self.work_model()
+            TRACER.annotate(wm["flops"], wm["bytes"], wm["dofs"])
+            return raw(self, x, *args, **kwargs)
+
+    wrapped.__instrumented__ = True
+    return wrapped
+
+
 class MatrixFreeOperator:
     """Minimal linear-operator interface shared by all operators.
 
@@ -177,10 +205,27 @@ class MatrixFreeOperator:
     Shallow clones (e.g. the float32 operators inside the multigrid
     V-cycle) may share the cache: scatter plans are dtype-agnostic and
     workspace buffers are keyed by dtype.
+
+    Subclasses are instrumented automatically: the outermost application
+    entry point each class defines itself (``apply`` when present — the
+    nonlinear/affine operators route ``vmult`` through it — else
+    ``vmult``) is wrapped with the span + work-model telemetry of
+    :func:`_instrument_entry`.  Operators composed of other instrumented
+    operators (Helmholtz, the vector Laplacian, the penalty step) report
+    only their *own* work; the inner operators annotate their nested
+    spans themselves.
     """
 
     dtype = np.float64
     use_plans = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for entry in ("apply", "vmult"):
+            fn = cls.__dict__.get(entry)
+            if fn is not None and not getattr(fn, "__instrumented__", False):
+                setattr(cls, entry, _instrument_entry(fn))
+                break
 
     @property
     def plan_cache(self) -> dict:
@@ -217,11 +262,22 @@ class MatrixFreeOperator:
             return contract(subscripts, *operands, out=out)
         return np.einsum(subscripts, *operands, optimize=True, out=out)
 
-    def _count_vmult(self) -> None:
-        """Telemetry: count one application of this operator under
-        ``vmult.<ClassName>``; a single attribute check when disabled."""
-        if TRACER.enabled:
-            TRACER.incr("vmult." + type(self).__name__)
+    def work_model(self) -> dict:
+        """Cached analytic own-work model of one application:
+        ``{"flops", "bytes", "dofs"}`` (see :mod:`repro.perf.flops` /
+        :mod:`repro.perf.memory`)."""
+        cache = self.plan_cache
+        wm = cache.get("work_model")
+        if wm is None:
+            wm = cache["work_model"] = self._build_work_model()
+        return wm
+
+    def _build_work_model(self) -> dict:
+        """Default: a pure vector-stream model (read the source, write +
+        read-for-update the destination; no Flop estimate).  Operators
+        with analytic Flop/transfer counts override this."""
+        n = float(self.n_dofs)
+        return {"flops": 0.0, "bytes": 3.0 * 8.0 * n, "dofs": n}
 
     @property
     def n_dofs(self) -> int:  # pragma: no cover - abstract

@@ -70,7 +70,6 @@ class ConvectiveOperator(MatrixFreeOperator):
         return central + 0.5 * lam[:, None] * (vm - vp)
 
     def apply(self, u_flat: np.ndarray, t: float = 0.0) -> np.ndarray:
-        self._count_vmult()
         u = self.dof.cell_view(u_flat)
         kern = self.kern
         cm = self.cell_metrics

@@ -89,7 +89,6 @@ class DivergenceOperator(_MixedSpaceOperator):
         from the field's own trace — the form entering the pressure
         Poisson right-hand side of the dual splitting, where all boundary
         physics is carried by the consistent pressure Neumann data."""
-        self._count_vmult()
         u = self.dof_u.cell_view(u_flat)  # (N, 3, n, n, n)
         kern_u, kern_p = self.kern_u, self.kern_p
         cm = self.cell_metrics
@@ -150,7 +149,6 @@ class GradientOperator(_MixedSpaceOperator):
         return self.dof_u.n_dofs
 
     def apply(self, p_flat: np.ndarray, t: float = 0.0) -> np.ndarray:
-        self._count_vmult()
         p = self.dof_p.cell_view(p_flat)  # (N, n_p, n_p, n_p)
         kern_u, kern_p = self.kern_u, self.kern_p
         cm = self.cell_metrics

@@ -72,6 +72,31 @@ class DGLaplaceOperator(MatrixFreeOperator):
     def n_dofs(self) -> int:
         return self.dof.n_dofs
 
+    def _build_work_model(self) -> dict:
+        """Analytic Flop count (Section 5.1 / Figure 7) and ideal
+        transfer model of one SIP mat-vec on this mesh."""
+        from ...perf.flops import laplace_flops
+        from ...perf.memory import laplace_transfer
+
+        fl = laplace_flops(
+            self.dof.degree,
+            self.kern.n_q_points,
+            even_odd=self.kern.use_even_odd,
+            collocation=self.kern.use_collocation,
+        )
+        tr = laplace_transfer(self.dof.degree, self.kern.n_q_points)
+        return {
+            "flops": float(
+                fl.matvec_total(
+                    self.dof.n_cells,
+                    self.conn.n_interior_faces,
+                    self.conn.n_boundary_faces,
+                )
+            ),
+            "bytes": float(tr.total_bytes(self.dof.n_cells)),
+            "dofs": float(self.n_dofs),
+        }
+
     def _cell_term(self, u: np.ndarray) -> np.ndarray:
         if not self.use_plans:
             g = self.kern.gradients(u)
@@ -116,7 +141,6 @@ class DGLaplaceOperator(MatrixFreeOperator):
         return self._contract("fijab,fiab->fjab", jinv_t, rg_phys)
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
-        self._count_vmult()
         u = self.dof.cell_view(x)
         out = self._cell_term(u)
         fk = self.fk
@@ -414,8 +438,24 @@ class CGLaplaceOperator(MatrixFreeOperator):
     def n_dofs(self) -> int:
         return self.dof.n_dofs
 
+    def _build_work_model(self) -> dict:
+        """Cell-only Flop count; transfer = global vectors + cell metric
+        (gather/scatter indirection is extra memory, not Flops)."""
+        from ...perf.flops import cg_laplace_flops
+
+        nq = self.kern.n_q_points
+        fl = cg_laplace_flops(
+            self.dof.degree, nq, even_odd=self.kern.use_even_odd
+        )
+        vec_bytes = 3.0 * 8.0 * self.n_dofs
+        metric_bytes = 6.0 * nq**3 * 8.0 * self.dof.n_cells
+        return {
+            "flops": float(fl.matvec_total(self.dof.n_cells, 0, 0)),
+            "bytes": vec_bytes + metric_bytes,
+            "dofs": float(self.n_dofs),
+        }
+
     def vmult(self, x: np.ndarray) -> np.ndarray:
-        self._count_vmult()
         u = self.dof.gather_cells(x)
         if not self.use_plans:
             g = self.kern.gradients(u)

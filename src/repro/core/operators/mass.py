@@ -36,8 +36,23 @@ class MassOperator(MatrixFreeOperator):
     def n_dofs(self) -> int:
         return self.dof.n_dofs
 
+    def _build_work_model(self) -> dict:
+        from ...perf.flops import mass_flops
+
+        per_cell = mass_flops(
+            self.dof.degree,
+            self.kern.n_q_points,
+            even_odd=self.kern.use_even_odd,
+            n_components=self.dof.n_components,
+        )
+        nq = self.kern.n_q_points
+        return {
+            "flops": float(per_cell * self.dof.n_cells),
+            "bytes": 3.0 * 8.0 * self.n_dofs + 8.0 * nq**3 * self.dof.n_cells,
+            "dofs": float(self.n_dofs),
+        }
+
     def vmult(self, x: np.ndarray) -> np.ndarray:
-        self._count_vmult()
         u = self.dof.cell_view(x)
         if not self.use_plans:
             q = self.kern.values(u)
@@ -83,13 +98,25 @@ class InverseMassOperator(MatrixFreeOperator):
     def n_dofs(self) -> int:
         return self.dof.n_dofs
 
+    def _build_work_model(self) -> dict:
+        from ...perf.flops import inverse_mass_flops
+
+        per_cell = inverse_mass_flops(
+            self.dof.degree, n_components=self.dof.n_components
+        )
+        n1 = self.dof.n1
+        return {
+            "flops": float(per_cell * self.dof.n_cells),
+            "bytes": 3.0 * 8.0 * self.n_dofs + 8.0 * n1**3 * self.dof.n_cells,
+            "dofs": float(self.n_dofs),
+        }
+
     def _apply_matrix_3d(self, M: np.ndarray, u: np.ndarray) -> np.ndarray:
         for dim in range(3):
             u = apply_1d(M, u, dim)
         return u
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
-        self._count_vmult()
         u = self.dof.cell_view(x)
         t = self._apply_matrix_3d(self.Sinv.T, u)
         if self.dof.n_components == 1:

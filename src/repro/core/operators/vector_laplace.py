@@ -32,8 +32,13 @@ class VectorDGLaplace(MatrixFreeOperator):
     def n_dofs(self) -> int:
         return self.dof.n_dofs
 
+    def _build_work_model(self) -> dict:
+        # own work is only the component staging/result copies; the
+        # scalar Laplacian annotates its own nested spans
+        n = float(self.n_dofs)
+        return {"flops": 0.0, "bytes": 4.0 * 8.0 * n, "dofs": n}
+
     def vmult(self, x: np.ndarray) -> np.ndarray:
-        self._count_vmult()
         u = self.dof.cell_view(x)  # (N, 3, n, n, n)
         out = np.empty_like(u)
         if not self.use_plans:
@@ -106,8 +111,13 @@ class HelmholtzOperator(MatrixFreeOperator):
     def n_dofs(self) -> int:
         return self.mass.n_dofs
 
+    def _build_work_model(self) -> dict:
+        # own work: the two scalings and the axpy combining the nested
+        # (self-annotating) mass and Laplace applications
+        n = float(self.n_dofs)
+        return {"flops": 3.0 * n, "bytes": 5.0 * 8.0 * n, "dofs": n}
+
     def vmult(self, x: np.ndarray) -> np.ndarray:
-        self._count_vmult()
         y = self.mass.vmult(x)
         y *= self.mass_factor
         L = self.laplace.vmult(x)

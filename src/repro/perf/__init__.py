@@ -1,13 +1,36 @@
 """Performance accounting: analytic Flop counts of the sum-factorized
-kernels, the memory-transfer model of Figure 7, and the throughput
-measurement harness."""
+kernels, the memory-transfer model of Figure 7, the throughput
+measurement harness, span-level roofline attribution, and the benchmark
+regression suites behind ``repro bench``."""
 
+from .attribution import (
+    MACHINES,
+    ROOFLINE_SCHEMA,
+    KernelAttribution,
+    collect_attribution,
+    render_roofline,
+    roofline_doc,
+    subtree_attribution,
+)
+from .bench import (
+    BENCH_SCHEMA,
+    SUITES,
+    compare_bench,
+    load_bench,
+    machine_fingerprint,
+    migrate_bench_doc,
+    render_bench,
+    render_compare,
+    run_suite,
+)
 from .flops import (
     OperatorFlops,
     cg_laplace_flops,
     chebyshev_iteration_flops,
     flops_apply_1d,
+    inverse_mass_flops,
     laplace_flops,
+    mass_flops,
     mults_1d,
 )
 from .memory import (
@@ -29,6 +52,8 @@ __all__ = [
     "cg_laplace_flops",
     "chebyshev_iteration_flops",
     "flops_apply_1d",
+    "inverse_mass_flops",
+    "mass_flops",
     "mults_1d",
     "TransferModel",
     "laplace_transfer",
@@ -38,4 +63,20 @@ __all__ = [
     "measure_throughput",
     "measure_operator",
     "calibrate_local_machine",
+    "MACHINES",
+    "ROOFLINE_SCHEMA",
+    "KernelAttribution",
+    "collect_attribution",
+    "render_roofline",
+    "roofline_doc",
+    "subtree_attribution",
+    "BENCH_SCHEMA",
+    "SUITES",
+    "compare_bench",
+    "load_bench",
+    "machine_fingerprint",
+    "migrate_bench_doc",
+    "render_bench",
+    "render_compare",
+    "run_suite",
 ]

@@ -1,0 +1,240 @@
+"""Span-level work attribution and roofline reporting (Figure 7 / Table 1).
+
+The instrumented solve stack annotates its tracing spans with analytic
+own-work tallies (Flops from :mod:`repro.perf.flops`, ideal transfers
+from :mod:`repro.perf.memory`, DoFs processed).  This module joins those
+tallies with the measured span times into per-kernel *attribution rows*:
+achieved GFlop/s, achieved GB/s, arithmetic intensity, DoF throughput,
+and the fraction of the machine's roofline model each kernel reaches.
+
+Conventions
+-----------
+* A span's work annotation covers only its **own** work — nested
+  instrumented kernels annotate their own spans — so achieved rates are
+  computed against the span's *exclusive* time.
+* Rows are aggregated by span name across the whole tree (the same
+  kernel appears under many parents: CG iterations, multigrid levels,
+  different sub-steps).
+* Sub-step rows (:func:`subtree_attribution`) instead sum the work of a
+  whole subtree against its *inclusive* time — the Table-2 view of where
+  the modelled work went.
+
+Input may be a live :class:`~repro.telemetry.tracer.Tracer`, a
+:class:`~repro.telemetry.tracer.SpanNode`, or the ``spans`` section of a
+run-log summary written by :class:`~repro.telemetry.sinks.RunLogWriter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.machine import (
+    FUGAKU_A64FX,
+    LOCAL_PYTHON,
+    SUMMIT_V100,
+    SUPERMUC_NG,
+    MachineModel,
+)
+from ..telemetry.tracer import SpanNode
+
+#: Schema tag of the JSON document written by :func:`roofline_doc`.
+ROOFLINE_SCHEMA = "repro/roofline/1"
+
+#: Machine models selectable by name on the CLI.
+MACHINES: dict[str, MachineModel] = {
+    "local": LOCAL_PYTHON,
+    "supermuc-ng": SUPERMUC_NG,
+    "summit-v100": SUMMIT_V100,
+    "fugaku-a64fx": FUGAKU_A64FX,
+}
+
+
+@dataclass(frozen=True)
+class KernelAttribution:
+    """One instrumented kernel: measured time joined with modelled work."""
+
+    name: str
+    calls: int
+    seconds: float  # exclusive seconds across all occurrences
+    inclusive_seconds: float
+    flops: float
+    bytes: float
+    dofs: float
+
+    @property
+    def gflops_per_s(self) -> float:
+        return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+    @property
+    def gbytes_per_s(self) -> float:
+        return self.bytes / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity of the work model [Flop/B]."""
+        return self.flops / self.bytes if self.bytes > 0 else 0.0
+
+    @property
+    def dofs_per_s(self) -> float:
+        return self.dofs / self.seconds if self.seconds > 0 else 0.0
+
+    def model_seconds(self, machine: MachineModel) -> float:
+        """Roofline lower bound on the kernel's time: the slower of the
+        compute and memory limits."""
+        return max(
+            self.flops / machine.peak_flops_dp,
+            self.bytes / machine.mem_bandwidth,
+        )
+
+    def fraction_of_model(self, machine: MachineModel) -> float:
+        """Achieved fraction of the roofline model (1.0 = at model)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.model_seconds(machine) / self.seconds
+
+    def to_dict(self, machine: MachineModel | None = None) -> dict:
+        d = {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "inclusive_seconds": self.inclusive_seconds,
+            "flops": self.flops,
+            "bytes": self.bytes,
+            "dofs": self.dofs,
+            "gflops_per_s": self.gflops_per_s,
+            "gbytes_per_s": self.gbytes_per_s,
+            "intensity": self.intensity,
+            "dofs_per_s": self.dofs_per_s,
+        }
+        if machine is not None:
+            d["model_seconds"] = self.model_seconds(machine)
+            d["fraction_of_model"] = self.fraction_of_model(machine)
+        return d
+
+
+def as_span_root(source) -> SpanNode:
+    """Normalize attribution input to a root :class:`SpanNode`.
+
+    Accepts a :class:`Tracer` (anything with a ``root`` SpanNode), a
+    SpanNode, a run-log summary dict (``{"spans": {...}, ...}``), or a
+    bare name -> span-dict mapping.
+    """
+    root = getattr(source, "root", source)
+    if isinstance(root, SpanNode):
+        return root
+    if isinstance(source, dict):
+        spans = source.get("spans", source)
+        node = SpanNode("root")
+        for name, d in spans.items():
+            node.children[name] = SpanNode.from_dict(name, d)
+        return node
+    raise TypeError(f"cannot attribute spans from {type(source).__name__}")
+
+
+def collect_attribution(source) -> list[KernelAttribution]:
+    """Per-kernel rows: annotated spans aggregated by name across the
+    tree, ordered by exclusive time (most expensive first)."""
+    root = as_span_root(source)
+    agg: dict[str, list] = {}
+    for _, node in root.walk():
+        if node is root or not node.has_work:
+            continue
+        a = agg.setdefault(node.name, [0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        a[0] += node.count
+        a[1] += node.exclusive
+        a[2] += node.total
+        a[3] += node.flops
+        a[4] += node.bytes
+        a[5] += node.dofs
+    rows = [
+        KernelAttribution(name, int(a[0]), a[1], a[2], a[3], a[4], a[5])
+        for name, a in agg.items()
+    ]
+    rows.sort(key=lambda r: r.seconds, reverse=True)
+    return rows
+
+
+def subtree_attribution(source, names=None) -> list[KernelAttribution]:
+    """Sub-step rows: whole-subtree work against inclusive time, for the
+    top-level children of ``root`` (or the named descendants)."""
+    root = as_span_root(source)
+    if names is None:
+        nodes = list(root.children.values())
+    else:
+        nodes = []
+        for _, node in root.walk():
+            if node is not root and node.name in names:
+                nodes.append(node)
+    rows = []
+    for node in nodes:
+        f, b, d = node.subtree_work()
+        if f == 0.0 and b == 0.0 and d == 0.0:
+            continue
+        rows.append(
+            KernelAttribution(
+                node.name, node.count, node.total, node.total, f, b, d
+            )
+        )
+    rows.sort(key=lambda r: r.seconds, reverse=True)
+    return rows
+
+
+def roofline_doc(source, machine: MachineModel = LOCAL_PYTHON,
+                 meta: dict | None = None) -> dict:
+    """Schema-versioned JSON roofline report of one instrumented run."""
+    kernels = collect_attribution(source)
+    doc = {
+        "schema": ROOFLINE_SCHEMA,
+        "machine": {
+            "name": machine.name,
+            "peak_flops_dp": machine.peak_flops_dp,
+            "mem_bandwidth": machine.mem_bandwidth,
+            "flop_byte_ridge": machine.flop_byte_ridge,
+        },
+        "kernels": [k.to_dict(machine) for k in kernels],
+    }
+    substeps = subtree_attribution(source)
+    if substeps:
+        doc["substeps"] = [s.to_dict(machine) for s in substeps]
+    if meta:
+        doc["meta"] = meta
+    return doc
+
+
+def _render_rows(rows: list[KernelAttribution], machine: MachineModel,
+                 seconds_label: str) -> list[str]:
+    lines = [
+        f"{'kernel':<32s} {'calls':>7s} {seconds_label:>10s} {'GFlop/s':>9s} "
+        f"{'GB/s':>8s} {'AI[F/B]':>8s} {'MDoF/s':>8s} {'%model':>7s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<32s} {r.calls:>7d} {r.seconds:>10.4f} "
+            f"{r.gflops_per_s:>9.4f} {r.gbytes_per_s:>8.4f} "
+            f"{r.intensity:>8.2f} {r.dofs_per_s / 1e6:>8.3f} "
+            f"{r.fraction_of_model(machine):>7.2%}"
+        )
+    return lines
+
+
+def render_roofline(source, machine: MachineModel = LOCAL_PYTHON,
+                    title: str = "roofline attribution") -> str:
+    """Markdown-ish table of the per-kernel attribution (achieved rates
+    vs the analytic work model on the given machine)."""
+    kernels = collect_attribution(source)
+    lines = [
+        f"{title} — machine: {machine.name} "
+        f"(peak {machine.peak_flops_dp / 1e9:.3g} GFlop/s, "
+        f"bw {machine.mem_bandwidth / 1e9:.3g} GB/s, "
+        f"ridge {machine.flop_byte_ridge:.2f} F/B)",
+    ]
+    if not kernels:
+        lines.append("(no annotated spans — run with tracing enabled)")
+        return "\n".join(lines)
+    lines += _render_rows(kernels, machine, "excl [s]")
+    substeps = subtree_attribution(source)
+    if substeps:
+        lines.append("")
+        lines.append("sub-step subtree attribution (inclusive):")
+        lines += _render_rows(substeps, machine, "incl [s]")
+    return "\n".join(lines)

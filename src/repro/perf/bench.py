@@ -1,0 +1,516 @@
+"""Benchmark regression harness behind ``repro bench``.
+
+Declared *suites* of performance cases (DG Laplace vmult, vector
+Laplace, a multigrid V-cycle, a full lung time step, and the legacy
+planned-vs-legacy vmult gate) run under one schema-versioned document
+format::
+
+    {
+      "schema": "repro/bench/2",
+      "suite": "ops",
+      "smoke": false,
+      "degree": 3,
+      "fingerprint": {...},           # CPU, numpy/BLAS, git SHA, time
+      "cases": [
+        {"name": "box_r2/dg_laplace/planned",
+         "n_dofs": 32768,
+         "throughput": 2.8e6,         # canonical higher-is-better metric
+         "throughput_units": "dofs/s",
+         "meta": {...},
+         "metrics": {"best_seconds": ..., "dofs_per_second": ..., ...}},
+        ...
+      ]
+    }
+
+:func:`compare_bench` joins two documents by case name and flags every
+case whose throughput dropped by more than ``max_regression`` — the CI
+perf gate (ASV-style continuous benchmarking at reproduction scale).
+:func:`migrate_bench_doc` lifts the PR 2 ``repro/bench-vmult/1``
+documents into this schema so the committed trajectory is preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_SCHEMA = "repro/bench/2"
+_OLD_VMULT_SCHEMA = "repro/bench-vmult/1"
+
+
+# ---------------------------------------------------------------------------
+# machine fingerprint
+# ---------------------------------------------------------------------------
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _blas_name() -> str:
+    try:
+        cfg = np.show_config(mode="dicts")
+        return cfg["Build Dependencies"]["blas"]["name"]
+    except (TypeError, KeyError, AttributeError):
+        pass
+    try:  # older numpy: parse the first configured BLAS section
+        from numpy.distutils.system_info import get_info  # type: ignore
+
+        info = get_info("blas_opt")
+        return ",".join(info.get("libraries", [])) or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def machine_fingerprint() -> dict:
+    """Identify the machine and software stack a benchmark ran on."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "blas": _blas_name(),
+        "git_sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# case helpers
+# ---------------------------------------------------------------------------
+
+def _case(name: str, n_dofs: int, throughput: float, units: str,
+          metrics: dict, meta: dict | None = None) -> dict:
+    return {
+        "name": name,
+        "n_dofs": int(n_dofs),
+        "throughput": float(throughput),
+        "throughput_units": units,
+        "meta": meta or {},
+        "metrics": metrics,
+    }
+
+
+def _throughput_case(name: str, result, meta: dict | None = None) -> dict:
+    """Case record from a :class:`~repro.perf.measure.ThroughputResult`."""
+    metrics = {
+        "best_seconds": result.best_seconds,
+        "mean_seconds": result.mean_seconds,
+        "std_seconds": result.std_seconds,
+        "dofs_per_second": result.dofs_per_second,
+        "repetitions": result.repetitions,
+    }
+    if result.alloc_peak_bytes is not None:
+        metrics["alloc_peak_bytes"] = result.alloc_peak_bytes
+        metrics["alloc_net_blocks"] = result.alloc_net_blocks
+    return _case(name, result.n_dofs, result.dofs_per_second, "dofs/s",
+                 metrics, meta)
+
+
+def _box_forest(refinements: int):
+    from ..mesh.generators import box
+    from ..mesh.octree import Forest
+
+    return Forest(
+        box(subdivisions=(2, 1, 1), boundary_ids={0: 1})
+    ).refine_all(refinements)
+
+
+def _bifurcation_forest(levels: int):
+    from ..mesh.generators import bifurcation
+    from ..mesh.octree import Forest
+
+    return Forest(bifurcation()).refine_all(levels)
+
+
+def _dg_laplace(forest, degree: int):
+    from ..core.dof_handler import DGDofHandler
+    from ..core.operators import DGLaplaceOperator
+    from ..mesh.connectivity import build_connectivity
+    from ..mesh.mapping import GeometryField
+
+    geo = GeometryField(forest, degree)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, degree)
+    return dof, geo, conn, DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
+
+
+def _always(_name: str) -> bool:
+    return True
+
+
+# ---------------------------------------------------------------------------
+# suites
+# ---------------------------------------------------------------------------
+
+def _suite_ops(smoke: bool, degree: int, select=_always) -> list[dict]:
+    """Achieved-throughput suite on the planned execution path: the
+    Figure 6-8 kernels plus one full coupled lung step."""
+    from ..core.dof_handler import DGDofHandler
+    from ..core.operators import VectorDGLaplace
+    from .measure import measure_operator, measure_throughput
+
+    refinements = 1 if smoke else 2
+    reps = 3 if smoke else 10
+    mesh_name = f"box_r{refinements}"
+    forest = _box_forest(refinements)
+    dof, geo, conn, op = _dg_laplace(forest, degree)
+    meta = {"mesh": mesh_name, "n_cells": forest.n_cells, "degree": degree}
+    cases: list[dict] = []
+
+    name = f"{mesh_name}/dg_laplace_vmult"
+    if select(name):
+        r = measure_operator(op, name=name, repetitions=reps)
+        cases.append(_throughput_case(name, r, meta))
+
+    name = f"{mesh_name}/vector_laplace_vmult"
+    if select(name):
+        dof_v = DGDofHandler(forest, degree, n_components=3)
+        vec = VectorDGLaplace(op, dof_v)
+        r = measure_operator(vec, name=name, repetitions=max(2, reps // 2))
+        cases.append(_throughput_case(name, r, meta))
+
+    name = f"{mesh_name}/mg_vcycle"
+    if select(name):
+        from ..solvers import HybridMultigridPreconditioner
+
+        mg = HybridMultigridPreconditioner(op)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(op.n_dofs)
+        r = measure_throughput(
+            lambda: mg.vmult(b), n_dofs=op.n_dofs, name=name,
+            repetitions=max(2, reps // 2),
+        )
+        cases.append(_throughput_case(name, r, meta))
+
+    name = "lung_g1/step"
+    if select(name):
+        cases.append(_lung_step_case(name, smoke))
+    return cases
+
+
+def _lung_step_case(name: str, smoke: bool) -> dict:
+    from ..lung import LungVentilationSimulation
+    from ..robustness import RunConfig
+
+    cfg = RunConfig(generations=1, degree=2, seed=0)
+    sim = LungVentilationSimulation(cfg)
+    n_dofs = sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs
+    sim.step()  # warm-up: plan caches, preconditioner setup
+    n_steps = 2 if smoke else 5
+    seconds = []
+    for _ in range(n_steps):
+        t0 = time.perf_counter()
+        sim.step()
+        seconds.append(time.perf_counter() - t0)
+    best = min(seconds)
+    return _case(
+        name,
+        n_dofs,
+        n_dofs / best,
+        "dofs/s",
+        {
+            "best_seconds": best,
+            "mean_seconds": sum(seconds) / len(seconds),
+            "dofs_per_second": n_dofs / best,
+            "repetitions": n_steps,
+        },
+        {"generations": 1, "degree": 2, "n_cells": sim.lung.forest.n_cells},
+    )
+
+
+def _suite_vmult(smoke: bool, degree: int, select=_always) -> list[dict]:
+    """The PR 2 planned-vs-legacy gate on the new schema: DG/vector
+    Laplace vmult and the multigrid setup path in both execution modes."""
+    from ..core.dof_handler import DGDofHandler
+    from ..core.operators import VectorDGLaplace
+    from .measure import measure_operator
+
+    if smoke:
+        meshes = [("box_r1", _box_forest(1), 3),
+                  ("bifurcation_r0", _bifurcation_forest(0), 3)]
+    else:
+        meshes = [("box_r3", _box_forest(3), 10),
+                  ("bifurcation_r1", _bifurcation_forest(1), 10)]
+
+    cases: list[dict] = []
+    for mesh_name, forest, reps in meshes:
+        dof, geo, conn, _ = _dg_laplace(forest, degree)
+        dof_v = DGDofHandler(forest, degree, n_components=3)
+        meta = {"mesh": mesh_name, "n_cells": forest.n_cells, "degree": degree}
+
+        def make_op():
+            return _dg_laplace(forest, degree)[3]
+
+        for mode, use_plans in (("legacy", False), ("planned", True)):
+            m = dict(meta, mode=mode)
+
+            name = f"{mesh_name}/dg_laplace/{mode}"
+            if select(name):
+                op = make_op()
+                op.use_plans = use_plans
+                r = measure_operator(op, name=name, repetitions=reps)
+                cases.append(_throughput_case(name, r, m))
+
+            name = f"{mesh_name}/vector_laplace/{mode}"
+            if select(name):
+                op = make_op()
+                op.use_plans = use_plans
+                vec = VectorDGLaplace(op, dof_v)
+                vec.use_plans = use_plans
+                r = measure_operator(vec, name=name,
+                                     repetitions=max(2, reps // 2))
+                cases.append(_throughput_case(name, r, m))
+
+            name = f"{mesh_name}/mg_setup/{mode}"
+            if select(name):
+                sec = _measure_mg_setup(make_op, use_plans,
+                                        repetitions=min(3, reps))
+                cases.append(_case(
+                    name, dof.n_dofs, 1.0 / sec, "setups/s",
+                    {"best_seconds": sec}, m,
+                ))
+    return cases
+
+
+def _measure_mg_setup(make_op, use_plans: bool, repetitions: int = 3) -> float:
+    """Best wall time of the multigrid setup path on a fresh operator:
+    diagonal + Jacobi + Chebyshev/Lanczos construction."""
+    from ..solvers.chebyshev import ChebyshevSmoother
+    from ..solvers.jacobi import JacobiPreconditioner
+
+    best = float("inf")
+    for _ in range(repetitions):
+        op = make_op()
+        op.use_plans = use_plans
+        t0 = time.perf_counter()
+        jac = JacobiPreconditioner(op)
+        ChebyshevSmoother(op, degree=3, jacobi=jac)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+#: Declared benchmark suites: name -> runner(smoke, degree, select).
+SUITES = {
+    "ops": _suite_ops,
+    "vmult": _suite_vmult,
+}
+
+
+def run_suite(suite: str, smoke: bool = False, degree: int = 3,
+              case_filter: str | None = None) -> dict:
+    """Run one declared suite and return the schema-versioned document."""
+    try:
+        runner = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r} (have: {', '.join(sorted(SUITES))})"
+        )
+    select = _always if case_filter is None else (
+        lambda name: case_filter in name
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "smoke": bool(smoke),
+        "degree": degree,
+        "fingerprint": machine_fingerprint(),
+        "cases": runner(smoke, degree, select),
+    }
+
+
+# ---------------------------------------------------------------------------
+# schema migration
+# ---------------------------------------------------------------------------
+
+def migrate_bench_doc(doc: dict) -> dict:
+    """Lift a ``repro/bench-vmult/1`` document onto the current schema,
+    preserving the measured numbers.  Current-schema documents pass
+    through unchanged."""
+    schema = doc.get("schema")
+    if schema == BENCH_SCHEMA:
+        return doc
+    if schema != _OLD_VMULT_SCHEMA:
+        raise ValueError(f"cannot migrate benchmark schema {schema!r}")
+    cases: list[dict] = []
+    for c in doc.get("cases", []):
+        meta = {"mesh": c["case"], "n_cells": c.get("n_cells"),
+                "degree": c.get("degree")}
+        for mode in ("legacy", "planned"):
+            d = c[mode]
+            m = dict(meta, mode=mode)
+            cases.append(_case(
+                f"{c['case']}/dg_laplace/{mode}",
+                c["n_dofs"],
+                d["dg_laplace_dofs_per_second"],
+                "dofs/s",
+                {
+                    "best_seconds": d["dg_laplace_vmult_seconds"],
+                    "dofs_per_second": d["dg_laplace_dofs_per_second"],
+                    "alloc_peak_bytes": d.get("dg_laplace_alloc_peak_bytes"),
+                    "alloc_net_blocks": d.get("dg_laplace_alloc_net_blocks"),
+                },
+                m,
+            ))
+            cases.append(_case(
+                f"{c['case']}/vector_laplace/{mode}",
+                c["n_dofs"],
+                d["vector_laplace_dofs_per_second"],
+                "dofs/s",
+                {
+                    "best_seconds": d["vector_laplace_vmult_seconds"],
+                    "dofs_per_second": d["vector_laplace_dofs_per_second"],
+                },
+                m,
+            ))
+            cases.append(_case(
+                f"{c['case']}/mg_setup/{mode}",
+                c["n_dofs"],
+                1.0 / d["mg_setup_seconds"],
+                "setups/s",
+                {"best_seconds": d["mg_setup_seconds"]},
+                m,
+            ))
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "vmult",
+        "smoke": bool(doc.get("smoke", False)),
+        "degree": doc.get("degree", 3),
+        "fingerprint": {"migrated_from": _OLD_VMULT_SCHEMA},
+        "cases": cases,
+    }
+
+
+def load_bench(path) -> dict:
+    """Read a benchmark document, migrating old schemas transparently."""
+    doc = json.loads(Path(path).read_text())
+    return migrate_bench_doc(doc)
+
+
+# ---------------------------------------------------------------------------
+# regression comparison
+# ---------------------------------------------------------------------------
+
+def compare_bench(current: dict, baseline: dict,
+                  max_regression: float = 0.15) -> dict:
+    """Join two benchmark documents by case name and flag throughput
+    regressions beyond ``max_regression`` (fractional drop).
+
+    Cases missing from either side or measured at a different problem
+    size are *skipped with a reason*, never silently compared.
+    """
+    current = migrate_bench_doc(current)
+    baseline = migrate_bench_doc(baseline)
+    base_by_name = {c["name"]: c for c in baseline.get("cases", [])}
+    regressions, improvements, ok, skipped = [], [], [], []
+    seen = set()
+    for cur in current.get("cases", []):
+        name = cur["name"]
+        seen.add(name)
+        base = base_by_name.get(name)
+        if base is None:
+            skipped.append({"name": name, "reason": "not in baseline"})
+            continue
+        if base.get("n_dofs") != cur.get("n_dofs"):
+            skipped.append({
+                "name": name,
+                "reason": f"n_dofs mismatch (baseline {base.get('n_dofs')}, "
+                          f"current {cur.get('n_dofs')})",
+            })
+            continue
+        b, c = base["throughput"], cur["throughput"]
+        if b <= 0:
+            skipped.append({"name": name, "reason": "non-positive baseline"})
+            continue
+        ratio = c / b
+        entry = {"name": name, "baseline": b, "current": c, "ratio": ratio,
+                 "units": cur.get("throughput_units", "")}
+        if ratio < 1.0 - max_regression:
+            regressions.append(entry)
+        elif ratio > 1.0 + max_regression:
+            improvements.append(entry)
+        else:
+            ok.append(entry)
+    for name in base_by_name:
+        if name not in seen:
+            skipped.append({"name": name, "reason": "not in current run"})
+    return {
+        "max_regression": max_regression,
+        "regressions": regressions,
+        "improvements": improvements,
+        "unchanged": ok,
+        "skipped": skipped,
+        "ok": not regressions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def render_bench(doc: dict) -> str:
+    """Plain-text table of one benchmark document."""
+    fp = doc.get("fingerprint", {})
+    head = (f"suite {doc.get('suite')} (schema {doc.get('schema')}"
+            + (", smoke" if doc.get("smoke") else "") + ")")
+    sha = fp.get("git_sha")
+    if sha:
+        head += f" @ {sha[:12]}"
+    lines = [
+        head,
+        f"{'case':<36s} {'DoF':>9s} {'best [s]':>11s} {'throughput':>14s}",
+    ]
+    for c in doc.get("cases", []):
+        best = c.get("metrics", {}).get("best_seconds")
+        best_s = f"{best:>11.4e}" if best is not None else f"{'-':>11s}"
+        lines.append(
+            f"{c['name']:<36s} {c['n_dofs']:>9d} {best_s} "
+            f"{c['throughput']:>10.4g} {c.get('throughput_units', '')}"
+        )
+    return "\n".join(lines)
+
+
+def render_compare(report: dict) -> str:
+    """Plain-text view of a :func:`compare_bench` report."""
+    lines = [
+        f"regression threshold: {report['max_regression']:.0%} "
+        f"({'PASS' if report['ok'] else 'FAIL'})"
+    ]
+
+    def rows(title, entries, mark):
+        if not entries:
+            return
+        lines.append(f"{title}:")
+        for e in entries:
+            lines.append(
+                f"  {mark} {e['name']:<36s} {e['baseline']:>10.4g} -> "
+                f"{e['current']:>10.4g} {e.get('units', '')} "
+                f"({e['ratio'] - 1.0:+.1%})"
+            )
+
+    rows("regressions", report["regressions"], "!")
+    rows("improvements", report["improvements"], "+")
+    rows("within threshold", report["unchanged"], "=")
+    if report["skipped"]:
+        lines.append("skipped:")
+        for s in report["skipped"]:
+            lines.append(f"  ? {s['name']}: {s['reason']}")
+    return "\n".join(lines)

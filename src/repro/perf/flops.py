@@ -122,6 +122,34 @@ def cg_laplace_flops(degree: int, n_q: int | None = None, even_odd: bool = True)
                          inner_face=0, boundary_face=0)
 
 
+def mass_flops(degree: int, n_q: int | None = None, even_odd: bool = True,
+               n_components: int = 1) -> int:
+    """Flops per cell of one mass mat-vec: forward value interpolation
+    (3 tensor sweeps), pointwise JxW multiply, transposed integration."""
+    n = degree + 1
+    nq = n_q or n
+    n2, nq2 = n * n, nq * nq
+    fwd = (
+        flops_apply_1d(nq, n, n2, even_odd)
+        + flops_apply_1d(nq, n, n * nq, even_odd)
+        + flops_apply_1d(nq, n, nq2, even_odd)
+    )
+    bwd = (
+        flops_apply_1d(n, nq, nq2, even_odd)
+        + flops_apply_1d(n, nq, nq * n, even_odd)
+        + flops_apply_1d(n, nq, n2, even_odd)
+    )
+    return n_components * (fwd + nq**3 + bwd)
+
+
+def inverse_mass_flops(degree: int, n_components: int = 1) -> int:
+    """Collocation inverse mass per cell (needs n_q = k+1): two
+    tensorized triads of square 1D sweeps plus a pointwise division."""
+    n = degree + 1
+    sweeps = 6 * flops_apply_1d(n, n, n * n, even_odd=False)
+    return n_components * (sweeps + n**3)
+
+
 def chebyshev_iteration_flops(degree: int, n_dofs_per_cell: int) -> int:
     """Vector-update Flops per smoother iteration and cell on top of the
     mat-vec: d = rho*rho_old*d + c*P(r); x += d; r -= A d -> ~6 Flop/DoF."""

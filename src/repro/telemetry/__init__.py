@@ -5,17 +5,21 @@ The solve stack (time integrator, Krylov/multigrid solvers, matrix-free
 operators) reports into the process-global :data:`TRACER`, which is
 disabled by default and costs one attribute check per call site when
 off.  Enable it (``TRACER.enable()`` or ``repro lung --trace``) to
-collect a hierarchical wall-time profile, vmult/iteration counters, and
-per-sub-step timings; pair it with :class:`RunLogWriter` to stream a
-schema-versioned JSONL record per time step that ``repro report`` can
-aggregate into the paper's Table-2-style breakdown.
+collect a hierarchical wall-time profile, vmult/iteration counters,
+per-sub-step timings, and the analytic work-model annotations behind
+``repro roofline``; pair it with :class:`RunLogWriter` to stream a
+schema-versioned JSONL record per time step that ``repro report``
+aggregates into the paper's Table-2-style breakdown and ``repro
+monitor`` tails while the run is still executing.
 """
 
+from .monitor import monitor_file, monitor_once, summarize_run
 from .report import (
     RunAggregate,
     aggregate_steps,
     render_breakdown,
     render_counters,
+    render_robustness,
     render_span_tree,
 )
 from .sinks import SCHEMA, JsonlWriter, RunLogWriter, read_run_log, step_record
@@ -34,9 +38,13 @@ __all__ = [
     "TRACER",
     "Tracer",
     "aggregate_steps",
+    "monitor_file",
+    "monitor_once",
     "read_run_log",
     "render_breakdown",
     "render_counters",
+    "render_robustness",
     "render_span_tree",
     "step_record",
+    "summarize_run",
 ]

@@ -130,6 +130,70 @@ def render_span_tree(tracer, min_seconds: float = 0.0) -> str:
     return "\n".join(lines)
 
 
+#: counter-name prefixes that make up the robustness summary
+ROBUSTNESS_PREFIXES = ("recovery.", "fallback.", "checkpoint.")
+
+
+def render_robustness(counters: dict) -> str:
+    """Summarize the fault-tolerance counters of a run (PR 3's recovery,
+    pressure-fallback, and checkpoint subsystems) from a flat counter
+    dict — live (``TRACER.counters``) or from a run-log summary.
+
+    Returns an empty string when the run recorded none of them.
+    """
+    if not counters:
+        return ""
+    retries = counters.get("recovery.step_retries", 0)
+    failures = counters.get("recovery.step_failures", 0)
+    reasons = {
+        k.removeprefix("recovery.reasons."): v
+        for k, v in counters.items()
+        if k.startswith("recovery.reasons.")
+    }
+    ckpt_writes = counters.get("checkpoint.writes", 0)
+    ckpt_loads = counters.get("checkpoint.loads", 0)
+    # fallback.<chain>.tier.<tier> / .escalations / .exhausted
+    chains: dict[str, dict] = {}
+    for k, v in counters.items():
+        if not k.startswith("fallback."):
+            continue
+        rest = k.removeprefix("fallback.")
+        if ".tier." in rest:
+            chain, tier = rest.split(".tier.", 1)
+            chains.setdefault(chain, {}).setdefault("tiers", {})[tier] = v
+        elif rest.endswith(".escalations"):
+            chains.setdefault(rest.removesuffix(".escalations"), {})[
+                "escalations"
+            ] = v
+        elif rest.endswith(".exhausted"):
+            chains.setdefault(rest.removesuffix(".exhausted"), {})[
+                "exhausted"
+            ] = v
+    if not (retries or failures or reasons or ckpt_writes or ckpt_loads
+            or chains):
+        return ""
+    lines = ["robustness:"]
+    lines.append(
+        f"  step retries: {retries}   step failures: {failures}"
+    )
+    for reason in sorted(reasons):
+        lines.append(f"    retry reason {reason}: {reasons[reason]}")
+    for chain in sorted(chains):
+        info = chains[chain]
+        tiers = info.get("tiers", {})
+        tier_s = ", ".join(
+            f"{t}={tiers[t]}" for t in sorted(tiers)
+        ) or "none recorded"
+        lines.append(
+            f"  fallback[{chain}]: escalations={info.get('escalations', 0)} "
+            f"exhausted={info.get('exhausted', 0)}  tiers: {tier_s}"
+        )
+    lines.append(
+        f"  checkpoints: {ckpt_writes} written, {ckpt_loads} loaded"
+    )
+    return "\n".join(lines)
+
+
 def render_counters(tracer) -> str:
     """Flat counter/gauge dump, sorted by name."""
     lines = []

@@ -11,6 +11,7 @@ breaking changes so readers can refuse logs they do not understand.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import IO
 
@@ -99,31 +100,47 @@ class RunLogWriter(JsonlWriter):
 
 def read_run_log(path: str | Path):
     """Parse a JSONL run log; returns ``(header, steps, summary)`` where
-    ``summary`` is ``None`` for truncated logs (e.g. a crashed run)."""
+    ``summary`` is ``None`` for truncated logs (e.g. a crashed run).
+
+    A run killed mid-write leaves a partial final line; that line is
+    skipped with a :class:`RuntimeWarning` instead of raising, so crash
+    logs stay readable.  Malformed lines *before* the end of the file
+    still raise — they indicate corruption, not truncation.
+    """
     header: dict | None = None
     steps: list[dict] = []
     summary: dict | None = None
     with Path(path).open() as f:
-        for line_no, line in enumerate(f, 1):
-            line = line.strip()
-            if not line:
+        lines = f.readlines()
+    last_line_no = len(lines)
+    for line_no, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            if line_no == last_line_no:
+                warnings.warn(
+                    f"{path}:{line_no}: skipping truncated final record "
+                    f"({e})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError as e:
-                raise ValueError(f"{path}:{line_no}: not valid JSON: {e}") from e
-            kind = rec.get("type")
-            if kind == "header":
-                if rec.get("schema") != SCHEMA:
-                    raise ValueError(
-                        f"{path}: unsupported run-log schema "
-                        f"{rec.get('schema')!r} (expected {SCHEMA!r})"
-                    )
-                header = rec
-            elif kind == "step":
-                steps.append(rec)
-            elif kind == "summary":
-                summary = rec
+            raise ValueError(f"{path}:{line_no}: not valid JSON: {e}") from e
+        kind = rec.get("type")
+        if kind == "header":
+            if rec.get("schema") != SCHEMA:
+                raise ValueError(
+                    f"{path}: unsupported run-log schema "
+                    f"{rec.get('schema')!r} (expected {SCHEMA!r})"
+                )
+            header = rec
+        elif kind == "step":
+            steps.append(rec)
+        elif kind == "summary":
+            summary = rec
     if header is None:
         raise ValueError(f"{path}: no {SCHEMA!r} header record found")
     return header, steps, summary

@@ -12,6 +12,16 @@ the children's inclusive time) is derived at report time.  Flat *typed
 counters* (monotonic integers, e.g. ``vmult.DGLaplaceOperator``) and
 *gauges* (last-written floats) ride along in the same tracer.
 
+Spans can additionally carry *work-model annotations* — analytic Flop,
+byte-transfer, and DoF tallies attached by the instrumented kernel while
+its span is open (:meth:`Tracer.annotate`).  The tallies describe only
+the annotating region's **own** work (a parent never re-counts what its
+instrumented children annotate), so achieved GFlop/s and GB/s are
+computed against the node's *exclusive* time, and subtree sums attribute
+work to enclosing sub-steps.  Like everything else here, annotation is a
+single attribute check when the tracer is disabled and allocates
+nothing.
+
 The process-global tracer is **disabled by default** and every entry
 point has a no-op fast path — a single attribute check — so the
 instrumentation can stay in the hot paths permanently.  Enabling costs
@@ -34,11 +44,34 @@ class SpanNode:
     total: float = 0.0  # inclusive seconds across all visits
     count: int = 0
     children: dict[str, "SpanNode"] = field(default_factory=dict)
+    # own-work annotations (this node only, children excluded)
+    flops: float = 0.0
+    bytes: float = 0.0
+    dofs: float = 0.0
 
     @property
     def exclusive(self) -> float:
         """Inclusive time minus the time spent in child spans."""
         return self.total - sum(c.total for c in self.children.values())
+
+    @property
+    def has_work(self) -> bool:
+        return self.flops != 0.0 or self.bytes != 0.0 or self.dofs != 0.0
+
+    def add_work(self, flops: float = 0.0, bytes: float = 0.0,
+                 dofs: float = 0.0) -> None:
+        """Accumulate own-work tallies for one visit of this region."""
+        self.flops += flops
+        self.bytes += bytes
+        self.dofs += dofs
+
+    def subtree_work(self) -> tuple[float, float, float]:
+        """(flops, bytes, dofs) summed over this node and its subtree."""
+        f, b, d = self.flops, self.bytes, self.dofs
+        for c in self.children.values():
+            cf, cb, cd = c.subtree_work()
+            f, b, d = f + cf, b + cb, d + cd
+        return f, b, d
 
     def child(self, name: str) -> "SpanNode":
         node = self.children.get(name)
@@ -52,8 +85,28 @@ class SpanNode:
         for c in self.children.values():
             yield from c.walk(depth + 1)
 
+    @classmethod
+    def from_dict(cls, name: str, d: dict) -> "SpanNode":
+        """Rebuild a subtree from the :meth:`to_dict` representation
+        (e.g. the ``spans`` section of a run-log summary)."""
+        work = d.get("work") or {}
+        node = cls(
+            name,
+            total=float(d.get("total_s", 0.0)),
+            count=int(d.get("count", 0)),
+            flops=float(work.get("flops", 0.0)),
+            bytes=float(work.get("bytes", 0.0)),
+            dofs=float(work.get("dofs", 0.0)),
+        )
+        for cname, cd in (d.get("children") or {}).items():
+            node.children[cname] = cls.from_dict(cname, cd)
+        return node
+
     def to_dict(self) -> dict:
         d: dict = {"total_s": self.total, "count": self.count}
+        if self.has_work:
+            d["work"] = {"flops": self.flops, "bytes": self.bytes,
+                         "dofs": self.dofs}
         if self.children:
             d["children"] = {k: v.to_dict() for k, v in self.children.items()}
         return d
@@ -137,6 +190,19 @@ class Tracer:
         if not self.enabled:
             return NULL_SPAN
         return _Span(self, self._stack[-1].child(name))
+
+    def annotate(self, flops: float = 0.0, bytes: float = 0.0,
+                 dofs: float = 0.0) -> None:
+        """Attach own-work tallies to the currently open span.
+
+        Called by instrumented kernels *inside* their span; the tallies
+        must cover only the caller's own work — instrumented children
+        annotate their spans themselves.  A single attribute check (no
+        allocation) when disabled.
+        """
+        if not self.enabled:
+            return
+        self._stack[-1].add_work(flops, bytes, dofs)
 
     def incr(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the named monotonic counter."""

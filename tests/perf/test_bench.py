@@ -1,0 +1,214 @@
+"""Tests of the benchmark regression harness (``repro bench``)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    SUITES,
+    compare_bench,
+    load_bench,
+    machine_fingerprint,
+    migrate_bench_doc,
+    render_bench,
+    render_compare,
+    run_suite,
+)
+
+
+def make_doc(throughputs: dict[str, float], n_dofs: int = 1000) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "ops",
+        "smoke": True,
+        "degree": 3,
+        "fingerprint": {"numpy": "test"},
+        "cases": [
+            {"name": name, "n_dofs": n_dofs, "throughput": tp,
+             "throughput_units": "dofs/s", "meta": {}, "metrics": {}}
+            for name, tp in throughputs.items()
+        ],
+    }
+
+
+class TestFingerprint:
+    def test_identifies_stack(self):
+        import numpy as np
+
+        fp = machine_fingerprint()
+        assert fp["numpy"] == np.__version__
+        assert fp["cpu_count"] >= 1
+        assert fp["python"].count(".") == 2
+        assert fp["blas"]
+        assert fp["timestamp"]
+        # in this checkout the git SHA must resolve
+        assert fp["git_sha"] and len(fp["git_sha"]) == 40
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        base = make_doc({"a": 100.0, "b": 50.0})
+        cur = make_doc({"a": 100.0, "b": 40.0})  # b dropped 20%
+        rep = compare_bench(cur, base, max_regression=0.15)
+        assert not rep["ok"]
+        assert [r["name"] for r in rep["regressions"]] == ["b"]
+        assert rep["regressions"][0]["ratio"] == pytest.approx(0.8)
+        assert [r["name"] for r in rep["unchanged"]] == ["a"]
+
+    def test_within_threshold_passes(self):
+        base = make_doc({"a": 100.0})
+        cur = make_doc({"a": 90.0})  # -10% < 15% threshold
+        rep = compare_bench(cur, base, max_regression=0.15)
+        assert rep["ok"] and not rep["regressions"]
+
+    def test_improvement_reported(self):
+        rep = compare_bench(make_doc({"a": 200.0}), make_doc({"a": 100.0}))
+        assert rep["ok"]
+        assert [r["name"] for r in rep["improvements"]] == ["a"]
+
+    def test_artificially_inflated_baseline_fails(self):
+        cur = make_doc({"a": 100.0, "b": 50.0})
+        base = copy.deepcopy(cur)
+        for c in base["cases"]:
+            c["throughput"] *= 2.0
+        rep = compare_bench(cur, base)
+        assert not rep["ok"]
+        assert len(rep["regressions"]) == 2
+
+    def test_mismatched_cases_skip_with_reason(self):
+        base = make_doc({"a": 100.0, "gone": 10.0})
+        cur = make_doc({"a": 100.0, "new": 5.0})
+        rep = compare_bench(cur, base)
+        reasons = {s["name"]: s["reason"] for s in rep["skipped"]}
+        assert reasons["new"] == "not in baseline"
+        assert reasons["gone"] == "not in current run"
+        assert rep["ok"]
+
+    def test_size_mismatch_never_compared(self):
+        base = make_doc({"a": 100.0}, n_dofs=1000)
+        cur = make_doc({"a": 10.0}, n_dofs=8000)  # refined mesh, not slower
+        rep = compare_bench(cur, base)
+        assert rep["ok"]
+        assert "n_dofs mismatch" in rep["skipped"][0]["reason"]
+
+    def test_render_compare(self):
+        rep = compare_bench(make_doc({"a": 80.0}), make_doc({"a": 100.0}),
+                            max_regression=0.1)
+        out = render_compare(rep)
+        assert "FAIL" in out and "! a" in out and "-20.0%" in out
+        ok = render_compare(compare_bench(make_doc({"a": 100.0}),
+                                          make_doc({"a": 100.0})))
+        assert "PASS" in ok
+
+
+class TestMigration:
+    OLD = {
+        "schema": "repro/bench-vmult/1",
+        "smoke": False,
+        "degree": 3,
+        "cases": [{
+            "case": "box_r3", "n_cells": 128, "degree": 3, "n_dofs": 8192,
+            "legacy": {
+                "dg_laplace_vmult_seconds": 0.02,
+                "dg_laplace_dofs_per_second": 409600.0,
+                "dg_laplace_alloc_peak_bytes": 1000,
+                "dg_laplace_alloc_net_blocks": 0,
+                "vector_laplace_vmult_seconds": 0.05,
+                "vector_laplace_dofs_per_second": 163840.0,
+                "mg_setup_seconds": 0.5,
+            },
+            "planned": {
+                "dg_laplace_vmult_seconds": 0.01,
+                "dg_laplace_dofs_per_second": 819200.0,
+                "dg_laplace_alloc_peak_bytes": 500,
+                "dg_laplace_alloc_net_blocks": 0,
+                "vector_laplace_vmult_seconds": 0.025,
+                "vector_laplace_dofs_per_second": 327680.0,
+                "mg_setup_seconds": 0.1,
+            },
+            "speedup": {"dg_laplace_vmult": 2.0, "vector_laplace_vmult": 2.0,
+                        "mg_setup": 5.0},
+        }],
+    }
+
+    def test_numbers_preserved(self):
+        new = migrate_bench_doc(self.OLD)
+        assert new["schema"] == BENCH_SCHEMA
+        assert new["suite"] == "vmult"
+        by_name = {c["name"]: c for c in new["cases"]}
+        assert len(by_name) == 6  # 3 kernels x 2 modes
+        lap = by_name["box_r3/dg_laplace/planned"]
+        assert lap["throughput"] == pytest.approx(819200.0)
+        assert lap["n_dofs"] == 8192
+        assert lap["meta"]["mode"] == "planned"
+        assert lap["metrics"]["best_seconds"] == pytest.approx(0.01)
+        mg = by_name["box_r3/mg_setup/legacy"]
+        assert mg["throughput"] == pytest.approx(2.0)  # 1/0.5 setups/s
+        assert mg["throughput_units"] == "setups/s"
+        assert new["fingerprint"]["migrated_from"] == "repro/bench-vmult/1"
+
+    def test_current_schema_passes_through(self):
+        doc = make_doc({"a": 1.0})
+        assert migrate_bench_doc(doc) is doc
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="cannot migrate"):
+            migrate_bench_doc({"schema": "other/1"})
+
+    def test_load_bench_migrates_from_disk(self, tmp_path):
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps(self.OLD))
+        doc = load_bench(p)
+        assert doc["schema"] == BENCH_SCHEMA
+
+    def test_compare_works_across_schemas(self):
+        """A new-schema run compares against an old-schema baseline."""
+        new = migrate_bench_doc(self.OLD)
+        rep = compare_bench(new, self.OLD)
+        assert rep["ok"]
+        assert len(rep["unchanged"]) == 6
+
+    def test_committed_baseline_is_current_schema(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        doc = json.loads((root / "BENCH_vmult.json").read_text())
+        assert doc["schema"] == BENCH_SCHEMA
+        smoke = json.loads(
+            (root / "benchmarks/baselines/BENCH_ops_smoke.json").read_text()
+        )
+        assert smoke["schema"] == BENCH_SCHEMA
+        assert smoke["suite"] == "ops"
+
+
+class TestRunSuite:
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite("nope")
+
+    def test_declared_suites(self):
+        assert set(SUITES) == {"ops", "vmult"}
+
+    def test_smoke_filtered_case_runs(self):
+        doc = run_suite("ops", smoke=True, degree=2,
+                        case_filter="dg_laplace_vmult")
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["smoke"] is True
+        assert [c["name"] for c in doc["cases"]] == ["box_r1/dg_laplace_vmult"]
+        c = doc["cases"][0]
+        assert c["throughput"] > 0
+        assert c["throughput_units"] == "dofs/s"
+        assert c["metrics"]["best_seconds"] > 0
+        assert doc["fingerprint"]["numpy"]
+        out = render_bench(doc)
+        assert "dg_laplace_vmult" in out and "dofs/s" in out
+
+    def test_vmult_suite_modes(self):
+        doc = run_suite("vmult", smoke=True, degree=2,
+                        case_filter="box_r1/dg_laplace")
+        names = [c["name"] for c in doc["cases"]]
+        assert names == ["box_r1/dg_laplace/legacy", "box_r1/dg_laplace/planned"]
+        modes = {c["meta"]["mode"] for c in doc["cases"]}
+        assert modes == {"legacy", "planned"}

@@ -95,6 +95,45 @@ class TestRunLog:
         with pytest.raises(ValueError, match="closed"):
             w.write_step(make_stats(0))
 
+    @pytest.mark.parametrize("cut", [2, 5, 20])
+    def test_truncated_final_line_is_skipped_with_warning(self, tmp_path, cut):
+        """A run killed mid-write leaves a partial last line; the reader
+        must warn and skip it, not raise — byte-wise truncation."""
+        path = tmp_path / "run.jsonl"
+        with RunLogWriter(path, meta={"command": "test"}) as w:
+            for i in range(3):
+                w.write_step(make_stats(i))
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        path.write_bytes(data[:-cut])  # cut into the final record
+        with pytest.warns(RuntimeWarning, match="truncated final record"):
+            header, steps, summary = read_run_log(path)
+        assert header["command"] == "test"
+        assert len(steps) == 2  # the mangled third step is dropped
+        assert summary is None
+
+    def test_truncation_of_trailing_newline_only_is_harmless(self, tmp_path):
+        """Cutting exactly the newline leaves a complete JSON line."""
+        path = tmp_path / "run.jsonl"
+        with RunLogWriter(path) as w:
+            w.write_step(make_stats(0))
+        path.write_bytes(path.read_bytes()[:-1])
+        _, steps, _ = read_run_log(path)  # no warning expected
+        assert len(steps) == 1
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        """Only the *final* line gets truncation forgiveness; a mangled
+        line followed by valid records is corruption."""
+        path = tmp_path / "run.jsonl"
+        with RunLogWriter(path) as w:
+            w.write_step(make_stats(0))
+            w.write_step(make_stats(1))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-10]  # mangle the first step record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_run_log(path)
+
 
 class TestAggregation:
     def test_aggregates_dicts_and_stats_identically(self, tmp_path):
@@ -145,3 +184,44 @@ class TestRenderers:
         assert "vmult.Op" in out and "3" in out
         assert "res" in out
         assert render_counters(Tracer(enabled=True)) == ""
+
+
+class TestRobustnessRender:
+    def test_full_counter_set(self):
+        from repro.telemetry import render_robustness
+
+        out = render_robustness({
+            "recovery.step_retries": 3,
+            "recovery.step_failures": 1,
+            "recovery.reasons.solver_divergence": 2,
+            "recovery.reasons.nan_detected": 1,
+            "fallback.pressure.tier.mg_mixed": 40,
+            "fallback.pressure.tier.direct": 2,
+            "fallback.pressure.escalations": 2,
+            "fallback.pressure.exhausted": 0,
+            "checkpoint.writes": 5,
+            "checkpoint.loads": 1,
+            "vmult.Op": 999,  # unrelated counters are ignored
+        })
+        assert out.startswith("robustness:")
+        assert "step retries: 3" in out and "step failures: 1" in out
+        assert "retry reason solver_divergence: 2" in out
+        assert "retry reason nan_detected: 1" in out
+        assert "fallback[pressure]: escalations=2 exhausted=0" in out
+        assert "direct=2" in out and "mg_mixed=40" in out
+        assert "5 written, 1 loaded" in out
+        assert "vmult.Op" not in out
+
+    def test_empty_when_nothing_recorded(self):
+        from repro.telemetry import render_robustness
+
+        assert render_robustness({}) == ""
+        assert render_robustness({"vmult.Op": 7, "cg.iterations": 12}) == ""
+
+    def test_partial_counters(self):
+        from repro.telemetry import render_robustness
+
+        out = render_robustness({"checkpoint.writes": 2})
+        assert "checkpoints: 2 written, 0 loaded" in out
+        out = render_robustness({"fallback.pressure.escalations": 1})
+        assert "fallback[pressure]" in out and "tiers: none recorded" in out

@@ -209,3 +209,130 @@ class TestVerifyCLI:
         out = capsys.readouterr().out
         assert "golden regression FAILED" in out
         assert "poisson_k2_l1_error_l2" in out
+
+
+class TestObservabilityCLI:
+    def test_machine_names_match_registry(self):
+        """The parser's literal machine list (kept import-light) must
+        track the attribution registry."""
+        from repro.cli import _MACHINE_NAMES
+        from repro.perf.attribution import MACHINES
+
+        assert sorted(_MACHINE_NAMES) == sorted(MACHINES)
+
+    @pytest.mark.slow
+    def test_roofline_json_reports_rates_per_kernel(self, capsys):
+        """Acceptance: achieved GFlop/s, GB/s, and %-of-model per
+        instrumented kernel, covering the DG Laplace vmult and a full
+        lung step."""
+        assert main(["roofline", "--json", "--refinements", "0",
+                     "--repetitions", "2", "--steps", "1"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/roofline/1"
+        assert doc["machine"]["name"]
+        kernels = {k["name"]: k for k in doc["kernels"]}
+        assert "vmult[DGLaplaceOperator]" in kernels
+        for k in kernels.values():
+            for field in ("gflops_per_s", "gbytes_per_s", "intensity",
+                          "fraction_of_model"):
+                assert field in k
+        substeps = {s["name"]: s for s in doc["substeps"]}
+        step = substeps["step"]  # the full lung time step
+        assert step["flops"] > 0 and step["bytes"] > 0
+        assert 0.0 < step["fraction_of_model"] < 1.0
+        lap = kernels["vmult[DGLaplaceOperator]"]
+        assert lap["gflops_per_s"] > 0
+        assert lap["calls"] >= 2
+
+    @pytest.mark.slow
+    def test_roofline_from_traced_log(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "2", "--trace",
+                     "--log-file", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["roofline", "--from-log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "roofline attribution" in out
+        assert "vmult[DGLaplaceOperator]" in out
+        assert "%model" in out
+
+    def test_roofline_from_untraced_log_fails(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "1", "--log-file", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["roofline", "--from-log", str(log)]) == 1
+        assert "no traced summary" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_report_includes_roofline_and_robustness(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "2", "--trace",
+                     "--log-file", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(log), "--machine", "supermuc-ng"]) == 0
+        out = capsys.readouterr().out
+        assert "roofline attribution" in out
+        assert "vmult[DGLaplaceOperator]" in out
+        assert "robustness:" in out
+
+    def test_bench_list_suites(self, capsys):
+        assert main(["bench", "--list-suites"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "ops" in out and "vmult" in out
+
+    @pytest.mark.slow
+    def test_bench_smoke_writes_document_and_compares(self, tmp_path, capsys):
+        out_json = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--degree", "2",
+                     "--cases", "dg_laplace_vmult",
+                     "--output", str(out_json)]) == 0
+        text = capsys.readouterr().out
+        assert "benchmark document written" in text
+        doc = json.loads(out_json.read_text())
+        assert doc["schema"] == "repro/bench/2"
+        assert doc["fingerprint"]["git_sha"]
+        assert doc["cases"][0]["throughput"] > 0
+
+        # identical baseline passes
+        assert main(["bench", "--input", str(out_json),
+                     "--compare", str(out_json)]) == 0
+        capsys.readouterr()
+
+        # artificially inflated baseline must fail the gate ...
+        inflated = json.loads(out_json.read_text())
+        for c in inflated["cases"]:
+            c["throughput"] *= 10.0
+        base = tmp_path / "inflated.json"
+        base.write_text(json.dumps(inflated))
+        assert main(["bench", "--input", str(out_json),
+                     "--compare", str(base)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # ... unless --warn-only downgrades it for shared CI runners
+        assert main(["bench", "--input", str(out_json),
+                     "--compare", str(base), "--warn-only"]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_bench_unknown_suite_is_usage_error(self, capsys):
+        assert main(["bench", "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_bench_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        doc = {"schema": "repro/bench/2", "suite": "ops", "cases": []}
+        p = tmp_path / "doc.json"
+        p.write_text(json.dumps(doc))
+        assert main(["bench", "--input", str(p),
+                     "--compare", str(tmp_path / "nope.json")]) == 2
+
+    def test_monitor_running_and_finished(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "2", "--log-file", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "steps: 2/2" in out
+        assert "step rate" in out
+        assert "status: finished" in out
+
+    def test_monitor_missing_file(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().out
