@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Enforce the module-level metric-handle pattern.
+
+The metric registry's disabled fast path only stays allocation-free if
+instrumented modules create their handles once at import time and the
+hot loops touch pre-bound module globals.  A function-level
+``from ..telemetry.metrics import ...`` (or ``import repro.telemetry
+.metrics``) inside solver code defeats that: every call re-runs the
+import machinery and a registry lookup inside the hot loop.
+
+This checker walks ``src/repro`` and flags any import of the metrics
+module that is nested inside a function or method.  ``repro/cli.py`` is
+allowlisted — its deferred imports exist so ``repro --help`` does not
+load the solver stack, and command entry points run once per process,
+not per time step.
+
+Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: files whose function-level imports are deliberate (startup latency,
+#: not hot loops)
+ALLOWLIST = {"cli.py"}
+
+
+def _is_metrics_import(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(a.name.endswith("telemetry.metrics") for a in node.names)
+    if isinstance(node, ast.ImportFrom):
+        mod = node.module or ""
+        if mod.endswith("telemetry.metrics") or mod == "metrics":
+            return True
+        # `from ..telemetry import METRICS` / `from .telemetry import ...`
+        if mod.endswith("telemetry") or mod == "telemetry":
+            return any(
+                a.name in ("METRICS", "metrics", "MetricRegistry")
+                for a in node.names
+            )
+    return False
+
+
+def check_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def _visit_func(self, node) -> None:
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+        visit_Lambda = _visit_func
+
+        def _check(self, node) -> None:
+            if self.depth > 0 and _is_metrics_import(node):
+                problems.append(
+                    f"{path}:{node.lineno}: metrics imported inside a "
+                    "function — bind a module-level handle at import time "
+                    "instead (see repro.telemetry.metrics)"
+                )
+            self.generic_visit(node)
+
+        visit_Import = _check
+        visit_ImportFrom = _check
+
+    Visitor().visit(tree)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src" / "repro"
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in ALLOWLIST:
+            continue
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} call-time metrics import(s) found",
+              file=sys.stderr)
+        return 1
+    print(f"metric-handle check OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

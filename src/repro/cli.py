@@ -9,7 +9,9 @@ airway-mesh generation with VTK export.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 
 import numpy as np
@@ -17,6 +19,27 @@ import numpy as np
 # mirrors repro.perf.attribution.MACHINES (kept literal so building the
 # parser does not import the solver stack; a test asserts they agree)
 _MACHINE_NAMES = ("local", "supermuc-ng", "summit-v100", "fugaku-a64fx")
+
+
+@contextlib.contextmanager
+def _metrics_session(path: str | None, command: str):
+    """Enable the global metric registry for the lifetime of a command
+    and export its state to ``path`` on the way out (including error
+    exits — a failed run's metrics are exactly the interesting ones).
+    A no-op when no ``--metrics-file`` was given."""
+    if not path:
+        yield
+        return
+    from .telemetry import METRICS, export_metrics
+
+    METRICS.reset()
+    METRICS.enable()
+    try:
+        yield
+    finally:
+        METRICS.disable()
+        out = export_metrics(METRICS, path, meta={"command": command})
+        print(f"metrics written to {out}")
 
 
 def cmd_poisson(args) -> int:
@@ -67,18 +90,8 @@ def cmd_poisson(args) -> int:
 
 
 def cmd_lung(args) -> int:
-    import os
-
-    from .lung import LungVentilationSimulation
-    from .robustness import CheckpointManager, RunConfig, StepFailure
-    from .telemetry import (
-        TRACER,
-        RunLogWriter,
-        aggregate_steps,
-        render_breakdown,
-        render_counters,
-        render_span_tree,
-    )
+    from .robustness import RunConfig
+    from .telemetry import TRACER
 
     if args.trace:
         TRACER.reset()
@@ -92,6 +105,24 @@ def cmd_lung(args) -> int:
         print("error: --resume requires --checkpoint-dir (or a config file "
               "with robustness.checkpoint_dir set)", file=sys.stderr)
         return 2
+    with _metrics_session(args.metrics_file, "lung"):
+        return _lung_run(args, cfg)
+
+
+def _lung_run(args, cfg) -> int:
+    import os
+
+    from .lung import LungVentilationSimulation
+    from .robustness import CheckpointManager, StepFailure
+    from .telemetry import (
+        TRACER,
+        RunLogWriter,
+        aggregate_steps,
+        render_breakdown,
+        render_counters,
+        render_span_tree,
+    )
+
     sim = LungVentilationSimulation(cfg)
     manager = CheckpointManager.from_settings(cfg.robustness)
     if args.resume:
@@ -183,6 +214,20 @@ def cmd_report(args) -> int:
         render_breakdown,
         render_robustness,
     )
+
+    if args.html:
+        from .telemetry import write_html_dashboard
+
+        output = args.output or str(args.run_log) + ".html"
+        try:
+            path = write_html_dashboard(
+                args.run_log, output, metrics_paths=args.metrics or ()
+            )
+        except (OSError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+        print(f"dashboard written to {path}")
+        return 0
 
     try:
         header, steps, summary = read_run_log(args.run_log)
@@ -291,6 +336,11 @@ def cmd_roofline(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    with _metrics_session(args.metrics_file, "bench"):
+        return _bench_run(args)
+
+
+def _bench_run(args) -> int:
     """Run a declared benchmark suite; optionally gate against a
     baseline document."""
     from .perf.bench import (
@@ -353,6 +403,45 @@ def cmd_monitor(args) -> int:
                         interval=args.interval)
 
 
+def cmd_metrics(args) -> int:
+    """Render, aggregate, or re-export metric snapshot files."""
+    from .telemetry.metrics import (
+        doc_to_prometheus,
+        load_metrics,
+        merge_snapshots,
+        render_metrics_table,
+    )
+
+    try:
+        docs = [load_metrics(p) for p in args.files]
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    try:
+        doc = docs[0] if len(docs) == 1 else merge_snapshots(docs)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    if args.action == "render":
+        print(render_metrics_table(doc))
+        return 0
+    if args.action == "aggregate":
+        # always a full merge, so one worker's file normalizes the same
+        # way as many (meta records the worker count)
+        doc = merge_snapshots(docs)
+        text = json.dumps(doc, indent=2, allow_nan=True) + "\n"
+    else:  # export: Prometheus textfile
+        text = doc_to_prometheus(doc)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"metrics written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _parse_int_list(text: str) -> tuple[int, ...]:
     try:
         values = tuple(int(v) for v in text.split(",") if v.strip())
@@ -364,6 +453,11 @@ def _parse_int_list(text: str) -> tuple[int, ...]:
 
 
 def cmd_verify(args) -> int:
+    with _metrics_session(args.metrics_file, "verify"):
+        return _verify_run(args)
+
+
+def _verify_run(args) -> int:
     from .verification import (
         beltrami_temporal_gate,
         compare_golden,
@@ -538,6 +632,10 @@ def main(argv=None) -> int:
                    help="divergence-recovery retry budget per step (default 3)")
     p.add_argument("--crash-after-step", type=int, default=None,
                    help=argparse.SUPPRESS)
+    p.add_argument("--metrics-file", type=str, default=None,
+                   help="enable the solver-health metric registry and "
+                        "export it here (.prom for the Prometheus "
+                        "textfile, anything else for JSON)")
     p.set_defaults(fn=cmd_lung)
 
     p = sub.add_parser("report", help="aggregate a JSONL run log")
@@ -547,6 +645,15 @@ def main(argv=None) -> int:
                    default="local",
                    help="machine model for the roofline section "
                         "(default: local)")
+    p.add_argument("--html", action="store_true",
+                   help="render a self-contained HTML dashboard instead "
+                        "of the text report")
+    p.add_argument("--output", type=str, default=None,
+                   help="with --html: dashboard path "
+                        "(default: <run_log>.html)")
+    p.add_argument("--metrics", type=str, nargs="*", default=None,
+                   help="with --html: metric snapshot file(s) for the "
+                        "catalog section (merged when several)")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(
@@ -603,7 +710,25 @@ def main(argv=None) -> int:
                    help="report regressions but exit 0 (shared runners)")
     p.add_argument("--list-suites", action="store_true",
                    help="print the declared suite names and exit")
+    p.add_argument("--metrics-file", type=str, default=None,
+                   help="enable the solver-health metric registry and "
+                        "export it here")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "metrics",
+        help="render, aggregate, or re-export metric snapshot files",
+    )
+    p.add_argument("action", choices=("render", "aggregate", "export"),
+                   help="render a summary table, aggregate per-worker "
+                        "snapshots into one JSON document, or export "
+                        "the Prometheus textfile")
+    p.add_argument("files", nargs="+",
+                   help="metric snapshot file(s) written with "
+                        "--metrics-file (merged when several)")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the result here instead of stdout")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser(
         "monitor",
@@ -650,6 +775,9 @@ def main(argv=None) -> int:
                         "snapshot instead of running ladders")
     p.add_argument("--update-golden", action="store_true",
                    help="with --golden: regenerate the snapshot file")
+    p.add_argument("--metrics-file", type=str, default=None,
+                   help="enable the solver-health metric registry and "
+                        "export it here")
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("mesh", help="generate an airway mesh")
@@ -671,7 +799,14 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_calibrate)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early: not an error,
+        # but suppress the flush-on-exit traceback too
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

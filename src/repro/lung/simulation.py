@@ -28,10 +28,36 @@ from ..ns.bc import BoundaryConditions, PressureDirichlet
 from ..ns.solver import IncompressibleNavierStokesSolver
 from ..robustness.config import LEGACY_SIMULATION_KWARGS, RunConfig
 from ..telemetry import TRACER
+from ..telemetry.metrics import METRICS
 from .airway_mesh import INLET_ID, LungMesh, airway_tree_mesh
 from .tree import grow_airway_tree
 from .ventilator import PressureControlledVentilator
 from .windkessel import WindkesselBank
+
+# ventilation-coupling health gauges, sampled once per coupled step
+_WK_FLOW = METRICS.gauge(
+    "repro_windkessel_flow_m3_per_s",
+    "outlet flow rate into each windkessel compartment (outward positive)",
+    labels=("outlet",),
+)
+_WK_VOLUME = METRICS.gauge(
+    "repro_windkessel_volume_m3",
+    "volume stored in each windkessel compartment",
+    labels=("outlet",),
+)
+_WK_PRESSURE = METRICS.gauge(
+    "repro_windkessel_pressure_pa",
+    "outlet pressure (PEEP + compartment pressure) per windkessel",
+    labels=("outlet",),
+)
+_INLET_FLOW = METRICS.gauge(
+    "repro_inlet_flow_m3_per_s",
+    "tracheal inlet flow rate (inward positive, the tubus model sign)",
+)
+_TIDAL_VOLUME = METRICS.gauge(
+    "repro_tidal_volume_m3",
+    "total volume stored across all windkessel compartments",
+)
 
 _legacy_warned = False
 
@@ -173,6 +199,15 @@ class LungVentilationSimulation:
             self.windkessels.advance(flows, stats.dt)
             # inlet flow: inward positive for the tubus model
             self._inlet_flow = -self.solver.flow_rate(INLET_ID)
+        if METRICS.enabled:
+            # dynamic labels allocate (str(o)) — keep behind the guard
+            for o, q in enumerate(flows):
+                key = str(o)
+                _WK_FLOW.labels(key).set(q)
+                _WK_VOLUME.labels(key).set(self.windkessels.compartments[o].volume)
+                _WK_PRESSURE.labels(key).set(self.windkessels.outlet_pressure(o))
+            _INLET_FLOW.set(self._inlet_flow)
+            _TIDAL_VOLUME.set(self.windkessels.total_volume())
         # the coupling stage is part of this step's cost
         elapsed = time.perf_counter() - t0
         stats.wall_time += elapsed

@@ -35,9 +35,39 @@ from ..robustness.recovery import (
 )
 from ..solvers.jacobi import JacobiPreconditioner
 from ..solvers.multigrid import HybridMultigridPreconditioner
+from ..telemetry.metrics import METRICS
 from ..timeint.cfl import CFLController
 from ..timeint.dual_splitting import DualSplittingScheme, SplittingOperators
 from .bc import BoundaryConditions
+
+# physics health probes sampled once per time step while the metric
+# registry is enabled (each probe is at most one reduction or one
+# cell-local gradient evaluation — far below a single solve)
+_STEPS = METRICS.counter("repro_steps_total", "completed time steps")
+_SIM_TIME = METRICS.gauge("repro_sim_time_seconds", "simulated time")
+_STEP_DT = METRICS.gauge("repro_step_dt_seconds", "current time-step size")
+_STEP_WALL = METRICS.histogram(
+    "repro_step_wall_seconds", "wall time per time step",
+    buckets=(0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0),
+)
+_CFL_REALIZED = METRICS.histogram(
+    "repro_cfl_realized", "realized CFL number per step (inverse Eq. (6))",
+    buckets=(0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0, 2.0),
+)
+_DIVERGENCE_L2 = METRICS.gauge(
+    "repro_divergence_l2",
+    "L2 norm of div(u) over the domain — the quantity the penalty step "
+    "controls",
+)
+_KINETIC_ENERGY = METRICS.gauge(
+    "repro_kinetic_energy",
+    "DoF-vector kinetic-energy proxy 0.5 u.u (the same scale the "
+    "energy-blowup validation of repro.robustness monitors)",
+)
+_PRESSURE_RESIDUAL = METRICS.gauge(
+    "repro_pressure_final_residual",
+    "final relative residual of the latest pressure Poisson solve",
+)
 
 
 @dataclass
@@ -359,7 +389,24 @@ class IncompressibleNavierStokesSolver:
         """Record the realized CFL number on the step statistics: the
         inverse of Eq. (6), ``CFL = dt * k^1.5 * max|J^{-1} u|``."""
         stats.cfl = stats.dt * self.degree**1.5 * vmax
+        if METRICS.enabled:
+            self._sample_health(stats)
         return stats
+
+    def _sample_health(self, stats) -> None:
+        """Record per-step physics-health metrics (registry enabled
+        only; ``step`` and ``run`` both pass through here).  Divergence
+        is the one probe that is not free — one gradient evaluation per
+        step — which is why the whole sampler is gated."""
+        _STEPS.inc()
+        _SIM_TIME.set(stats.t)
+        _STEP_DT.set(stats.dt)
+        _STEP_WALL.observe(stats.wall_time)
+        _CFL_REALIZED.observe(stats.cfl)
+        u = self.scheme.velocity
+        _KINETIC_ENERGY.set(0.5 * float(u @ u))
+        _DIVERGENCE_L2.set(self.divergence_l2())
+        _PRESSURE_RESIDUAL.set(stats.pressure_residual)
 
     def _advance(self, dt: float):
         """One scheme step, through the recovery harness when the
@@ -426,6 +473,17 @@ class IncompressibleNavierStokesSolver:
         grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
         div = contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
         return float(np.abs(div).max())
+
+    def divergence_l2(self) -> float:
+        """``||div u||_L2`` over the domain — the integral counterpart
+        of :meth:`max_divergence`, smoother under mesh refinement and
+        the quantity the health metrics track per step."""
+        u = self.dof_u.cell_view(self.velocity)
+        kern = self.geo_u.kernel
+        cm = self.geo_u.cell_metrics()
+        grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
+        div = contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
+        return float(np.sqrt(np.sum(div**2 * cm.jxw)))
 
     def flow_rate(self, boundary_id: int) -> float:
         """Volumetric flow rate through a boundary (outward positive)."""

@@ -25,7 +25,34 @@ import numpy as np
 
 from ..solvers.krylov import SolverResult, conjugate_gradient
 from ..telemetry import TRACER
+from ..telemetry.metrics import METRICS
 from .config import RobustnessSettings
+
+# module-level metric handles for the fault-tolerance activity
+_RECOVERY_RETRIES = METRICS.counter(
+    "repro_recovery_step_retries_total",
+    "diverged time steps rolled back and retried, by validation reason",
+    labels=("reason",),
+)
+_RECOVERY_FAILURES = METRICS.counter(
+    "repro_recovery_step_failures_total",
+    "time steps abandoned after the retry budget",
+)
+_FALLBACK_TIER = METRICS.counter(
+    "repro_fallback_tier_total",
+    "converged solves per preconditioner tier of a fallback chain",
+    labels=("chain", "tier"),
+)
+_FALLBACK_ESCALATIONS = METRICS.counter(
+    "repro_fallback_escalations_total",
+    "solves that needed a tier beyond the primary preconditioner",
+    labels=("chain",),
+)
+_FALLBACK_EXHAUSTED = METRICS.counter(
+    "repro_fallback_exhausted_total",
+    "solves where every tier of the chain failed",
+    labels=("chain",),
+)
 
 
 @dataclass
@@ -127,6 +154,8 @@ def recoverable_step(
             break  # budget exhausted: no retry follows this failure
         if TRACER.enabled:
             TRACER.incr("recovery.step_retries")
+        if METRICS.enabled:
+            _RECOVERY_RETRIES.labels(reason).inc()
         if events is not None:
             events.append(
                 RecoveryEvent(
@@ -140,6 +169,7 @@ def recoverable_step(
         dt_try *= settings.dt_backoff
     if TRACER.enabled:
         TRACER.incr("recovery.step_failures")
+    _RECOVERY_FAILURES.inc()
     last_dt = dt_try
     if events is not None:
         events.append(
@@ -238,6 +268,10 @@ class PressureFallbackChain:
                     TRACER.incr(f"fallback.{self.name}.tier.{tier.name}")
                     if i > 0:
                         TRACER.incr(f"fallback.{self.name}.escalations")
+                if METRICS.enabled:
+                    _FALLBACK_TIER.labels((self.name, tier.name)).inc()
+                    if i > 0:
+                        _FALLBACK_ESCALATIONS.labels(self.name).inc()
                 return res
             last = res
             if res.failure_reason == "nan_residual" and not np.isfinite(b).all():
@@ -246,6 +280,8 @@ class PressureFallbackChain:
             x_start = res.x if np.isfinite(res.x).all() else x0
         if TRACER.enabled:
             TRACER.incr(f"fallback.{self.name}.exhausted")
+        if METRICS.enabled:
+            _FALLBACK_EXHAUSTED.labels(self.name).inc()
         last.tier = ""
         return last
 

@@ -17,8 +17,25 @@ from __future__ import annotations
 import numpy as np
 
 from ..telemetry import TRACER
+from ..telemetry.metrics import METRICS
 from .jacobi import JacobiPreconditioner
 from .krylov import lanczos_max_eigenvalue
+
+# smoothers are labeled by operator size: the MG hierarchy builds one
+# smoother per level, and n_dofs identifies the level without coupling
+# this module to the multigrid's level names
+_CHEB_LAMBDA_MAX = METRICS.gauge(
+    "repro_chebyshev_lambda_max",
+    "upper end of the Chebyshev smoothing interval (eig_margin x the "
+    "CG-Lanczos estimate of lambda_max(D^-1 A))",
+    labels=("dofs",),
+)
+_CHEB_LAMBDA_MIN = METRICS.gauge(
+    "repro_chebyshev_lambda_min",
+    "lower end of the Chebyshev smoothing interval "
+    "(lambda_max / smoothing_range)",
+    labels=("dofs",),
+)
 
 
 def _iadd(x: np.ndarray, d: np.ndarray) -> np.ndarray:
@@ -78,6 +95,10 @@ class ChebyshevSmoother:
         self.theta = 0.5 * (self.lambda_max + self.lambda_min)
         self.delta = 0.5 * (self.lambda_max - self.lambda_min)
         self._buffers: dict = {}
+        if METRICS.enabled:
+            dofs = str(self.jacobi.n_dofs)
+            _CHEB_LAMBDA_MAX.labels(dofs).set(self.lambda_max)
+            _CHEB_LAMBDA_MIN.labels(dofs).set(self.lambda_min)
 
     def _jacobi_buffer(self, r: np.ndarray) -> np.ndarray:
         """Reusable output buffer for ``P.vmult(r, out=...)`` in the

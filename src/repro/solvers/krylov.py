@@ -14,6 +14,33 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..telemetry import TRACER
+from ..telemetry.metrics import ITERATION_BUCKETS, METRICS, REDUCTION_BUCKETS
+
+# module-level metric handles (a single attribute check while disabled)
+_CG_SOLVES = METRICS.counter(
+    "repro_cg_solves_total", "CG solves started, by call-site label",
+    labels=("solve",),
+)
+_CG_ITERATIONS = METRICS.histogram(
+    "repro_cg_iterations", "CG iterations per solve",
+    buckets=ITERATION_BUCKETS, labels=("solve",),
+)
+_CG_FAILURE_REASON = METRICS.counter(
+    "repro_cg_failure_reason_total",
+    "CG outcomes per call site ('none' = converged); the per-label sum "
+    "equals repro_cg_solves_total",
+    labels=("solve", "reason"),
+)
+_CG_REDUCTION = METRICS.histogram(
+    "repro_cg_residual_reduction",
+    "geometric-mean residual reduction per CG iteration",
+    buckets=REDUCTION_BUCKETS, labels=("solve",),
+)
+_CG_FINAL_RESIDUAL = METRICS.gauge(
+    "repro_cg_last_relative_residual",
+    "relative residual of the most recent CG solve",
+    labels=("solve",),
+)
 
 
 @dataclass
@@ -83,15 +110,27 @@ def conjugate_gradient(
     label = f"cg[{name}]" if name else "cg"
     with TRACER.span(label):
         result = _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0)
+    # every solve records a failure_reason outcome ('none' on success),
+    # so the per-call-site reason counters always sum to the solve count
+    reason = result.failure_reason or "none"
     if TRACER.enabled:
         TRACER.incr(f"{label}.solves")
         TRACER.incr(f"{label}.iterations", result.n_iterations)
-        if result.failure_reason is not None:
-            TRACER.incr(f"{label}.failures.{result.failure_reason}")
+        TRACER.incr(f"{label}.failure_reason.{reason}")
         if result.residuals and result.residuals[0] > 0:
             TRACER.gauge(
                 f"{label}.last_relative_residual",
                 result.residuals[-1] / result.residuals[0],
+            )
+    if METRICS.enabled:
+        site = name or "unnamed"
+        _CG_SOLVES.labels(site).inc()
+        _CG_ITERATIONS.labels(site).observe(result.n_iterations)
+        _CG_FAILURE_REASON.labels((site, reason)).inc()
+        _CG_REDUCTION.labels(site).observe(result.reduction_rate)
+        if result.residuals and result.residuals[0] > 0:
+            _CG_FINAL_RESIDUAL.labels(site).set(
+                result.residuals[-1] / result.residuals[0]
             )
     return result
 

@@ -31,10 +31,41 @@ from ..core.operators.laplace import CGLaplaceOperator, DGLaplaceOperator
 from ..mesh.mapping import GeometryField
 from ..mesh.octree import Forest
 from ..telemetry import TRACER
+from ..telemetry.metrics import METRICS, REDUCTION_BUCKETS
 from .amg import SmoothedAggregationAMG
 from .assemble import assemble_cg_laplace
 from .chebyshev import ChebyshevSmoother
 from .transfer import Transfer, dg_from_cg, h_transfer, p_transfer
+
+# module-level metric handles (no-ops while the registry is disabled).
+# The per-level diagnostics are what explains matrix-free multigrid
+# behavior (Kronbichler & Kormann, arXiv:1711.03590): how much of the
+# residual each level's smoother removes, and how far one full level
+# visit (pre-smooth, coarse correction, post-smooth) gets.
+_MG_VCYCLES = METRICS.counter(
+    "repro_mg_vcycles_total", "multigrid V-cycles applied")
+_MG_AMG_SOLVES = METRICS.counter(
+    "repro_mg_amg_solves_total", "coarse-level AMG solves")
+_MG_NONFINITE = METRICS.counter(
+    "repro_mg_nonfinite_vcycles_total",
+    "V-cycles that returned a non-finite correction "
+    "(reduced-precision overflow)")
+_MG_PRESMOOTH = METRICS.histogram(
+    "repro_mg_presmooth_reduction",
+    "residual reduction of one pre-smoothing application per level "
+    "(smoother effectiveness)",
+    buckets=REDUCTION_BUCKETS, labels=("level",),
+)
+_MG_LEVEL_REDUCTION = METRICS.histogram(
+    "repro_mg_level_reduction",
+    "residual reduction over one full level visit (pre-smooth, coarse "
+    "correction, post-smooth)",
+    buckets=REDUCTION_BUCKETS, labels=("level",),
+)
+_MG_LEVEL_DOFS = METRICS.gauge(
+    "repro_mg_level_dofs", "DoF count per multigrid level",
+    labels=("level",),
+)
 
 
 def _cast_arrays(obj, dtype, _seen=None):
@@ -208,6 +239,9 @@ class HybridMultigridPreconditioner:
         self.level_mults: list[int] = [0] * (len(levels) + 1)
         self.amg_calls = 0
         self.nonfinite_vcycles = 0
+        if METRICS.enabled:
+            for lev in levels:
+                _MG_LEVEL_DOFS.labels(lev.name).set(lev.n_dofs)
 
     # ------------------------------------------------------------------
     @property
@@ -235,21 +269,36 @@ class HybridMultigridPreconditioner:
         reaching it triggers the coarse solve instead of smoothing."""
         if i == len(self.levels) - 1:
             self.amg_calls += 1
+            _MG_AMG_SOLVES.inc()
             with TRACER.span("amg_coarse"):
                 TRACER.incr("mg.amg_solves")
                 return self.amg.vmult(np.asarray(b, dtype=np.float64)).astype(b.dtype)
         lev = self.levels[i]
+        # per-level numerics diagnostics: the residual after pre-smoothing
+        # is computed anyway (it feeds the restriction), so smoother
+        # effectiveness costs one extra norm; the reduction over the full
+        # level visit needs one extra vmult and is therefore gated too
+        sample = METRICS.enabled
+        b_norm = float(np.linalg.norm(b)) if sample else 0.0
         with TRACER.span(f"level[{lev.name}]"):
             x = lev.smoother.smooth(b)  # pre-smoothing from zero initial guess
             self.level_mults[i] += lev.smoother.degree
             r = b - lev.operator.vmult(x)
             self.level_mults[i] += 1
+            if sample and b_norm > 0:
+                _MG_PRESMOOTH.labels(lev.name).observe(
+                    float(np.linalg.norm(r)) / b_norm
+                )
             bc = lev.to_coarser.restrict(r)
         xc = self._vcycle(i + 1, bc)
         with TRACER.span(f"level[{lev.name}]"):
             x = x + lev.to_coarser.prolongate(xc)
             x = lev.smoother.smooth(b, x)  # post-smoothing
             self.level_mults[i] += lev.smoother.degree + 1
+            if sample and b_norm > 0:
+                _MG_LEVEL_REDUCTION.labels(lev.name).observe(
+                    float(np.linalg.norm(b - lev.operator.vmult(x))) / b_norm
+                )
         return x
 
     def vmult(self, r: np.ndarray) -> np.ndarray:
@@ -262,9 +311,11 @@ class HybridMultigridPreconditioner:
         more conservative tier."""
         with TRACER.span("mg_vcycle"):
             TRACER.incr("mg.vcycles")
+            _MG_VCYCLES.inc()
             r_p = np.asarray(r, dtype=self.precision)
             x = self._vcycle(0, r_p)
             if not np.isfinite(x).all():
                 self.nonfinite_vcycles += 1
                 TRACER.incr("mg.nonfinite_vcycles")
+                _MG_NONFINITE.inc()
             return np.asarray(x, dtype=np.float64)

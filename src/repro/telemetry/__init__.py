@@ -13,6 +13,19 @@ aggregates into the paper's Table-2-style breakdown and ``repro
 monitor`` tails while the run is still executing.
 """
 
+from .dashboard import render_html_dashboard, write_html_dashboard
+from .metrics import (
+    METRICS,
+    MetricRegistry,
+    MetricsWriter,
+    export_metrics,
+    load_metrics,
+    merge_snapshots,
+    parse_prometheus,
+    snapshot_doc,
+    to_prometheus,
+    write_prometheus,
+)
 from .monitor import monitor_file, monitor_once, summarize_run
 from .report import (
     RunAggregate,
@@ -30,6 +43,9 @@ TRACER = Tracer(enabled=False)
 
 __all__ = [
     "JsonlWriter",
+    "METRICS",
+    "MetricRegistry",
+    "MetricsWriter",
     "NULL_SPAN",
     "SCHEMA",
     "RunAggregate",
@@ -38,13 +54,22 @@ __all__ = [
     "TRACER",
     "Tracer",
     "aggregate_steps",
+    "export_metrics",
+    "load_metrics",
+    "merge_snapshots",
+    "parse_prometheus",
+    "snapshot_doc",
+    "to_prometheus",
+    "write_prometheus",
     "monitor_file",
     "monitor_once",
     "read_run_log",
     "render_breakdown",
     "render_counters",
+    "render_html_dashboard",
     "render_robustness",
     "render_span_tree",
     "step_record",
     "summarize_run",
+    "write_html_dashboard",
 ]

@@ -94,17 +94,29 @@ def monitor_file(path, follow: bool = False, interval: float = 2.0,
     stream = stream or sys.stdout
     path = Path(path)
     polls = 0
-    while True:
+    try:
+        while True:
+            try:
+                text, finished = monitor_once(path)
+            except (OSError, ValueError) as e:
+                print(f"error: {e}", file=stream)
+                return 1
+            print(text, file=stream)
+            polls += 1
+            if finished or not follow:
+                return 0
+            if max_polls is not None and polls >= max_polls:
+                return 0
+            time.sleep(interval)
+            print("", file=stream)
+    except KeyboardInterrupt:
+        # Ctrl-C while following is the normal way to stop watching a
+        # long run: exit cleanly with one final status block instead of
+        # unwinding with a traceback
+        print("\ninterrupted -- final status:", file=stream)
         try:
-            text, finished = monitor_once(path)
+            text, _ = monitor_once(path)
+            print(text, file=stream)
         except (OSError, ValueError) as e:
             print(f"error: {e}", file=stream)
-            return 1
-        print(text, file=stream)
-        polls += 1
-        if finished or not follow:
-            return 0
-        if max_polls is not None and polls >= max_polls:
-            return 0
-        time.sleep(interval)
-        print("", file=stream)
+        return 0

@@ -28,6 +28,7 @@ def step_record(stats, step_index: int, extra: dict | None = None) -> dict:
         "dt": stats.dt,
         "cfl": stats.cfl,
         "wall_time_s": stats.wall_time,
+        "pressure_residual": getattr(stats, "pressure_residual", float("nan")),
         "iterations": {
             "pressure": stats.pressure_iterations,
             "viscous": stats.viscous_iterations,
@@ -98,15 +99,23 @@ class RunLogWriter(JsonlWriter):
         self._write(rec)
 
 
-def read_run_log(path: str | Path):
+def read_run_log(path: str | Path, on_corrupt: str = "raise"):
     """Parse a JSONL run log; returns ``(header, steps, summary)`` where
     ``summary`` is ``None`` for truncated logs (e.g. a crashed run).
 
     A run killed mid-write leaves a partial final line; that line is
     skipped with a :class:`RuntimeWarning` instead of raising, so crash
     logs stay readable.  Malformed lines *before* the end of the file
-    still raise — they indicate corruption, not truncation.
+    indicate corruption, not truncation: with the default
+    ``on_corrupt="raise"`` they raise :class:`ValueError`; with
+    ``on_corrupt="warn"`` they are skipped with a warning — the mode
+    aggregation jobs use so one crashed worker's damaged log cannot
+    abort the merge of all the others.
     """
+    if on_corrupt not in ("raise", "warn"):
+        raise ValueError(
+            f"on_corrupt must be 'raise' or 'warn', got {on_corrupt!r}"
+        )
     header: dict | None = None
     steps: list[dict] = []
     summary: dict | None = None
@@ -124,6 +133,13 @@ def read_run_log(path: str | Path):
                 warnings.warn(
                     f"{path}:{line_no}: skipping truncated final record "
                     f"({e})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if on_corrupt == "warn":
+                warnings.warn(
+                    f"{path}:{line_no}: skipping corrupt record ({e})",
                     RuntimeWarning,
                     stacklevel=2,
                 )

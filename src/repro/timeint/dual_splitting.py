@@ -38,7 +38,9 @@ class StepStatistics:
     ``substep_seconds`` is filled from the tracing spans and stays empty
     while the global tracer is disabled.  ``cfl`` is the realized CFL
     number, stamped by the driving solver when it knows the velocity
-    scale (NaN otherwise)."""
+    scale (NaN otherwise).  ``pressure_residual`` is the final relative
+    residual of the pressure Poisson solve — the per-step convergence
+    signal run dashboards plot."""
 
     dt: float
     t: float
@@ -47,6 +49,7 @@ class StepStatistics:
     penalty_iterations: int
     cfl: float = float("nan")
     wall_time: float = 0.0
+    pressure_residual: float = float("nan")
     substep_seconds: dict[str, float] = field(default_factory=dict)
 
 
@@ -287,6 +290,9 @@ class DualSplittingScheme:
                 "penalty": sp_pen.elapsed,
                 "convective_eval": sp_ceval.elapsed,
             }
+        p_res = float("nan")
+        if res_p.residuals and res_p.residuals[0] > 0:
+            p_res = res_p.residuals[-1] / res_p.residuals[0]
         stats = StepStatistics(
             dt=dt,
             t=t_new,
@@ -294,6 +300,7 @@ class DualSplittingScheme:
             viscous_iterations=res_v.n_iterations,
             penalty_iterations=res_pen.n_iterations,
             wall_time=wall,
+            pressure_residual=p_res,
             substep_seconds=substeps,
         )
         self.statistics.append(stats)

@@ -1,0 +1,143 @@
+"""Tests of the self-contained HTML run dashboard."""
+
+import pytest
+
+from repro.telemetry import (
+    METRICS,
+    RunLogWriter,
+    Tracer,
+    render_html_dashboard,
+    write_html_dashboard,
+)
+from repro.telemetry.metrics import export_metrics, snapshot_doc
+from repro.timeint.dual_splitting import StepStatistics
+
+
+def make_stats(i, wall=0.1):
+    return StepStatistics(
+        dt=0.01,
+        t=0.01 * (i + 1),
+        pressure_iterations=3 + i,
+        viscous_iterations=2,
+        penalty_iterations=5,
+        cfl=0.4,
+        wall_time=wall,
+        pressure_residual=10.0 ** (-i - 2),
+        substep_seconds={"pressure_poisson": 0.06 * wall / 0.1},
+    )
+
+
+def write_log(path, n_steps=5, extra=None):
+    tr = Tracer(enabled=True)
+    tr.incr("recovery.retries.nan_detected", 2)
+    with RunLogWriter(path, meta={"command": "lung", "n_dofs": 99}) as w:
+        for i in range(n_steps):
+            w.write_step(
+                make_stats(i),
+                extra={"inflow_m3_s": 1e-4 * i,
+                       "tidal_volume_ml": 20.0 * i,
+                       **(extra or {})},
+            )
+        w.write_summary(tr)
+    return path
+
+
+class TestRenderDashboard:
+    def test_self_contained_html_with_sparklines(self, tmp_path):
+        """Acceptance: the dashboard is one self-contained HTML file —
+        inline CSS/SVG, no external fetches — with populated charts."""
+        log = write_log(tmp_path / "run.jsonl")
+        out = tmp_path / "dash.html"
+        write_html_dashboard(log, out)
+        html = out.read_text()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "polyline" in html
+        # no external resources: everything inline
+        assert "http://" not in html and "https://" not in html
+        assert "<script src" not in html and "<link" not in html
+        # dark mode ships with the file
+        assert "prefers-color-scheme: dark" in html
+        # headline tiles and series cards
+        assert "not enough data" not in html
+        assert "steps" in html and "sim time" in html
+        assert "pressure residual" in html.lower()
+
+    def test_recovery_counters_surface_in_robustness_section(self, tmp_path):
+        log = write_log(tmp_path / "run.jsonl")
+        html = render_html_dashboard(*_read(log))
+        assert "recovery.retries.nan_detected" in html
+
+    def test_metrics_doc_renders_catalog(self, tmp_path):
+        METRICS.reset()
+        METRICS.enable()
+        try:
+            METRICS.counter("repro_dash_demo_total", "demo counter").inc(4)
+            doc = snapshot_doc(METRICS, meta={"command": "test"})
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+        log = write_log(tmp_path / "run.jsonl")
+        header, steps, summary = _read(log)
+        html = render_html_dashboard(header, steps, summary, metrics_doc=doc)
+        assert "repro_dash_demo_total" in html
+        assert "demo counter" in html
+
+    def test_metrics_files_merged_into_dashboard(self, tmp_path):
+        METRICS.reset()
+        METRICS.enable()
+        try:
+            METRICS.counter("repro_dash_demo_total", "demo counter").inc(2)
+            export_metrics(METRICS, tmp_path / "w1.json")
+            export_metrics(METRICS, tmp_path / "w2.json")
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+        log = write_log(tmp_path / "run.jsonl")
+        out = tmp_path / "dash.html"
+        write_html_dashboard(
+            log, out,
+            metrics_paths=(tmp_path / "w1.json", tmp_path / "w2.json"),
+        )
+        html = out.read_text()
+        assert "repro_dash_demo_total" in html
+        assert ">4<" in html or ">4.00<" in html or "4" in html
+
+    def test_truncated_log_still_renders(self, tmp_path):
+        log = write_log(tmp_path / "run.jsonl")
+        lines = log.read_text().splitlines()
+        # drop the summary and mangle the last step record
+        log.write_text("\n".join(lines[:-2] + ["{not json"]) + "\n")
+        out = tmp_path / "dash.html"
+        with pytest.warns(RuntimeWarning):
+            write_html_dashboard(log, out)
+        html = out.read_text()
+        assert "<svg" in html
+
+    def test_single_step_run_degrades_gracefully(self, tmp_path):
+        log = write_log(tmp_path / "run.jsonl", n_steps=1)
+        out = tmp_path / "dash.html"
+        write_html_dashboard(log, out)
+        html = out.read_text()
+        # one point cannot make a line: cards say so instead of breaking
+        assert "not enough data" in html
+
+    def test_empty_log_raises(self, tmp_path):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        with pytest.raises(ValueError):
+            write_html_dashboard(log, tmp_path / "dash.html")
+
+
+def _read(log):
+    from repro.telemetry import read_run_log
+
+    return read_run_log(log)
+
+
+class TestDashboardNumbers:
+    def test_tiles_reflect_the_log(self, tmp_path):
+        log = write_log(tmp_path / "run.jsonl", n_steps=4)
+        header, steps, summary = _read(log)
+        html = render_html_dashboard(header, steps, summary)
+        assert ">4<" in html  # steps tile
+        assert f"{steps[-1]['t']:.3g}" in html or "0.04" in html

@@ -116,3 +116,22 @@ class TestMonitorFile:
         out = io.StringIO()
         assert monitor_file(path, stream=out) == 1
         assert "unsupported run-log schema" in out.getvalue()
+
+class TestFollowInterrupt:
+    def test_ctrl_c_prints_final_status_and_exits_cleanly(
+            self, tmp_path, monkeypatch):
+        """Ctrl-C during --follow is a normal way to stop watching: the
+        monitor prints one final status block and exits 0."""
+        import repro.telemetry.monitor as mon
+
+        def interrupt(_):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(mon.time, "sleep", interrupt)
+        path = write_log(tmp_path / "run.jsonl")  # running, never finishes
+        out = io.StringIO()
+        assert monitor_file(path, follow=True, interval=5.0, stream=out) == 0
+        text = out.getvalue()
+        assert "interrupted -- final status:" in text
+        # the final summary block repeats the status line after the interrupt
+        assert text.count("status: running") >= 2

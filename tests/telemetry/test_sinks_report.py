@@ -225,3 +225,37 @@ class TestRobustnessRender:
         assert "checkpoints: 2 written, 0 loaded" in out
         out = render_robustness({"fallback.pressure.escalations": 1})
         assert "fallback[pressure]" in out and "tiers: none recorded" in out
+
+
+class TestOnCorruptWarn:
+    def _corrupt_log(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogWriter(path) as w:
+            for i in range(3):
+                w.write_step(make_stats(i))
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:-10]  # mangle the SECOND step (mid-file)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_warn_mode_skips_midfile_corruption(self, tmp_path):
+        """Post-mortem mode: a log damaged mid-file (disk full, partial
+        flush) can still be read for what survives."""
+        path = self._corrupt_log(tmp_path)
+        with pytest.warns(RuntimeWarning, match="skipping corrupt record"):
+            header, steps, summary = read_run_log(path, on_corrupt="warn")
+        assert header is not None
+        assert [s["step"] for s in steps] == [0, 2]
+        assert summary is None
+
+    def test_default_mode_still_raises(self, tmp_path):
+        path = self._corrupt_log(tmp_path)
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_run_log(path)
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogWriter(path) as w:
+            w.write_step(make_stats(0))
+        with pytest.raises(ValueError, match="on_corrupt"):
+            read_run_log(path, on_corrupt="ignore")

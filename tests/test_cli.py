@@ -336,3 +336,106 @@ class TestObservabilityCLI:
     def test_monitor_missing_file(self, tmp_path, capsys):
         assert main(["monitor", str(tmp_path / "nope.jsonl")]) == 1
         assert "error:" in capsys.readouterr().out
+
+
+class TestMetricsCLI:
+    def test_lung_metrics_file_round_trips(self, tmp_path, capsys):
+        """Acceptance: ``repro lung --metrics-file out.prom`` produces a
+        Prometheus exposition the bundled parser validates."""
+        from repro.telemetry import METRICS
+        from repro.telemetry.metrics import parse_prometheus
+
+        prom = tmp_path / "out.prom"
+        assert main(["lung", "--steps", "2",
+                     "--metrics-file", str(prom)]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        doc = parse_prometheus(prom.read_text())
+        names = {m["name"] for m in doc["metrics"]}
+        assert "repro_steps_total" in names
+        assert "repro_cg_solves_total" in names
+        assert "repro_cfl_realized" in names
+        assert "repro_windkessel_flow_m3_per_s" in names
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        steps = by_name["repro_steps_total"]["samples"][0]["value"]
+        assert steps == 2
+        # every cg solve carries an outcome label
+        reasons = by_name["repro_cg_failure_reason_total"]["samples"]
+        solves = by_name["repro_cg_solves_total"]["samples"]
+        assert sum(s["value"] for s in reasons) == sum(
+            s["value"] for s in solves)
+        # the session left the global registry off for the next command
+        assert not METRICS.enabled
+
+    def test_metrics_aggregate_and_render(self, tmp_path, capsys):
+        """Acceptance: merge per-worker snapshots, then render a table."""
+        from repro.telemetry import METRICS
+        from repro.telemetry.metrics import export_metrics
+
+        METRICS.reset()
+        METRICS.enable()
+        try:
+            METRICS.counter("repro_demo_total", "demo").inc(3)
+            export_metrics(METRICS, tmp_path / "w1.json")
+            METRICS.counter("repro_demo_total", "demo").inc(2)
+            export_metrics(METRICS, tmp_path / "w2.json")
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+        merged = tmp_path / "merged.json"
+        assert main(["metrics", "aggregate", str(tmp_path / "w1.json"),
+                     str(tmp_path / "w2.json"), "--output",
+                     str(merged)]) == 0
+        capsys.readouterr()
+        doc = json.loads(merged.read_text())
+        demo = [m for m in doc["metrics"] if m["name"] == "repro_demo_total"]
+        assert demo[0]["samples"][0]["value"] == 3 + 5
+        assert doc["meta"]["aggregated_workers"] == 2
+        assert main(["metrics", "render", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_demo_total" in out
+
+    def test_metrics_export_to_prometheus(self, tmp_path, capsys):
+        from repro.telemetry import METRICS
+        from repro.telemetry.metrics import export_metrics
+
+        METRICS.reset()
+        METRICS.enable()
+        try:
+            METRICS.gauge("repro_demo", "demo").set(1.5)
+            export_metrics(METRICS, tmp_path / "w.json")
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+        prom = tmp_path / "w.prom"
+        assert main(["metrics", "export", str(tmp_path / "w.json"),
+                     "--output", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_demo gauge" in text
+        assert "repro_demo 1.5" in text
+
+    def test_metrics_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["metrics", "render", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_report_html_dashboard(self, tmp_path, capsys):
+        """Acceptance: ``repro report --html`` writes one self-contained
+        HTML file next to the log."""
+        log = tmp_path / "run.jsonl"
+        prom = tmp_path / "run.prom"
+        assert main(["lung", "--steps", "2", "--log-file", str(log),
+                     "--metrics-file", str(prom)]) == 0
+        out_html = tmp_path / "dash.html"
+        assert main(["report", "--html", str(log), "--output",
+                     str(out_html), "--metrics", str(prom)]) == 0
+        assert "dashboard written to" in capsys.readouterr().out
+        html = out_html.read_text()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "repro_cg_solves_total" in html  # catalog from the .prom
+
+    def test_report_html_default_output_path(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["lung", "--steps", "2", "--log-file", str(log)]) == 0
+        assert main(["report", "--html", str(log)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "run.jsonl.html").exists()
