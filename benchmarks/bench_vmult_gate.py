@@ -33,7 +33,11 @@ from common import emit  # noqa: E402
 
 def _gate_table(doc: dict) -> str:
     """The historical planned-vs-legacy speedup table, recovered from the
-    suite's flat case list."""
+    suite's flat case list (non-double runs carry dtype-suffixed names,
+    see :func:`repro.perf.bench.dtype_suffix`)."""
+    from repro.perf.bench import dtype_suffix
+
+    sfx = dtype_suffix(doc.get("dtype", "float64"))
     by_name = {c["name"]: c for c in doc["cases"]}
     meshes: list[str] = []
     for c in doc["cases"]:
@@ -45,10 +49,10 @@ def _gate_table(doc: dict) -> str:
         f"{'x':>6s} {'mg-setup x':>11s}"
     ]
     for mesh in meshes:
-        leg = by_name[f"{mesh}/dg_laplace/legacy"]
-        pla = by_name[f"{mesh}/dg_laplace/planned"]
-        mg_x = (by_name[f"{mesh}/mg_setup/planned"]["throughput"]
-                / by_name[f"{mesh}/mg_setup/legacy"]["throughput"])
+        leg = by_name[f"{mesh}/dg_laplace/legacy{sfx}"]
+        pla = by_name[f"{mesh}/dg_laplace/planned{sfx}"]
+        mg_x = (by_name[f"{mesh}/mg_setup/planned{sfx}"]["throughput"]
+                / by_name[f"{mesh}/mg_setup/legacy{sfx}"]["throughput"])
         lines.append(
             f"{mesh:<18s} {leg['n_dofs']:>8d} "
             f"{leg['metrics']['best_seconds'] * 1e3:>10.2f} ms "
@@ -66,13 +70,18 @@ def main(argv=None) -> int:
     ap.add_argument("--output", type=Path,
                     default=Path(__file__).resolve().parents[1] / "BENCH_vmult.json")
     ap.add_argument("--degree", type=int, default=3)
+    ap.add_argument("--dtype", choices=("float64", "float32"),
+                    default="float64",
+                    help="compute precision of the measured kernels")
     args = ap.parse_args(argv)
 
     from repro.perf.bench import run_suite
 
-    doc = run_suite("vmult", smoke=args.smoke, degree=args.degree)
+    doc = run_suite("vmult", smoke=args.smoke, degree=args.degree,
+                    dtype=args.dtype)
     args.output.write_text(json.dumps(doc, indent=2) + "\n")
-    emit("vmult_gate", _gate_table(doc))
+    table_name = "vmult_gate" if args.dtype == "float64" else f"vmult_gate_{args.dtype}"
+    emit(table_name, _gate_table(doc))
     print(f"wrote {args.output}")
     return 0
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Forbid hard-coded double-precision dtypes in the kernel layer.
+
+The end-to-end single-precision compute path only works if the kernel
+layer (the operators and the plan/workspace machinery) derives every
+allocation and cast dtype from its *input* — via
+``repro.core.backend.kernel_dtype``/``resolve_dtype`` or
+``np.empty(..., dtype=u.dtype)`` — never from a ``np.float64`` or
+``dtype=float`` literal.  One such literal silently promotes every
+downstream temporary back to double and erases the memory-bandwidth win
+the paper's Section 3.4 mixed-precision strategy is built on.
+
+This checker walks ``src/repro/core/operators`` plus
+``src/repro/core/plans.py`` and flags
+
+* any ``np.float64`` / ``numpy.float64`` attribute reference, and
+* any ``dtype=float`` / ``dtype="float64"`` keyword argument,
+
+in those files.  Setup-only code that legitimately needs double (e.g.
+assembling factorizations) belongs outside the checked kernel set or
+should go through :data:`repro.core.backend.DEFAULT_DTYPE`.
+
+Exit status: 0 when clean, 1 with one ``path:line`` diagnostic per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: kernel-layer files/directories (relative to src/repro) where
+#: double-precision literals are forbidden
+CHECKED = ("core/operators", "core/plans.py")
+
+
+def _is_float64_attribute(node: ast.AST) -> bool:
+    """``np.float64`` / ``numpy.float64`` (any alias ending there)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "float64"
+        and isinstance(node.value, ast.Name)
+    )
+
+
+def _is_double_literal(node: ast.AST) -> bool:
+    """A value that pins a dtype to double: ``float`` (the builtin) or
+    the string ``"float64"``/``"f8"``."""
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("float64", "f8", ">f8", "<f8"):
+        return True
+    return _is_float64_attribute(node)
+
+
+def check_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+
+    class Visitor(ast.NodeVisitor):
+        def visit_Attribute(self, node: ast.Attribute) -> None:
+            if _is_float64_attribute(node):
+                problems.append(
+                    f"{path}:{node.lineno}: np.float64 literal in kernel "
+                    "code — derive the dtype from the input (kernel_dtype) "
+                    "or use repro.core.backend.DEFAULT_DTYPE"
+                )
+            self.generic_visit(node)
+
+        def visit_keyword(self, node: ast.keyword) -> None:
+            if node.arg == "dtype" and _is_double_literal(node.value):
+                problems.append(
+                    f"{path}:{node.lineno}: hard-coded double-precision "
+                    "dtype= in kernel code — derive it from the input "
+                    "dtype instead"
+                )
+            self.generic_visit(node)
+
+    Visitor().visit(tree)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = (
+        Path(argv[0])
+        if argv
+        else Path(__file__).resolve().parent.parent / "src" / "repro"
+    )
+    problems: list[str] = []
+    checked = 0
+    for rel in CHECKED:
+        target = root / rel
+        paths = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for path in paths:
+            if not path.exists():
+                print(f"error: {path} does not exist", file=sys.stderr)
+                return 2
+            problems.extend(check_file(path))
+            checked += 1
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} double-precision literal(s) found",
+              file=sys.stderr)
+        return 1
+    print(f"no-float64-literal check OK ({checked} kernel files under {root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

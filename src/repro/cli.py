@@ -291,28 +291,38 @@ def cmd_roofline(args) -> int:
         from .mesh import Forest, GeometryField, box, build_connectivity
         from .robustness import RunConfig
 
+        from .solvers.multigrid import operator_to_dtype
+
         TRACER.reset()
         TRACER.enable()
         try:
-            # workload 1: the Figure 6-8 kernel — DG Laplace vmult
+            # workload 1: the Figure 6-8 kernel — DG Laplace vmult,
+            # cast to the requested compute dtype (fp32 halves the
+            # streamed bytes, roughly doubling arithmetic intensity)
             mesh = box(subdivisions=(2, 1, 1), boundary_ids={0: 1})
             forest = Forest(mesh).refine_all(args.refinements)
             geo = GeometryField(forest, args.degree)
             conn = build_connectivity(forest)
             dof = DGDofHandler(forest, args.degree)
-            op = DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
+            op = operator_to_dtype(
+                DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,)),
+                args.dtype,
+            )
             x = np.random.default_rng(0).standard_normal(op.n_dofs)
+            x = x.astype(args.dtype)
             op.vmult(x)  # warm-up: plan construction outside the timing
             for _ in range(args.repetitions):
                 op.vmult(x)
             # workload 2: one full coupled lung time step
             sim = LungVentilationSimulation(
-                RunConfig(generations=args.generations, degree=2, seed=0)
+                RunConfig(generations=args.generations, degree=2, seed=0,
+                          compute_dtype=args.dtype)
             )
             for _ in range(args.steps):
                 sim.step()
             source = TRACER
             meta.update({
+                "dtype": args.dtype,
                 "laplace": {"n_dofs": op.n_dofs, "degree": args.degree,
                             "repetitions": args.repetitions},
                 "lung": {"generations": args.generations,
@@ -366,7 +376,7 @@ def _bench_run(args) -> int:
     else:
         try:
             doc = run_suite(args.suite, smoke=args.smoke, degree=args.degree,
-                            case_filter=args.cases)
+                            case_filter=args.cases, dtype=args.dtype)
         except ValueError as e:
             print(f"error: {e}", file=sys.stderr)
             return 2
@@ -610,6 +620,10 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--tolerance", type=float, default=None,
                    help="relative solver tolerance (default 1e-3)")
+    p.add_argument("--compute-dtype", choices=("float64", "float32"),
+                   default=None,
+                   help="forward-solve precision (default float64; the "
+                        "pressure outer CG and checkpoints stay double)")
     p.add_argument("--vtk", type=str, default=None)
     p.add_argument("--trace", action="store_true",
                    help="enable the telemetry tracer and print the "
@@ -683,6 +697,10 @@ def main(argv=None) -> int:
                    help="airway generations of the lung workload")
     p.add_argument("--steps", type=int, default=1,
                    help="lung time steps to trace")
+    p.add_argument("--dtype", choices=("float64", "float32"),
+                   default="float64",
+                   help="compute precision of the measured workloads "
+                        "(default: float64)")
     p.set_defaults(fn=cmd_roofline)
 
     p = sub.add_parser(
@@ -695,6 +713,12 @@ def main(argv=None) -> int:
     p.add_argument("--smoke", action="store_true",
                    help="tiny meshes / few repetitions (CI validity check)")
     p.add_argument("--degree", type=int, default=3)
+    p.add_argument("--dtype", choices=("float64", "float32"),
+                   default="float64",
+                   help="compute precision of the measured kernels; "
+                        "float32 cases get an @float32 name suffix so "
+                        "both precisions coexist in one baseline "
+                        "(default: float64)")
     p.add_argument("--output", type=str, default=None,
                    help="output path (default: BENCH_<suite>.json)")
     p.add_argument("--cases", type=str, default=None,

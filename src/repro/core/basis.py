@@ -25,6 +25,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from .backend import default_dtype
 from .quadrature import QuadratureRule, gauss, gauss_lobatto
 
 
@@ -190,6 +191,40 @@ def shape_matrices(degree: int, n_q_points: int | None = None,
         quadrature=rule,
         basis=basis,
     )
+
+
+@lru_cache(maxsize=128)
+def _cast_shape_matrices(degree: int, n_q_points: int | None, nodes: str,
+                         dtype_name: str) -> ShapeMatrices:
+    sm = shape_matrices(degree, n_q_points, nodes)
+    dt = np.dtype(dtype_name)
+    return ShapeMatrices(
+        interp=sm.interp.astype(dt),
+        grad=sm.grad.astype(dt),
+        face_value=sm.face_value.astype(dt),
+        face_grad=sm.face_grad.astype(dt),
+        quadrature=sm.quadrature,
+        basis=sm.basis,
+    )
+
+
+def shape_matrices_for_dtype(degree: int, n_q_points: int | None = None,
+                             nodes: str = "gauss_lobatto",
+                             dtype=None) -> ShapeMatrices:
+    """Shape matrices cast to a compute dtype (default: the configured
+    compute dtype from :mod:`repro.core.backend`).
+
+    Tabulation always happens in double precision — barycentric weights
+    and nodal differentiation are ill-conditioned in float32 — and the
+    finished factors are cast *once* and cached.  This is how the
+    single-precision path gets float32 1D factors without ever
+    re-deriving them in reduced precision, and without the float64
+    masters silently promoting float32 cell data.
+    """
+    dt = np.dtype(dtype) if dtype is not None else default_dtype()
+    if dt == np.float64:
+        return shape_matrices(degree, n_q_points, nodes)
+    return _cast_shape_matrices(degree, n_q_points, nodes, dt.name)
 
 
 def change_of_basis_matrix(degree: int) -> np.ndarray:

@@ -24,6 +24,7 @@ import scipy.sparse as sp
 
 from ..mesh.connectivity import MeshConnectivity, orient_face_array
 from ..mesh.octree import Forest
+from .backend import resolve_dtype
 from .basis import LagrangeBasis1D
 from .plans import FlatScatterPlan
 from .sum_factorization import TensorProductKernel
@@ -47,8 +48,10 @@ class DGDofHandler:
     def n_dofs(self) -> int:
         return self.n_cells * self.dofs_per_cell
 
-    def zeros(self, dtype=np.float64) -> np.ndarray:
-        return np.zeros(self.n_dofs, dtype=dtype)
+    def zeros(self, dtype=None) -> np.ndarray:
+        """A zero global vector at ``dtype`` (default: the configured
+        compute dtype, see :func:`repro.core.backend.set_compute_dtype`)."""
+        return np.zeros(self.n_dofs, dtype=resolve_dtype(dtype))
 
     def cell_view(self, vec: np.ndarray) -> np.ndarray:
         """View a flat global vector as cell tensors:
@@ -222,8 +225,10 @@ class CGDofHandler:
         return self._kernel.face_nodal_trace(self.cell_to_global[cell], face)
 
     # ------------------------------------------------------------------
-    def zeros(self, dtype=np.float64) -> np.ndarray:
-        return np.zeros(self.n_dofs, dtype=dtype)
+    def zeros(self, dtype=None) -> np.ndarray:
+        """A zero global vector at ``dtype`` (default: the configured
+        compute dtype, see :func:`repro.core.backend.set_compute_dtype`)."""
+        return np.zeros(self.n_dofs, dtype=resolve_dtype(dtype))
 
     def expand(self, x_master: np.ndarray) -> np.ndarray:
         """Master vector -> all nodal values (constraints applied)."""

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import kernel_dtype
+
 
 class EvenOddMatrix:
     """A 1D kernel matrix stored in even–odd factored form.
@@ -71,10 +73,28 @@ class EvenOddMatrix:
             mid = n // 2
             self.Me[:, mid] = top[:, mid]
             self.Mo[:, mid] = 0.0
+        # dtype-matched copies of (Me, Mo): float32 inputs must hit
+        # float32 factors or the matmul silently promotes every sweep.
+        self._factor_cache: dict[np.dtype, tuple[np.ndarray, np.ndarray]] = {
+            self.M.dtype: (self.Me, self.Mo)
+        }
+
+    def _factors(self, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._factor_cache.get(dtype)
+        if cached is None:
+            cached = (self.Me.astype(dtype), self.Mo.astype(dtype))
+            self._factor_cache[dtype] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def matvec(self, v: np.ndarray) -> np.ndarray:
-        """Apply to vectors along the last axis of ``v`` (batched)."""
+        """Apply to vectors along the last axis of ``v`` (batched).
+
+        The output dtype follows the kernel dtype policy: float32 in →
+        float32 out (dtype-matched factor copies, no hidden promotion);
+        anything else computes in float64."""
+        dt = kernel_dtype(v.dtype)
+        Me, Mo = self._factors(dt)
         n = self.n
         half = n // 2
         rev = v[..., ::-1]
@@ -84,10 +104,10 @@ class EvenOddMatrix:
             ve = ve.copy()
             ve[..., half] = v[..., half]
             # vo middle is zero and multiplies a zero column; leave as-is.
-        we = ve @ self.Me.T
-        wo = vo @ self.Mo.T
+        we = ve @ Me.T
+        wo = vo @ Mo.T
         m = self.m
-        out = np.empty(v.shape[:-1] + (m,), dtype=np.result_type(v, self.M))
+        out = np.empty(v.shape[:-1] + (m,), dtype=dt)
         out[..., : self.m_half] = we + wo
         mirror = self.sign * (we - wo)
         out[..., m - 1 : m - 1 - (m // 2) : -1] = mirror[..., : m // 2]

@@ -21,6 +21,7 @@ import numpy as np
 
 from ...mesh.connectivity import Orientation, orient_face_array, orient_to_plus
 from ...telemetry import TRACER
+from ..backend import DEFAULT_DTYPE, kernel_dtype
 from ..plans import Workspace, cached_scatter_plan, contract
 from ..sum_factorization import TensorProductKernel, apply_1d_2d
 
@@ -53,14 +54,14 @@ class FaceKernels:
         t_nd = kern.face_nodal_normal_derivative(u_cells, face)
         d = face // 2
         a_dim, b_dim = tangential_dims(face)
-        D = kern.nodal_diff
+        dt = kernel_dtype(t_val.dtype)
+        D = kern.nodal_diff_matrix(dt)
         if ws is None:
             g = [None, None, None]
             g[d] = t_nd
             g[a_dim] = apply_1d_2d(D, t_val, 1)
             g[b_dim] = apply_1d_2d(D, t_val, 0)
             return t_val, np.stack(g, axis=-3)
-        dt = np.result_type(t_val.dtype, D.dtype)
         grad = ws.take(
             "fk.traces", t_val.shape[:-2] + (3,) + t_val.shape[-2:], dt
         )
@@ -125,15 +126,18 @@ class FaceKernels:
         kern = self.kern
         d = face // 2
         a_dim, b_dim = tangential_dims(face)
-        D = kern.nodal_diff
+        ref = q_val if q_val is not None else q_grad
+        D = kern.nodal_diff_matrix(kernel_dtype(ref.dtype))
         nodal_plane = None
         normal_part = None
         if q_val is not None:
             nodal_plane = self.from_quad(q_val, orientation, subface)
         if q_grad is not None:
             g = self.from_quad(q_grad, orientation, subface)
-            ga = g[..., a_dim, :, :]
-            gb = g[..., b_dim, :, :]
+            # contiguous copies: the tangential sweeps then run as single
+            # folded GEMMs instead of strided per-face matmul stacks
+            ga = np.ascontiguousarray(g[..., a_dim, :, :])
+            gb = np.ascontiguousarray(g[..., b_dim, :, :])
             gd = g[..., d, :, :]
             tang = apply_1d_2d(D.T, ga, 1) + apply_1d_2d(D.T, gb, 0)
             nodal_plane = tang if nodal_plane is None else nodal_plane + tang
@@ -216,7 +220,7 @@ class MatrixFreeOperator:
     spans themselves.
     """
 
-    dtype = np.float64
+    dtype = DEFAULT_DTYPE
     use_plans = True
 
     def __init_subclass__(cls, **kwargs) -> None:
@@ -262,14 +266,24 @@ class MatrixFreeOperator:
             return contract(subscripts, *operands, out=out)
         return np.einsum(subscripts, *operands, optimize=True, out=out)
 
+    @property
+    def precision_bytes(self) -> int:
+        """Bytes per value at the operator's compute dtype — the knob the
+        analytic transfer models scale with (a float32 clone reports half
+        the bytes of its float64 master, doubling the modelled AI)."""
+        return int(np.dtype(self.dtype).itemsize)
+
     def work_model(self) -> dict:
         """Cached analytic own-work model of one application:
         ``{"flops", "bytes", "dofs"}`` (see :mod:`repro.perf.flops` /
-        :mod:`repro.perf.memory`)."""
+        :mod:`repro.perf.memory`).  Keyed by compute dtype because
+        shallow dtype clones share the plan cache but move half the
+        bytes."""
         cache = self.plan_cache
-        wm = cache.get("work_model")
+        key = ("work_model", np.dtype(self.dtype).str)
+        wm = cache.get(key)
         if wm is None:
-            wm = cache["work_model"] = self._build_work_model()
+            wm = cache[key] = self._build_work_model()
         return wm
 
     def _build_work_model(self) -> dict:
@@ -277,7 +291,7 @@ class MatrixFreeOperator:
         read-for-update the destination; no Flop estimate).  Operators
         with analytic Flop/transfer counts override this."""
         n = float(self.n_dofs)
-        return {"flops": 0.0, "bytes": 3.0 * 8.0 * n, "dofs": n}
+        return {"flops": 0.0, "bytes": 3.0 * self.precision_bytes * n, "dofs": n}
 
     @property
     def n_dofs(self) -> int:  # pragma: no cover - abstract

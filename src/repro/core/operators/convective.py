@@ -101,7 +101,8 @@ class ConvectiveOperator(MatrixFreeOperator):
                     np.asarray(
                         self.bcs.velocity_value(
                             batch.boundary_id, pts[:, 0], pts[:, 1], pts[:, 2], t
-                        )
+                        ),
+                        dtype=vm.dtype,
                     ),
                     0,
                     1,

@@ -115,7 +115,8 @@ class DivergenceOperator(_MixedSpaceOperator):
                 g = np.asarray(
                     self.bcs.velocity_value(
                         batch.boundary_id, pts[:, 0], pts[:, 1], pts[:, 2], t
-                    )
+                    ),
+                    dtype=u.dtype,
                 )
                 ustar = np.moveaxis(g, 0, 1)  # (3, F, a, b) -> (F, 3, a, b)
             else:
@@ -177,8 +178,11 @@ class GradientOperator(_MixedSpaceOperator):
             pm = self.fk_p.to_quad(tm)
             if batch.boundary_id in self.pressure_dirichlet:
                 pts = fm.points
-                pstar = self.bcs.pressure_value(
-                    batch.boundary_id, pts[:, 0], pts[:, 1], pts[:, 2], t
+                pstar = np.asarray(
+                    self.bcs.pressure_value(
+                        batch.boundary_id, pts[:, 0], pts[:, 1], pts[:, 2], t
+                    ),
+                    dtype=pm.dtype,
                 )
             else:
                 pstar = pm

@@ -84,7 +84,8 @@ class DGLaplaceOperator(MatrixFreeOperator):
             even_odd=self.kern.use_even_odd,
             collocation=self.kern.use_collocation,
         )
-        tr = laplace_transfer(self.dof.degree, self.kern.n_q_points)
+        tr = laplace_transfer(self.dof.degree, self.kern.n_q_points,
+                              precision_bytes=self.precision_bytes)
         return {
             "flops": float(
                 fl.matvec_total(
@@ -113,7 +114,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
         )
         # fresh output: the result escapes to the caller, workspace
         # buffers only ever hold intermediates
-        out = np.empty(u.shape, dtype=np.result_type(Dg.dtype, np.float64))
+        out = np.empty(u.shape, dtype=Dg.dtype)
         return self.kern.integrate_gradients(Dg, ws, out=out)
 
     def _face_flux(self, fm, tau, vm, Gm, vp, Gp):
@@ -158,12 +159,12 @@ class DGLaplaceOperator(MatrixFreeOperator):
             Gp = physical_gradient(fm.plus.jinv_t, gp, planned=self.use_plans)
             rv_m, rg_m, rv_p, rg_p = self._face_flux(fm, tau, vm, Gm, vp, Gp)
             contrib_m = fk.integrate_side(
-                batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t, rg_m)
+                batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t_c, rg_m)
             )
             contrib_p = fk.integrate_side(
                 batch.face_p,
                 rv_p,
-                self._to_ref_grad(fm.plus.jinv_t, rg_p),
+                self._to_ref_grad(fm.plus.jinv_t_c, rg_p),
                 batch.orientation,
                 batch.subface,
             )
@@ -183,7 +184,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
             rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
             rg_phys = (-vm * w)[:, None] * n
             contrib = fk.integrate_side(
-                batch.face, rv, self._to_ref_grad(fm.minus.jinv_t, rg_phys)
+                batch.face, rv, self._to_ref_grad(fm.minus.jinv_t_c, rg_phys)
             )
             self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
         return self.dof.flat(out)
@@ -225,7 +226,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
                 rv = 2.0 * tau[:, None, None] * g * w
                 rg_phys = (-g * w)[:, None] * fm.normal
                 contrib = fk.integrate_side(
-                    batch.face, rv, self._to_ref_grad(fm.minus.jinv_t, rg_phys)
+                    batch.face, rv, self._to_ref_grad(fm.minus.jinv_t_c, rg_phys)
                 )
             else:
                 if neumann is None:
@@ -389,7 +390,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
             zeros_G = np.zeros_like(Gm)
             rv_m, rg_m, _, _ = self._face_flux(fm, tau, vm, Gm, zeros_v, zeros_G)
             contrib_m = fk.integrate_side(
-                batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t, rg_m)
+                batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t_c, rg_m)
             )
             np.add.at(out, batch.cells_m, contrib_m)
             # plus-to-plus
@@ -400,7 +401,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
             contrib_p = fk.integrate_side(
                 batch.face_p,
                 rv_p,
-                self._to_ref_grad(fm.plus.jinv_t, rg_p),
+                self._to_ref_grad(fm.plus.jinv_t_c, rg_p),
                 batch.orientation,
                 batch.subface,
             )
@@ -416,7 +417,7 @@ class DGLaplaceOperator(MatrixFreeOperator):
             rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
             rg_phys = (-vm * w)[:, None] * fm.normal
             contrib = fk.integrate_side(
-                batch.face, rv, self._to_ref_grad(fm.minus.jinv_t, rg_phys)
+                batch.face, rv, self._to_ref_grad(fm.minus.jinv_t_c, rg_phys)
             )
             np.add.at(out, batch.cells, contrib)
         return out
@@ -447,8 +448,9 @@ class CGLaplaceOperator(MatrixFreeOperator):
         fl = cg_laplace_flops(
             self.dof.degree, nq, even_odd=self.kern.use_even_odd
         )
-        vec_bytes = 3.0 * 8.0 * self.n_dofs
-        metric_bytes = 6.0 * nq**3 * 8.0 * self.dof.n_cells
+        pb = self.precision_bytes
+        vec_bytes = 3.0 * pb * self.n_dofs
+        metric_bytes = 6.0 * nq**3 * pb * self.dof.n_cells
         return {
             "flops": float(fl.matvec_total(self.dof.n_cells, 0, 0)),
             "bytes": vec_bytes + metric_bytes,

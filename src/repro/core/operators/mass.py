@@ -46,9 +46,10 @@ class MassOperator(MatrixFreeOperator):
             n_components=self.dof.n_components,
         )
         nq = self.kern.n_q_points
+        pb = self.precision_bytes
         return {
             "flops": float(per_cell * self.dof.n_cells),
-            "bytes": 3.0 * 8.0 * self.n_dofs + 8.0 * nq**3 * self.dof.n_cells,
+            "bytes": 3.0 * pb * self.n_dofs + pb * nq**3 * self.dof.n_cells,
             "dofs": float(self.n_dofs),
         }
 
@@ -67,7 +68,7 @@ class MassOperator(MatrixFreeOperator):
             q *= self.jxw
         else:
             q *= self.jxw[:, None]
-        out = np.empty(u.shape, dtype=np.result_type(q.dtype, np.float64))
+        out = np.empty(u.shape, dtype=q.dtype)
         return self.dof.flat(self.kern.integrate_values(q, ws, out=out))
 
     def diagonal(self) -> np.ndarray:
@@ -105,9 +106,10 @@ class InverseMassOperator(MatrixFreeOperator):
             self.dof.degree, n_components=self.dof.n_components
         )
         n1 = self.dof.n1
+        pb = self.precision_bytes
         return {
             "flops": float(per_cell * self.dof.n_cells),
-            "bytes": 3.0 * 8.0 * self.n_dofs + 8.0 * n1**3 * self.dof.n_cells,
+            "bytes": 3.0 * pb * self.n_dofs + pb * n1**3 * self.dof.n_cells,
             "dofs": float(self.n_dofs),
         }
 

@@ -122,7 +122,7 @@ class PenaltyStepOperator(MatrixFreeOperator):
     def _build_work_model(self) -> dict:
         # own work: the scale-and-add of the nested mass/penalty results
         n = float(self.n_dofs)
-        return {"flops": 2.0 * n, "bytes": 3.0 * 8.0 * n, "dofs": n}
+        return {"flops": 2.0 * n, "bytes": 3.0 * self.precision_bytes * n, "dofs": n}
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
         return self.mass.vmult(x) + self.dt * self.penalty.vmult(x)

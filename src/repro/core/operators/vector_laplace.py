@@ -36,7 +36,7 @@ class VectorDGLaplace(MatrixFreeOperator):
         # own work is only the component staging/result copies; the
         # scalar Laplacian annotates its own nested spans
         n = float(self.n_dofs)
-        return {"flops": 0.0, "bytes": 4.0 * 8.0 * n, "dofs": n}
+        return {"flops": 0.0, "bytes": 4.0 * self.precision_bytes * n, "dofs": n}
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
         u = self.dof.cell_view(x)  # (N, 3, n, n, n)
@@ -115,7 +115,7 @@ class HelmholtzOperator(MatrixFreeOperator):
         # own work: the two scalings and the axpy combining the nested
         # (self-annotating) mass and Laplace applications
         n = float(self.n_dofs)
-        return {"flops": 3.0 * n, "bytes": 5.0 * 8.0 * n, "dofs": n}
+        return {"flops": 3.0 * n, "bytes": 5.0 * self.precision_bytes * n, "dofs": n}
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
         y = self.mass.vmult(x)

@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import DEFAULT_DTYPE, active_backend
+
 #: Contracted-extent threshold below which a 1- or 2-operand einsum is
 #: dispatched to the direct C loop instead of a precomputed path (the
 #: path would route through tensordot/BLAS whose packing copies dominate
@@ -95,7 +97,8 @@ def contract(subscripts: str, *operands, out: np.ndarray | None = None):
     if strategy is None:
         strategy = _contraction_strategy(subscripts, operands)
         _PATH_CACHE[key] = strategy
-    return np.einsum(subscripts, *operands, out=out, optimize=strategy)
+    xp = active_backend().xp
+    return xp.einsum(subscripts, *operands, out=out, optimize=strategy)
 
 
 class ScatterPlan:
@@ -211,15 +214,15 @@ class Workspace:
     def __init__(self) -> None:
         self._arrays: dict = {}
 
-    def take(self, tag: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    def take(self, tag: str, shape: tuple, dtype=DEFAULT_DTYPE) -> np.ndarray:
         key = (tag, tuple(shape), np.dtype(dtype).str)
         arr = self._arrays.get(key)
         if arr is None:
-            arr = np.empty(shape, dtype=dtype)
+            arr = active_backend().xp.empty(shape, dtype=dtype)
             self._arrays[key] = arr
         return arr
 
-    def zeros(self, tag: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    def zeros(self, tag: str, shape: tuple, dtype=DEFAULT_DTYPE) -> np.ndarray:
         arr = self.take(tag, shape, dtype)
         arr[...] = 0
         return arr

@@ -23,8 +23,35 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .backend import kernel_dtype
 from .basis import ShapeMatrices, shape_matrices
 from .even_odd import EvenOddMatrix
+
+_F64 = np.dtype(np.float64)
+
+#: cached ``kron(M, I_n0)`` factors for the middle-axis GEMM path.  The
+#: key is content-based (shape, dtype, bytes, n0) so transient views of
+#: the same matrix — ``M.T``, ``fv[None, :]`` — hit the cache; hashing
+#: the few hundred bytes of a 1D shape matrix costs far less than the
+#: ``np.kron`` rebuild it avoids.
+_kron_cache: dict = {}
+
+#: largest trailing extent for which the middle-axis contraction is
+#: folded into one GEMM against ``kron(M, I)``.  The fused product does
+#: ``n0``-fold redundant Flops, but replaces thousands of ``(k+1)^2``
+#: stacked products with a single BLAS call — a large net win for every
+#: realistic quadrature size.
+_KRON_MAX_TRAIL = 8
+
+
+def _kron_identity(M: np.ndarray, n0: int) -> np.ndarray:
+    key = (M.shape, M.dtype.char, M.tobytes(), n0)
+    KM = _kron_cache.get(key)
+    if KM is None:
+        KM = np.kron(M, np.eye(n0, dtype=M.dtype))
+        if len(_kron_cache) < 512:  # backstop against unbounded growth
+            _kron_cache[key] = KM
+    return KM
 
 
 def apply_1d(
@@ -40,13 +67,51 @@ def apply_1d(
 
     ``out``, when given, receives the result (its dtype must match the
     promoted result dtype so no rounding changes sneak in).
+
+    Contiguous inputs take shape-folded GEMM paths: the whole batch is
+    reshaped so BLAS sees one large product (dim 0) or a short stack of
+    wide products (dims 1-2) instead of thousands of ``(k+1) x (k+1)``
+    matrices — this is where single precision actually buys bandwidth,
+    since sgemm streams half the bytes of dgemm.
     """
     axis = u.ndim - 1 - dim
-    if dim == 0:
-        # contraction along the last (contiguous) axis: plain matmul
-        if out is None:
-            return u @ M.T
-        np.matmul(u, M.T, out=out)
+    m, n = M.shape
+    if u.flags.c_contiguous:
+        # a strided ``out`` cannot alias the GEMM buffer; compute fresh
+        # and copy — still far cheaper than the per-slice matmul stack
+        fold = out if out is not None and out.flags.c_contiguous else None
+        if dim == 0:
+            # one GEMM over every remaining axis
+            res2d = np.matmul(
+                u.reshape(-1, n), M.T,
+                out=None if fold is None else fold.reshape(-1, m),
+            )
+            res = res2d.reshape(u.shape[:-1] + (m,)) if fold is None else fold
+        else:
+            lead = u.shape[: axis]
+            trail = u.shape[axis + 1:]
+            tr = int(np.prod(trail))
+            if dim == 1 and tr <= _KRON_MAX_TRAIL:
+                # fold the (n1, n0) block and contract against kron(M, I)
+                # in one GEMM — n0-fold redundant Flops, but a single
+                # sgemm/dgemm instead of a stack of (k+1)^2 products
+                K = _kron_identity(M, tr)
+                res2 = np.matmul(
+                    u.reshape(-1, n * tr), K.T,
+                    out=None if fold is None else fold.reshape(-1, m * tr),
+                )
+                res = res2.reshape(lead + (m,) + trail) if fold is None else fold
+            else:
+                # (lead..., n, trail...) -> stack of (n, prod(trail))
+                # right-hand sides; results land in the natural layout
+                u3 = u.reshape(-1, n, tr)
+                res3 = np.matmul(
+                    M, u3, out=None if fold is None else fold.reshape(-1, m, tr)
+                )
+                res = res3.reshape(lead + (m,) + trail) if fold is None else fold
+        if out is None or fold is not None:
+            return res
+        out[...] = res
         return out
     moved = np.moveaxis(u, axis, -1)
     if out is None:
@@ -91,6 +156,18 @@ class TensorProductKernel:
         object.__setattr__(self, "n_q_points", nq)
         sm = shape_matrices(self.degree, nq)
         object.__setattr__(self, "_sm", sm)
+        # dtype-matched copies of every 1D factor, keyed (name, dtype).
+        # The float64 masters live here too; float32 copies are cast once
+        # on first use so single-precision sweeps never touch a float64
+        # matrix (which would silently promote the whole contraction).
+        object.__setattr__(self, "_mat_cache", {
+            ("interp", _F64): sm.interp,
+            ("grad", _F64): sm.grad,
+            ("interp_t", _F64): np.ascontiguousarray(sm.interp.T),
+            ("grad_t", _F64): np.ascontiguousarray(sm.grad.T),
+            ("face_value", _F64): sm.face_value,
+            ("face_grad", _F64): sm.face_grad,
+        })
         if self.use_even_odd:
             object.__setattr__(self, "_interp_eo", EvenOddMatrix(sm.interp, "even"))
             object.__setattr__(self, "_grad_eo", EvenOddMatrix(sm.grad, "odd"))
@@ -108,6 +185,8 @@ class TensorProductKernel:
             # points == coefficients in the collocation basis
             sm_co = shape_matrices(self.degree, nq, nodes="gauss")
             object.__setattr__(self, "_co_grad", sm_co.grad)
+            self._mat_cache[("co_grad", _F64)] = sm_co.grad
+            self._mat_cache[("co_grad_t", _F64)] = np.ascontiguousarray(sm_co.grad.T)
 
     # -- 1D matrices ---------------------------------------------------
     @property
@@ -133,23 +212,35 @@ class TensorProductKernel:
         return w[:, None, None] * w[None, :, None] * w[None, None, :]
 
     # -- internal dispatch ----------------------------------------------
+    def _mat(self, name: str, dtype: np.dtype) -> np.ndarray:
+        """The 1D factor ``name`` cast to ``dtype`` (cached per kernel)."""
+        cache = self._mat_cache  # type: ignore[attr-defined]
+        key = (name, dtype)
+        M = cache.get(key)
+        if M is None:
+            base = cache.get((name, _F64))
+            if base is None:
+                if name != "nodal_diff":
+                    raise KeyError(name)
+                basis = self.shape.basis
+                base = basis.derivatives(basis.nodes)
+                cache[(name, _F64)] = base
+            M = np.ascontiguousarray(base, dtype=dtype)
+            cache[key] = M
+        return M
+
     def _apply(self, which: str, u: np.ndarray, dim: int) -> np.ndarray:
         if self.use_even_odd:
             eo: EvenOddMatrix = getattr(self, f"_{which}_eo")
             return eo.apply(u, dim)
-        M = {
-            "interp": self.shape.interp,
-            "grad": self.shape.grad,
-            "interp_t": self.shape.interp.T,
-            "grad_t": self.shape.grad.T,
-        }[which]
-        return apply_1d(M, u, dim)
+        return apply_1d(self._mat(which, kernel_dtype(u.dtype)), u, dim)
 
     # -- cell kernels (operator I_e and I_e^T of Eq. (7)) ---------------
     def _ws_dtype(self, u: np.ndarray) -> np.dtype:
-        """Promoted dtype of a sweep result (shape matrices are float64,
-        so float32 inputs promote — matching the allocating path)."""
-        return np.result_type(u.dtype, self.shape.interp.dtype)
+        """Compute dtype of a sweep: float32 inputs stay float32 (the
+        1D factors are fetched as dtype-matched copies), everything else
+        computes in float64."""
+        return kernel_dtype(u.dtype)
 
     def values(self, u: np.ndarray, ws=None) -> np.ndarray:
         """Interpolate nodal coefficients to quadrature-point values.
@@ -164,9 +255,9 @@ class TensorProductKernel:
             v = self._apply("interp", u, 0)
             v = self._apply("interp", v, 1)
             return self._apply("interp", v, 2)
-        M = self.shape.interp
         lead, n, nq = u.shape[:-3], self.n_dofs_1d, self.n_q_points
         dt = self._ws_dtype(u)
+        M = self._mat("interp", dt)
         v = apply_1d(M, u, 0, out=ws.take("tpk.val.0", lead + (n, n, nq), dt))
         v = apply_1d(M, v, 1, out=ws.take("tpk.val.1", lead + (n, nq, nq), dt))
         return apply_1d(M, v, 2, out=ws.take("tpk.val.2", lead + (nq, nq, nq), dt))
@@ -188,9 +279,9 @@ class TensorProductKernel:
             g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
             g2 = self._apply("grad", uxy, 2)
             return np.stack([g0, g1, g2], axis=-4)
-        M, G = self.shape.interp, self.shape.grad
         lead, n, nq = u.shape[:-3], self.n_dofs_1d, self.n_q_points
         dt = self._ws_dtype(u)
+        M, G = self._mat("interp", dt), self._mat("grad", dt)
         out = ws.take("tpk.grad.out", lead + (3, nq, nq, nq), dt)
         ux = apply_1d(M, u, 0, out=ws.take("tpk.grad.ux", lead + (n, n, nq), dt))
         uxy = apply_1d(M, ux, 1, out=ws.take("tpk.grad.uxy", lead + (n, nq, nq), dt))
@@ -208,7 +299,7 @@ class TensorProductKernel:
         if self.use_collocation:
             # change of basis: 3 transform sweeps, then one collocation-
             # derivative sweep per direction (6 total instead of 9)
-            D = self._co_grad  # type: ignore[attr-defined]
+            D = self._mat("co_grad", self._ws_dtype(u))
             vals = self.values(u, ws)
             if ws is None:
                 g0 = apply_1d(D, vals, 0)
@@ -229,9 +320,9 @@ class TensorProductKernel:
             g1 = self._apply("interp", self._apply("grad", ux, 1), 2)
             g2 = self._apply("grad", uxy, 2)
             return vals, np.stack([g0, g1, g2], axis=-4)
-        M, G = self.shape.interp, self.shape.grad
         lead, n, nq = u.shape[:-3], self.n_dofs_1d, self.n_q_points
         dt = self._ws_dtype(u)
+        M, G = self._mat("interp", dt), self._mat("grad", dt)
         g = ws.take("tpk.vg.grad", lead + (3, nq, nq, nq), dt)
         ux = apply_1d(M, u, 0, out=ws.take("tpk.grad.ux", lead + (n, n, nq), dt))
         uxy = apply_1d(M, ux, 1, out=ws.take("tpk.grad.uxy", lead + (n, nq, nq), dt))
@@ -260,9 +351,9 @@ class TensorProductKernel:
                 np.copyto(out, res)
                 return out
             return res
-        Mt = self.shape.interp.T
         lead, n, nq = q.shape[:-3], self.n_dofs_1d, self.n_q_points
         dt = self._ws_dtype(q)
+        Mt = self._mat("interp_t", dt)
         v = apply_1d(Mt, q, 0, out=ws.take("tpk.iv.0", lead + (nq, nq, n), dt))
         v = apply_1d(Mt, v, 1, out=ws.take("tpk.iv.1", lead + (nq, n, n), dt))
         if out is None:
@@ -280,7 +371,7 @@ class TensorProductKernel:
         q1 = q[..., 1, :, :, :]
         q2 = q[..., 2, :, :, :]
         if self.use_collocation:
-            Dt = self._co_grad.T  # type: ignore[attr-defined]
+            Dt = self._mat("co_grad_t", self._ws_dtype(q))
             if ws is None:
                 acc = apply_1d(Dt, q0, 0) + apply_1d(Dt, q1, 1) + apply_1d(Dt, q2, 2)
                 res = self.integrate_values(acc)
@@ -302,9 +393,9 @@ class TensorProductKernel:
                 np.copyto(out, r)
                 return out
             return r
-        Mt, Gt = self.shape.interp.T, self.shape.grad.T
         lead, n, nq = q0.shape[:-3], self.n_dofs_1d, self.n_q_points
         dt = self._ws_dtype(q)
+        Mt, Gt = self._mat("interp_t", dt), self._mat("grad_t", dt)
         b0 = ws.take("tpk.ig.0", lead + (nq, nq, n), dt)
         b1 = ws.take("tpk.ig.1", lead + (nq, n, n), dt)
         if out is None:
@@ -325,8 +416,12 @@ class TensorProductKernel:
     @property
     def nodal_diff(self) -> np.ndarray:
         """1D differentiation matrix at the nodal points themselves."""
-        basis = self.shape.basis
-        return basis.derivatives(basis.nodes)
+        return self._mat("nodal_diff", _F64)
+
+    def nodal_diff_matrix(self, dtype=None) -> np.ndarray:
+        """:attr:`nodal_diff` cast to ``dtype`` (cached); float32 callers
+        use this so the trace kernels do not promote."""
+        return self._mat("nodal_diff", _F64 if dtype is None else np.dtype(dtype))
 
     def nodal_gradients(self, u: np.ndarray) -> np.ndarray:
         """Reference gradients evaluated at the nodal lattice (not the
@@ -335,7 +430,7 @@ class TensorProductKernel:
         Used to differentiate the precomputed polynomial geometry
         (Heltai et al. 2021) when building metric terms.
         """
-        D = self.nodal_diff
+        D = self._mat("nodal_diff", kernel_dtype(u.dtype))
         return np.stack(
             [apply_1d(D, u, 0), apply_1d(D, u, 1), apply_1d(D, u, 2)], axis=-4
         )
@@ -355,7 +450,7 @@ class TensorProductKernel:
         """d/dx̂_d of the solution, evaluated at the 2D nodal lattice of
         the face: ``(..., n, n, n) -> (..., n, n)``."""
         d, s = divmod(face, 2)
-        fg = self.shape.face_grad[s]
+        fg = self._mat("face_grad", kernel_dtype(u.dtype))[s]
         traced = apply_1d(fg[None, :], u, d)
         return np.squeeze(traced, axis=traced.ndim - 1 - d)
 
@@ -367,6 +462,22 @@ class TensorProductKernel:
         q = self.shape.quadrature.points
         return basis.values(0.5 * q + 0.5 * child)
 
+    def _subface_mat(self, child: int, dtype: np.dtype,
+                     transpose: bool = False) -> np.ndarray:
+        """Cached, dtype-matched copy of :meth:`subface_interp_matrix`
+        (hanging faces sit on the hot vmult path, so no per-call
+        tabulation and no float64 promotion of float32 traces)."""
+        cache = self._mat_cache  # type: ignore[attr-defined]
+        key = ("subface_t" if transpose else "subface", child, dtype)
+        M = cache.get(key)
+        if M is None:
+            base = self.subface_interp_matrix(child)
+            if transpose:
+                base = base.T
+            M = np.ascontiguousarray(base, dtype=dtype)
+            cache[key] = M
+        return M
+
     def face_nodal_to_quad(
         self, t: np.ndarray, subface: tuple[int, int] | None = None
     ) -> np.ndarray:
@@ -374,10 +485,9 @@ class TensorProductKernel:
         quadrature points, optionally restricted to subface ``(sa, sb)``."""
         if subface is None:
             return self._face_interp(t)
-        Ma = self.subface_interp_matrix(subface[0])
-        Mb = self.subface_interp_matrix(subface[1])
-        t = apply_1d_2d(Mb, t, 0)
-        return apply_1d_2d(Ma, t, 1)
+        dt = kernel_dtype(t.dtype)
+        t = apply_1d_2d(self._subface_mat(subface[1], dt), t, 0)
+        return apply_1d_2d(self._subface_mat(subface[0], dt), t, 1)
 
     def face_quad_to_nodal_t(
         self, q: np.ndarray, subface: tuple[int, int] | None = None
@@ -386,10 +496,9 @@ class TensorProductKernel:
         data against the face-nodal basis."""
         if subface is None:
             return self._face_interp_t(q)
-        Ma = self.subface_interp_matrix(subface[0])
-        Mb = self.subface_interp_matrix(subface[1])
-        q = apply_1d_2d(Mb.T, q, 0)
-        return apply_1d_2d(Ma.T, q, 1)
+        dt = kernel_dtype(q.dtype)
+        q = apply_1d_2d(self._subface_mat(subface[1], dt, transpose=True), q, 0)
+        return apply_1d_2d(self._subface_mat(subface[0], dt, transpose=True), q, 1)
 
     def expand_nodal_trace(self, t: np.ndarray, face: int) -> np.ndarray:
         """Transpose of :meth:`face_nodal_trace`: scatter a nodal 2D face
@@ -408,7 +517,7 @@ class TensorProductKernel:
     def expand_nodal_normal_derivative(self, t: np.ndarray, face: int) -> np.ndarray:
         """Transpose of :meth:`face_nodal_normal_derivative`."""
         d, s = divmod(face, 2)
-        fvec = self.shape.face_grad[s]
+        fvec = self._mat("face_grad", kernel_dtype(t.dtype))[s]
         return self._expand_face(t, fvec, d)
 
     # -- face kernels (operator I_f of Eq. (7)) --------------------------
@@ -423,7 +532,7 @@ class TensorProductKernel:
         ``(z, y)``).
         """
         d, s = divmod(face, 2)
-        fv = self.shape.face_value[s]
+        fv = self._mat("face_value", kernel_dtype(u.dtype))[s]
         traced = apply_1d(fv[None, :], u, d)
         traced = np.squeeze(traced, axis=traced.ndim - 1 - d)
         return self._face_interp(traced)
@@ -432,7 +541,7 @@ class TensorProductKernel:
         """Reference-coordinate normal derivative d/dx̂_d on a face,
         interpolated to the face quadrature points."""
         d, s = divmod(face, 2)
-        fg = self.shape.face_grad[s]
+        fg = self._mat("face_grad", kernel_dtype(u.dtype))[s]
         traced = apply_1d(fg[None, :], u, d)
         traced = np.squeeze(traced, axis=traced.ndim - 1 - d)
         return self._face_interp(traced)
@@ -441,26 +550,54 @@ class TensorProductKernel:
         """Transpose of :meth:`face_values`: scatter face-quadrature data
         back into cell nodal contributions ``(..., n, n, n)``."""
         d, s = divmod(face, 2)
-        fv = self.shape.face_value[s]
+        fv = self._mat("face_value", kernel_dtype(q.dtype))[s]
         nodal2d = self._face_interp_t(q)
         return self._expand_face(nodal2d, fv, d)
 
     def face_integrate_normal_derivative(self, q: np.ndarray, face: int) -> np.ndarray:
         """Transpose of :meth:`face_normal_derivative`."""
         d, s = divmod(face, 2)
-        fg = self.shape.face_grad[s]
+        fg = self._mat("face_grad", kernel_dtype(q.dtype))[s]
         nodal2d = self._face_interp_t(q)
         return self._expand_face(nodal2d, fg, d)
 
     # -- helpers ---------------------------------------------------------
+    def _mat2d(self, name: str, dtype: np.dtype) -> np.ndarray:
+        """``kron(M, M)`` of the 1D factor ``name``: applies ``M`` along
+        both face axes in a single GEMM (cached per kernel and dtype)."""
+        cache = self._mat_cache  # type: ignore[attr-defined]
+        key = (name + "@2d", dtype)
+        K = cache.get(key)
+        if K is None:
+            M = self._mat(name, dtype)
+            K = np.kron(M, M)
+            cache[key] = K
+        return K
+
     def _face_interp(self, t: np.ndarray) -> np.ndarray:
         """Interpolate a 2D nodal face tensor to face quadrature points."""
-        t = apply_1d_2d(self.shape.interp, t, 0)
-        return apply_1d_2d(self.shape.interp, t, 1)
+        dt = kernel_dtype(t.dtype)
+        if t.flags.c_contiguous:
+            K = self._mat2d("interp", dt)
+            qq, nn = K.shape
+            q = int(round(qq**0.5))
+            res = np.matmul(t.reshape(-1, nn), K.T)
+            return res.reshape(t.shape[:-2] + (q, q))
+        M = self._mat("interp", dt)
+        t = apply_1d_2d(M, t, 0)
+        return apply_1d_2d(M, t, 1)
 
     def _face_interp_t(self, q: np.ndarray) -> np.ndarray:
-        q = apply_1d_2d(self.shape.interp.T, q, 0)
-        return apply_1d_2d(self.shape.interp.T, q, 1)
+        dt = kernel_dtype(q.dtype)
+        if q.flags.c_contiguous:
+            K = self._mat2d("interp_t", dt)
+            nn, qq = K.shape
+            n = int(round(nn**0.5))
+            res = np.matmul(q.reshape(-1, qq), K.T)
+            return res.reshape(q.shape[:-2] + (n, n))
+        Mt = self._mat("interp_t", dt)
+        q = apply_1d_2d(Mt, q, 0)
+        return apply_1d_2d(Mt, q, 1)
 
     def _expand_face(self, nodal2d: np.ndarray, fvec: np.ndarray, d: int) -> np.ndarray:
         """Tensor a 2D face contribution with the 1D trace vector along the
@@ -478,12 +615,39 @@ def apply_1d_2d(
     M: np.ndarray, t: np.ndarray, dim: int, out: np.ndarray | None = None
 ) -> np.ndarray:
     """Apply a 1D matrix along dimension ``dim`` of a (batched) 2D tensor
-    ``t`` of shape ``(..., n_1, n_0)`` (dim 0 = last axis)."""
+    ``t`` of shape ``(..., n_1, n_0)`` (dim 0 = last axis).
+
+    Same shape-folded GEMM strategy as :func:`apply_1d` — face batches
+    are small, so avoiding the per-face matmul dispatch matters even
+    more here."""
     axis = t.ndim - 1 - dim
-    if dim == 0:
-        if out is None:
-            return t @ M.T
-        np.matmul(t, M.T, out=out)
+    m, n = M.shape
+    if t.flags.c_contiguous:
+        fold = out if out is not None and out.flags.c_contiguous else None
+        if dim == 0:
+            res2d = np.matmul(
+                t.reshape(-1, n), M.T,
+                out=None if fold is None else fold.reshape(-1, m),
+            )
+            res = res2d.reshape(t.shape[:-1] + (m,)) if fold is None else fold
+        else:
+            n0 = t.shape[-1]
+            if n0 <= _KRON_MAX_TRAIL:
+                K = _kron_identity(M, n0)
+                res2 = np.matmul(
+                    t.reshape(-1, n * n0), K.T,
+                    out=None if fold is None else fold.reshape(-1, m * n0),
+                )
+                res = res2.reshape(t.shape[:-2] + (m, n0)) if fold is None else fold
+            else:
+                t3 = t.reshape(-1, n, n0)
+                res3 = np.matmul(
+                    M, t3, out=None if fold is None else fold.reshape(-1, m, n0)
+                )
+                res = res3.reshape(t.shape[:-2] + (m, n0)) if fold is None else fold
+        if out is None or fold is not None:
+            return res
+        out[...] = res
         return out
     moved = np.moveaxis(t, axis, -1)
     if out is None:

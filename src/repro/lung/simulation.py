@@ -170,6 +170,7 @@ class LungVentilationSimulation:
             self.bcs,
             settings,
             robustness=config.robustness,
+            compute_dtype=config.compute_dtype,
         )
         self.solver.initialize()
         self.cycle_records: list[CycleRecord] = []

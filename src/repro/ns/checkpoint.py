@@ -101,6 +101,34 @@ def _dict_diff(a: dict, b: dict, prefix: str = "") -> list[str]:
     return out
 
 
+def _history_payload(scheme) -> dict:
+    """BDF history arrays, always stored in double precision.
+
+    A float32 state upcasts to float64 *exactly*, and the loader casts
+    back to the scheme's ``state_dtype``, so a save/load round trip is
+    bit-identical at either compute precision while the on-disk format
+    stays precision-independent (a float32 run can resume a float64
+    checkpoint and vice versa)."""
+    payload: dict = {}
+    for i, u in enumerate(scheme.u_history):
+        payload[f"u_{i}"] = np.asarray(u, dtype=np.float64)
+    for i, c in enumerate(scheme.conv_history):
+        payload[f"conv_{i}"] = np.asarray(c, dtype=np.float64)
+    for i, p in enumerate(scheme.p_history):
+        payload[f"p_{i}"] = np.asarray(p, dtype=np.float64)
+    return payload
+
+
+def _load_history(data, scheme, n_u: int, n_p: int) -> tuple[list, list, list]:
+    """History fields cast to the target scheme's state dtype (see
+    :func:`_history_payload`; version-1/2 files are float64 already)."""
+    dt = np.dtype(getattr(scheme, "state_dtype", np.float64))
+    u_hist = [data[f"u_{i}"].astype(dt, copy=False) for i in range(n_u)]
+    conv_hist = [data[f"conv_{i}"].astype(dt, copy=False) for i in range(n_u)]
+    p_hist = [data[f"p_{i}"].astype(dt, copy=False) for i in range(n_p)]
+    return u_hist, conv_hist, p_hist
+
+
 def save_scheme_state(path, scheme, config=None) -> Path:
     """Serialize a :class:`~repro.timeint.dual_splitting.DualSplittingScheme`.
 
@@ -116,13 +144,8 @@ def save_scheme_state(path, scheme, config=None) -> Path:
         "n_u": np.array(len(scheme.u_history)),
         "n_p": np.array(len(scheme.p_history)),
         **_config_payload(config),
+        **_history_payload(scheme),
     }
-    for i, u in enumerate(scheme.u_history):
-        payload[f"u_{i}"] = u
-    for i, c in enumerate(scheme.conv_history):
-        payload[f"conv_{i}"] = c
-    for i, p in enumerate(scheme.p_history):
-        payload[f"p_{i}"] = p
     np.savez_compressed(path, **payload)
     return _written_path(path)
 
@@ -136,9 +159,7 @@ def load_scheme_state(path, scheme, config_drift: str = "warn") -> dict | None:
         stored_config = _stored_config(data)
         n_u = int(data["n_u"])
         n_p = int(data["n_p"])
-        u_hist = [data[f"u_{i}"] for i in range(n_u)]
-        conv_hist = [data[f"conv_{i}"] for i in range(n_u)]
-        p_hist = [data[f"p_{i}"] for i in range(n_p)]
+        u_hist, conv_hist, p_hist = _load_history(data, scheme, n_u, n_p)
         t = float(data["t"])
         dt_hist = [float(v) for v in data["dt_history"]]
     expected = scheme.ops.mass.n_dofs
@@ -182,13 +203,8 @@ def save_lung_state(path, sim, config=None) -> Path:
         "steps_this_cycle": np.array(sim._steps_this_cycle),
         "current_cycle": np.array(sim._current_cycle),
         **_config_payload(config),
+        **_history_payload(scheme),
     }
-    for i, u in enumerate(scheme.u_history):
-        payload[f"u_{i}"] = u
-    for i, c in enumerate(scheme.conv_history):
-        payload[f"conv_{i}"] = c
-    for i, p in enumerate(scheme.p_history):
-        payload[f"p_{i}"] = p
     np.savez_compressed(path, **payload)
     return _written_path(path)
 
@@ -211,9 +227,8 @@ def load_lung_state(path, sim, config_drift: str = "warn") -> dict | None:
         _check_config_drift(stored_config, getattr(sim, "config", None), config_drift)
         scheme.t = float(data["t"])
         scheme.dt_history = [float(v) for v in data["dt_history"]]
-        scheme.u_history = [data[f"u_{i}"] for i in range(n_u)]
-        scheme.conv_history = [data[f"conv_{i}"] for i in range(n_u)]
-        scheme.p_history = [data[f"p_{i}"] for i in range(n_p)]
+        (scheme.u_history, scheme.conv_history,
+         scheme.p_history) = _load_history(data, scheme, n_u, n_p)
         for c, v, q in zip(sim.windkessels.compartments,
                            data["wk_volumes"], data["wk_flows"]):
             c.volume = float(v)

@@ -10,6 +10,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import resolve_dtype
 from ..core.dof_handler import DGDofHandler
 from ..core.plans import cached_scatter_plan, contract
 from ..core.operators import (
@@ -34,7 +35,7 @@ from ..robustness.recovery import (
     recoverable_step,
 )
 from ..solvers.jacobi import JacobiPreconditioner
-from ..solvers.multigrid import HybridMultigridPreconditioner
+from ..solvers.multigrid import HybridMultigridPreconditioner, operator_to_dtype
 from ..telemetry.metrics import METRICS
 from ..timeint.cfl import CFLController
 from ..timeint.dual_splitting import DualSplittingScheme, SplittingOperators
@@ -99,6 +100,7 @@ class IncompressibleNavierStokesSolver:
         body_force=None,
         periodic=None,
         robustness=None,
+        compute_dtype=None,
     ) -> None:
         """``periodic`` forwards translational periodicity declarations to
         :func:`repro.mesh.connectivity.build_connectivity`; periodic runs
@@ -109,13 +111,22 @@ class IncompressibleNavierStokesSolver:
         enables the fault-tolerant stepping harness: per-step divergence
         validation with rollback/retry, and the deterministic pressure
         fallback chain mixed-precision MG -> double-precision MG ->
-        Jacobi-CG with a raised iteration cap."""
+        Jacobi-CG with a raised iteration cap.
+
+        ``compute_dtype`` (``float64``/``float32``; default the global
+        compute dtype, see :func:`repro.core.backend.set_compute_dtype`)
+        selects the precision of the forward solve.  Operators are
+        always *assembled* in double; in single precision the scheme
+        drives dtype-cast clones, while the pressure Poisson outer CG,
+        the fallback chain's double tier, and checkpoints keep double
+        precision (Section 3.4 mixed precision)."""
         if degree < 2:
             raise ValueError("mixed-order (k, k-1) spaces need k >= 2")
         self.forest = forest
         self.degree = degree
         self.nu = float(viscosity)
         self.bcs = bcs
+        self.compute_dtype = resolve_dtype(compute_dtype)
         self.settings = settings or SolverSettings()
         if periodic and self.settings.use_multigrid:
             self.settings.use_multigrid = False
@@ -176,15 +187,22 @@ class IncompressibleNavierStokesSolver:
 
         self._body_force_fn = body_force
         tol = self.settings.solver_tolerance
+        # forward-path operators at the configured compute dtype (a
+        # float64 run gets the originals back unchanged); the double
+        # masters stay on `self` for assembly, diagnostics, and the
+        # fallback chain.  The pressure Poisson operator stays double:
+        # its preconditioner handles the single-precision V-cycle while
+        # the outer iteration accumulates in double (Section 3.4).
+        cast = lambda op: operator_to_dtype(op, self.compute_dtype)  # noqa: E731
         self.scheme = DualSplittingScheme(
             SplittingOperators(
-                mass=self.mass_u,
-                inverse_mass=self.inv_mass_u,
-                convective=self.convective,
-                divergence=self.divergence,
-                gradient=self.gradient,
-                helmholtz=self.helmholtz,
-                penalty_step=self.penalty_step,
+                mass=cast(self.mass_u),
+                inverse_mass=cast(self.inv_mass_u),
+                convective=cast(self.convective),
+                divergence=cast(self.divergence),
+                gradient=cast(self.gradient),
+                helmholtz=cast(self.helmholtz),
+                penalty_step=cast(self.penalty_step),
                 pressure_poisson=self.pressure_poisson,
                 pressure_preconditioner=self.pressure_pre,
                 body_force=self._assembled_body_force if body_force else None,
@@ -202,6 +220,7 @@ class IncompressibleNavierStokesSolver:
             pressure_has_dirichlet=bool(self.pressure_dirichlet),
             max_solver_iterations=self.settings.max_solver_iterations,
             pressure_fallback=self.pressure_fallback,
+            state_dtype=self.compute_dtype,
         )
         self.cfl = CFLController(
             cfl=self.settings.cfl, degree=degree, dt_max=self.settings.dt_max
@@ -378,11 +397,11 @@ class IncompressibleNavierStokesSolver:
 
     def initialize(self, u0=None, t0: float = 0.0) -> None:
         if u0 is None:
-            u = self.dof_u.zeros()
+            u = self.dof_u.zeros(dtype=self.compute_dtype)
         elif callable(u0):
             u = self.interpolate_velocity(u0, t0)
         else:
-            u = np.asarray(u0, dtype=float)
+            u = np.asarray(u0, dtype=self.compute_dtype)
         self.scheme.initialize(u, t0)
 
     def _stamp_cfl(self, stats, vmax: float):

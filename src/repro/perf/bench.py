@@ -98,9 +98,11 @@ def machine_fingerprint() -> dict:
 # ---------------------------------------------------------------------------
 
 def _case(name: str, n_dofs: int, throughput: float, units: str,
-          metrics: dict, meta: dict | None = None) -> dict:
+          metrics: dict, meta: dict | None = None,
+          dtype: str = "float64") -> dict:
     return {
         "name": name,
+        "dtype": dtype,
         "n_dofs": int(n_dofs),
         "throughput": float(throughput),
         "throughput_units": units,
@@ -109,7 +111,8 @@ def _case(name: str, n_dofs: int, throughput: float, units: str,
     }
 
 
-def _throughput_case(name: str, result, meta: dict | None = None) -> dict:
+def _throughput_case(name: str, result, meta: dict | None = None,
+                     dtype: str = "float64") -> dict:
     """Case record from a :class:`~repro.perf.measure.ThroughputResult`."""
     metrics = {
         "best_seconds": result.best_seconds,
@@ -122,7 +125,15 @@ def _throughput_case(name: str, result, meta: dict | None = None) -> dict:
         metrics["alloc_peak_bytes"] = result.alloc_peak_bytes
         metrics["alloc_net_blocks"] = result.alloc_net_blocks
     return _case(name, result.n_dofs, result.dofs_per_second, "dofs/s",
-                 metrics, meta)
+                 metrics, meta, dtype)
+
+
+def dtype_suffix(dtype) -> str:
+    """Case-name suffix for a compute dtype: empty for the historical
+    float64 cases (so old baselines keep matching by name), ``@float32``
+    etc. otherwise."""
+    ds = str(np.dtype(dtype))
+    return "" if ds == "float64" else f"@{ds}"
 
 
 def _box_forest(refinements: int):
@@ -161,13 +172,17 @@ def _always(_name: str) -> bool:
 # suites
 # ---------------------------------------------------------------------------
 
-def _suite_ops(smoke: bool, degree: int, select=_always) -> list[dict]:
+def _suite_ops(smoke: bool, degree: int, select=_always,
+               dtype: str = "float64") -> list[dict]:
     """Achieved-throughput suite on the planned execution path: the
     Figure 6-8 kernels plus one full coupled lung step."""
     from ..core.dof_handler import DGDofHandler
     from ..core.operators import VectorDGLaplace
+    from ..solvers.multigrid import operator_to_dtype
     from .measure import measure_operator, measure_throughput
 
+    ds = str(np.dtype(dtype))
+    sfx = dtype_suffix(ds)
     refinements = 1 if smoke else 2
     reps = 3 if smoke else 10
     mesh_name = f"box_r{refinements}"
@@ -176,42 +191,46 @@ def _suite_ops(smoke: bool, degree: int, select=_always) -> list[dict]:
     meta = {"mesh": mesh_name, "n_cells": forest.n_cells, "degree": degree}
     cases: list[dict] = []
 
-    name = f"{mesh_name}/dg_laplace_vmult"
+    name = f"{mesh_name}/dg_laplace_vmult{sfx}"
     if select(name):
-        r = measure_operator(op, name=name, repetitions=reps)
-        cases.append(_throughput_case(name, r, meta))
+        r = measure_operator(operator_to_dtype(op, ds), name=name,
+                             repetitions=reps, dtype=ds)
+        cases.append(_throughput_case(name, r, meta, ds))
 
-    name = f"{mesh_name}/vector_laplace_vmult"
+    name = f"{mesh_name}/vector_laplace_vmult{sfx}"
     if select(name):
         dof_v = DGDofHandler(forest, degree, n_components=3)
         vec = VectorDGLaplace(op, dof_v)
-        r = measure_operator(vec, name=name, repetitions=max(2, reps // 2))
-        cases.append(_throughput_case(name, r, meta))
+        r = measure_operator(operator_to_dtype(vec, ds), name=name,
+                             repetitions=max(2, reps // 2), dtype=ds)
+        cases.append(_throughput_case(name, r, meta, ds))
 
-    name = f"{mesh_name}/mg_vcycle"
+    name = f"{mesh_name}/mg_vcycle{sfx}"
     if select(name):
         from ..solvers import HybridMultigridPreconditioner
 
+        # the hybrid MG always smooths in single precision internally;
+        # the dtype axis varies the residual vector handed to it
         mg = HybridMultigridPreconditioner(op)
         rng = np.random.default_rng(0)
-        b = rng.standard_normal(op.n_dofs)
+        b = rng.standard_normal(op.n_dofs).astype(ds)
         r = measure_throughput(
             lambda: mg.vmult(b), n_dofs=op.n_dofs, name=name,
             repetitions=max(2, reps // 2),
         )
-        cases.append(_throughput_case(name, r, meta))
+        cases.append(_throughput_case(name, r, meta, ds))
 
-    name = "lung_g1/step"
+    name = f"lung_g1/step{sfx}"
     if select(name):
-        cases.append(_lung_step_case(name, smoke))
+        cases.append(_lung_step_case(name, smoke, ds))
     return cases
 
 
-def _lung_step_case(name: str, smoke: bool) -> dict:
+def _lung_step_case(name: str, smoke: bool, dtype: str = "float64") -> dict:
     from ..lung import LungVentilationSimulation
     from ..robustness import RunConfig
 
-    cfg = RunConfig(generations=1, degree=2, seed=0)
+    cfg = RunConfig(generations=1, degree=2, seed=0, compute_dtype=dtype)
     sim = LungVentilationSimulation(cfg)
     n_dofs = sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs
     sim.step()  # warm-up: plan caches, preconditioner setup
@@ -234,16 +253,21 @@ def _lung_step_case(name: str, smoke: bool) -> dict:
             "repetitions": n_steps,
         },
         {"generations": 1, "degree": 2, "n_cells": sim.lung.forest.n_cells},
+        dtype,
     )
 
 
-def _suite_vmult(smoke: bool, degree: int, select=_always) -> list[dict]:
+def _suite_vmult(smoke: bool, degree: int, select=_always,
+                 dtype: str = "float64") -> list[dict]:
     """The PR 2 planned-vs-legacy gate on the new schema: DG/vector
     Laplace vmult and the multigrid setup path in both execution modes."""
     from ..core.dof_handler import DGDofHandler
     from ..core.operators import VectorDGLaplace
+    from ..solvers.multigrid import operator_to_dtype
     from .measure import measure_operator
 
+    ds = str(np.dtype(dtype))
+    sfx = dtype_suffix(ds)
     if smoke:
         meshes = [("box_r1", _box_forest(1), 3),
                   ("bifurcation_r0", _bifurcation_forest(0), 3)]
@@ -263,46 +287,50 @@ def _suite_vmult(smoke: bool, degree: int, select=_always) -> list[dict]:
         for mode, use_plans in (("legacy", False), ("planned", True)):
             m = dict(meta, mode=mode)
 
-            name = f"{mesh_name}/dg_laplace/{mode}"
+            name = f"{mesh_name}/dg_laplace/{mode}{sfx}"
             if select(name):
                 op = make_op()
                 op.use_plans = use_plans
-                r = measure_operator(op, name=name, repetitions=reps)
-                cases.append(_throughput_case(name, r, m))
+                r = measure_operator(operator_to_dtype(op, ds), name=name,
+                                     repetitions=reps, dtype=ds)
+                cases.append(_throughput_case(name, r, m, ds))
 
-            name = f"{mesh_name}/vector_laplace/{mode}"
+            name = f"{mesh_name}/vector_laplace/{mode}{sfx}"
             if select(name):
                 op = make_op()
                 op.use_plans = use_plans
                 vec = VectorDGLaplace(op, dof_v)
                 vec.use_plans = use_plans
-                r = measure_operator(vec, name=name,
-                                     repetitions=max(2, reps // 2))
-                cases.append(_throughput_case(name, r, m))
+                r = measure_operator(operator_to_dtype(vec, ds), name=name,
+                                     repetitions=max(2, reps // 2), dtype=ds)
+                cases.append(_throughput_case(name, r, m, ds))
 
-            name = f"{mesh_name}/mg_setup/{mode}"
+            name = f"{mesh_name}/mg_setup/{mode}{sfx}"
             if select(name):
                 sec = _measure_mg_setup(make_op, use_plans,
-                                        repetitions=min(3, reps))
+                                        repetitions=min(3, reps), dtype=ds)
                 cases.append(_case(
                     name, dof.n_dofs, 1.0 / sec, "setups/s",
-                    {"best_seconds": sec}, m,
+                    {"best_seconds": sec}, m, ds,
                 ))
     return cases
 
 
-def _measure_mg_setup(make_op, use_plans: bool, repetitions: int = 3) -> float:
+def _measure_mg_setup(make_op, use_plans: bool, repetitions: int = 3,
+                      dtype: str = "float64") -> float:
     """Best wall time of the multigrid setup path on a fresh operator:
     diagonal + Jacobi + Chebyshev/Lanczos construction."""
     from ..solvers.chebyshev import ChebyshevSmoother
     from ..solvers.jacobi import JacobiPreconditioner
+    from ..solvers.multigrid import operator_to_dtype
 
     best = float("inf")
     for _ in range(repetitions):
         op = make_op()
         op.use_plans = use_plans
+        op = operator_to_dtype(op, dtype)
         t0 = time.perf_counter()
-        jac = JacobiPreconditioner(op)
+        jac = JacobiPreconditioner(op, dtype=np.dtype(dtype))
         ChebyshevSmoother(op, degree=3, jacobi=jac)
         best = min(best, time.perf_counter() - t0)
     return best
@@ -316,14 +344,21 @@ SUITES = {
 
 
 def run_suite(suite: str, smoke: bool = False, degree: int = 3,
-              case_filter: str | None = None) -> dict:
-    """Run one declared suite and return the schema-versioned document."""
+              case_filter: str | None = None,
+              dtype: str = "float64") -> dict:
+    """Run one declared suite and return the schema-versioned document.
+
+    ``dtype`` selects the compute precision of the measured kernels
+    (``float64``/``float32``); non-double cases carry an ``@<dtype>``
+    name suffix and a per-case ``dtype`` field, so documents at
+    different precisions merge and compare cleanly."""
     try:
         runner = SUITES[suite]
     except KeyError:
         raise ValueError(
             f"unknown suite {suite!r} (have: {', '.join(sorted(SUITES))})"
         )
+    ds = str(np.dtype(dtype))
     select = _always if case_filter is None else (
         lambda name: case_filter in name
     )
@@ -332,8 +367,9 @@ def run_suite(suite: str, smoke: bool = False, degree: int = 3,
         "suite": suite,
         "smoke": bool(smoke),
         "degree": degree,
+        "dtype": ds,
         "fingerprint": machine_fingerprint(),
-        "cases": runner(smoke, degree, select),
+        "cases": runner(smoke, degree, select, ds),
     }
 
 
@@ -419,13 +455,18 @@ def compare_bench(current: dict, baseline: dict,
     """
     current = migrate_bench_doc(current)
     baseline = migrate_bench_doc(baseline)
-    base_by_name = {c["name"]: c for c in baseline.get("cases", [])}
+
+    def key(c: dict):
+        # join by (name, dtype); pre-dtype baselines are all float64
+        return (c["name"], c.get("dtype", "float64"))
+
+    base_by_name = {key(c): c for c in baseline.get("cases", [])}
     regressions, improvements, ok, skipped = [], [], [], []
     seen = set()
     for cur in current.get("cases", []):
         name = cur["name"]
-        seen.add(name)
-        base = base_by_name.get(name)
+        seen.add(key(cur))
+        base = base_by_name.get(key(cur))
         if base is None:
             skipped.append({"name": name, "reason": "not in baseline"})
             continue
@@ -449,8 +490,8 @@ def compare_bench(current: dict, baseline: dict,
             improvements.append(entry)
         else:
             ok.append(entry)
-    for name in base_by_name:
-        if name not in seen:
+    for (name, _dt), _case_ in base_by_name.items():
+        if key(_case_) not in seen:
             skipped.append({"name": name, "reason": "not in current run"})
     return {
         "max_regression": max_regression,

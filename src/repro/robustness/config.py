@@ -98,11 +98,20 @@ class RunConfig:
     refine_upper_generations: int = 0
     viscosity: float | None = None  # None -> AIR_KINEMATIC_VISCOSITY
     seed: int = 0
+    #: storage/compute dtype of the forward solve ("float64" or
+    #: "float32"); checkpoints and the outer pressure iteration stay in
+    #: double precision either way (Section 3.4 mixed precision)
+    compute_dtype: str = "float64"
     solver: Any = None  # SolverSettings
     ventilation: Any = None  # VentilationSettings
     robustness: RobustnessSettings | None = None
 
     def __post_init__(self) -> None:
+        if self.compute_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"compute_dtype must be 'float64' or 'float32', "
+                f"got {self.compute_dtype!r}"
+            )
         # lazy imports keep this module free of solver-stack dependencies
         if self.solver is None:
             from ..ns.solver import SolverSettings
@@ -128,6 +137,7 @@ class RunConfig:
             "refine_upper_generations": self.refine_upper_generations,
             "viscosity": self.viscosity,
             "seed": self.seed,
+            "compute_dtype": self.compute_dtype,
             "solver": dataclasses.asdict(self.solver),
             "ventilation": dataclasses.asdict(self.ventilation),
             "robustness": dataclasses.asdict(self.robustness),
@@ -145,6 +155,7 @@ class RunConfig:
             "refine_upper_generations",
             "viscosity",
             "seed",
+            "compute_dtype",
         )
         unknown = set(d) - set(scalar_keys) - {"solver", "ventilation", "robustness"}
         if unknown:
@@ -200,7 +211,7 @@ class RunConfig:
                 solver=dataclasses.replace(base.solver, solver_tolerance=1e-3),
             )
         updates: dict = {}
-        for attr in ("generations", "degree", "seed"):
+        for attr in ("generations", "degree", "seed", "compute_dtype"):
             value = getattr(args, attr, None)
             if value is not None:
                 updates[attr] = value

@@ -86,7 +86,12 @@ class ChebyshevSmoother:
             raise ValueError("smoother degree must be >= 1")
         self.op = op
         self.degree = degree
-        self.jacobi = jacobi or JacobiPreconditioner(op)
+        # the Jacobi inverse diagonal follows the operator's compute
+        # dtype: a float64 inv_diag inside a float32 V-cycle would
+        # silently promote every smoothing sweep back to double
+        self.jacobi = jacobi or JacobiPreconditioner(
+            op, dtype=getattr(op, "dtype", np.float64)
+        )
         lam_max = lanczos_max_eigenvalue(
             op, self.jacobi, n_iter=lanczos_iterations, n=self.jacobi.n_dofs
         )
@@ -138,7 +143,7 @@ class ChebyshevSmoother:
             n = b.size
             TRACER.annotate(
                 flops=float(self.degree * chebyshev_iteration_flops(self.degree, n)),
-                bytes=float(self.degree * 4 * 8 * n),
+                bytes=float(self.degree * 4 * b.dtype.itemsize * n),
                 dofs=float(n),
             )
             return self._smooth(op, P, b, x)

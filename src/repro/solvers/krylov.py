@@ -97,6 +97,7 @@ def conjugate_gradient(
     max_iter: int = 1000,
     x0: np.ndarray | None = None,
     name: str = "",
+    dtype=np.float64,
 ) -> SolverResult:
     """Solve ``A x = b`` for SPD ``A`` given by ``op.vmult``.
 
@@ -104,12 +105,18 @@ def conjugate_gradient(
     in single precision — the mixed-precision strategy of Section 3.4:
     the outer iteration and residuals stay in double precision).
 
+    ``dtype`` is the storage dtype of the iteration vectors.  The default
+    double precision matches the paper's outer pressure iteration; the
+    well-conditioned viscous/penalty solves may pass ``float32`` to run
+    end-to-end in single precision.  Scalar reductions (norms, ``r @ z``)
+    always accumulate through Python floats, i.e. in double.
+
     ``name`` labels this solve in the telemetry span tree and counters
     (e.g. ``"pressure"``); unnamed solves report under plain ``cg``.
     """
     label = f"cg[{name}]" if name else "cg"
     with TRACER.span(label):
-        result = _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0)
+        result = _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0, dtype)
     # every solve records a failure_reason outcome ('none' on success),
     # so the per-call-site reason counters always sum to the solve count
     reason = result.failure_reason or "none"
@@ -135,9 +142,10 @@ def conjugate_gradient(
     return result
 
 
-def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
-    b = np.asarray(b, dtype=np.float64)
-    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0, dtype=np.float64) -> SolverResult:
+    dtype = np.dtype(dtype)
+    b = np.asarray(b, dtype=dtype)
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=dtype)
     r = b - op.vmult(x) if x0 is not None else b.copy()
     b_norm = float(np.linalg.norm(b))
     threshold = max(tol * b_norm, abs_tol)
@@ -149,7 +157,7 @@ def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
     if residuals[0] <= threshold or b_norm == 0.0:
         return SolverResult(x, 0, True, residuals)
     M = preconditioner or IdentityPreconditioner()
-    z = np.asarray(M.vmult(r), dtype=np.float64)
+    z = np.asarray(M.vmult(r), dtype=dtype)
     p = z.copy()
     rz = float(r @ z)
     for it in range(1, max_iter + 1):
@@ -177,7 +185,7 @@ def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0) -> SolverResult:
             )
         if res <= threshold:
             return SolverResult(x, it, True, residuals)
-        z = np.asarray(M.vmult(r), dtype=np.float64)
+        z = np.asarray(M.vmult(r), dtype=dtype)
         rz_new = float(r @ z)
         beta = rz_new / rz
         # p <- z + beta p without a temporary (IEEE addition commutes

@@ -69,9 +69,10 @@ _MG_LEVEL_DOFS = METRICS.gauge(
 
 
 def _cast_arrays(obj, dtype, _seen=None):
-    """Recursively cast ndarray attributes of dataclasses to ``dtype``."""
+    """Recursively cast floating ndarray attributes of dataclasses to
+    ``dtype`` (non-float arrays — index sets — pass through)."""
     if isinstance(obj, np.ndarray):
-        return obj.astype(dtype) if obj.dtype == np.float64 else obj
+        return obj.astype(dtype) if obj.dtype.kind == "f" and obj.dtype != dtype else obj
     if is_dataclass(obj) and not isinstance(obj, type):
         clone = copy.copy(obj)
         for f in fields(obj):
@@ -82,21 +83,51 @@ def _cast_arrays(obj, dtype, _seen=None):
     return obj
 
 
-def single_precision_operator(op):
-    """Shallow-clone an operator with float32 metric data so that NumPy
-    keeps all kernel arithmetic in single precision (doubling the cells
-    per 'SIMD' batch and halving the memory traffic, as in the paper)."""
+#: array-valued operator attributes cast by :func:`operator_to_dtype`
+_CASTABLE_ATTRS = (
+    "cell_metrics", "face_metrics", "bdry_metrics", "tau", "tau_b", "jxw",
+    "Sinv", "h_cell", "tau_div", "tau_cont", "_mass_weight",
+)
+
+#: nested operators a composite delegates to (cast recursively)
+_SUB_OPERATORS = ("scalar", "mass", "laplace", "penalty")
+
+
+def operator_to_dtype(op, dtype):
+    """Shallow-clone an operator with its metric/factor data cast to
+    ``dtype`` so NumPy keeps all kernel arithmetic in that precision.
+
+    With ``dtype=float32`` this doubles the cells per 'SIMD' batch and
+    halves the memory traffic, as in the paper; tabulated 1D shape
+    factors are dtype-matched lazily by the kernels themselves (see
+    :meth:`repro.core.sum_factorization.TensorProductKernel._mat`).
+    Composite operators (vector Laplacian, Helmholtz, penalty step) have
+    their nested operators cast recursively.  The clone shares the
+    original's plan cache — scatter plans are dtype-agnostic, workspace
+    buffers and work models are keyed by dtype."""
+    dtype = np.dtype(dtype)
+    if np.dtype(getattr(op, "dtype", None)) == dtype:
+        return op
     clone = copy.copy(op)
-    for name in ("cell_metrics", "face_metrics", "bdry_metrics", "tau", "tau_b", "jxw"):
+    for name in _CASTABLE_ATTRS:
         if hasattr(clone, name):
-            setattr(clone, name, _cast_arrays(getattr(clone, name), np.float32))
+            setattr(clone, name, _cast_arrays(getattr(op, name), dtype))
+    for name in _SUB_OPERATORS:
+        sub = getattr(clone, name, None)
+        if sub is not None and hasattr(sub, "vmult"):
+            setattr(clone, name, operator_to_dtype(sub, dtype))
     if hasattr(clone, "dof") and hasattr(clone.dof, "C"):
         dof_clone = copy.copy(clone.dof)
-        dof_clone.C = clone.dof.C.astype(np.float32)
-        dof_clone.Ct = clone.dof.Ct.astype(np.float32)
+        dof_clone.C = clone.dof.C.astype(dtype)
+        dof_clone.Ct = clone.dof.Ct.astype(dtype)
         clone.dof = dof_clone
-    clone.dtype = np.float32
+    clone.dtype = dtype
     return clone
+
+
+def single_precision_operator(op):
+    """Backward-compatible alias: :func:`operator_to_dtype` at float32."""
+    return operator_to_dtype(op, np.float32)
 
 
 @dataclass

@@ -91,12 +91,22 @@ class DualSplittingScheme:
         pressure_has_dirichlet: bool = True,
         max_solver_iterations: int = 200,
         pressure_fallback=None,
+        state_dtype=np.float64,
     ) -> None:
         """``pressure_fallback`` (optional) is a duck-typed escalation
         chain with ``solve(op, b, tol, max_iter, x0) -> SolverResult``
         (see :class:`repro.robustness.recovery.PressureFallbackChain`);
         when set, it owns the pressure Poisson solve instead of the
-        plain preconditioned CG call."""
+        plain preconditioned CG call.
+
+        ``state_dtype`` is the storage dtype of the history fields and
+        the viscous/penalty iteration vectors (pass ``float32`` with
+        operators cast via
+        :func:`repro.solvers.multigrid.operator_to_dtype` for the
+        end-to-end single-precision forward path).  The outer pressure
+        Poisson CG always iterates in double precision — the paper's
+        mixed-precision split (Section 3.4) — and its solution is cast
+        back to ``state_dtype`` for the projection step."""
         self.ops = ops
         self.order = order
         self.pressure_tol = pressure_tol
@@ -105,6 +115,7 @@ class DualSplittingScheme:
         self.pressure_has_dirichlet = pressure_has_dirichlet
         self.max_iter = max_solver_iterations
         self.pressure_fallback = pressure_fallback
+        self.state_dtype = np.dtype(state_dtype)
         self.u_history: list[np.ndarray] = []
         self.conv_history: list[np.ndarray] = []
         self.p_history: list[np.ndarray] = []
@@ -115,7 +126,7 @@ class DualSplittingScheme:
     # ------------------------------------------------------------------
     def initialize(self, u0: np.ndarray, t0: float = 0.0) -> None:
         self.t = t0
-        self.u_history = [np.array(u0, dtype=float)]
+        self.u_history = [np.array(u0, dtype=self.state_dtype)]
         self.conv_history = [self.ops.convective.apply(self.u_history[0], t0)]
         self.p_history = []
         self.dt_history = []
@@ -225,7 +236,10 @@ class DualSplittingScheme:
                         x0=p_guess,
                         name="pressure",
                     )
-                p_new = res_p.x
+                # the outer pressure iteration ran in double; the state
+                # (and the projection step feeding off it) lives at the
+                # configured compute dtype
+                p_new = np.asarray(res_p.x, dtype=self.state_dtype)
                 if not self.pressure_has_dirichlet:
                     p_new = self._project_mean_free(p_new)
 
@@ -247,6 +261,7 @@ class DualSplittingScheme:
                     max_iter=self.max_iter,
                     x0=u_hathat,
                     name="viscous",
+                    dtype=self.state_dtype,
                 )
                 u_visc = res_v.x
 
@@ -263,6 +278,7 @@ class DualSplittingScheme:
                     max_iter=self.max_iter,
                     x0=u_visc,
                     name="penalty",
+                    dtype=self.state_dtype,
                 )
                 u_new = res_pen.x
 

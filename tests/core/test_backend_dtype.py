@@ -1,0 +1,150 @@
+"""Tests of the array-backend shim and the compute-dtype policy
+(:mod:`repro.core.backend`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import backend
+from repro.core.backend import (
+    DEFAULT_DTYPE,
+    active_backend,
+    available_backends,
+    compute_dtype_scope,
+    default_dtype,
+    get_backend,
+    kernel_dtype,
+    precision_bytes,
+    register_backend,
+    resolve_dtype,
+    set_compute_dtype,
+    use_backend,
+    xp,
+)
+
+
+class TestBackendRegistry:
+    def test_numpy_is_default(self):
+        assert active_backend().name == "numpy"
+        assert xp() is np
+        assert "numpy" in available_backends()
+
+    def test_get_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            get_backend("no-such-backend")
+
+    def test_register_and_activate(self):
+        # a fake "accelerator" backend that is numpy with a marker name;
+        # registration only needs an xp-namespace module
+        register_backend("fake-xp", np)
+        try:
+            use_backend("fake-xp")
+            assert active_backend().name == "fake-xp"
+            assert xp() is np
+        finally:
+            use_backend("numpy")
+            backend._REGISTRY.pop("fake-xp", None)
+        assert active_backend().name == "numpy"
+
+    def test_asarray_is_identity_for_numpy(self):
+        b = get_backend("numpy")
+        a = np.arange(3.0)
+        assert b.asarray(a) is a
+        assert b.asarray(a, dtype=np.float32).dtype == np.float32
+
+
+class TestDtypePolicy:
+    def test_default_is_double(self):
+        assert default_dtype() == np.dtype(np.float64)
+        assert DEFAULT_DTYPE == np.dtype(np.float64)
+
+    def test_resolve_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            resolve_dtype(np.float16)
+        with pytest.raises(ValueError):
+            resolve_dtype("int32")
+
+    def test_resolve_accepts_spellings(self):
+        assert resolve_dtype("float32") == np.dtype(np.float32)
+        assert resolve_dtype(np.float64) == np.dtype(np.float64)
+        assert resolve_dtype(None) == default_dtype()
+
+    def test_set_compute_dtype_and_scope(self):
+        prev = set_compute_dtype(np.float32)
+        try:
+            assert default_dtype() == np.dtype(np.float32)
+            assert resolve_dtype(None) == np.dtype(np.float32)
+        finally:
+            set_compute_dtype(prev)
+        assert default_dtype() == np.dtype(np.float64)
+        with compute_dtype_scope("float32"):
+            assert default_dtype() == np.dtype(np.float32)
+        assert default_dtype() == np.dtype(np.float64)
+
+    def test_kernel_dtype(self):
+        assert kernel_dtype(np.dtype(np.float32)) == np.dtype(np.float32)
+        assert kernel_dtype(np.dtype(np.float64)) == np.dtype(np.float64)
+        # integer/other inputs compute in double
+        assert kernel_dtype(np.dtype(np.int64)) == np.dtype(np.float64)
+
+    def test_precision_bytes(self):
+        assert precision_bytes(np.float32) == 4
+        assert precision_bytes(np.float64) == 8
+        assert precision_bytes() == np.dtype(default_dtype()).itemsize
+
+
+class TestDtypeDefaults:
+    def test_dof_handler_zeros_follow_compute_dtype(self):
+        from repro.core.dof_handler import DGDofHandler
+        from repro.mesh.generators import unit_cube
+        from repro.mesh.octree import Forest
+
+        dof = DGDofHandler(Forest(unit_cube()), 2)
+        assert dof.zeros().dtype == np.float64
+        assert dof.zeros(dtype=np.float32).dtype == np.float32
+        with compute_dtype_scope("float32"):
+            assert dof.zeros().dtype == np.float32
+
+    def test_shape_matrices_for_dtype(self):
+        from repro.core.basis import shape_matrices, shape_matrices_for_dtype
+
+        sm64 = shape_matrices_for_dtype(3)
+        # float64 returns the cached original, no copy
+        assert sm64 is shape_matrices_for_dtype(3, dtype=np.float64)
+        assert sm64.interp.dtype == np.float64
+        sm32 = shape_matrices_for_dtype(3, dtype=np.float32)
+        assert sm32.interp.dtype == np.float32
+        assert sm32.grad.dtype == np.float32
+        # cast once, cached: repeated calls return the same object
+        assert shape_matrices_for_dtype(3, dtype=np.float32) is sm32
+        # tabulated in double, cast after: values match to fp32 eps
+        np.testing.assert_allclose(sm32.interp, sm64.interp, rtol=1e-6)
+
+    def test_even_odd_preserves_float32(self):
+        from repro.core.basis import shape_matrices
+        from repro.core.even_odd import EvenOddMatrix
+
+        M = shape_matrices(3, 4).interp
+        eo = EvenOddMatrix(M, "even")
+        v32 = np.random.default_rng(0).standard_normal(4).astype(np.float32)
+        out = eo.matvec(v32)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, M @ v32.astype(np.float64), rtol=1e-5)
+
+    def test_workspace_allocates_at_requested_dtype(self):
+        from repro.core.plans import Workspace
+
+        ws = Workspace()
+        assert ws.take("a", (4, 4)).dtype == np.float64
+        assert ws.take("b", (4, 4), dtype=np.float32).dtype == np.float32
+        assert ws.zeros("c", (2,), dtype=np.float32).dtype == np.float32
+
+
+class TestRunConfigDtype:
+    def test_roundtrip_and_validation(self):
+        from repro.robustness import RunConfig
+
+        cfg = RunConfig(generations=1, compute_dtype="float32")
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+        assert RunConfig().compute_dtype == "float64"
+        with pytest.raises(ValueError):
+            RunConfig(compute_dtype="float16")

@@ -1,0 +1,98 @@
+"""End-to-end tests of the single-precision forward solve
+(``compute_dtype="float32"``): the state stays float32, the physics
+tracks the double run, and checkpoints remain double-precision and
+bit-identical on resume (Section 3.4 mixed precision)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import box
+from repro.mesh.octree import Forest
+from repro.ns import (
+    BeltramiFlow,
+    BoundaryConditions,
+    IncompressibleNavierStokesSolver,
+    SolverSettings,
+    VelocityDirichlet,
+)
+from repro.ns.checkpoint import load_scheme_state, save_scheme_state
+
+
+def beltrami_solver(compute_dtype=None):
+    mesh = box(subdivisions=(1, 1, 1), boundary_ids={i: 1 for i in range(6)})
+    forest = Forest(mesh).refine_all(1)
+    flow = BeltramiFlow(0.05)
+    bcs = BoundaryConditions(
+        {1: VelocityDirichlet(lambda x, y, z, t: flow.velocity(x, y, z, t))}
+    )
+    s = IncompressibleNavierStokesSolver(
+        forest, 2, 0.05, bcs, SolverSettings(solver_tolerance=1e-6),
+        compute_dtype=compute_dtype,
+    )
+    s.initialize(flow.velocity)
+    return s, flow
+
+
+class TestFloat32ForwardSolve:
+    def test_state_stays_float32(self):
+        solver, _ = beltrami_solver("float32")
+        assert solver.compute_dtype == np.dtype(np.float32)
+        assert solver.velocity.dtype == np.float32
+        for _ in range(3):
+            solver.step(0.01)
+        assert solver.velocity.dtype == np.float32
+        assert solver.pressure.dtype == np.float32
+        assert np.all(np.isfinite(solver.velocity))
+
+    def test_tracks_double_run(self):
+        s32, flow = beltrami_solver("float32")
+        s64, _ = beltrami_solver("float64")
+        for _ in range(3):
+            s32.step(0.01)
+            s64.step(0.01)
+        u64 = np.asarray(s64.velocity, dtype=np.float64)
+        u32 = np.asarray(s32.velocity, dtype=np.float64)
+        rel = np.linalg.norm(u32 - u64) / np.linalg.norm(u64)
+        # iterative tolerances dominate fp32 roundoff at 1e-6 solver tol
+        assert rel < 1e-3
+
+    def test_accuracy_matches_double(self):
+        s32, flow = beltrami_solver("float32")
+        s64, _ = beltrami_solver("float64")
+        for _ in range(5):
+            s32.step(0.01)
+            s64.step(0.01)
+        err32 = s32.velocity_error_l2(flow.velocity, s32.scheme.t)
+        err64 = s64.velocity_error_l2(flow.velocity, s64.scheme.t)
+        # discretization error dominates: single precision must not
+        # degrade the solution error beyond the noise floor
+        assert err32 <= 1.05 * err64
+
+
+class TestFloat32Checkpoint:
+    def test_checkpoint_stores_double_and_resumes_bit_identically(self, tmp_path):
+        ref, _ = beltrami_solver("float32")
+        for _ in range(4):
+            ref.step(0.01)
+        twin, _ = beltrami_solver("float32")
+        for _ in range(2):
+            twin.step(0.01)
+        path = tmp_path / "state32.npz"
+        save_scheme_state(path, twin.scheme)
+
+        # the on-disk format is always double precision — resuming is an
+        # exact fp32 -> fp64 -> fp32 round trip
+        with np.load(path) as data:
+            for key in data.files:
+                if data[key].dtype.kind == "f":
+                    assert data[key].dtype == np.float64, key
+
+        fresh, _ = beltrami_solver("float32")
+        load_scheme_state(path, fresh.scheme)
+        assert fresh.scheme.t == pytest.approx(twin.scheme.t)
+        assert fresh.velocity.dtype == np.float32
+        assert np.array_equal(fresh.velocity, twin.velocity)
+        for _ in range(2):
+            fresh.step(0.01)
+        assert np.array_equal(fresh.velocity, ref.velocity)
+        assert np.array_equal(fresh.pressure, ref.pressure)

@@ -9,6 +9,7 @@ from repro.perf.bench import (
     BENCH_SCHEMA,
     SUITES,
     compare_bench,
+    dtype_suffix,
     load_bench,
     machine_fingerprint,
     migrate_bench_doc,
@@ -101,6 +102,51 @@ class TestCompare:
         ok = render_compare(compare_bench(make_doc({"a": 100.0}),
                                           make_doc({"a": 100.0})))
         assert "PASS" in ok
+
+
+class TestDtypeAxis:
+    def test_dtype_suffix(self):
+        import numpy as np
+
+        assert dtype_suffix("float64") == ""
+        assert dtype_suffix("float32") == "@float32"
+        assert dtype_suffix(np.float32) == "@float32"
+
+    def test_compare_joins_pre_dtype_baseline_as_float64(self):
+        # baselines written before the dtype axis carry no "dtype" field;
+        # they must still join current float64 cases by name
+        base = make_doc({"a": 100.0})
+        cur = make_doc({"a": 100.0})
+        for c in cur["cases"]:
+            c["dtype"] = "float64"
+        rep = compare_bench(cur, base)
+        assert rep["ok"]
+        assert [r["name"] for r in rep["unchanged"]] == ["a"]
+
+    def test_fp32_case_never_compared_to_fp64_baseline(self):
+        # a float32 run against a float64 baseline must skip, not
+        # report the dtype speedup as a spurious regression/improvement
+        base = make_doc({"a": 100.0})
+        cur = make_doc({"a": 30.0})
+        for c in cur["cases"]:
+            c["dtype"] = "float32"
+        rep = compare_bench(cur, base)
+        assert rep["ok"]
+        assert not rep["regressions"] and not rep["improvements"]
+        reasons = {s["reason"] for s in rep["skipped"]}
+        assert reasons == {"not in baseline", "not in current run"}
+
+    def test_vmult_suite_float32_names_and_fields(self):
+        doc = run_suite("vmult", smoke=True, degree=2, dtype="float32",
+                        case_filter="box_r1/dg_laplace")
+        assert doc["dtype"] == "float32"
+        assert [c["name"] for c in doc["cases"]] == [
+            "box_r1/dg_laplace/legacy@float32",
+            "box_r1/dg_laplace/planned@float32",
+        ]
+        for c in doc["cases"]:
+            assert c["dtype"] == "float32"
+            assert c["throughput"] > 0
 
 
 class TestMigration:
