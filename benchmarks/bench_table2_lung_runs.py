@@ -26,16 +26,17 @@ from common import emit
 from repro.lung import LungVentilationSimulation
 from repro.lung.performance import PAPER_TABLE2, lung_run_estimate
 from repro.ns.solver import SolverSettings
+from repro.robustness import RunConfig
 
 GENERATIONS = (3, 5, 7, 9, 11)
 
 
 def run_coupled_sample(n_steps=6):
-    sim = LungVentilationSimulation(
+    sim = LungVentilationSimulation(RunConfig(
         generations=1,
         degree=2,
-        solver_settings=SolverSettings(solver_tolerance=1e-3, cfl=0.4),
-    )
+        solver=SolverSettings(solver_tolerance=1e-3, cfl=0.4),
+    ))
     # warm-up step excluded from timing (multigrid setup etc. done in ctor)
     sim.step()
     t0 = time.perf_counter()

@@ -20,14 +20,15 @@ from repro.lung import LungVentilationSimulation
 from repro.lung.morphometry import CMH2O
 from repro.mesh.vtk import write_vtk
 from repro.ns.solver import SolverSettings
+from repro.robustness import RunConfig
 
 
 def main(generations: int = 2) -> None:
-    sim = LungVentilationSimulation(
+    sim = LungVentilationSimulation(RunConfig(
         generations=generations,
         degree=2,
-        solver_settings=SolverSettings(solver_tolerance=1e-3, cfl=0.4),
-    )
+        solver=SolverSettings(solver_tolerance=1e-3, cfl=0.4),
+    ))
     lung = sim.lung
     print(f"lung model: g = {generations} generations, "
           f"{lung.tree.n_airways} airways, {lung.n_outlets} terminal outlets")

@@ -21,6 +21,16 @@ import numpy as np
 _MACHINE_NAMES = ("local", "supermuc-ng", "summit-v100", "fugaku-a64fx")
 
 
+def _float_list(text: str) -> list[float]:
+    """argparse type for comma-separated float lists ("1.0,1.5,2.0")."""
+    try:
+        return [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated floats, got {text!r}"
+        ) from None
+
+
 @contextlib.contextmanager
 def _metrics_session(path: str | None, command: str):
     """Enable the global metric registry for the lifetime of a command
@@ -203,6 +213,139 @@ def _lung_run(args, cfg) -> int:
 
         path = write_vtk(args.vtk, sim.lung.forest)
         print(f"mesh written to {path}")
+    return 0
+
+
+def cmd_ensemble(args) -> int:
+    from .robustness import RunConfig
+    from .telemetry import TRACER
+
+    if args.trace:
+        TRACER.reset()
+        TRACER.enable()
+    try:
+        cfg = RunConfig.from_args(args)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    with _metrics_session(args.metrics_file, "ensemble"):
+        return _ensemble_run(args, cfg)
+
+
+def _member_configs(args, base):
+    """Expand the per-member sweep flags into one RunConfig per member.
+
+    Each comma-separated list must have length 1 (shared by all
+    members) or exactly the ensemble size; ``--members`` defaults to
+    the longest list."""
+    import dataclasses
+
+    flags = {
+        "windkessel_resistance_scale": "--resistance-scales",
+        "windkessel_compliance_scale": "--compliance-scales",
+        "dp_initial": "--dp-initials",
+    }
+    sweeps: dict[str, list[float]] = {}
+    if args.resistance_scales:
+        sweeps["windkessel_resistance_scale"] = args.resistance_scales
+    if args.compliance_scales:
+        sweeps["windkessel_compliance_scale"] = args.compliance_scales
+    if args.dp_initials:
+        sweeps["dp_initial"] = args.dp_initials
+    n_members = args.members or max(
+        (len(v) for v in sweeps.values()), default=1
+    )
+    for name, values in sweeps.items():
+        if len(values) not in (1, n_members):
+            raise ValueError(
+                f"{flags[name]} has {len(values)} values for "
+                f"{n_members} members (need 1 or {n_members})"
+            )
+    configs = []
+    for e in range(n_members):
+        pick = {k: (v[0] if len(v) == 1 else v[e]) for k, v in sweeps.items()}
+        vent = base.ventilation
+        if "dp_initial" in pick:
+            vent = dataclasses.replace(vent, dp_initial=pick.pop("dp_initial"))
+        configs.append(dataclasses.replace(base, ventilation=vent, **pick))
+    return configs
+
+
+def _ensemble_run(args, cfg) -> int:
+    from .lung import EnsembleLungSimulation
+    from .robustness import StepFailure
+    from .telemetry import (
+        TRACER,
+        RunLogWriter,
+        aggregate_steps,
+        render_breakdown,
+        render_span_tree,
+    )
+
+    try:
+        configs = _member_configs(args, cfg)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    sim = EnsembleLungSimulation(configs)
+    n_dofs = sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs
+    print(f"ensemble lung g={cfg.generations}: {sim.n_members} members, "
+          f"{sim.lung.forest.n_cells} cells, {sim.lung.n_outlets} outlets, "
+          f"{n_dofs} DoF per member ({sim.n_members * n_dofs} total)")
+    writer = None
+    if args.log_file:
+        writer = RunLogWriter(args.log_file, meta={
+            "command": "ensemble",
+            "members": sim.n_members,
+            "generations": cfg.generations,
+            "degree": cfg.degree,
+            "seed": cfg.seed,
+            "n_cells": sim.lung.forest.n_cells,
+            "n_dofs": n_dofs,
+            "steps": args.steps,
+        })
+    stats = []
+    for i in range(args.steps):
+        try:
+            st = sim.step()
+        except StepFailure as e:
+            print(f"error: {e}", file=sys.stderr)
+            if writer is not None:
+                writer.write_summary(TRACER if args.trace else None)
+                writer.close()
+            return 1
+        stats.append(st)
+        if writer is not None:
+            writer.write_step(st, extra={
+                "member_cfl": st.member_cfl,
+                "member_pressure_iterations": st.member_pressure_iterations,
+                "inflow_m3_s": [float(q) for q in sim._inlet_flow],
+                "tidal_volume_ml":
+                    [v * 1e6 for v in sim.tidal_volume_delivered()],
+            })
+        if (i + 1) % max(1, args.steps // 5) == 0:
+            tv = sim.tidal_volume_delivered() * 1e6
+            print(f"  step {i + 1:4d}: t={sim.time:.5f}s dt={st.dt:.2e} "
+                  f"V=[{', '.join(f'{v:.2f}' for v in tv)}] ml")
+    print()
+    print(f"{'member':>7} {'R-scale':>8} {'C-scale':>8} {'dp [Pa]':>9} "
+          f"{'V [ml]':>9}")
+    for rec in sim.member_records():
+        c = rec.config
+        print(f"{rec.member:>7} {c.windkessel_resistance_scale:>8.3f} "
+              f"{c.windkessel_compliance_scale:>8.3f} {rec.dp:>9.1f} "
+              f"{rec.tidal_volume * 1e6:>9.3f}")
+    if writer is not None:
+        writer.write_summary(TRACER if args.trace else None)
+        writer.close()
+        print(f"run log written to {writer.path}")
+    if args.trace:
+        print()
+        print(render_breakdown(aggregate_steps(stats)))
+        print()
+        print("span profile:")
+        print(render_span_tree(TRACER))
+        TRACER.disable()
     return 0
 
 
@@ -651,6 +794,48 @@ def main(argv=None) -> int:
                         "export it here (.prom for the Prometheus "
                         "textfile, anything else for JSON)")
     p.set_defaults(fn=cmd_lung)
+
+    p = sub.add_parser(
+        "ensemble",
+        help="batched ensemble of ventilated-lung runs (one solver setup, "
+             "N parameter sets advanced together on the ensemble axis)",
+    )
+    p.add_argument("--config", type=str, default=None,
+                   help="JSON RunConfig file for the shared base run; "
+                        "explicit flags override it")
+    p.add_argument("--members", type=int, default=None,
+                   help="ensemble size (default: longest sweep list, or 1)")
+    p.add_argument("--resistance-scales", type=_float_list, default=None,
+                   metavar="S0,S1,...",
+                   help="per-member windkessel resistance scales "
+                        "(1 value = shared, else one per member)")
+    p.add_argument("--compliance-scales", type=_float_list, default=None,
+                   metavar="S0,S1,...",
+                   help="per-member windkessel compliance scales")
+    p.add_argument("--dp-initials", type=_float_list, default=None,
+                   metavar="P0,P1,...",
+                   help="per-member initial ventilator driving pressures [Pa]")
+    p.add_argument("--generations", type=int, default=None,
+                   help="airway-tree generations (default 1)")
+    p.add_argument("--degree", type=int, default=None,
+                   help="polynomial degree (default 2)")
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative solver tolerance (default 1e-3)")
+    p.add_argument("--compute-dtype", choices=("float64", "float32"),
+                   default=None,
+                   help="forward-solve precision (default float64)")
+    p.add_argument("--trace", action="store_true",
+                   help="enable the telemetry tracer and print the "
+                        "per-sub-step wall-time breakdown and span profile")
+    p.add_argument("--log-file", type=str, default=None,
+                   help="write a schema-versioned JSONL run log with "
+                        "per-member extras")
+    p.add_argument("--metrics-file", type=str, default=None,
+                   help="enable the solver-health metric registry "
+                        "(member-labelled ensemble gauges) and export here")
+    p.set_defaults(fn=cmd_ensemble)
 
     p = sub.add_parser("report", help="aggregate a JSONL run log")
     p.add_argument("run_log", type=str,

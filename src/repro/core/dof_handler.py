@@ -55,14 +55,24 @@ class DGDofHandler:
 
     def cell_view(self, vec: np.ndarray) -> np.ndarray:
         """View a flat global vector as cell tensors:
-        scalar -> (N, n, n, n); vector -> (N, c, n, n, n)."""
+        scalar -> (N, n, n, n); vector -> (N, c, n, n, n).
+
+        An ensemble-stacked vector ``(E, ndof)`` views as
+        ``(E, N, [c,] n, n, n)`` — the cell axis stays adjacent to the
+        tensor axes so the sum-factorization folds are unchanged.
+        """
         n = self.n1
+        lead = vec.shape[:-1]
         if self.n_components == 1:
-            return vec.reshape(self.n_cells, n, n, n)
-        return vec.reshape(self.n_cells, self.n_components, n, n, n)
+            return vec.reshape(lead + (self.n_cells, n, n, n))
+        return vec.reshape(lead + (self.n_cells, self.n_components, n, n, n))
 
     def flat(self, cells: np.ndarray) -> np.ndarray:
-        return cells.reshape(-1)
+        """Inverse of :meth:`cell_view`: cell tensors back to the flat
+        global vector, preserving any ensemble axes in front."""
+        n_trail = 5 if self.n_components > 1 else 4
+        lead = cells.shape[:-n_trail]
+        return cells.reshape(lead + (-1,))
 
 
 class CGDofHandler:
@@ -231,16 +241,25 @@ class CGDofHandler:
         return np.zeros(self.n_dofs, dtype=resolve_dtype(dtype))
 
     def expand(self, x_master: np.ndarray) -> np.ndarray:
-        """Master vector -> all nodal values (constraints applied)."""
+        """Master vector -> all nodal values (constraints applied).
+        Ensemble input ``(E, n_dofs)`` maps to ``(E, n_global)``."""
+        if x_master.ndim == 2:
+            return (self.C @ x_master.T).T
         return self.C @ x_master
 
     def restrict_add(self, r_global: np.ndarray) -> np.ndarray:
         """Distribute nodal residuals back to masters (C^T)."""
+        if r_global.ndim == 2:
+            return (self.Ct @ r_global.T).T
         return self.Ct @ r_global
 
     def gather_cells(self, x_master: np.ndarray) -> np.ndarray:
-        """Master vector -> cell tensors (N, n, n, n)."""
-        return self.expand(x_master)[self.cell_to_global]
+        """Master vector -> cell tensors (N, n, n, n); ensemble input
+        gathers to (E, N, n, n, n)."""
+        expanded = self.expand(x_master)
+        if expanded.ndim == 2:
+            return expanded[:, self.cell_to_global]
+        return expanded[self.cell_to_global]
 
     @property
     def flat_scatter_plan(self) -> FlatScatterPlan:
@@ -253,8 +272,12 @@ class CGDofHandler:
         return plan
 
     def scatter_add_cells(self, cell_data: np.ndarray) -> np.ndarray:
-        """Accumulate cell tensors into a master-space residual vector."""
-        r_global = self.flat_scatter_plan.scatter(cell_data, dtype=cell_data.dtype)
+        """Accumulate cell tensors into a master-space residual vector.
+        Ensemble input (E, N, n, n, n) accumulates member-wise."""
+        axis = 1 if cell_data.ndim == 5 else 0
+        r_global = self.flat_scatter_plan.scatter(
+            cell_data, dtype=cell_data.dtype, axis=axis
+        )
         return self.restrict_add(r_global)
 
     def nodal_points(self) -> np.ndarray:

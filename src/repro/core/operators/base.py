@@ -16,13 +16,14 @@ cell's reference dimensions (so the plus ``J^{-T}`` applies directly).
 from __future__ import annotations
 
 import functools
+import warnings
 
 import numpy as np
 
 from ...mesh.connectivity import Orientation, orient_face_array, orient_to_plus
 from ...telemetry import TRACER
 from ..backend import DEFAULT_DTYPE, kernel_dtype
-from ..plans import Workspace, cached_scatter_plan, contract
+from ..plans import POLICY, Workspace, cached_scatter_plan, contract
 from ..sum_factorization import TensorProductKernel, apply_1d_2d
 
 
@@ -153,14 +154,33 @@ def physical_gradient(
     ref_grad: np.ndarray,
     planned: bool = True,
     out: np.ndarray | None = None,
+    ensemble: bool = False,
 ) -> np.ndarray:
     """Apply J^{-T} per quadrature point.
 
     jinv_t: (F, 3, 3, q, q); ref_grad: (F, 3, q, q) for scalar fields or
     (F, C, 3, q, q) for vector fields (component axis at -4).
+    ``ensemble=True`` expects one extra leading ensemble axis on
+    ``ref_grad`` — (E, F, 3, q, q) / (E, F, C, 3, q, q) — folded into
+    the same metric contraction (the flag is explicit because an
+    ensemble scalar field and an unbatched vector field share a rank).
     ``planned=False`` selects the legacy per-call path search (kept for
     the before/after benchmark gate).
     """
+    if ensemble:
+        if ref_grad.ndim == 5:
+            if planned:
+                return contract("fijab,efjab->efiab", jinv_t, ref_grad, out=out)
+            return np.einsum(
+                "fijab,efjab->efiab", jinv_t, ref_grad, optimize=True
+            )
+        if ref_grad.ndim == 6:
+            if planned:
+                return contract("fijab,efcjab->efciab", jinv_t, ref_grad, out=out)
+            return np.einsum(
+                "fijab,efcjab->efciab", jinv_t, ref_grad, optimize=True
+            )
+        raise ValueError(f"unsupported ensemble ref_grad rank {ref_grad.ndim}")
     if ref_grad.ndim == 4:
         if planned:
             return contract("fijab,fjab->fiab", jinv_t, ref_grad, out=out)
@@ -191,21 +211,58 @@ def _instrument_entry(raw):
         TRACER.incr("vmult." + name)
         with TRACER.span("vmult[" + name + "]"):
             wm = self.work_model()
-            TRACER.annotate(wm["flops"], wm["bytes"], wm["dofs"])
+            # an ensemble-stacked state does E members' worth of work in
+            # one application — scale the own-work annotation accordingly
+            scale = float(x.shape[0]) if getattr(x, "ndim", 1) == 2 else 1.0
+            TRACER.annotate(
+                scale * wm["flops"], scale * wm["bytes"], scale * wm["dofs"]
+            )
             return raw(self, x, *args, **kwargs)
 
     wrapped.__instrumented__ = True
     return wrapped
 
 
+class _UsePlansAttribute:
+    """``use_plans`` as a view of the global execution policy.
+
+    Reading ``op.use_plans`` returns the instance override if one was
+    set, else :data:`repro.core.plans.POLICY` ``.use_plans``.  Assigning
+    it is deprecated (kept for one release) — use
+    :func:`repro.core.plans.plan_execution` instead.  The override is
+    stored under the same ``"use_plans"`` key in the instance dict, so
+    code that stashes/restores it via ``op.__dict__`` keeps working.
+    """
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return POLICY.use_plans
+        return obj.__dict__.get("use_plans", POLICY.use_plans)
+
+    def __set__(self, obj, value) -> None:
+        warnings.warn(
+            "setting op.use_plans is deprecated; use "
+            "repro.core.plans.plan_execution(use_plans=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        obj.__dict__["use_plans"] = bool(value)
+
+    def __delete__(self, obj) -> None:
+        obj.__dict__.pop("use_plans", None)
+
+
 class MatrixFreeOperator:
     """Minimal linear-operator interface shared by all operators.
 
     Every operator carries a lazily created plan cache (scatter plans,
-    contraction paths, reusable workspaces).  ``use_plans = False``
-    reverts an instance to the legacy unplanned execution path —
+    contraction paths, reusable workspaces).  Execution strategy is a
+    process-wide policy: :func:`repro.core.plans.plan_execution`
+    (``use_plans=False``) reverts to the legacy unplanned path —
     ``np.add.at`` scatters and per-call einsum path searches — which the
     equivalence tests and the vmult benchmark gate use as the reference.
+    ``op.use_plans`` reads the policy (instance assignment is deprecated
+    but honored for one release).
     Shallow clones (e.g. the float32 operators inside the multigrid
     V-cycle) may share the cache: scatter plans are dtype-agnostic and
     workspace buffers are keyed by dtype.
@@ -221,7 +278,7 @@ class MatrixFreeOperator:
     """
 
     dtype = DEFAULT_DTYPE
-    use_plans = True
+    use_plans = _UsePlansAttribute()
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -248,16 +305,20 @@ class MatrixFreeOperator:
         return ws
 
     def _scatter_add(self, out: np.ndarray, indices: np.ndarray,
-                     contrib: np.ndarray, key) -> None:
-        """Planned ``out[indices] += contrib`` (first axis); ``key``
-        identifies the index set in the plan cache."""
+                     contrib: np.ndarray, key, axis: int = 0) -> None:
+        """Planned ``out[indices] += contrib`` along ``axis``; ``key``
+        identifies the index set in the plan cache.  ``axis=1`` serves
+        ensemble-stacked cell tensors ``(E, N, ...)``."""
         if not self.use_plans:
-            np.add.at(out, indices, contrib)
+            if axis == 0:
+                np.add.at(out, indices, contrib)
+            else:
+                np.add.at(out, (slice(None), indices), contrib)
             return
         plan = cached_scatter_plan(
-            self.plan_cache, ("scatter", key), indices, out.shape[0]
+            self.plan_cache, ("scatter", key), indices, out.shape[axis]
         )
-        plan.add(out, contrib)
+        plan.add(out, contrib, axis=axis)
 
     def _contract(self, subscripts: str, *operands, out: np.ndarray | None = None):
         """Cached-plan einsum; falls back to the legacy per-call

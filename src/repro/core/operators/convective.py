@@ -53,66 +53,88 @@ class ConvectiveOperator(MatrixFreeOperator):
     def n_dofs(self) -> int:
         return self.dof.n_dofs
 
-    def _face_vals(self, u, batch):
+    def _face_vals(self, u, batch, ensemble: bool = False):
         kern = self.kern
-        tm = kern.face_nodal_trace(u[batch.cells_m], batch.face_m)
-        tp = kern.face_nodal_trace(u[batch.cells_p], batch.face_p)
+        um = u[:, batch.cells_m] if ensemble else u[batch.cells_m]
+        up = u[:, batch.cells_p] if ensemble else u[batch.cells_p]
+        tm = kern.face_nodal_trace(um, batch.face_m)
+        tp = kern.face_nodal_trace(up, batch.face_p)
         vm = self.fk.to_quad(tm)
         vp = self.fk.to_quad(tp, batch.orientation, batch.subface)
         return vm, vp
 
     def _lax_friedrichs(self, vm, vp, normal):
-        """Numerical flux (F, 3, a, b) in the minus normal direction."""
-        un_m = self._contract("fiab,fiab->fab", normal, vm)
-        un_p = self._contract("fiab,fiab->fab", normal, vp)
+        """Numerical flux (F, 3, a, b) in the minus normal direction
+        (one extra leading axis for ensemble-stacked traces)."""
+        sub = "fiab,efiab->efab" if vm.ndim == 5 else "fiab,fiab->fab"
+        un_m = self._contract(sub, normal, vm)
+        un_p = self._contract(sub, normal, vp)
         lam = np.maximum(np.abs(un_m), np.abs(un_p))
-        central = 0.5 * (vm * un_m[:, None] + vp * un_p[:, None])
-        return central + 0.5 * lam[:, None] * (vm - vp)
+        central = 0.5 * (
+            vm * un_m[..., None, :, :] + vp * un_p[..., None, :, :]
+        )
+        return central + 0.5 * lam[..., None, :, :] * (vm - vp)
 
     def apply(self, u_flat: np.ndarray, t: float = 0.0) -> np.ndarray:
+        if u_flat.ndim == 2:
+            # ensemble-stacked states; E=1 keeps the unbatched bitstream
+            if u_flat.shape[0] == 1:
+                return self._apply_impl(u_flat[0], t, ensemble=False)[None]
+            return self._apply_impl(u_flat, t, ensemble=True)
+        return self._apply_impl(u_flat, t, ensemble=False)
+
+    def _apply_impl(self, u_flat: np.ndarray, t: float, ensemble: bool) -> np.ndarray:
         u = self.dof.cell_view(u_flat)
         kern = self.kern
         cm = self.cell_metrics
+        ax = 1 if ensemble else 0
         # cell term: -int (u (x) u) : grad(v)
-        uq = kern.values(u)  # (N, 3, q, q, q)
+        uq = kern.values(u)  # (N, 3, q, q, q) / (E, N, 3, q, q, q)
         # F[i, j] = u_i u_j; ref-grad coefficient of v_i:
         #   rg_i[l] = -sum_j F[i,j] jinv_t[j,l] * jxw
-        Fu = self._contract("cizyx,cjzyx->cijzyx", uq, uq)
-        rg = -self._contract("cijzyx,cjlzyx->cilzyx", Fu, cm.jinv_t)
+        if ensemble:
+            Fu = self._contract("ecizyx,ecjzyx->ecijzyx", uq, uq)
+            rg = -self._contract("ecijzyx,cjlzyx->ecilzyx", Fu, cm.jinv_t)
+        else:
+            Fu = self._contract("cizyx,cjzyx->cijzyx", uq, uq)
+            rg = -self._contract("cijzyx,cjlzyx->cilzyx", Fu, cm.jinv_t)
         rg = rg * cm.jxw[:, None, None]
-        out = np.stack([kern.integrate_gradients(rg[:, i]) for i in range(3)], axis=1)
+        out = np.stack(
+            [kern.integrate_gradients(rg[..., i, :, :, :, :]) for i in range(3)],
+            axis=-4,
+        )
         # interior faces
         for ib, (batch, fm) in enumerate(zip(self.conn.interior, self.face_metrics)):
-            vm, vp = self._face_vals(u, batch)
+            vm, vp = self._face_vals(u, batch, ensemble)
             flux = self._lax_friedrichs(vm, vp, fm.normal) * fm.jxw[:, None]
             contrib_m = self.fk.integrate_side(batch.face_m, flux, None)
             contrib_p = self.fk.integrate_side(
                 batch.face_p, -flux, None, batch.orientation, batch.subface
             )
-            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
-            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"), axis=ax)
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"), axis=ax)
         # boundary faces
         for ib, (batch, fm) in enumerate(zip(self.conn.boundary, self.bdry_metrics)):
-            tm = self.kern.face_nodal_trace(u[batch.cells], batch.face)
+            uc = u[:, batch.cells] if ensemble else u[batch.cells]
+            tm = self.kern.face_nodal_trace(uc, batch.face)
             vm = self.fk.to_quad(tm)
             if batch.boundary_id in self.velocity_dirichlet:
                 pts = fm.points
-                g = np.moveaxis(
-                    np.asarray(
-                        self.bcs.velocity_value(
-                            batch.boundary_id, pts[:, 0], pts[:, 1], pts[:, 2], t
-                        ),
-                        dtype=vm.dtype,
+                g = np.asarray(
+                    self.bcs.velocity_value(
+                        batch.boundary_id, pts[:, 0], pts[:, 1], pts[:, 2], t
                     ),
-                    0,
-                    1,
+                    dtype=vm.dtype,
                 )
+                # component axis behind the face axis: (.., 3, F, a, b)
+                # -> (.., F, 3, a, b); member-independent data broadcasts
+                g = np.moveaxis(g, -4, -3)
                 vp = -vm + 2.0 * g
             else:
                 vp = vm
             flux = self._lax_friedrichs(vm, vp, fm.normal) * fm.jxw[:, None]
             contrib = self.fk.integrate_side(batch.face, flux, None)
-            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib), axis=ax)
         return self.dof.flat(out)
 
     def vmult(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - nonlinear
@@ -121,12 +143,23 @@ class ConvectiveOperator(MatrixFreeOperator):
     def diagonal(self) -> np.ndarray:  # pragma: no cover - explicit operator
         raise NotImplementedError
 
-    def max_reference_velocity(self, u_flat: np.ndarray) -> float:
+    def max_reference_velocity(self, u_flat: np.ndarray):
         """max_q |J^{-1} u| over the mesh — the inverse local transport
-        time scale entering the adaptive CFL condition (Eq. (6))."""
+        time scale entering the adaptive CFL condition (Eq. (6)).
+
+        Ensemble-stacked input ``(E, ndof)`` returns a per-member
+        ``(E,)`` array (members share dt; the per-member CFL that this
+        feeds is recorded in the step statistics).
+        """
         u = self.dof.cell_view(u_flat)
         uq = self.kern.values(u)
         cm = self.cell_metrics
         # J^{-1} u: ref-space velocity = (jinv)[l,i] u_i; jinv_t[i,l] = jinv[l,i]
+        if u_flat.ndim == 2:
+            if u_flat.shape[0] == 1:  # keep the unbatched bitstream
+                return np.array([self.max_reference_velocity(u_flat[0])])
+            uref = self._contract("cilzyx,ecizyx->eclzyx", cm.jinv_t, uq)
+            speed = np.sqrt((uref**2).sum(axis=2))
+            return speed.reshape(speed.shape[0], -1).max(axis=1)
         uref = self._contract("cilzyx,cizyx->clzyx", cm.jinv_t, uq)
         return float(np.sqrt((uref**2).sum(axis=1)).max())

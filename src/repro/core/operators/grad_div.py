@@ -62,11 +62,13 @@ class _MixedSpaceOperator(MatrixFreeOperator):
         self.velocity_dirichlet = set(bcs.velocity_dirichlet_ids(present))
         self.pressure_dirichlet = set(bcs.pressure_dirichlet_ids(present))
 
-    def _face_values(self, fk, cells_view, batch):
+    def _face_values(self, fk, cells_view, batch, ensemble: bool = False):
         """Value traces of both sides at minus-frame quad points."""
         kern = fk.kern
-        tm = kern.face_nodal_trace(cells_view[batch.cells_m], batch.face_m)
-        tp = kern.face_nodal_trace(cells_view[batch.cells_p], batch.face_p)
+        cm = cells_view[:, batch.cells_m] if ensemble else cells_view[batch.cells_m]
+        cp = cells_view[:, batch.cells_p] if ensemble else cells_view[batch.cells_p]
+        tm = kern.face_nodal_trace(cm, batch.face_m)
+        tp = kern.face_nodal_trace(cp, batch.face_p)
         vm = fk.to_quad(tm)
         vp = fk.to_quad(tp, batch.orientation, batch.subface)
         return vm, vp
@@ -89,25 +91,48 @@ class DivergenceOperator(_MixedSpaceOperator):
         from the field's own trace — the form entering the pressure
         Poisson right-hand side of the dual splitting, where all boundary
         physics is carried by the consistent pressure Neumann data."""
+        if u_flat.ndim == 2:
+            # ensemble-stacked states; E=1 keeps the unbatched bitstream
+            if u_flat.shape[0] == 1:
+                return self._apply_impl(
+                    u_flat[0], t, interior_trace_everywhere, ensemble=False
+                )[None]
+            return self._apply_impl(
+                u_flat, t, interior_trace_everywhere, ensemble=True
+            )
+        return self._apply_impl(u_flat, t, interior_trace_everywhere, ensemble=False)
+
+    def _apply_impl(
+        self,
+        u_flat: np.ndarray,
+        t: float,
+        interior_trace_everywhere: bool,
+        ensemble: bool,
+    ) -> np.ndarray:
         u = self.dof_u.cell_view(u_flat)  # (N, 3, n, n, n)
         kern_u, kern_p = self.kern_u, self.kern_p
         cm = self.cell_metrics
+        ax = 1 if ensemble else 0
         # cell term: -int grad(q) . u
         uq = kern_u.values(u)  # (N, 3, q, q, q)
-        rg = -self._contract("cilzyx,cizyx->clzyx", cm.jinv_t, uq)
+        if ensemble:
+            rg = -self._contract("cilzyx,ecizyx->eclzyx", cm.jinv_t, uq)
+        else:
+            rg = -self._contract("cilzyx,cizyx->clzyx", cm.jinv_t, uq)
         out = kern_p.integrate_gradients(rg * cm.jxw[:, None])
         # interior faces: central flux
         for ib, (batch, fm) in enumerate(zip(self.conn.interior, self.face_metrics)):
-            um, up = self._face_values(self.fk_u, u, batch)
-            un = self._contract("fiab,fiab->fab", fm.normal, 0.5 * (um + up))
+            um, up = self._face_values(self.fk_u, u, batch, ensemble)
+            sub = "fiab,efiab->efab" if ensemble else "fiab,fiab->fab"
+            un = self._contract(sub, fm.normal, 0.5 * (um + up))
             w = fm.jxw
             rv_m = un * w
             contrib_m = self.fk_p.integrate_side(batch.face_m, rv_m, None)
             contrib_p = self.fk_p.integrate_side(
                 batch.face_p, -rv_m, None, batch.orientation, batch.subface
             )
-            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
-            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"), axis=ax)
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"), axis=ax)
         # boundary faces
         for ib, (batch, fm) in enumerate(zip(self.conn.boundary, self.bdry_metrics)):
             if batch.boundary_id in self.velocity_dirichlet and not interior_trace_everywhere:
@@ -118,13 +143,21 @@ class DivergenceOperator(_MixedSpaceOperator):
                     ),
                     dtype=u.dtype,
                 )
-                ustar = np.moveaxis(g, 0, 1)  # (3, F, a, b) -> (F, 3, a, b)
+                # (.., 3, F, a, b) -> (.., F, 3, a, b)
+                ustar = np.moveaxis(g, -4, -3)
+                if ensemble and ustar.ndim == 4:
+                    # member-independent data: shared across the batch
+                    ustar = np.broadcast_to(
+                        ustar, u.shape[:1] + ustar.shape
+                    )
             else:
-                tm = self.kern_u.face_nodal_trace(u[batch.cells], batch.face)
+                uc = u[:, batch.cells] if ensemble else u[batch.cells]
+                tm = self.kern_u.face_nodal_trace(uc, batch.face)
                 ustar = self.fk_u.to_quad(tm)
-            un = self._contract("fiab,fiab->fab", fm.normal, ustar)
+            sub = "fiab,efiab->efab" if ensemble else "fiab,fiab->fab"
+            un = self._contract(sub, fm.normal, ustar)
             contrib = self.fk_p.integrate_side(batch.face, un * fm.jxw, None)
-            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib), axis=ax)
         return self.dof_p.flat(out)
 
     def vmult(self, u_flat: np.ndarray) -> np.ndarray:
@@ -150,31 +183,45 @@ class GradientOperator(_MixedSpaceOperator):
         return self.dof_u.n_dofs
 
     def apply(self, p_flat: np.ndarray, t: float = 0.0) -> np.ndarray:
+        if p_flat.ndim == 2:
+            # ensemble-stacked states; E=1 keeps the unbatched bitstream
+            if p_flat.shape[0] == 1:
+                return self._apply_impl(p_flat[0], t, ensemble=False)[None]
+            return self._apply_impl(p_flat, t, ensemble=True)
+        return self._apply_impl(p_flat, t, ensemble=False)
+
+    def _apply_impl(self, p_flat: np.ndarray, t: float, ensemble: bool) -> np.ndarray:
         p = self.dof_p.cell_view(p_flat)  # (N, n_p, n_p, n_p)
         kern_u, kern_p = self.kern_u, self.kern_p
         cm = self.cell_metrics
+        ax = 1 if ensemble else 0
         # cell term: -int p div(v) -> ref-grad coefficients of each v_i
         pq = kern_p.values(p)  # (N, q, q, q)
         coeff = -(pq * cm.jxw)
-        rg = self._contract("cilzyx,czyx->cilzyx", cm.jinv_t, coeff)
+        if ensemble:
+            rg = self._contract("cilzyx,eczyx->ecilzyx", cm.jinv_t, coeff)
+        else:
+            rg = self._contract("cilzyx,czyx->cilzyx", cm.jinv_t, coeff)
         out = np.stack(
-            [kern_u.integrate_gradients(rg[:, i]) for i in range(3)], axis=1
+            [kern_u.integrate_gradients(rg[..., i, :, :, :, :]) for i in range(3)],
+            axis=-4,
         )
         # interior faces: central flux {p} n . [v]
         for ib, (batch, fm) in enumerate(zip(self.conn.interior, self.face_metrics)):
-            pm, pp = self._face_values(self.fk_p, p, batch)
+            pm, pp = self._face_values(self.fk_p, p, batch, ensemble)
             pavg = 0.5 * (pm + pp)
             w = fm.jxw
-            rv_m = (pavg * w)[:, None] * fm.normal  # (F, 3, a, b)
+            rv_m = (pavg * w)[..., None, :, :] * fm.normal  # (F, 3, a, b)
             contrib_m = self.fk_u.integrate_side(batch.face_m, rv_m, None)
             contrib_p = self.fk_u.integrate_side(
                 batch.face_p, -rv_m, None, batch.orientation, batch.subface
             )
-            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
-            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"), axis=ax)
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"), axis=ax)
         # boundary faces
         for ib, (batch, fm) in enumerate(zip(self.conn.boundary, self.bdry_metrics)):
-            tm = self.kern_p.face_nodal_trace(p[batch.cells], batch.face)
+            pc = p[:, batch.cells] if ensemble else p[batch.cells]
+            tm = self.kern_p.face_nodal_trace(pc, batch.face)
             pm = self.fk_p.to_quad(tm)
             if batch.boundary_id in self.pressure_dirichlet:
                 pts = fm.points
@@ -184,11 +231,14 @@ class GradientOperator(_MixedSpaceOperator):
                     ),
                     dtype=pm.dtype,
                 )
+                if ensemble and pstar.ndim == 3:
+                    # member-independent data: shared across the batch
+                    pstar = np.broadcast_to(pstar, p.shape[:1] + pstar.shape)
             else:
                 pstar = pm
-            rv = (pstar * fm.jxw)[:, None] * fm.normal
+            rv = (pstar * fm.jxw)[..., None, :, :] * fm.normal
             contrib = self.fk_u.integrate_side(batch.face, rv, None)
-            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib), axis=ax)
         return self.dof_u.flat(out)
 
     def vmult(self, p_flat: np.ndarray) -> np.ndarray:

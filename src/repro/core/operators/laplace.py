@@ -11,8 +11,9 @@ Weak Dirichlet data (SIP/Nitsche) and Neumann data enter through
 
 Execution plans (see :mod:`repro.core.plans`): every instance owns a
 lazily built cache of scatter plans, einsum contraction plans, and
-workspace buffers, threaded through the whole hot path.  Setting
-``use_plans = False`` on an instance restores the legacy execution
+workspace buffers, threaded through the whole hot path.  Running under
+``repro.core.plans.plan_execution(use_plans=False)`` restores the legacy
+execution
 (``np.add.at`` scatters, per-call einsum path searches, fresh
 temporaries and the unit-vector diagonal) — the reference the
 equivalence tests and the ``bench_vmult_gate`` before/after numbers are
@@ -98,18 +99,17 @@ class DGLaplaceOperator(MatrixFreeOperator):
             "dofs": float(self.n_dofs),
         }
 
-    def _cell_term(self, u: np.ndarray) -> np.ndarray:
+    def _cell_term(self, u: np.ndarray, ensemble: bool = False) -> np.ndarray:
+        sub = "cijzyx,ecjzyx->ecizyx" if ensemble else "cijzyx,cjzyx->cizyx"
         if not self.use_plans:
             g = self.kern.gradients(u)
-            Dg = np.einsum(
-                "cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True
-            )
+            Dg = np.einsum(sub, self.cell_metrics.laplace_d, g, optimize=True)
             return self.kern.integrate_gradients(Dg)
         ws = self.workspace()
         g = self.kern.gradients(u, ws)
         D = self.cell_metrics.laplace_d
         Dg = contract(
-            "cijzyx,cjzyx->cizyx", D, g,
+            sub, D, g,
             out=ws.take("lap.Dg", g.shape, np.result_type(D.dtype, g.dtype)),
         )
         # fresh output: the result escapes to the caller, workspace
@@ -124,39 +124,58 @@ class DGLaplaceOperator(MatrixFreeOperator):
         test sides: (rv_m, rgphys_m, rv_p, rgphys_p).  The gradient
         coefficient is the *same* field ``-0.5 [u] w n`` on both sides,
         so one array is computed and returned twice (callers only read).
+        Ensemble-stacked traces (rank 5 gradients) fold into the same
+        contractions with one extra leading axis.
         """
         n = fm.normal
         jump = vm - vp
-        dn_m = self._contract("fiab,fiab->fab", n, Gm)
-        dn_p = self._contract("fiab,fiab->fab", n, Gp)
+        sub = "fiab,efiab->efab" if Gm.ndim == 5 else "fiab,fiab->fab"
+        dn_m = self._contract(sub, n, Gm)
+        dn_p = self._contract(sub, n, Gp)
         avg_dn = 0.5 * (dn_m + dn_p)
         w = fm.jxw
         rv_m = (-avg_dn + tau[:, None, None] * jump) * w
         rv_p = (avg_dn - tau[:, None, None] * jump) * w
-        rg = ((-0.5) * jump * w)[:, None] * n
+        rg = ((-0.5) * jump * w)[..., None, :, :] * n
         return rv_m, rg, rv_p, rg
 
     def _to_ref_grad(self, jinv_t, rg_phys):
         """Physical-gradient test coefficients -> reference components:
         contribution r.(J^{-T} grad v) = (J^{-1} r).grad v."""
+        if rg_phys.ndim == 5:
+            return self._contract("fijab,efiab->efjab", jinv_t, rg_phys)
         return self._contract("fijab,fiab->fjab", jinv_t, rg_phys)
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 2:
+            # ensemble-stacked states (E, ndof); E=1 runs the unbatched
+            # path so it stays bitwise-identical to a flat vmult
+            if x.shape[0] == 1:
+                return self._vmult_impl(x[0], ensemble=False)[None]
+            return self._vmult_impl(x, ensemble=True)
+        return self._vmult_impl(x, ensemble=False)
+
+    def _vmult_impl(self, x: np.ndarray, ensemble: bool) -> np.ndarray:
         u = self.dof.cell_view(x)
-        out = self._cell_term(u)
+        out = self._cell_term(u, ensemble)
         fk = self.fk
         ws = self.workspace() if self.use_plans else None
+        ax = 1 if ensemble else 0
         for ib, (batch, fm, tau) in enumerate(
             zip(self.conn.interior, self.face_metrics, self.tau)
         ):
-            um = u[batch.cells_m]
-            up = u[batch.cells_p]
+            um = u[:, batch.cells_m] if ensemble else u[batch.cells_m]
+            up = u[:, batch.cells_p] if ensemble else u[batch.cells_p]
             vm, gm = fk.eval_side(um, batch.face_m, ws=ws)
             vp, gp = fk.eval_side(
                 up, batch.face_p, batch.orientation, batch.subface, ws=ws
             )
-            Gm = physical_gradient(fm.minus.jinv_t, gm, planned=self.use_plans)
-            Gp = physical_gradient(fm.plus.jinv_t, gp, planned=self.use_plans)
+            Gm = physical_gradient(
+                fm.minus.jinv_t, gm, planned=self.use_plans, ensemble=ensemble
+            )
+            Gp = physical_gradient(
+                fm.plus.jinv_t, gp, planned=self.use_plans, ensemble=ensemble
+            )
             rv_m, rg_m, rv_p, rg_p = self._face_flux(fm, tau, vm, Gm, vp, Gp)
             contrib_m = fk.integrate_side(
                 batch.face_m, rv_m, self._to_ref_grad(fm.minus.jinv_t_c, rg_m)
@@ -168,25 +187,28 @@ class DGLaplaceOperator(MatrixFreeOperator):
                 batch.orientation,
                 batch.subface,
             )
-            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
-            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"), axis=ax)
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"), axis=ax)
         for ib, (batch, fm, tau) in enumerate(
             zip(self.conn.boundary, self.bdry_metrics, self.tau_b)
         ):
             if batch.boundary_id not in self.dirichlet_ids:
                 continue  # natural (Neumann) boundary: no operator term
-            um = u[batch.cells]
+            um = u[:, batch.cells] if ensemble else u[batch.cells]
             vm, gm = fk.eval_side(um, batch.face, ws=ws)
-            Gm = physical_gradient(fm.minus.jinv_t, gm, planned=self.use_plans)
+            Gm = physical_gradient(
+                fm.minus.jinv_t, gm, planned=self.use_plans, ensemble=ensemble
+            )
             n = fm.normal
-            dn_m = self._contract("fiab,fiab->fab", n, Gm)
+            sub = "fiab,efiab->efab" if ensemble else "fiab,fiab->fab"
+            dn_m = self._contract(sub, n, Gm)
             w = fm.jxw
             rv = (-dn_m + 2.0 * tau[:, None, None] * vm) * w
-            rg_phys = (-vm * w)[:, None] * n
+            rg_phys = (-vm * w)[..., None, :, :] * n
             contrib = fk.integrate_side(
                 batch.face, rv, self._to_ref_grad(fm.minus.jinv_t_c, rg_phys)
             )
-            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib), axis=ax)
         return self.dof.flat(out)
 
     # ------------------------------------------------------------------
@@ -200,13 +222,16 @@ class DGLaplaceOperator(MatrixFreeOperator):
         weak Dirichlet data ``dirichlet(x, y, z)`` on ``dirichlet_ids``
         faces (or a dict mapping boundary id to a callable), Neumann data
         ``neumann(x, y, z)`` (= grad u . n) elsewhere.
+
+        Boundary callables may return ensemble-stacked ``(E, F, a, b)``
+        data (per-member windkessel pressures, say); the assembled
+        vector is then ``(E, ndof)``, with unbatched data broadcast
+        across the members.  ``E = 1`` keeps the unbatched bitstream.
         """
-        out = np.zeros((self.dof.n_cells,) + (self.kern.n_dofs_1d,) * 3)
-        if f is not None:
-            pts = self.cell_metrics.points
-            fv = f(pts[:, 0], pts[:, 1], pts[:, 2]) * self.cell_metrics.jxw
-            out += self.kern.integrate_values(fv)
-        fk = self.fk
+        # evaluate the boundary data first: an ensemble-stacked return
+        # from any callable promotes the whole right-hand side to (E, .)
+        face_data: list[tuple] = []
+        n_members: int | None = None
         for ib, (batch, fm, tau) in enumerate(
             zip(self.conn.boundary, self.bdry_metrics, self.tau_b)
         ):
@@ -221,20 +246,54 @@ class DGLaplaceOperator(MatrixFreeOperator):
                 )
                 if g_fn is None:
                     continue
-                g = g_fn(p[:, 0], p[:, 1], p[:, 2])
+                g = np.asarray(g_fn(p[:, 0], p[:, 1], p[:, 2]))
+                kind = "dirichlet"
+            else:
+                if neumann is None:
+                    continue
+                g = np.asarray(neumann(p[:, 0], p[:, 1], p[:, 2]))
+                kind = "neumann"
+            if g.ndim == 4:
+                if n_members is not None and g.shape[0] != n_members:
+                    raise ValueError(
+                        "inconsistent ensemble sizes in boundary data: "
+                        f"{g.shape[0]} vs {n_members}"
+                    )
+                n_members = g.shape[0]
+            face_data.append((ib, batch, fm, tau, kind, g))
+        if n_members == 1:
+            # E = 1 keeps the unbatched bitstream: assemble flat, re-wrap
+            face_data = [
+                (ib, b, fm, tau, kind, g[0] if g.ndim == 4 else g)
+                for ib, b, fm, tau, kind, g in face_data
+            ]
+        ensemble = n_members is not None and n_members > 1
+        lead = (n_members,) if ensemble else ()
+        ax = 1 if ensemble else 0
+        out = np.zeros(lead + (self.dof.n_cells,) + (self.kern.n_dofs_1d,) * 3)
+        if f is not None:
+            pts = self.cell_metrics.points
+            fv = f(pts[:, 0], pts[:, 1], pts[:, 2]) * self.cell_metrics.jxw
+            out += self.kern.integrate_values(fv)
+        fk = self.fk
+        for ib, batch, fm, tau, kind, g in face_data:
+            if ensemble and g.ndim == 3:
+                # member-independent data: shared across the batch
+                g = np.broadcast_to(g, lead + g.shape)
+            if kind == "dirichlet":
                 w = fm.jxw
                 rv = 2.0 * tau[:, None, None] * g * w
-                rg_phys = (-g * w)[:, None] * fm.normal
+                rg_phys = (-g * w)[..., None, :, :] * fm.normal
                 contrib = fk.integrate_side(
                     batch.face, rv, self._to_ref_grad(fm.minus.jinv_t_c, rg_phys)
                 )
             else:
-                if neumann is None:
-                    continue
-                h = neumann(p[:, 0], p[:, 1], p[:, 2])
-                contrib = fk.integrate_side(batch.face, h * fm.jxw, None)
-            self._scatter_add(out, batch.cells, contrib, ("bdy", ib))
-        return self.dof.flat(out)
+                contrib = fk.integrate_side(batch.face, g * fm.jxw, None)
+            self._scatter_add(out, batch.cells, contrib, ("bdy", ib), axis=ax)
+        flat = self.dof.flat(out)
+        if n_members == 1:
+            return flat[None]
+        return flat
 
     # ------------------------------------------------------------------
     def diagonal(self) -> np.ndarray:
@@ -458,18 +517,22 @@ class CGLaplaceOperator(MatrixFreeOperator):
         }
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 2 and x.shape[0] == 1:
+            return self._vmult_impl(x[0], ensemble=False)[None]
+        return self._vmult_impl(x, ensemble=x.ndim == 2)
+
+    def _vmult_impl(self, x: np.ndarray, ensemble: bool) -> np.ndarray:
         u = self.dof.gather_cells(x)
+        sub = "cijzyx,ecjzyx->ecizyx" if ensemble else "cijzyx,cjzyx->cizyx"
         if not self.use_plans:
             g = self.kern.gradients(u)
-            Dg = np.einsum(
-                "cijzyx,cjzyx->cizyx", self.cell_metrics.laplace_d, g, optimize=True
-            )
+            Dg = np.einsum(sub, self.cell_metrics.laplace_d, g, optimize=True)
             return self.dof.scatter_add_cells(self.kern.integrate_gradients(Dg))
         ws = self.workspace()
         g = self.kern.gradients(u, ws)
         D = self.cell_metrics.laplace_d
         Dg = contract(
-            "cijzyx,cjzyx->cizyx", D, g,
+            sub, D, g,
             out=ws.take("lap.Dg", g.shape, np.result_type(D.dtype, g.dtype)),
         )
         r = self.kern.integrate_gradients(Dg, ws)

@@ -56,48 +56,75 @@ class DivergenceContinuityPenalty(MatrixFreeOperator):
 
     def update_parameters(self, u_flat: np.ndarray) -> None:
         """Recompute tau from the current velocity (called once per time
-        step before the penalty solve)."""
+        step before the penalty solve).  Ensemble-stacked input yields
+        per-member ``tau_div`` (E, N) / ``tau_cont`` (E, F) fields."""
+        if u_flat.ndim == 2 and u_flat.shape[0] == 1:
+            return self.update_parameters(u_flat[0])
         u = self.dof.cell_view(u_flat)
         uq = self.kern.values(u)
-        speed = np.sqrt((uq**2).sum(axis=1))
+        speed = np.sqrt((uq**2).sum(axis=-4))
         vols = self._mass_weight.reshape(self.dof.n_cells, -1).sum(axis=1)
-        mean_speed = (speed * self._mass_weight).reshape(self.dof.n_cells, -1).sum(
-            axis=1
-        ) / vols
+        sp = speed * self._mass_weight
+        mean_speed = sp.reshape(sp.shape[:-3] + (-1,)).sum(axis=-1) / vols
         k = self.dof.degree
         self.tau_div = self.zeta_div * mean_speed * self.h_cell / (k + 1)
         self.tau_cont = [
-            self.zeta_cont * 0.5 * (mean_speed[b.cells_m] + mean_speed[b.cells_p])
+            self.zeta_cont
+            * 0.5
+            * (mean_speed[..., b.cells_m] + mean_speed[..., b.cells_p])
             for b in self.conn.interior
         ]
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 2:
+            # ensemble-stacked states; E=1 keeps the unbatched bitstream
+            if x.shape[0] == 1:
+                return self._vmult_impl(x[0], ensemble=False)[None]
+            return self._vmult_impl(x, ensemble=True)
+        return self._vmult_impl(x, ensemble=False)
+
+    def _vmult_impl(self, x: np.ndarray, ensemble: bool) -> np.ndarray:
         u = self.dof.cell_view(x)
         kern = self.kern
         cm = self.cell_metrics
+        ax = 1 if ensemble else 0
         # divergence penalty: tau_div (div u)(div v)
-        grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
-        div = self._contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
-        coeff = div * cm.jxw * self.tau_div[:, None, None, None]
-        rg = self._contract("cilzyx,czyx->cilzyx", cm.jinv_t, coeff)
-        out = np.stack([kern.integrate_gradients(rg[:, i]) for i in range(3)], axis=1)
+        grads = np.stack(
+            [kern.gradients(u[..., i, :, :, :]) for i in range(3)], axis=-4
+        )
+        if ensemble:
+            div = self._contract("cilzyx,ecilzyx->eczyx", cm.jinv_t, grads)
+        else:
+            div = self._contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
+        coeff = div * cm.jxw * self.tau_div[..., None, None, None]
+        if ensemble:
+            rg = self._contract("cilzyx,eczyx->ecilzyx", cm.jinv_t, coeff)
+        else:
+            rg = self._contract("cilzyx,czyx->cilzyx", cm.jinv_t, coeff)
+        out = np.stack(
+            [kern.integrate_gradients(rg[..., i, :, :, :, :]) for i in range(3)],
+            axis=-4,
+        )
         # continuity penalty: tau_c [u.n][v.n]
         for ib, (batch, fm, tau) in enumerate(
             zip(self.conn.interior, self.face_metrics, self.tau_cont)
         ):
-            tm = kern.face_nodal_trace(u[batch.cells_m], batch.face_m)
-            tp = kern.face_nodal_trace(u[batch.cells_p], batch.face_p)
+            um = u[:, batch.cells_m] if ensemble else u[batch.cells_m]
+            up = u[:, batch.cells_p] if ensemble else u[batch.cells_p]
+            tm = kern.face_nodal_trace(um, batch.face_m)
+            tp = kern.face_nodal_trace(up, batch.face_p)
             vm = self.fk.to_quad(tm)
             vp = self.fk.to_quad(tp, batch.orientation, batch.subface)
-            jump_n = self._contract("fiab,fiab->fab", fm.normal, vm - vp)
-            q = tau[:, None, None] * jump_n * fm.jxw
-            rv = q[:, None] * fm.normal
+            sub = "fiab,efiab->efab" if ensemble else "fiab,fiab->fab"
+            jump_n = self._contract(sub, fm.normal, vm - vp)
+            q = tau[..., None, None] * jump_n * fm.jxw
+            rv = q[..., None, :, :] * fm.normal
             contrib_m = self.fk.integrate_side(batch.face_m, rv, None)
             contrib_p = self.fk.integrate_side(
                 batch.face_p, -rv, None, batch.orientation, batch.subface
             )
-            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"))
-            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"))
+            self._scatter_add(out, batch.cells_m, contrib_m, ("int", ib, "m"), axis=ax)
+            self._scatter_add(out, batch.cells_p, contrib_p, ("int", ib, "p"), axis=ax)
         return self.dof.flat(out)
 
     def diagonal(self) -> np.ndarray:  # pragma: no cover - inv-mass preconditioned

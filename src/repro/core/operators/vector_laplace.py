@@ -39,23 +39,29 @@ class VectorDGLaplace(MatrixFreeOperator):
         return {"flops": 0.0, "bytes": 4.0 * self.precision_bytes * n, "dofs": n}
 
     def vmult(self, x: np.ndarray) -> np.ndarray:
-        u = self.dof.cell_view(x)  # (N, 3, n, n, n)
+        u = self.dof.cell_view(x)  # (N, 3, n, n, n) / ensemble (E, N, 3, n, n, n)
         out = np.empty_like(u)
+        comp_sel = (
+            (slice(None), slice(None)) if u.ndim == 6 else (slice(None),)
+        )
         if not self.use_plans:
             for c in range(3):
                 yc = self.scalar.vmult(
-                    self.scalar.dof.flat(np.ascontiguousarray(u[:, c]))
+                    self.scalar.dof.flat(
+                        np.ascontiguousarray(u[comp_sel + (c,)])
+                    )
                 )
-                out[:, c] = self.scalar.dof.cell_view(yc)
+                out[comp_sel + (c,)] = self.scalar.dof.cell_view(yc)
             return self.dof.flat(out)
         # one reusable contiguous staging buffer instead of a fresh
         # ascontiguousarray copy per component per application
         ws = self.workspace()
-        comp = ws.take("veclap.comp", (u.shape[0],) + u.shape[2:], u.dtype)
+        comp_shape = u.shape[:-4] + u.shape[-3:]
+        comp = ws.take("veclap.comp", comp_shape, u.dtype)
         for c in range(3):
-            np.copyto(comp, u[:, c])
-            yc = self.scalar.vmult(comp.reshape(-1))
-            out[:, c] = self.scalar.dof.cell_view(yc)
+            np.copyto(comp, u[comp_sel + (c,)])
+            yc = self.scalar.vmult(self.scalar.dof.flat(comp))
+            out[comp_sel + (c,)] = self.scalar.dof.cell_view(yc)
         return self.dof.flat(out)
 
     def diagonal(self) -> np.ndarray:

@@ -41,9 +41,48 @@ the NumPy rendition of that discipline, shared by every operator in
 
 from __future__ import annotations
 
+import contextlib
+from dataclasses import dataclass
+
 import numpy as np
 
 from .backend import DEFAULT_DTYPE, active_backend
+
+
+@dataclass
+class ExecutionPolicy:
+    """Process-wide execution policy of the plan layer.
+
+    ``use_plans`` selects planned execution (cached scatter plans and
+    einsum paths) versus the legacy per-call path (``np.add.at``
+    scatters, per-call ``optimize=True`` einsum searches).  Operators
+    consult this policy unless an instance-level override was set (the
+    deprecated ``op.use_plans = ...`` assignment, kept for one release).
+    """
+
+    use_plans: bool = True
+
+
+#: The single process-wide policy consulted by every operator.
+POLICY = ExecutionPolicy()
+
+
+@contextlib.contextmanager
+def plan_execution(use_plans: bool):
+    """Temporarily switch the global execution policy.
+
+    The supported way to run the legacy unplanned path (benchmarks,
+    equivalence tests)::
+
+        with plan_execution(use_plans=False):
+            op.vmult(x)
+    """
+    prev = POLICY.use_plans
+    POLICY.use_plans = bool(use_plans)
+    try:
+        yield POLICY
+    finally:
+        POLICY.use_plans = prev
 
 #: Contracted-extent threshold below which a 1- or 2-operand einsum is
 #: dispatched to the direct C loop instead of a precomputed path (the
@@ -139,15 +178,31 @@ class ScatterPlan:
             self.segments = np.flatnonzero(new_segment)
             self.targets = sorted_idx[self.segments]
 
-    def add(self, out: np.ndarray, contrib: np.ndarray) -> np.ndarray:
-        """Accumulate ``contrib[e]`` into ``out[indices[e]]``."""
+    def add(self, out: np.ndarray, contrib: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Accumulate ``contrib`` slices into ``out`` along ``axis``.
+
+        ``axis=0`` is the classic ``out[indices] += contrib``; ``axis=1``
+        serves ensemble-stacked states ``(E, N, ...)`` where the cell
+        axis sits behind the ensemble axis.
+        """
         if self.indices.size == 0:
             return out
-        if self.is_unique:
-            out[self.indices] += contrib
+        if axis == 0:
+            if self.is_unique:
+                out[self.indices] += contrib
+            else:
+                folded = np.add.reduceat(contrib[self.order], self.segments, axis=0)
+                out[self.targets] += folded
+        elif axis == 1:
+            if self.is_unique:
+                out[:, self.indices] += contrib
+            else:
+                folded = np.add.reduceat(
+                    contrib[:, self.order], self.segments, axis=1
+                )
+                out[:, self.targets] += folded
         else:
-            folded = np.add.reduceat(contrib[self.order], self.segments, axis=0)
-            out[self.targets] += folded
+            raise ValueError(f"unsupported scatter axis {axis}")
         return out
 
 
@@ -182,20 +237,39 @@ class FlatScatterPlan:
         self.segments = np.flatnonzero(new_segment)
         self.targets = sorted_idx[self.segments]
 
-    def scatter_add(self, out: np.ndarray, values: np.ndarray) -> np.ndarray:
-        """``out[indices[e]] += values.ravel()[e]`` for all entries."""
+    def scatter_add(self, out: np.ndarray, values: np.ndarray,
+                    axis: int = 0) -> np.ndarray:
+        """``out[indices[e]] += values.ravel()[e]`` for all entries.
+
+        ``axis=1`` treats the leading axis of ``values`` (and ``out``)
+        as an ensemble axis: each member's trailing entries are folded
+        independently with the same precomputed plan.
+        """
         if self.size == 0:
             return out
-        v = np.asarray(values).reshape(-1)
-        folded = np.add.reduceat(v[self.order], self.segments)
-        out[self.targets] += folded
+        if axis == 0:
+            v = np.asarray(values).reshape(-1)
+            folded = np.add.reduceat(v[self.order], self.segments)
+            out[self.targets] += folded
+        elif axis == 1:
+            v = np.asarray(values)
+            v = v.reshape(v.shape[0], -1)
+            folded = np.add.reduceat(v[:, self.order], self.segments, axis=1)
+            out[:, self.targets] += folded
+        else:
+            raise ValueError(f"unsupported scatter axis {axis}")
         return out
 
-    def scatter(self, values: np.ndarray, dtype=None) -> np.ndarray:
-        """Fresh accumulation vector of length ``n_rows``."""
+    def scatter(self, values: np.ndarray, dtype=None,
+                axis: int = 0) -> np.ndarray:
+        """Fresh accumulation vector of length ``n_rows`` (``axis=1``:
+        one row per leading-axis member of ``values``)."""
         v = np.asarray(values)
-        out = np.zeros(self.n_rows, dtype=dtype or v.dtype)
-        return self.scatter_add(out, v)
+        if axis == 0:
+            out = np.zeros(self.n_rows, dtype=dtype or v.dtype)
+        else:
+            out = np.zeros((v.shape[0], self.n_rows), dtype=dtype or v.dtype)
+        return self.scatter_add(out, v, axis=axis)
 
 
 class Workspace:

@@ -23,6 +23,7 @@ from .ventilator import (
     expected_tidal_volume,
 )
 from .simulation import CycleRecord, LungVentilationSimulation
+from .ensemble import EnsembleLungSimulation, MemberRecord
 
 __all__ = [
     "AIR_DENSITY",
@@ -49,4 +50,6 @@ __all__ = [
     "expected_tidal_volume",
     "CycleRecord",
     "LungVentilationSimulation",
+    "EnsembleLungSimulation",
+    "MemberRecord",
 ]

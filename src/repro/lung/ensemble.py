@@ -1,0 +1,321 @@
+"""Batched ensemble lung-ventilation runs: one mesh, one operator
+stack, one multigrid hierarchy — N parameter sets advanced together.
+
+The matrix-free hot path carries a leading ensemble axis (state vectors
+are ``(E, ndof)``), so every sum-factorization GEMM, scatter, smoother
+sweep, and CG iteration serves all members in a single BLAS call.  At
+Python scale this is where the batching payoff lives: the per-call
+dispatch overhead that dominates small unbatched runs is amortized over
+``E`` members (see ``BENCH_vmult.json``'s ``ensemble`` suite for the
+measured DoF/s scaling).
+
+Members share the mesh, discretization, solver settings, and time step
+(the fastest member sets the shared CFL step); they differ in the
+*physics parameters* a patient-variability study sweeps:
+
+* windkessel compartment R/C (``RunConfig.windkessel_resistance_scale``
+  / ``windkessel_compliance_scale``),
+* the ventilator protocol (``RunConfig.ventilation``: PEEP, driving
+  pressure, period, I:E ratio, tidal-volume target).
+
+Per-member physics enters through the pressure-Dirichlet boundary
+callables, which return ensemble-stacked ``(E, F, a, b)`` arrays; the
+operators broadcast member-independent data and keep ``E = 1`` on the
+unbatched bitstream.  Per-member telemetry (CFL, pressure iterations,
+windkessel state) is recorded on the step statistics and exported
+through member-labelled metrics gauges.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..ns.bc import BoundaryConditions, PressureDirichlet
+from ..ns.solver import IncompressibleNavierStokesSolver
+from ..robustness.config import RunConfig
+from ..telemetry import TRACER
+from ..telemetry.metrics import METRICS
+from .airway_mesh import INLET_ID, LungMesh, airway_tree_mesh
+from .simulation import CycleRecord
+from .tree import grow_airway_tree
+from .ventilator import PressureControlledVentilator
+from .windkessel import WindkesselBank
+
+#: RunConfig fields allowed to differ between ensemble members — the
+#: rest (mesh, discretization, solver, dtype) must be shared so the
+#: members can ride one operator/multigrid setup
+MEMBER_VARIABLE_FIELDS = frozenset(
+    {"ventilation", "windkessel_resistance_scale", "windkessel_compliance_scale"}
+)
+
+_MEMBER_CFL = METRICS.gauge(
+    "repro_ensemble_member_cfl",
+    "realized CFL number of each ensemble member (members share dt)",
+    labels=("member",),
+)
+_MEMBER_INLET_FLOW = METRICS.gauge(
+    "repro_ensemble_inlet_flow_m3_per_s",
+    "tracheal inlet flow rate per ensemble member (inward positive)",
+    labels=("member",),
+)
+_MEMBER_TIDAL = METRICS.gauge(
+    "repro_ensemble_tidal_volume_m3",
+    "volume stored across all windkessel compartments per member",
+    labels=("member",),
+)
+_MEMBER_P_ITER = METRICS.gauge(
+    "repro_ensemble_pressure_iterations",
+    "pressure-CG iterations until each member's convergence mask closed",
+    labels=("member",),
+)
+
+
+@dataclass
+class MemberRecord:
+    """End-of-run summary of one ensemble member."""
+
+    member: int
+    config: RunConfig
+    tidal_volume: float
+    dp: float
+    cycles: list[CycleRecord]
+
+
+def _check_shared_fields(configs: Sequence[RunConfig]) -> None:
+    base = configs[0].to_dict()
+    for m, cfg in enumerate(configs[1:], start=1):
+        d = cfg.to_dict()
+        for key, value in base.items():
+            if key in MEMBER_VARIABLE_FIELDS:
+                continue
+            if d[key] != value:
+                raise ValueError(
+                    f"ensemble member {m} differs from member 0 in the "
+                    f"shared field {key!r} ({d[key]!r} vs {value!r}); only "
+                    f"{sorted(MEMBER_VARIABLE_FIELDS)} may vary across "
+                    "members"
+                )
+
+
+class EnsembleLungSimulation:
+    """N ventilated-lung parameter sets on one solver setup.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`~repro.robustness.RunConfig` per member.  All
+        mesh/discretization/solver fields must agree; members may vary
+        the ventilation protocol and the windkessel R/C scales.
+    lung_mesh:
+        Optional pre-built mesh overriding the tree growth described by
+        the shared config fields.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[RunConfig],
+        *,
+        lung_mesh: LungMesh | None = None,
+    ) -> None:
+        configs = list(configs)
+        if not configs:
+            raise ValueError("need at least one ensemble member")
+        _check_shared_fields(configs)
+        self.configs = configs
+        self.n_members = E = len(configs)
+        base = configs[0]
+
+        if lung_mesh is None:
+            tree = grow_airway_tree(
+                base.generations, scale=base.scale, seed=base.seed
+            )
+            lung_mesh = airway_tree_mesh(
+                tree, refine_upper_generations=base.refine_upper_generations
+            )
+        self.lung = lung_mesh
+        self.ventilators = [
+            PressureControlledVentilator(c.ventilation) for c in configs
+        ]
+        self.windkessels = [
+            WindkesselBank(
+                terminal_generation=lung_mesh.tree.n_generations,
+                n_outlets=lung_mesh.n_outlets,
+                peep=vent.settings.peep,
+                resistance_scale=c.windkessel_resistance_scale,
+                compliance_scale=c.windkessel_compliance_scale,
+            )
+            for c, vent in zip(configs, self.ventilators)
+        ]
+        self._inlet_flow = np.zeros(E)
+
+        def _stacked(x, values):
+            """Per-member scalars -> (E, *x.shape) boundary data.  A
+            single-member ensemble returns the flat field so E = 1 rides
+            the unbatched operator bitstream."""
+            vals = np.asarray(values, dtype=float)
+            if E == 1:
+                return np.full_like(np.asarray(x, dtype=float), vals[0])
+            shape = np.shape(x)
+            return np.broadcast_to(
+                vals.reshape((E,) + (1,) * len(shape)), (E,) + shape
+            )
+
+        conditions: dict[int, object] = {
+            INLET_ID: PressureDirichlet(
+                lambda x, y, z, t: _stacked(
+                    x,
+                    [
+                        vent.tracheal_pressure(t, q)
+                        for vent, q in zip(self.ventilators, self._inlet_flow)
+                    ],
+                )
+            )
+        }
+        for o, bid in enumerate(lung_mesh.outlet_ids):
+            conditions[bid] = PressureDirichlet(
+                lambda x, y, z, t, _o=o: _stacked(
+                    x, [bank.outlet_pressure(_o) for bank in self.windkessels]
+                )
+            )
+        self.bcs = BoundaryConditions(conditions)  # walls default to no-slip
+        settings = base.solver
+        if not np.isfinite(settings.dt_max):
+            # the flow starts from rest: bound the startup step by a small
+            # fraction of the fastest member's breathing period
+            settings.dt_max = min(
+                v.settings.period for v in self.ventilators
+            ) / 500.0
+        self.solver = IncompressibleNavierStokesSolver(
+            lung_mesh.forest,
+            base.degree,
+            base.viscosity,
+            self.bcs,
+            settings,
+            robustness=base.robustness,
+            compute_dtype=base.compute_dtype,
+        )
+        u0 = np.zeros(
+            (E, self.solver.dof_u.n_dofs), dtype=self.solver.compute_dtype
+        )
+        self.solver.initialize(u0)
+        self.cycle_records: list[list[CycleRecord]] = [[] for _ in range(E)]
+        self._cycle_inhaled = np.zeros(E)
+        self._steps_this_cycle = np.zeros(E, dtype=int)
+        self._current_cycle = np.zeros(E, dtype=int)
+
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        return self.solver.scheme.t
+
+    @property
+    def recovery_log(self):
+        return self.solver.recovery_log
+
+    def step(self, dt: float | None = None):
+        """One coupled time step for all members; returns the solver
+        statistics (per-member CFL and pressure iterations included)."""
+        was_inhaling = np.array(
+            [v.is_inhaling(self.time) for v in self.ventilators]
+        )
+        stats = self.solver.step(dt)
+        t0 = time.perf_counter()
+        with TRACER.span("coupling"):
+            # outlet flows per member: (n_outlets, E), outward positive
+            flows = np.stack(
+                [
+                    np.atleast_1d(self.solver.flow_rate(bid))
+                    for bid in self.lung.outlet_ids
+                ]
+            )
+            for e, bank in enumerate(self.windkessels):
+                bank.advance(flows[:, e], stats.dt)
+            # inlet flow: inward positive for the tubus model
+            self._inlet_flow = -np.atleast_1d(self.solver.flow_rate(INLET_ID))
+        if METRICS.enabled:
+            member_cfl = stats.member_cfl or [stats.cfl] * self.n_members
+            member_its = stats.member_pressure_iterations or [
+                stats.pressure_iterations
+            ] * self.n_members
+            for e in range(self.n_members):
+                key = str(e)
+                _MEMBER_CFL.labels(key).set(member_cfl[e])
+                _MEMBER_INLET_FLOW.labels(key).set(self._inlet_flow[e])
+                _MEMBER_TIDAL.labels(key).set(self.windkessels[e].total_volume())
+                _MEMBER_P_ITER.labels(key).set(member_its[e])
+        elapsed = time.perf_counter() - t0
+        stats.wall_time += elapsed
+        if TRACER.enabled:
+            stats.substep_seconds["coupling"] = elapsed
+        self._cycle_inhaled += (
+            was_inhaling * np.maximum(self._inlet_flow, 0.0) * stats.dt
+        )
+        self._steps_this_cycle += 1
+        # per-member cycle rollover (protocol periods may differ)
+        for e, vent in enumerate(self.ventilators):
+            cycle = int(self.time / vent.settings.period)
+            if cycle > self._current_cycle[e]:
+                vent.end_of_cycle(self._cycle_inhaled[e])
+                self.cycle_records[e].append(
+                    CycleRecord(
+                        cycle=int(self._current_cycle[e]),
+                        tidal_volume=float(self._cycle_inhaled[e]),
+                        dp=vent.dp_history[-2],
+                        n_steps=int(self._steps_this_cycle[e]),
+                    )
+                )
+                self._cycle_inhaled[e] = 0.0
+                self._steps_this_cycle[e] = 0
+                self._current_cycle[e] = cycle
+        return stats
+
+    def run(
+        self,
+        t_end: float,
+        *,
+        max_steps: int = 10**7,
+        dt_initial: float | None = None,
+        checkpoints=None,
+    ):
+        """Advance all members to ``t_end``; the shared driver signature
+        (see :meth:`repro.ns.solver.IncompressibleNavierStokesSolver.run`)."""
+        stats = []
+        if dt_initial is not None and not self.solver.scheme.dt_history:
+            stats.append(self.step(min(dt_initial, t_end - self.time)))
+            if checkpoints is not None:
+                checkpoints.maybe_save(self)
+        while self.time < t_end - 1e-12 and len(stats) < max_steps:
+            stats.append(self.step())
+            if checkpoints is not None:
+                checkpoints.maybe_save(self)
+        return stats
+
+    # ------------------------------------------------------------------
+    def member_velocity(self, e: int) -> np.ndarray:
+        """Flat velocity vector of member ``e``."""
+        return np.asarray(self.solver.velocity[e])
+
+    def member_pressure(self, e: int):
+        p = self.solver.pressure
+        return None if p is None else np.asarray(p[e])
+
+    def tidal_volume_delivered(self) -> np.ndarray:
+        """Per-member compartment volume, shape ``(E,)``."""
+        return np.array([bank.total_volume() for bank in self.windkessels])
+
+    def member_records(self) -> list[MemberRecord]:
+        """End-of-run per-member summaries."""
+        return [
+            MemberRecord(
+                member=e,
+                config=self.configs[e],
+                tidal_volume=float(self.windkessels[e].total_volume()),
+                dp=self.ventilators[e].dp,
+                cycles=list(self.cycle_records[e]),
+            )
+            for e in range(self.n_members)
+        ]

@@ -11,22 +11,21 @@ rates update the compartment volumes (hence next step's outlet
 pressures) and the inlet flow updates the tubus pressure drop; at every
 cycle end the tidal-volume controller adjusts dp.
 
-Construction takes a single :class:`~repro.robustness.RunConfig`; the
-scattered keyword arguments of earlier versions still work through a
-deprecation shim that warns once per process.
+Construction takes a single :class:`~repro.robustness.RunConfig` (the
+scattered keyword arguments of earlier versions were removed after a
+deprecation period — build a config and pass ``config=...``).
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..ns.bc import BoundaryConditions, PressureDirichlet
 from ..ns.solver import IncompressibleNavierStokesSolver
-from ..robustness.config import LEGACY_SIMULATION_KWARGS, RunConfig
+from ..robustness.config import RunConfig
 from ..telemetry import TRACER
 from ..telemetry.metrics import METRICS
 from .airway_mesh import INLET_ID, LungMesh, airway_tree_mesh
@@ -59,22 +58,6 @@ _TIDAL_VOLUME = METRICS.gauge(
     "total volume stored across all windkessel compartments",
 )
 
-_legacy_warned = False
-
-
-def _warn_legacy_once() -> None:
-    global _legacy_warned
-    if not _legacy_warned:
-        _legacy_warned = True
-        warnings.warn(
-            "passing individual keyword arguments to LungVentilationSimulation "
-            "is deprecated; build a repro.robustness.RunConfig and pass it as "
-            "the single 'config' argument",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-
 @dataclass
 class CycleRecord:
     cycle: int
@@ -91,8 +74,7 @@ class LungVentilationSimulation:
     config:
         A :class:`~repro.robustness.RunConfig` describing the full run
         (mesh generation, discretization, solver, ventilation protocol,
-        and fault-tolerance policy).  A bare ``int`` is accepted as the
-        legacy positional ``generations`` argument.
+        windkessel R/C scaling, and fault-tolerance policy).
     lung_mesh:
         Optional pre-built mesh overriding the tree growth described by
         the config (kept out of ``RunConfig`` because meshes are not
@@ -101,30 +83,18 @@ class LungVentilationSimulation:
 
     def __init__(
         self,
-        config: RunConfig | int | None = None,
+        config: RunConfig | None = None,
         *,
         lung_mesh: LungMesh | None = None,
-        **legacy,
     ) -> None:
-        if isinstance(config, int):
-            # legacy positional `generations`
-            _warn_legacy_once()
-            config = RunConfig.from_legacy_kwargs(generations=config, **legacy)
-        elif legacy:
-            if config is not None:
-                raise TypeError(
-                    "pass either a RunConfig or legacy keyword arguments, "
-                    f"not both (got {sorted(legacy)})"
-                )
-            unknown = set(legacy) - LEGACY_SIMULATION_KWARGS
-            if unknown:
-                raise TypeError(
-                    f"unknown LungVentilationSimulation arguments: {sorted(unknown)}"
-                )
-            _warn_legacy_once()
-            config = RunConfig.from_legacy_kwargs(**legacy)
-        elif config is None:
+        if config is None:
             config = RunConfig()
+        elif not isinstance(config, RunConfig):
+            raise TypeError(
+                "LungVentilationSimulation takes a repro.robustness.RunConfig "
+                f"(got {type(config).__name__}); the legacy keyword-argument "
+                "shim was removed — build a RunConfig instead"
+            )
         self.config = config
 
         if lung_mesh is None:
@@ -140,6 +110,8 @@ class LungVentilationSimulation:
             terminal_generation=lung_mesh.tree.n_generations,
             n_outlets=lung_mesh.n_outlets,
             peep=self.ventilator.settings.peep,
+            resistance_scale=config.windkessel_resistance_scale,
+            compliance_scale=config.windkessel_compliance_scale,
         )
         self._inlet_flow = 0.0
 
@@ -234,11 +206,25 @@ class LungVentilationSimulation:
             self._current_cycle = cycle
         return stats
 
-    def run(self, t_end: float, max_steps: int = 10**7, checkpoints=None):
-        """Advance to ``t_end``; ``checkpoints`` (an optional
+    def run(
+        self,
+        t_end: float,
+        *,
+        max_steps: int = 10**7,
+        dt_initial: float | None = None,
+        checkpoints=None,
+    ):
+        """Advance to ``t_end``; the shared driver signature (see
+        :meth:`repro.ns.solver.IncompressibleNavierStokesSolver.run`).
+        ``dt_initial`` seeds the first step when no history exists yet;
+        ``checkpoints`` (an optional
         :class:`~repro.robustness.CheckpointManager`) is polled after
         every step so interval policies see the simulated time."""
         stats = []
+        if dt_initial is not None and not self.solver.scheme.dt_history:
+            stats.append(self.step(min(dt_initial, t_end - self.time)))
+            if checkpoints is not None:
+                checkpoints.maybe_save(self)
         while self.time < t_end - 1e-12 and len(stats) < max_steps:
             stats.append(self.step())
             if checkpoints is not None:

@@ -67,9 +67,17 @@ class WindkesselBank:
         total_resistance: float = TOTAL_RESISTANCE,
         tissue_fraction: float = TISSUE_FRACTION,
         total_compliance: float = TOTAL_COMPLIANCE,
+        resistance_scale: float = 1.0,
+        compliance_scale: float = 1.0,
     ) -> None:
+        """``resistance_scale``/``compliance_scale`` multiply the
+        morphometry-derived per-compartment R and C — the patient-
+        variability knobs ensemble runs sweep (stiff lung: compliance
+        scale < 1; obstructed airways: resistance scale > 1)."""
         if n_outlets < 1:
             raise ValueError("need at least one outlet")
+        if resistance_scale <= 0 or compliance_scale <= 0:
+            raise ValueError("windkessel R/C scales must be positive")
         self.terminal_generation = terminal_generation
         self.peep = float(peep)
         r_subtree = truncated_tree_resistance(terminal_generation + 1, 25)
@@ -78,7 +86,10 @@ class WindkesselBank:
         r_tissue = tissue_fraction * total_resistance * n_outlets
         c_outlet = total_compliance / n_outlets
         self.compartments = [
-            Compartment(resistance=r_subtree + r_tissue, compliance=c_outlet)
+            Compartment(
+                resistance=resistance_scale * (r_subtree + r_tissue),
+                compliance=compliance_scale * c_outlet,
+            )
             for _ in range(n_outlets)
         ]
 

@@ -296,8 +296,21 @@ class IncompressibleNavierStokesSolver:
 
         ``dg/dt`` is approximated by the same BDF formula as the velocity
         time derivative; the convective and rotational terms are
-        extrapolated from the history fields (Fehn et al. 2017)."""
+        extrapolated from the history fields (Fehn et al. 2017).
+
+        Ensemble-stacked histories assemble member by member (boundary-
+        face work only, far below the solves); ``E = 1`` keeps the
+        unbatched bitstream."""
         from ..core.operators.base import FaceKernels, physical_gradient
+
+        if u_history and getattr(u_history[0], "ndim", 1) == 2:
+            members = [
+                self._pressure_neumann_rhs(
+                    t_new, [u[e] for u in u_history], t_history, coeffs, dt
+                )
+                for e in range(u_history[0].shape[0])
+            ]
+            return np.stack(members)
 
         fk_u = FaceKernels(self.geo_u.kernel)
         fk_p = self.divergence.fk_p
@@ -404,10 +417,19 @@ class IncompressibleNavierStokesSolver:
             u = np.asarray(u0, dtype=self.compute_dtype)
         self.scheme.initialize(u, t0)
 
-    def _stamp_cfl(self, stats, vmax: float):
+    def _stamp_cfl(self, stats, vmax):
         """Record the realized CFL number on the step statistics: the
-        inverse of Eq. (6), ``CFL = dt * k^1.5 * max|J^{-1} u|``."""
-        stats.cfl = stats.dt * self.degree**1.5 * vmax
+        inverse of Eq. (6), ``CFL = dt * k^1.5 * max|J^{-1} u|``.
+
+        ``vmax`` is a per-member ``(E,)`` array for ensemble states;
+        members share dt, so the headline ``cfl`` is the batch maximum
+        while ``member_cfl`` records each member's realized number."""
+        scale = stats.dt * self.degree**1.5
+        if np.ndim(vmax) == 1:
+            stats.member_cfl = [scale * float(v) for v in np.asarray(vmax)]
+            stats.cfl = max(stats.member_cfl)
+        else:
+            stats.cfl = scale * vmax
         if METRICS.enabled:
             self._sample_health(stats)
         return stats
@@ -423,7 +445,8 @@ class IncompressibleNavierStokesSolver:
         _STEP_WALL.observe(stats.wall_time)
         _CFL_REALIZED.observe(stats.cfl)
         u = self.scheme.velocity
-        _KINETIC_ENERGY.set(0.5 * float(u @ u))
+        ke = 0.5 * float(u @ u) if u.ndim == 1 else 0.5 * float(np.vdot(u, u))
+        _KINETIC_ENERGY.set(ke)
         _DIVERGENCE_L2.set(self.divergence_l2())
         _PRESSURE_RESIDUAL.set(stats.pressure_residual)
 
@@ -442,22 +465,44 @@ class IncompressibleNavierStokesSolver:
         vmax = self.convective.max_reference_velocity(self.scheme.velocity)
         if dt is None:
             prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
-            dt = self.cfl.step_size(vmax, prev)
+            # ensemble members share dt: the fastest member sets the CFL
+            dt = self.cfl.step_size(float(np.max(vmax)), prev)
         # stamp the realized CFL for fixed dt too, so telemetry and the
         # verification ladders can flag stability-limit violations
         return self._stamp_cfl(self._advance(dt), vmax)
 
-    def run(self, t_end: float, max_steps: int = 10**7, dt_initial: float | None = None):
-        """Advance to ``t_end`` with adaptive steps; returns statistics."""
+    def run(
+        self,
+        t_end: float,
+        *,
+        max_steps: int = 10**7,
+        dt_initial: float | None = None,
+        checkpoints=None,
+    ):
+        """Advance to ``t_end`` with adaptive steps; returns the list of
+        per-step statistics.
+
+        This is the shared driver signature (keyword-only after
+        ``t_end``) also implemented by
+        :meth:`repro.lung.simulation.LungVentilationSimulation.run` and
+        :meth:`repro.lung.ensemble.EnsembleLungSimulation.run`:
+        ``dt_initial`` seeds the first step when no history exists yet,
+        and ``checkpoints`` (an optional
+        :class:`~repro.robustness.CheckpointManager`) is polled after
+        every step so interval policies see the simulated time."""
         stats = []
         if dt_initial is not None and not self.scheme.dt_history:
             stats.append(self.step(min(dt_initial, t_end - self.scheme.t)))
+            if checkpoints is not None:
+                checkpoints.maybe_save(self)
         while self.scheme.t < t_end - 1e-14 and len(stats) < max_steps:
             vmax = self.convective.max_reference_velocity(self.scheme.velocity)
             prev = self.scheme.dt_history[0] if self.scheme.dt_history else None
-            dt = self.cfl.step_size(vmax, prev)
+            dt = self.cfl.step_size(float(np.max(vmax)), prev)
             dt = min(dt, t_end - self.scheme.t)
             stats.append(self._stamp_cfl(self._advance(dt), vmax))
+            if checkpoints is not None:
+                checkpoints.maybe_save(self)
         return stats
 
     # -- post-processing ---------------------------------------------------
@@ -483,30 +528,45 @@ class IncompressibleNavierStokesSolver:
         ex = np.moveaxis(ex, 0, 1)
         return float(np.sqrt(np.sum((uq - ex) ** 2 * cm.jxw[:, None])))
 
-    def max_divergence(self) -> float:
-        """max |div u| at quadrature points — the quantity the penalty
-        step controls."""
+    def _divergence_field(self) -> np.ndarray:
+        """div(u) at quadrature points; ensemble states get a leading
+        member axis."""
         u = self.dof_u.cell_view(self.velocity)
         kern = self.geo_u.kernel
         cm = self.geo_u.cell_metrics()
-        grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
-        div = contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
-        return float(np.abs(div).max())
+        grads = np.stack(
+            [kern.gradients(u[..., i, :, :, :]) for i in range(3)], axis=-5
+        )
+        if u.ndim == 6:
+            return contract("cilzyx,ecilzyx->eczyx", cm.jinv_t, grads)
+        return contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
+
+    def max_divergence(self) -> float:
+        """max |div u| at quadrature points — the quantity the penalty
+        step controls (the batch maximum for ensemble states)."""
+        return float(np.abs(self._divergence_field()).max())
 
     def divergence_l2(self) -> float:
         """``||div u||_L2`` over the domain — the integral counterpart
         of :meth:`max_divergence`, smoother under mesh refinement and
-        the quantity the health metrics track per step."""
-        u = self.dof_u.cell_view(self.velocity)
-        kern = self.geo_u.kernel
+        the quantity the health metrics track per step.  Ensemble states
+        report the root-sum-square over all members."""
+        div = self._divergence_field()
         cm = self.geo_u.cell_metrics()
-        grads = np.stack([kern.gradients(u[:, i]) for i in range(3)], axis=1)
-        div = contract("cilzyx,cilzyx->czyx", cm.jinv_t, grads)
         return float(np.sqrt(np.sum(div**2 * cm.jxw)))
 
-    def flow_rate(self, boundary_id: int) -> float:
-        """Volumetric flow rate through a boundary (outward positive)."""
-        u = self.dof_u.cell_view(self.velocity)
+    def flow_rate(self, boundary_id: int):
+        """Volumetric flow rate through a boundary (outward positive).
+
+        Returns a float; ensemble states yield a per-member ``(E,)``
+        array (``E = 1`` evaluates on the unbatched bitstream)."""
+        return self._flow_rate_of(self.velocity, boundary_id)
+
+    def _flow_rate_of(self, u_flat: np.ndarray, boundary_id: int):
+        if u_flat.ndim == 2 and u_flat.shape[0] == 1:
+            return np.array([self._flow_rate_of(u_flat[0], boundary_id)])
+        u = self.dof_u.cell_view(u_flat)
+        ensemble = u.ndim == 6
         total = 0.0
         from ..core.operators.base import FaceKernels
 
@@ -514,8 +574,13 @@ class IncompressibleNavierStokesSolver:
         for batch, fm in zip(self.conn.boundary, self.divergence.bdry_metrics):
             if batch.boundary_id != boundary_id:
                 continue
-            tm = self.geo_u.kernel.face_nodal_trace(u[batch.cells], batch.face)
+            uc = u[:, batch.cells] if ensemble else u[batch.cells]
+            tm = self.geo_u.kernel.face_nodal_trace(uc, batch.face)
             vm = fk.to_quad(tm)
-            un = contract("fiab,fiab->fab", fm.normal, vm)
-            total += float((un * fm.jxw).sum())
+            sub = "fiab,efiab->efab" if ensemble else "fiab,fiab->fab"
+            un = contract(sub, fm.normal, vm)
+            if ensemble:
+                total = total + (un * fm.jxw).sum(axis=(-3, -2, -1))
+            else:
+                total += float((un * fm.jxw).sum())
         return total

@@ -259,12 +259,15 @@ def _lung_step_case(name: str, smoke: bool, dtype: str = "float64") -> dict:
 
 def _suite_vmult(smoke: bool, degree: int, select=_always,
                  dtype: str = "float64") -> list[dict]:
-    """The PR 2 planned-vs-legacy gate on the new schema: DG/vector
-    Laplace vmult and the multigrid setup path in both execution modes."""
+    """The PR 2 planned-vs-legacy gate on the new schema (DG/vector
+    Laplace vmult and the multigrid setup path in both execution modes)
+    plus the ensemble-axis scaling cases: one batched ``(E, n)`` vmult
+    against ``E`` sequential single-member calls."""
     from ..core.dof_handler import DGDofHandler
     from ..core.operators import VectorDGLaplace
+    from ..core.plans import plan_execution
     from ..solvers.multigrid import operator_to_dtype
-    from .measure import measure_operator
+    from .measure import measure_operator, measure_throughput
 
     ds = str(np.dtype(dtype))
     sfx = dtype_suffix(ds)
@@ -289,20 +292,18 @@ def _suite_vmult(smoke: bool, degree: int, select=_always,
 
             name = f"{mesh_name}/dg_laplace/{mode}{sfx}"
             if select(name):
-                op = make_op()
-                op.use_plans = use_plans
-                r = measure_operator(operator_to_dtype(op, ds), name=name,
-                                     repetitions=reps, dtype=ds)
+                with plan_execution(use_plans):
+                    r = measure_operator(operator_to_dtype(make_op(), ds),
+                                         name=name, repetitions=reps, dtype=ds)
                 cases.append(_throughput_case(name, r, m, ds))
 
             name = f"{mesh_name}/vector_laplace/{mode}{sfx}"
             if select(name):
-                op = make_op()
-                op.use_plans = use_plans
-                vec = VectorDGLaplace(op, dof_v)
-                vec.use_plans = use_plans
-                r = measure_operator(operator_to_dtype(vec, ds), name=name,
-                                     repetitions=max(2, reps // 2), dtype=ds)
+                vec = VectorDGLaplace(make_op(), dof_v)
+                with plan_execution(use_plans):
+                    r = measure_operator(operator_to_dtype(vec, ds), name=name,
+                                         repetitions=max(2, reps // 2),
+                                         dtype=ds)
                 cases.append(_throughput_case(name, r, m, ds))
 
             name = f"{mesh_name}/mg_setup/{mode}{sfx}"
@@ -313,6 +314,43 @@ def _suite_vmult(smoke: bool, degree: int, select=_always,
                     name, dof.n_dofs, 1.0 / sec, "setups/s",
                     {"best_seconds": sec}, m, ds,
                 ))
+
+    # ensemble-axis scaling: a single batched (E, n) vmult amortizes the
+    # per-call dispatch/scatter overhead over all members; the
+    # sequential_e8 reference is 8 single-member calls.  Pinned to the
+    # small box_r1 mesh — the strong-scaling-limit regime (small
+    # per-member problem, overhead-dominated) the ensemble axis targets;
+    # at cache-exceeding sizes the batched path is memory-bound and the
+    # axis buys nothing.
+    reps = meshes[0][2]
+    mesh_name, forest = "box_r1", _box_forest(1)
+    _, _, _, op = _dg_laplace(forest, degree)
+    op = operator_to_dtype(op, ds)
+    e_meta = {"mesh": mesh_name, "n_cells": forest.n_cells, "degree": degree}
+    rng = np.random.default_rng(0)
+    for members in (1, 2, 4, 8):
+        name = f"{mesh_name}/dg_laplace/ensemble_e{members}{sfx}"
+        if select(name):
+            x = rng.standard_normal((members, op.n_dofs)).astype(ds)
+            r = measure_throughput(
+                lambda: op.vmult(x), n_dofs=members * op.n_dofs,
+                name=name, repetitions=reps,
+            )
+            cases.append(_throughput_case(
+                name, r, dict(e_meta, mode="ensemble", members=members), ds))
+    name = f"{mesh_name}/dg_laplace/sequential_e8{sfx}"
+    if select(name):
+        x = rng.standard_normal((8, op.n_dofs)).astype(ds)
+
+        def run_sequential():
+            for e in range(8):
+                op.vmult(x[e])
+
+        r = measure_throughput(
+            run_sequential, n_dofs=8 * op.n_dofs, name=name, repetitions=reps,
+        )
+        cases.append(_throughput_case(
+            name, r, dict(e_meta, mode="sequential", members=8), ds))
     return cases
 
 
@@ -320,26 +358,96 @@ def _measure_mg_setup(make_op, use_plans: bool, repetitions: int = 3,
                       dtype: str = "float64") -> float:
     """Best wall time of the multigrid setup path on a fresh operator:
     diagonal + Jacobi + Chebyshev/Lanczos construction."""
+    from ..core.plans import plan_execution
     from ..solvers.chebyshev import ChebyshevSmoother
     from ..solvers.jacobi import JacobiPreconditioner
     from ..solvers.multigrid import operator_to_dtype
 
     best = float("inf")
     for _ in range(repetitions):
-        op = make_op()
-        op.use_plans = use_plans
-        op = operator_to_dtype(op, dtype)
-        t0 = time.perf_counter()
-        jac = JacobiPreconditioner(op, dtype=np.dtype(dtype))
-        ChebyshevSmoother(op, degree=3, jacobi=jac)
-        best = min(best, time.perf_counter() - t0)
+        op = operator_to_dtype(make_op(), dtype)
+        with plan_execution(use_plans):
+            t0 = time.perf_counter()
+            jac = JacobiPreconditioner(op, dtype=np.dtype(dtype))
+            ChebyshevSmoother(op, degree=3, jacobi=jac)
+            best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _suite_ensemble(smoke: bool, degree: int, select=_always,
+                    dtype: str = "float64") -> list[dict]:
+    """Full coupled lung steps on the ensemble axis: E=4 members batched
+    through one solver setup versus the same members as independent
+    sequential simulations.  The throughput metric is aggregate DoF/s
+    (members x DoF per step time), so the two cases are directly
+    comparable."""
+    from ..lung import EnsembleLungSimulation, LungVentilationSimulation
+    from ..robustness import RunConfig
+
+    ds = str(np.dtype(dtype))
+    sfx = dtype_suffix(ds)
+    members = 4
+    n_steps = 2 if smoke else 5
+    cfg = RunConfig(generations=1, degree=2, seed=0, compute_dtype=ds)
+    meta = {"generations": 1, "degree": 2, "members": members}
+    cases: list[dict] = []
+
+    name = f"lung_g1/ensemble_step_e{members}{sfx}"
+    if select(name):
+        sim = EnsembleLungSimulation([cfg] * members)
+        n_dofs = sim.solver.dof_u.n_dofs + sim.solver.dof_p.n_dofs
+        sim.step()  # warm-up: plan caches, preconditioner setup
+        seconds = []
+        for _ in range(n_steps):
+            t0 = time.perf_counter()
+            sim.step()
+            seconds.append(time.perf_counter() - t0)
+        best = min(seconds)
+        cases.append(_case(
+            name, members * n_dofs, members * n_dofs / best, "dofs/s",
+            {
+                "best_seconds": best,
+                "mean_seconds": sum(seconds) / len(seconds),
+                "dofs_per_second": members * n_dofs / best,
+                "repetitions": n_steps,
+            },
+            dict(meta, mode="ensemble", n_cells=sim.lung.forest.n_cells),
+            ds,
+        ))
+
+    name = f"lung_g1/sequential_step_e{members}{sfx}"
+    if select(name):
+        sims = [LungVentilationSimulation(cfg) for _ in range(members)]
+        n_dofs = sims[0].solver.dof_u.n_dofs + sims[0].solver.dof_p.n_dofs
+        for s in sims:
+            s.step()  # warm-up
+        seconds = []
+        for _ in range(n_steps):
+            t0 = time.perf_counter()
+            for s in sims:
+                s.step()
+            seconds.append(time.perf_counter() - t0)
+        best = min(seconds)
+        cases.append(_case(
+            name, members * n_dofs, members * n_dofs / best, "dofs/s",
+            {
+                "best_seconds": best,
+                "mean_seconds": sum(seconds) / len(seconds),
+                "dofs_per_second": members * n_dofs / best,
+                "repetitions": n_steps,
+            },
+            dict(meta, mode="sequential",
+                 n_cells=sims[0].lung.forest.n_cells),
+            ds,
+        ))
+    return cases
 
 
 #: Declared benchmark suites: name -> runner(smoke, degree, select).
 SUITES = {
     "ops": _suite_ops,
     "vmult": _suite_vmult,
+    "ensemble": _suite_ensemble,
 }
 
 

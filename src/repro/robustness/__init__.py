@@ -18,7 +18,7 @@ long-horizon production simulations actually hit:
 """
 
 from .checkpointing import CheckpointManager
-from .config import LEGACY_SIMULATION_KWARGS, RobustnessSettings, RunConfig
+from .config import RobustnessSettings, RunConfig
 from .recovery import (
     FallbackTier,
     PressureFallbackChain,
@@ -31,7 +31,6 @@ from .recovery import (
 __all__ = [
     "CheckpointManager",
     "FallbackTier",
-    "LEGACY_SIMULATION_KWARGS",
     "PressureFallbackChain",
     "RecoveryEvent",
     "RobustnessSettings",

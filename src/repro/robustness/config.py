@@ -24,22 +24,6 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
-#: keyword arguments of the pre-RunConfig LungVentilationSimulation
-#: constructor, accepted by the deprecation shim
-LEGACY_SIMULATION_KWARGS = frozenset(
-    {
-        "generations",
-        "degree",
-        "scale",
-        "refine_upper_generations",
-        "ventilation",
-        "solver_settings",
-        "viscosity",
-        "seed",
-    }
-)
-
-
 @dataclass(frozen=True)
 class RobustnessSettings:
     """Fault-tolerance policy of a long-horizon run.
@@ -102,6 +86,10 @@ class RunConfig:
     #: "float32"); checkpoints and the outer pressure iteration stay in
     #: double precision either way (Section 3.4 mixed precision)
     compute_dtype: str = "float64"
+    #: patient-variability multipliers on the morphometry-derived
+    #: windkessel R and C — the per-member knobs ensemble runs sweep
+    windkessel_resistance_scale: float = 1.0
+    windkessel_compliance_scale: float = 1.0
     solver: Any = None  # SolverSettings
     ventilation: Any = None  # VentilationSettings
     robustness: RobustnessSettings | None = None
@@ -138,6 +126,8 @@ class RunConfig:
             "viscosity": self.viscosity,
             "seed": self.seed,
             "compute_dtype": self.compute_dtype,
+            "windkessel_resistance_scale": self.windkessel_resistance_scale,
+            "windkessel_compliance_scale": self.windkessel_compliance_scale,
             "solver": dataclasses.asdict(self.solver),
             "ventilation": dataclasses.asdict(self.ventilation),
             "robustness": dataclasses.asdict(self.robustness),
@@ -156,6 +146,8 @@ class RunConfig:
             "viscosity",
             "seed",
             "compute_dtype",
+            "windkessel_resistance_scale",
+            "windkessel_compliance_scale",
         )
         unknown = set(d) - set(scalar_keys) - {"solver", "ventilation", "robustness"}
         if unknown:
@@ -179,19 +171,6 @@ class RunConfig:
         return cls.from_dict(json.loads(text))
 
     # -- construction fronts -------------------------------------------
-    @classmethod
-    def from_legacy_kwargs(cls, **kwargs) -> "RunConfig":
-        """Map the pre-RunConfig ``LungVentilationSimulation`` keyword
-        arguments onto a config (the deprecation-shim backend)."""
-        unknown = set(kwargs) - LEGACY_SIMULATION_KWARGS
-        if unknown:
-            raise TypeError(
-                f"unknown LungVentilationSimulation arguments: {sorted(unknown)}"
-            )
-        if "solver_settings" in kwargs:
-            kwargs["solver"] = kwargs.pop("solver_settings")
-        return cls(**kwargs)
-
     @classmethod
     def from_args(cls, args) -> "RunConfig":
         """Build a config from the CLI ``lung`` argparse namespace.

@@ -67,6 +67,9 @@ class SolverResult:
     residuals: list[float] = field(default_factory=list)
     failure_reason: str | None = None
     tier: str = ""
+    #: per-member iteration counts of an ensemble (batched) solve —
+    #: members that converge early stop accumulating; None for flat solves
+    member_iterations: list[int] | None = None
 
     @property
     def reduction_rate(self) -> float:
@@ -116,7 +119,22 @@ def conjugate_gradient(
     """
     label = f"cg[{name}]" if name else "cg"
     with TRACER.span(label):
-        result = _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0, dtype)
+        if getattr(b, "ndim", 1) == 2:
+            if b.shape[0] == 1:
+                # E=1 runs the flat iteration so it stays bitwise
+                # identical to an unbatched solve
+                result = _pcg(
+                    op, b[0], preconditioner, tol, abs_tol, max_iter,
+                    None if x0 is None else np.asarray(x0)[0], dtype,
+                )
+                result.x = result.x[None]
+                result.member_iterations = [result.n_iterations]
+            else:
+                result = _pcg_batched(
+                    op, b, preconditioner, tol, abs_tol, max_iter, x0, dtype
+                )
+        else:
+            result = _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0, dtype)
     # every solve records a failure_reason outcome ('none' on success),
     # so the per-call-site reason counters always sum to the solve count
     reason = result.failure_reason or "none"
@@ -194,6 +212,90 @@ def _pcg(op, b, preconditioner, tol, abs_tol, max_iter, x0, dtype=np.float64) ->
         p += z
         rz = rz_new
     return SolverResult(x, max_iter, False, residuals, failure_reason="max_iterations")
+
+
+def _pcg_batched(
+    op, b, preconditioner, tol, abs_tol, max_iter, x0, dtype=np.float64
+) -> SolverResult:
+    """Ensemble-stacked PCG: one lockstep iteration over ``(E, n)``
+    states with per-member convergence masks.
+
+    All members share every operator and preconditioner application (the
+    fused ensemble vmult); per-member scalars (``alpha``, ``beta``) are
+    masked so converged or failed members freeze in place without
+    desynchronizing the batch.  ``residuals`` records the worst member
+    per iteration; ``member_iterations`` counts each member's own
+    iterations until convergence.
+    """
+    dtype = np.dtype(dtype)
+    b = np.asarray(b, dtype=dtype)
+    n_members = b.shape[0]
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=dtype)
+    r = b - op.vmult(x) if x0 is not None else b.copy()
+    b_norm = np.linalg.norm(b, axis=1)
+    threshold = np.maximum(tol * b_norm, abs_tol)
+    res = np.linalg.norm(r, axis=1)
+    residuals = [float(res.max())]
+    member_iterations = np.zeros(n_members, dtype=int)
+    if not np.isfinite(res).all():
+        return SolverResult(
+            x, 0, False, residuals, failure_reason="nan_residual",
+            member_iterations=member_iterations.tolist(),
+        )
+    active = (res > threshold) & (b_norm > 0.0)
+    if not active.any():
+        return SolverResult(
+            x, 0, True, residuals,
+            member_iterations=member_iterations.tolist(),
+        )
+    M = preconditioner or IdentityPreconditioner()
+    z = np.asarray(M.vmult(r), dtype=dtype)
+    p = z.copy()
+    rz = (r * z).sum(axis=1)
+    failure: str | None = None
+    it = 0
+    for it in range(1, max_iter + 1):
+        Ap = op.vmult(p)
+        pAp = (p * Ap).sum(axis=1)
+        bad = active & ~np.isfinite(pAp)
+        if bad.any():
+            failure = "nan_residual"
+            active = active & ~bad
+        broke = active & (pAp <= 0)
+        if broke.any():
+            failure = "breakdown"
+            active = active & ~broke
+        if not active.any():
+            break
+        # masked update: converged/failed members get alpha = 0 and
+        # freeze; guarded denominators keep the arithmetic finite
+        denom = np.where(pAp != 0, pAp, 1.0)
+        alpha = np.where(active, rz / denom, 0.0)
+        x += alpha[:, None] * p
+        r -= alpha[:, None] * Ap
+        member_iterations[active] += 1
+        res = np.linalg.norm(r, axis=1)
+        residuals.append(float(res.max()))
+        nan_members = active & ~np.isfinite(res)
+        if nan_members.any():
+            failure = "nan_residual"
+            active = active & ~nan_members
+        active = active & (res > threshold)
+        if not active.any():
+            break
+        z = np.asarray(M.vmult(r), dtype=dtype)
+        rz_new = (r * z).sum(axis=1)
+        beta = np.where(active, rz_new / np.where(rz != 0, rz, 1.0), 0.0)
+        p *= beta[:, None]
+        p += np.where(active[:, None], z, z.dtype.type(0))
+        rz = rz_new
+    else:
+        failure = failure or "max_iterations"
+    converged = failure is None and not active.any()
+    return SolverResult(
+        x, it, converged, residuals, failure_reason=failure,
+        member_iterations=member_iterations.tolist(),
+    )
 
 
 def lanczos_max_eigenvalue(op, preconditioner=None, n_iter: int = 12,

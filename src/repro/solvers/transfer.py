@@ -38,9 +38,15 @@ class Transfer:
         self.Pt = self.P.T.tocsr()
 
     def prolongate(self, xc: np.ndarray) -> np.ndarray:
+        """Coarse -> fine; ensemble-stacked (E, n_c) maps row-wise."""
+        if xc.ndim == 2:
+            return (self.P @ xc.T).T
         return self.P @ xc
 
     def restrict(self, rf: np.ndarray) -> np.ndarray:
+        """Fine -> coarse (P^T); ensemble-stacked input maps row-wise."""
+        if rf.ndim == 2:
+            return (self.Pt @ rf.T).T
         return self.Pt @ rf
 
     def to_precision(self, dtype) -> "Transfer":

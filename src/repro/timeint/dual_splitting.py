@@ -51,6 +51,8 @@ class StepStatistics:
     wall_time: float = 0.0
     pressure_residual: float = float("nan")
     substep_seconds: dict[str, float] = field(default_factory=dict)
+    member_cfl: list[float] | None = None
+    member_pressure_iterations: list[int] | None = None
 
 
 @dataclass
@@ -134,6 +136,9 @@ class DualSplittingScheme:
 
     def _project_mean_free(self, v: np.ndarray) -> np.ndarray:
         """Remove the nullspace component for pure-Neumann pressure."""
+        if v.ndim == 2:  # ensemble-stacked: project each member
+            ones = np.ones_like(v[0])
+            return v - ((v @ ones) / (ones @ ones))[:, None] * ones
         ones = np.ones_like(v)
         return v - (v @ ones) / (ones @ ones) * ones
 
@@ -318,6 +323,7 @@ class DualSplittingScheme:
             wall_time=wall,
             pressure_residual=p_res,
             substep_seconds=substeps,
+            member_pressure_iterations=getattr(res_p, "member_iterations", None),
         )
         self.statistics.append(stats)
         return stats

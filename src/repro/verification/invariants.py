@@ -130,30 +130,34 @@ def check_plan_equivalence(
     n_in: int | None = None,
 ) -> float:
     """The planned hot path must match the legacy reference execution
-    (``use_plans = False``) on the same random input.  ``apply`` defaults
-    to ``op.vmult``; pass e.g. ``lambda op, x: op.apply(x, t)`` for
-    operators with an inhomogeneous entry point.  ``n_in`` overrides the
-    probe size for rectangular operators whose input space differs from
-    ``op.n_dofs`` (e.g. the divergence, which maps velocity to pressure).
+    (``plan_execution(use_plans=False)``) on the same random input.
+    ``apply`` defaults to ``op.vmult``; pass e.g. ``lambda op, x:
+    op.apply(x, t)`` for operators with an inhomogeneous entry point.
+    ``n_in`` overrides the probe size for rectangular operators whose
+    input space differs from ``op.n_dofs`` (e.g. the divergence, which
+    maps velocity to pressure).
     """
+    from ..core.plans import plan_execution
+
     apply = apply or (lambda o, x: o.vmult(x))
     worst = 0.0
+    # a per-operator override would shadow the scoped policy: lift it
+    # for the duration of the check and put it back afterwards
     had_override = "use_plans" in op.__dict__
-    saved = op.__dict__.get("use_plans")
-    for _ in range(n_trials):
-        x = _probe(rng, op.n_dofs if n_in is None else n_in)
-        op.use_plans = True
-        planned = apply(op, x)
-        op.use_plans = False
-        try:
-            reference = apply(op, x)
-        finally:
-            if had_override:
-                op.use_plans = saved
-            else:
-                del op.__dict__["use_plans"]
-        scale = max(float(np.abs(reference).max()), 1e-30)
-        worst = max(worst, float(np.abs(planned - reference).max()) / scale)
+    saved = op.__dict__.pop("use_plans", None)
+    try:
+        for _ in range(n_trials):
+            x = _probe(rng, op.n_dofs if n_in is None else n_in)
+            with plan_execution(True):
+                planned = apply(op, x)
+            with plan_execution(False):
+                reference = apply(op, x)
+            scale = max(float(np.abs(reference).max()), 1e-30)
+            worst = max(worst,
+                        float(np.abs(planned - reference).max()) / scale)
+    finally:
+        if had_override:
+            op.__dict__["use_plans"] = saved
     if worst > max(rtol, atol):
         raise InvariantViolation(
             f"{type(op).__name__}: planned vs reference defect {worst:.3e}"

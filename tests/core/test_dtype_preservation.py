@@ -131,10 +131,12 @@ class TestDtypePreserved:
     @pytest.mark.parametrize("use_plans", [False, True],
                              ids=["legacy", "planned"])
     def test_dg_laplace_both_execution_modes(self, setup, use_plans):
+        from repro.core.plans import plan_execution
+
         op32 = operator_to_dtype(setup[4]["dg_laplace"], np.float32)
-        op32.use_plans = use_plans
         x = _input_vector(op32, "dg_laplace", np.float32)
-        assert op32.vmult(x).dtype == np.float32
+        with plan_execution(use_plans):
+            assert op32.vmult(x).dtype == np.float32
 
 
 class TestFp32MatchesFp64:

@@ -1,0 +1,184 @@
+"""Tests of the ensemble leading axis through the matrix-free operator
+stack: E=1 must ride the unbatched bitstream exactly, and E>1 members
+must be independent (each row of a batched apply equals the same flat
+apply), at both compute precisions."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import box
+from repro.mesh.octree import Forest
+from repro.ns import (
+    BeltramiFlow,
+    BoundaryConditions,
+    IncompressibleNavierStokesSolver,
+    SolverSettings,
+    VelocityDirichlet,
+)
+from repro.solvers.multigrid import operator_to_dtype
+
+
+@pytest.fixture(scope="module")
+def solver():
+    mesh = box(subdivisions=(1, 1, 1), boundary_ids={i: 1 for i in range(6)})
+    forest = Forest(mesh).refine_all(1)
+    flow = BeltramiFlow(0.05)
+    bcs = BoundaryConditions(
+        {1: VelocityDirichlet(lambda x, y, z, t: flow.velocity(x, y, z, t))}
+    )
+    s = IncompressibleNavierStokesSolver(
+        forest, 2, 0.05, bcs, SolverSettings(solver_tolerance=1e-8)
+    )
+    s.initialize(flow.velocity)
+    return s
+
+
+def _ops(solver):
+    """(name, operator, input size) for every linear vmult in the stack."""
+    return [
+        ("mass", solver.mass_u, solver.dof_u.n_dofs),
+        ("inverse_mass", solver.inv_mass_u, solver.dof_u.n_dofs),
+        ("vector_laplace", solver.vector_laplace, solver.dof_u.n_dofs),
+        ("helmholtz", solver.helmholtz, solver.dof_u.n_dofs),
+        ("penalty", solver.penalty, solver.dof_u.n_dofs),
+        ("penalty_step", solver.penalty_step, solver.dof_u.n_dofs),
+        ("divergence", solver.divergence, solver.dof_u.n_dofs),
+        ("gradient", solver.gradient, solver.dof_p.n_dofs),
+        ("pressure_poisson", solver.pressure_poisson, solver.dof_p.n_dofs),
+    ]
+
+
+class TestE1Bitwise:
+    """A single-member batch reproduces the flat bitstream exactly."""
+
+    def test_all_operators(self, solver):
+        rng = np.random.default_rng(0)
+        for name, op, n in _ops(solver):
+            x = rng.standard_normal(n)
+            flat = op.vmult(x)
+            batched = op.vmult(x[None])
+            assert batched.shape == (1,) + flat.shape, name
+            assert np.array_equal(batched[0], flat), name
+
+    def test_convective_apply(self, solver):
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal(solver.dof_u.n_dofs)
+        flat = solver.convective.apply(u, t=0.1)
+        batched = solver.convective.apply(u[None], t=0.1)
+        assert np.array_equal(batched[0], flat)
+
+    def test_max_reference_velocity(self, solver):
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal(solver.dof_u.n_dofs)
+        flat = solver.convective.max_reference_velocity(u)
+        batched = solver.convective.max_reference_velocity(u[None])
+        assert batched.shape == (1,)
+        assert batched[0] == flat
+
+    def test_flow_rate_and_divergence(self, solver):
+        rng = np.random.default_rng(3)
+        u = rng.standard_normal(solver.dof_u.n_dofs)
+        assert solver._flow_rate_of(u[None], 1)[0] == \
+            solver._flow_rate_of(u, 1)
+
+
+class TestMemberIndependence:
+    """Rows of a batched apply match the same member applied flat: no
+    cross-member coupling anywhere in the stack."""
+
+    E = 3
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_all_operators(self, solver, dtype):
+        rng = np.random.default_rng(4)
+        rtol = 1e-12 if dtype == "float64" else 1e-4
+        for name, op, n in _ops(solver):
+            opd = operator_to_dtype(op, dtype)
+            X = rng.standard_normal((self.E, n)).astype(dtype)
+            batched = opd.vmult(X)
+            for e in range(self.E):
+                ref = opd.vmult(X[e])
+                scale = max(np.abs(ref).max(), 1e-30)
+                np.testing.assert_allclose(
+                    batched[e], ref, rtol=rtol, atol=rtol * scale,
+                    err_msg=f"{name} member {e} @ {dtype}",
+                )
+
+    def test_convective_members(self, solver):
+        rng = np.random.default_rng(5)
+        U = rng.standard_normal((self.E, solver.dof_u.n_dofs))
+        batched = solver.convective.apply(U, t=0.0)
+        for e in range(self.E):
+            ref = solver.convective.apply(U[e], t=0.0)
+            scale = np.abs(ref).max()
+            np.testing.assert_allclose(batched[e], ref,
+                                       rtol=1e-12, atol=1e-12 * scale)
+
+    def test_permuting_members_permutes_results(self, solver):
+        rng = np.random.default_rng(6)
+        op = solver.vector_laplace
+        X = rng.standard_normal((self.E, solver.dof_u.n_dofs))
+        perm = [2, 0, 1]
+        y = op.vmult(X)
+        y_perm = op.vmult(X[perm])
+        np.testing.assert_allclose(y_perm, y[perm], rtol=1e-13,
+                                   atol=1e-13 * np.abs(y).max())
+
+
+@pytest.fixture(scope="module")
+def laplace_op():
+    from repro.core.dof_handler import DGDofHandler
+    from repro.core.operators import DGLaplaceOperator
+    from repro.mesh.connectivity import build_connectivity
+    from repro.mesh.mapping import GeometryField
+
+    # two boundary face directions carry the Dirichlet id, so the
+    # assembly sees more than one boundary batch
+    forest = Forest(box(subdivisions=(2, 1, 1), boundary_ids={0: 1, 1: 1})
+                    ).refine_all(1)
+    geo = GeometryField(forest, 2)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, 2)
+    return DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
+
+
+class TestEnsembleAssembleRhs:
+    """Boundary callables returning (E, F, a, b) data drive an
+    ensemble-stacked right-hand side; member-independent volume data is
+    broadcast."""
+
+    def test_member_rows_match_flat_assembly(self, laplace_op):
+        op = laplace_op
+        coeffs = (1.0, -0.5, 2.0)
+
+        def stacked_dirichlet(x, y, z):
+            return np.stack([c * x + 0.1 * y for c in coeffs])
+
+        rhs = op.assemble_rhs(f=lambda x, y, z: x * y + z,
+                              dirichlet=stacked_dirichlet)
+        assert rhs.shape == (len(coeffs), op.n_dofs)
+        for e, c in enumerate(coeffs):
+            flat = op.assemble_rhs(
+                f=lambda x, y, z: x * y + z,
+                dirichlet=lambda x, y, z, _c=c: _c * x + 0.1 * y,
+            )
+            np.testing.assert_allclose(rhs[e], flat, rtol=1e-13,
+                                       atol=1e-13 * np.abs(flat).max())
+
+    def test_e1_stacked_boundary_data_is_bitwise(self, laplace_op):
+        op = laplace_op
+        rhs1 = op.assemble_rhs(
+            dirichlet=lambda x, y, z: np.stack([2.0 * x - z]))
+        flat = op.assemble_rhs(dirichlet=lambda x, y, z: 2.0 * x - z)
+        assert rhs1.shape == (1, op.n_dofs)
+        assert np.array_equal(rhs1[0], flat)
+
+    def test_inconsistent_ensemble_sizes_rejected(self, laplace_op):
+        op = laplace_op
+        sizes = iter([2, 3])
+
+        def bad(x, y, z):
+            return np.stack([x] * next(sizes))
+
+        with pytest.raises(ValueError, match="inconsistent ensemble"):
+            op.assemble_rhs(dirichlet=bad)

@@ -3,9 +3,10 @@ planned operator paths against their legacy references.
 
 The legacy execution — ``np.add.at`` scatters, per-call einsum path
 searches, fresh temporaries, and the unit-vector diagonal — stays
-available via ``op.use_plans = False`` and serves as the reference for
-every equivalence assertion here, on meshes with hanging faces and with
-non-identity face orientations (the bifurcation junction).
+available via ``plan_execution(use_plans=False)`` and serves as the
+reference for every equivalence assertion here, on meshes with hanging
+faces and with non-identity face orientations (the bifurcation
+junction).
 """
 
 import numpy as np
@@ -20,10 +21,12 @@ from repro.core.operators import (
 )
 from repro.core.plans import (
     _PATH_CACHE,
+    POLICY,
     FlatScatterPlan,
     ScatterPlan,
     Workspace,
     contract,
+    plan_execution,
 )
 from repro.mesh.connectivity import build_connectivity
 from repro.mesh.generators import bifurcation, box
@@ -216,12 +219,11 @@ class TestPlannedVmultEquivalence:
     def check(self, op, n, seed=0, rtol=1e-13):
         rng = np.random.default_rng(seed)
         x = rng.standard_normal(n)
-        op.use_plans = True
-        y_planned = op.vmult(x)
-        y_planned2 = op.vmult(x)  # second call: warm workspace buffers
-        op.use_plans = False
-        y_legacy = op.vmult(x)
-        del op.use_plans
+        with plan_execution(True):
+            y_planned = op.vmult(x)
+            y_planned2 = op.vmult(x)  # second call: warm workspace buffers
+        with plan_execution(False):
+            y_legacy = op.vmult(x)
         scale = np.abs(y_legacy).max()
         np.testing.assert_allclose(y_planned, y_legacy, rtol=rtol,
                                    atol=rtol * scale)
@@ -244,10 +246,10 @@ class TestPlannedVmultEquivalence:
         sp = single_precision_operator(op)
         rng = np.random.default_rng(7)
         x = rng.standard_normal(sp.n_dofs).astype(np.float32)
-        sp.use_plans = True
-        y_planned = sp.vmult(x)
-        sp.use_plans = False
-        y_legacy = sp.vmult(x)
+        with plan_execution(True):
+            y_planned = sp.vmult(x)
+        with plan_execution(False):
+            y_legacy = sp.vmult(x)
         assert y_planned.dtype == y_legacy.dtype
         scale = np.abs(y_legacy).max()
         np.testing.assert_allclose(y_planned, y_legacy, rtol=2e-5,
@@ -272,10 +274,10 @@ class TestPlannedVmultEquivalence:
         op = VectorDGLaplace(scalar, dof_v)
         rng = np.random.default_rng(8)
         x = rng.standard_normal(op.n_dofs)
-        op.use_plans = scalar.use_plans = True
-        y_planned = op.vmult(x)
-        op.use_plans = scalar.use_plans = False
-        y_legacy = op.vmult(x)
+        with plan_execution(True):
+            y_planned = op.vmult(x)
+        with plan_execution(False):
+            y_legacy = op.vmult(x)
         scale = np.abs(y_legacy).max()
         np.testing.assert_allclose(y_planned, y_legacy, rtol=1e-13,
                                    atol=1e-13 * scale)
@@ -289,12 +291,38 @@ class TestPlannedVmultEquivalence:
                 dirichlet=lambda x, y, z: x - z,
             )
 
-        op.use_plans = True
-        b_planned = run()
-        op.use_plans = False
-        b_legacy = run()
+        with plan_execution(True):
+            b_planned = run()
+        with plan_execution(False):
+            b_legacy = run()
         np.testing.assert_allclose(b_planned, b_legacy, rtol=1e-13,
                                    atol=1e-15)
+
+
+class TestExecutionPolicy:
+    """The process-wide policy knob and its deprecated per-op override."""
+
+    def test_plan_execution_scopes_and_restores(self, hanging_forest):
+        _, _, op = make_dg_laplace(hanging_forest, 1)
+        assert POLICY.use_plans  # planned is the default
+        with plan_execution(False):
+            assert not POLICY.use_plans
+            assert not op.use_plans  # operators read the policy
+            with plan_execution(True):
+                assert op.use_plans
+            assert not op.use_plans
+        assert POLICY.use_plans
+
+    def test_deprecated_setter_warns_and_overrides(self, hanging_forest):
+        _, _, op = make_dg_laplace(hanging_forest, 1)
+        with pytest.deprecated_call():
+            op.use_plans = False
+        # the instance override wins over the global policy...
+        with plan_execution(True):
+            assert not op.use_plans
+        # ...and deleting it reverts to reading the policy
+        del op.use_plans
+        assert op.use_plans
 
 
 class TestFastDiagonal:
@@ -328,5 +356,6 @@ class TestFastDiagonal:
 
     def test_legacy_toggle_uses_reference(self, hanging_forest):
         _, _, op = make_dg_laplace(hanging_forest, 1)
-        op.use_plans = False
-        np.testing.assert_array_equal(op.diagonal(), op.diagonal_reference())
+        with plan_execution(False):
+            np.testing.assert_array_equal(op.diagonal(),
+                                          op.diagonal_reference())

@@ -14,6 +14,7 @@ from repro.lung import (
 from repro.mesh.connectivity import build_connectivity
 from repro.mesh.hexmesh import trilinear_jacobian
 from repro.ns.solver import SolverSettings
+from repro.robustness import RunConfig
 
 
 def all_jacobians_positive(mesh):
@@ -72,11 +73,11 @@ class TestLungVentilationSimulation:
     @pytest.fixture(scope="class")
     def sim(self):
         # tiny g=1 lung (1 bifurcation, 2 outlets) for a quick coupled run
-        return LungVentilationSimulation(
+        return LungVentilationSimulation(RunConfig(
             generations=1,
             degree=2,
-            solver_settings=SolverSettings(solver_tolerance=1e-4, cfl=0.3),
-        )
+            solver=SolverSettings(solver_tolerance=1e-4, cfl=0.3),
+        ))
 
     def test_construction(self, sim):
         assert sim.lung.n_outlets == 2

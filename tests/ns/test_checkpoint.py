@@ -1,9 +1,12 @@
 """Tests of checkpoint/restart: a restarted run must continue exactly."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.lung import LungVentilationSimulation
+from repro.robustness import RunConfig
 from repro.mesh.generators import box
 from repro.mesh.octree import Forest
 from repro.ns import (
@@ -70,13 +73,17 @@ class TestSchemeCheckpoint:
             load_scheme_state(path, other.scheme)
 
 
+def lung_config():
+    return RunConfig(
+        generations=1, degree=2,
+        solver=SolverSettings(solver_tolerance=1e-4, cfl=0.3),
+    )
+
+
 class TestLungCheckpoint:
     def test_lung_restart_continues_exactly(self, tmp_path):
-        settings = SolverSettings(solver_tolerance=1e-4, cfl=0.3)
-        ref = LungVentilationSimulation(generations=1, degree=2,
-                                        solver_settings=settings)
-        twin = LungVentilationSimulation(generations=1, degree=2,
-                                         solver_settings=settings)
+        ref = LungVentilationSimulation(lung_config())
+        twin = LungVentilationSimulation(lung_config())
         for _ in range(4):
             ref.step()
         for _ in range(2):
@@ -84,8 +91,7 @@ class TestLungCheckpoint:
         path = tmp_path / "lung.npz"
         save_lung_state(path, twin)
 
-        fresh = LungVentilationSimulation(generations=1, degree=2,
-                                          solver_settings=settings)
+        fresh = LungVentilationSimulation(lung_config())
         load_lung_state(path, fresh)
         for _ in range(2):
             fresh.step()
@@ -96,13 +102,12 @@ class TestLungCheckpoint:
         )
 
     def test_outlet_count_validated(self, tmp_path):
-        settings = SolverSettings(solver_tolerance=1e-4, cfl=0.3)
-        sim1 = LungVentilationSimulation(generations=1, degree=2,
-                                         solver_settings=settings)
+        sim1 = LungVentilationSimulation(lung_config())
         sim1.step()
         path = tmp_path / "lung.npz"
         save_lung_state(path, sim1)
-        sim2 = LungVentilationSimulation(generations=2, degree=2,
-                                         solver_settings=settings)
+        sim2 = LungVentilationSimulation(
+            dataclasses.replace(lung_config(), generations=2)
+        )
         with pytest.raises(ValueError, match="outlet count"):
             load_lung_state(path, sim2)

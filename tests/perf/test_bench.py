@@ -143,10 +143,24 @@ class TestDtypeAxis:
         assert [c["name"] for c in doc["cases"]] == [
             "box_r1/dg_laplace/legacy@float32",
             "box_r1/dg_laplace/planned@float32",
+            "box_r1/dg_laplace/ensemble_e1@float32",
+            "box_r1/dg_laplace/ensemble_e2@float32",
+            "box_r1/dg_laplace/ensemble_e4@float32",
+            "box_r1/dg_laplace/ensemble_e8@float32",
+            "box_r1/dg_laplace/sequential_e8@float32",
         ]
         for c in doc["cases"]:
             assert c["dtype"] == "float32"
             assert c["throughput"] > 0
+        members = [c["meta"]["members"] for c in doc["cases"]
+                   if c["meta"].get("mode") == "ensemble"]
+        assert members == [1, 2, 4, 8]
+        # aggregate DoF accounting: an E-member batch moves E*n DoF
+        e8 = next(c for c in doc["cases"]
+                  if c["name"].startswith("box_r1/dg_laplace/ensemble_e8"))
+        e1 = next(c for c in doc["cases"]
+                  if c["name"].startswith("box_r1/dg_laplace/ensemble_e1"))
+        assert e8["n_dofs"] == 8 * e1["n_dofs"]
 
 
 class TestMigration:
@@ -235,7 +249,7 @@ class TestRunSuite:
             run_suite("nope")
 
     def test_declared_suites(self):
-        assert set(SUITES) == {"ops", "vmult"}
+        assert set(SUITES) == {"ops", "vmult", "ensemble"}
 
     def test_smoke_filtered_case_runs(self):
         doc = run_suite("ops", smoke=True, degree=2,
@@ -255,6 +269,14 @@ class TestRunSuite:
         doc = run_suite("vmult", smoke=True, degree=2,
                         case_filter="box_r1/dg_laplace")
         names = [c["name"] for c in doc["cases"]]
-        assert names == ["box_r1/dg_laplace/legacy", "box_r1/dg_laplace/planned"]
+        assert names == [
+            "box_r1/dg_laplace/legacy",
+            "box_r1/dg_laplace/planned",
+            "box_r1/dg_laplace/ensemble_e1",
+            "box_r1/dg_laplace/ensemble_e2",
+            "box_r1/dg_laplace/ensemble_e4",
+            "box_r1/dg_laplace/ensemble_e8",
+            "box_r1/dg_laplace/sequential_e8",
+        ]
         modes = {c["meta"]["mode"] for c in doc["cases"]}
-        assert modes == {"legacy", "planned"}
+        assert modes == {"legacy", "planned", "ensemble", "sequential"}

@@ -1,5 +1,5 @@
 """Tests of the unified RunConfig API: serialization round-trips, the
-CLI construction front, and the legacy-kwargs deprecation shim."""
+CLI construction front, and the RunConfig-only constructor contract."""
 
 import argparse
 import dataclasses
@@ -120,77 +120,30 @@ class TestFromArgs:
         assert RunConfig.from_dict(json.loads(f.read_text())) == RunConfig()
 
 
-class TestLegacyShim:
-    def test_from_legacy_kwargs_maps_solver_settings(self):
-        s = SolverSettings(solver_tolerance=1e-4)
-        c = RunConfig.from_legacy_kwargs(generations=2, solver_settings=s)
-        assert c.generations == 2
-        assert c.solver is s
+class TestRunConfigOnlyConstructor:
+    """The legacy keyword-argument shim is gone: ``config=`` is the only
+    simulation constructor signature."""
 
-    def test_unknown_legacy_kwarg_is_type_error(self):
-        with pytest.raises(TypeError, match="unknown"):
-            RunConfig.from_legacy_kwargs(generatons=2)
+    def test_from_legacy_kwargs_removed(self):
+        assert not hasattr(RunConfig, "from_legacy_kwargs")
 
-    def test_simulation_warns_once(self, monkeypatch):
-        import repro.lung.simulation as sim_mod
+    def test_non_config_positional_rejected(self):
+        from repro.lung.simulation import LungVentilationSimulation
 
-        monkeypatch.setattr(sim_mod, "_legacy_warned", False)
-        settings = SolverSettings(solver_tolerance=1e-3, cfl=0.3)
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            sim_mod.LungVentilationSimulation(
-                generations=1, degree=2, solver_settings=settings
-            )
-        # second legacy construction stays silent
-        with _no_warning():
-            sim_mod.LungVentilationSimulation(
-                generations=1, degree=2, solver_settings=settings
-            )
+        with pytest.raises(TypeError, match="RunConfig"):
+            LungVentilationSimulation({"generations": 1})
 
-    def test_legacy_and_config_are_equivalent(self, monkeypatch):
-        import warnings
+    def test_legacy_kwargs_rejected(self):
+        from repro.lung.simulation import LungVentilationSimulation
 
-        import repro.lung.simulation as sim_mod
-
-        monkeypatch.setattr(sim_mod, "_legacy_warned", True)
-        settings = dict(solver_tolerance=1e-3, cfl=0.3)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = sim_mod.LungVentilationSimulation(
-                generations=1, degree=2,
-                solver_settings=SolverSettings(**settings),
-            )
-        modern = sim_mod.LungVentilationSimulation(
-            RunConfig(generations=1, degree=2,
-                      solver=SolverSettings(**settings))
-        )
-        assert legacy.config.to_dict() == modern.config.to_dict()
-        import numpy as np
-
-        legacy.step()
-        modern.step()
-        assert np.array_equal(legacy.solver.velocity, modern.solver.velocity)
-
-    def test_config_plus_legacy_kwargs_rejected(self):
-        with pytest.raises(TypeError, match="not both"):
-            from repro.lung.simulation import LungVentilationSimulation
-
-            LungVentilationSimulation(RunConfig(), degree=3)
+        with pytest.raises(TypeError):
+            LungVentilationSimulation(generations=1, degree=2)
 
 
-class _no_warning:
-    """Context manager asserting that no DeprecationWarning is emitted."""
-
-    def __enter__(self):
-        import warnings
-
-        self._cm = warnings.catch_warnings(record=True)
-        self._records = self._cm.__enter__()
-        warnings.simplefilter("always")
-        return self._records
-
-    def __exit__(self, *exc):
-        self._cm.__exit__(*exc)
-        assert not any(
-            issubclass(r.category, DeprecationWarning) for r in self._records
-        ), "legacy construction warned more than once"
-        return False
+class TestWindkesselScales:
+    def test_defaults_and_round_trip(self):
+        c = RunConfig(windkessel_resistance_scale=1.5,
+                      windkessel_compliance_scale=0.75)
+        assert RunConfig.from_dict(c.to_dict()) == c
+        assert RunConfig().windkessel_resistance_scale == 1.0
+        assert RunConfig().windkessel_compliance_scale == 1.0

@@ -1,0 +1,113 @@
+"""Tests of the ensemble-batched PCG path (:func:`_pcg_batched`):
+per-member convergence masks, member iteration counts, and the E=1
+bitwise-dispatch contract of :func:`conjugate_gradient`."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.krylov import conjugate_gradient
+
+
+class DiagonalOperator:
+    """SPD (or deliberately indefinite) diagonal test operator; vmult
+    broadcasts over a leading ensemble axis like the real operators."""
+
+    def __init__(self, d):
+        self.d = np.asarray(d, dtype=float)
+        self.n_dofs = self.d.size
+
+    def vmult(self, x):
+        return self.d * x
+
+
+@pytest.fixture
+def op():
+    rng = np.random.default_rng(3)
+    return DiagonalOperator(rng.uniform(1.0, 10.0, size=40))
+
+
+class TestE1Dispatch:
+    def test_e1_bitwise_matches_flat(self, op):
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(op.n_dofs)
+        flat = conjugate_gradient(op, b, tol=1e-12)
+        batched = conjugate_gradient(op, b[None], tol=1e-12)
+        assert batched.x.shape == (1, op.n_dofs)
+        assert np.array_equal(batched.x[0], flat.x)
+        assert batched.n_iterations == flat.n_iterations
+        assert batched.member_iterations == [flat.n_iterations]
+        assert batched.converged and flat.converged
+
+    def test_flat_solve_has_no_member_iterations(self, op):
+        res = conjugate_gradient(op, np.ones(op.n_dofs), tol=1e-12)
+        assert res.member_iterations is None
+
+
+class TestBatchedConvergence:
+    def test_members_match_independent_flat_solves(self, op):
+        rng = np.random.default_rng(1)
+        B = rng.standard_normal((4, op.n_dofs))
+        batched = conjugate_gradient(op, B, tol=1e-12)
+        assert batched.converged
+        for e in range(4):
+            flat = conjugate_gradient(op, B[e], tol=1e-12)
+            np.testing.assert_allclose(batched.x[e], flat.x,
+                                       rtol=1e-10, atol=1e-12)
+
+    def test_member_iterations_track_per_member_difficulty(self):
+        # diagonal with 3 distinct eigenvalues: CG needs as many
+        # iterations as eigenvalues active in the right-hand side
+        d = np.array([1.0] * 4 + [4.0] * 4 + [9.0] * 4)
+        op = DiagonalOperator(d)
+        easy = np.zeros(12)
+        easy[0] = 1.0  # one eigenvalue: converges in 1 iteration
+        hard = np.ones(12)  # all three eigenvalues
+        res = conjugate_gradient(op, np.stack([easy, hard]), tol=1e-12)
+        assert res.converged
+        assert res.member_iterations[0] == 1
+        assert res.member_iterations[1] == 3
+        # the early member froze at its converged answer
+        np.testing.assert_allclose(res.x[0], easy / d, rtol=1e-13)
+        np.testing.assert_allclose(res.x[1], hard / d, rtol=1e-12)
+
+    def test_zero_rhs_member_converges_instantly(self, op):
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(op.n_dofs)
+        res = conjugate_gradient(op, np.stack([np.zeros(op.n_dofs), b]),
+                                 tol=1e-12)
+        assert res.converged
+        assert res.member_iterations[0] == 0
+        assert np.array_equal(res.x[0], np.zeros(op.n_dofs))
+
+    def test_all_members_trivial(self, op):
+        res = conjugate_gradient(op, np.zeros((3, op.n_dofs)), tol=1e-12)
+        assert res.converged
+        assert res.n_iterations == 0
+        assert res.member_iterations == [0, 0, 0]
+
+
+class TestBatchedFailures:
+    def test_breakdown_on_indefinite_member(self):
+        d = np.ones(10)
+        d[0] = -1.0  # not SPD: p^T A p goes non-positive
+        op = DiagonalOperator(d)
+        b = np.ones((2, 10))
+        res = conjugate_gradient(op, b, tol=1e-14)
+        assert not res.converged
+        assert res.failure_reason == "breakdown"
+
+    def test_nan_rhs_reports_nan_residual(self, op):
+        b = np.ones((2, op.n_dofs))
+        b[1, 0] = np.nan
+        res = conjugate_gradient(op, b, tol=1e-12)
+        assert not res.converged
+        assert res.failure_reason == "nan_residual"
+        assert res.member_iterations == [0, 0]
+
+    def test_max_iterations(self, op):
+        rng = np.random.default_rng(4)
+        B = rng.standard_normal((2, op.n_dofs))
+        res = conjugate_gradient(op, B, tol=1e-15, max_iter=2)
+        assert not res.converged
+        assert res.failure_reason == "max_iterations"
+        assert all(m <= 2 for m in res.member_iterations)

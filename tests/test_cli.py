@@ -157,6 +157,36 @@ class TestRunConfigCLI:
         assert main(["lung", "--steps", "1", "--config", str(path)]) == 2
 
 
+class TestEnsembleCLI:
+    def test_ensemble_sweep_run(self, capsys):
+        assert main(["ensemble", "--steps", "2",
+                     "--resistance-scales", "1.0,1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "2 members" in out
+        assert "R-scale" in out  # per-member summary table
+
+    def test_members_flag_replicates_base(self, capsys):
+        assert main(["ensemble", "--steps", "1", "--members", "3"]) == 0
+        assert "3 members" in capsys.readouterr().out
+
+    def test_mismatched_sweep_lengths_rejected(self, capsys):
+        assert main(["ensemble", "--steps", "1", "--members", "2",
+                     "--dp-initials", "800,900,1000"]) == 2
+        assert "need 1 or 2" in capsys.readouterr().err
+
+    def test_ensemble_log_file(self, tmp_path, capsys):
+        from repro.telemetry import read_run_log
+
+        log = tmp_path / "ens.jsonl"
+        assert main(["ensemble", "--steps", "2", "--members", "2",
+                     "--log-file", str(log)]) == 0
+        header, steps, summary = read_run_log(log)
+        assert header["command"] == "ensemble"
+        assert header["members"] == 2
+        assert len(steps) == 2
+        assert len(steps[0]["member_cfl"]) == 2
+
+
 class TestVerifyCLI:
     def test_spatial_ladder_table(self, capsys):
         assert main(["verify", "--ladder", "spatial", "--degrees", "2",
