@@ -71,7 +71,20 @@ def cmd_poisson(args) -> int:
         print(mg.describe())
     b = op.assemble_rhs(f=lambda x, y, z: np.ones_like(x),
                         dirichlet=lambda x, y, z: 0.0 * x)
-    res = conjugate_gradient(op, b, mg, tol=args.tolerance, name="poisson")
+    workers = getattr(args, "workers", 0) or 0
+    if workers:
+        from .parallel import DistributedSolverContext
+
+        with DistributedSolverContext(op, mg, n_workers=workers) as ctx:
+            if not args.json:
+                c = ctx.census
+                print(f"distributed: {workers} workers, "
+                      f"{c.n_messages} messages/round, "
+                      f"{c.bytes_total} ghost bytes")
+            res = conjugate_gradient(ctx.operator, b, mg,
+                                     tol=args.tolerance, name="poisson")
+    else:
+        res = conjugate_gradient(op, b, mg, tol=args.tolerance, name="poisson")
     if args.json:
         from .perf.measure import measure_operator
 
@@ -169,6 +182,7 @@ def _lung_run(args, cfg) -> int:
             if writer is not None:
                 writer.write_summary(TRACER if args.trace else None)
                 writer.close()
+            sim.close()
             return 1
         stats.append(st)
         if writer is not None:
@@ -213,6 +227,7 @@ def _lung_run(args, cfg) -> int:
 
         path = write_vtk(args.vtk, sim.lung.forest)
         print(f"mesh written to {path}")
+    sim.close()
     return 0
 
 
@@ -747,6 +762,10 @@ def main(argv=None) -> int:
     p.add_argument("--degree", type=int, default=3)
     p.add_argument("--refinements", type=int, default=2)
     p.add_argument("--tolerance", type=float, default=1e-10)
+    p.add_argument("--workers", type=int, default=0,
+                   help="run the CG mat-vec on a shared-memory worker pool "
+                        "(>= 2; 0 = serial). fp64 results are bitwise "
+                        "identical to the serial solve")
     p.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON object instead of text")
     p.set_defaults(fn=cmd_poisson)
@@ -767,6 +786,10 @@ def main(argv=None) -> int:
                    default=None,
                    help="forward-solve precision (default float64; the "
                         "pressure outer CG and checkpoints stay double)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shared-memory worker processes for the pressure "
+                        "mat-vec (>= 2; default serial). fp64 steps are "
+                        "bitwise identical to the serial run")
     p.add_argument("--vtk", type=str, default=None)
     p.add_argument("--trace", action="store_true",
                    help="enable the telemetry tracer and print the "

@@ -145,6 +145,8 @@ class LungVentilationSimulation:
             compute_dtype=config.compute_dtype,
         )
         self.solver.initialize()
+        if config.workers >= 2:
+            self.solver.distribute_pressure(config.workers)
         self.cycle_records: list[CycleRecord] = []
         self._cycle_inhaled = 0.0
         self._steps_this_cycle = 0
@@ -230,6 +232,12 @@ class LungVentilationSimulation:
             if checkpoints is not None:
                 checkpoints.maybe_save(self)
         return stats
+
+    def close(self) -> None:
+        """Release distributed-execution resources (worker processes and
+        shared-memory segments).  Safe to call on a serial run, and
+        idempotent; the pool also registers an ``atexit`` fallback."""
+        self.solver.undistribute_pressure()
 
     def tidal_volume_delivered(self) -> float:
         """Volume stored in the compartments — the tidal volume during

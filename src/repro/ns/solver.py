@@ -225,6 +225,42 @@ class IncompressibleNavierStokesSolver:
         self.cfl = CFLController(
             cfl=self.settings.cfl, degree=degree, dt_max=self.settings.dt_max
         )
+        self._dist_ctx = None
+
+    # -- distributed execution ---------------------------------------------
+    def distribute_pressure(self, n_workers: int,
+                            distribute_single_precision: bool = False):
+        """Run the pressure-Poisson mat-vec on a shared-memory worker
+        pool (:class:`repro.parallel.DistributedSolverContext`).
+
+        The outer CG stays in double precision on the master; only its
+        ``vmult`` fans out, so a distributed fp64 step is bitwise
+        identical to the serial one.  The fallback chain keeps driving
+        the serial master operator — a worker crash surfaces as a
+        :class:`repro.parallel.WorkerCrash`, not as a silently slower
+        solve.  Returns the context; call :meth:`undistribute_pressure`
+        (or close the context) when done."""
+        from ..parallel.runtime import DistributedSolverContext
+
+        if self._dist_ctx is not None:
+            raise RuntimeError("pressure solve is already distributed")
+        pre = self.pressure_pre
+        if not isinstance(pre, HybridMultigridPreconditioner):
+            pre = None
+        self._dist_ctx = DistributedSolverContext(
+            self.pressure_poisson, pre, n_workers=n_workers,
+            distribute_single_precision=distribute_single_precision,
+        )
+        self.scheme.ops.pressure_poisson = self._dist_ctx.operator
+        return self._dist_ctx
+
+    def undistribute_pressure(self) -> None:
+        """Restore the serial pressure operator and close the pool."""
+        if self._dist_ctx is None:
+            return
+        self.scheme.ops.pressure_poisson = self.pressure_poisson
+        ctx, self._dist_ctx = self._dist_ctx, None
+        ctx.close()
 
     def _build_pressure_fallback(self, robustness) -> PressureFallbackChain:
         """The documented escalation order for the pressure solve.

@@ -1,6 +1,8 @@
-"""Simulated distributed runtime: Morton partitioning with real
-ghost-face censuses, machine models of the paper's platforms, and the
-calibrated strong/weak-scaling performance model."""
+"""Distributed runtime: Morton partitioning with real ghost-face
+censuses, machine models of the paper's platforms, the calibrated
+strong/weak-scaling performance model, and a real shared-memory
+multi-process worker pool with overlapped ghost exchange
+(:mod:`repro.parallel.runtime`)."""
 
 from .machine import FUGAKU_A64FX, LOCAL_PYTHON, SUMMIT_V100, SUPERMUC_NG, MachineModel
 from .partition import (
@@ -18,8 +20,26 @@ from .perfmodel import (
     MultigridSolveModel,
     multigrid_levels_from_preconditioner,
 )
+from .runtime import (
+    CRASH_EXIT_CODE,
+    DistributedOperator,
+    DistributedSolverContext,
+    InProcessGhostRuntime,
+    PartitionPlan,
+    RankLocalOperator,
+    WorkerCrash,
+    WorkerPool,
+)
 
 __all__ = [
+    "CRASH_EXIT_CODE",
+    "DistributedOperator",
+    "DistributedSolverContext",
+    "InProcessGhostRuntime",
+    "PartitionPlan",
+    "RankLocalOperator",
+    "WorkerCrash",
+    "WorkerPool",
     "MachineModel",
     "SUPERMUC_NG",
     "SUMMIT_V100",

@@ -43,10 +43,11 @@ class DistributedDGLaplace:
     """Rank-partitioned evaluation of an existing
     :class:`~repro.core.operators.laplace.DGLaplaceOperator`."""
 
-    def __init__(self, op: DGLaplaceOperator, n_ranks: int) -> None:
+    def __init__(self, op: DGLaplaceOperator, n_ranks: int,
+                 weights=None) -> None:
         self.op = op
         self.n_ranks = n_ranks
-        self.ranks = partition_forest(op.geo.forest, n_ranks)
+        self.ranks = partition_forest(op.geo.forest, n_ranks, weights)
         self.kern = op.kern
         self.fk = FaceKernels(op.kern)
         n1 = op.kern.n_dofs_1d

@@ -1,0 +1,1075 @@
+"""Real shared-memory multi-process execution of the DG operators.
+
+This module promotes :mod:`repro.parallel` from a *simulation* of the
+paper's MPI layer (Section 3.2) to actual parallel execution: a
+persistent pool of worker processes, each owning a contiguous Morton
+range of cells, evaluates the SIP Laplacian mat-vec with a real ghost
+exchange through ``multiprocessing.shared_memory`` buffers.  The
+protocol per mat-vec mirrors Kronbichler & Kormann's overlap strategy:
+
+1. **pack** — each worker copies the owned cells its neighbors need
+   into per-destination outboxes (one shared-memory segment per ordered
+   rank pair),
+2. **post** — the worker publishes its round number in a shared
+   sequence array (the "message has been sent" flag),
+3. **interior** — cell terms, fully-owned face batches, and owned
+   boundary faces are evaluated while neighbor data is (potentially)
+   still in flight,
+4. **wait/unpack** — the worker spins until every source neighbor has
+   posted the current round, gathers the inboxes into a ghost-cell
+   array, and evaluates the cut faces,
+5. **accumulate** — all buffered contributions are added in the exact
+   order of the monolithic operator, and the owned slice of the result
+   vector is written to the shared output buffer.
+
+Bitwise reproducibility (the contract the parallel test battery
+enforces): every kernel in the vmult path is either elementwise, a
+small-extent einsum evaluated term-by-term per entry, or a
+sum-factorized GEMM whose fold rows each belong to a single cell/face
+entry — in float64, evaluating a *row subset* produces
+bitwise-identical rows as long as the fold has >= 2 rows, which
+:func:`_padded` guarantees by duplicating the single entry of 1-face
+subsets (dgemm falls into a differently-rounded gemv path at one row).
+Within one face batch and side a cell appears at most once, so the
+owner's split of a batch into fully-owned and cut entries accumulates
+each output element with exactly the same addends, in the same order,
+as the monolithic
+:meth:`~repro.core.operators.laplace.DGLaplaceOperator._vmult_impl`.
+Distributed fp64 results are therefore bit-identical to single-process
+runs, not merely close.  float32 is different: OpenBLAS sgemm
+row-blocking makes subset rows round differently from full-batch rows
+(~1e-7 relative), so the fp32 contract is tolerance (1e-5), not bits —
+and :class:`DistributedSolverContext` keeps the fp32 fine-level
+smoother serial by default to preserve the fp64 bitwise contract of
+the outer iteration.
+
+Limits: Linux-only (``fork`` start method and ``/dev/shm``); one
+outstanding mat-vec at a time (the solvers are sequential in their
+operator applications anyway); workers inherit the registered operators
+copy-on-write at :meth:`WorkerPool.start`, so register every operator
+before starting the pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_context, get_all_start_methods
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.operators.base import MatrixFreeOperator, physical_gradient
+from ..core.plans import contract
+from ..telemetry.metrics import METRICS, merge_snapshots, snapshot_doc
+from .distributed import ExchangeCensus
+from .partition import partition_forest
+
+_POOL_VMULTS = METRICS.counter(
+    "repro_parallel_pool_vmults_total",
+    "distributed mat-vecs dispatched by the worker pool",
+    labels=("operator",),
+)
+_POOL_CRASHES = METRICS.counter(
+    "repro_parallel_worker_crashes_total",
+    "worker failures detected by the pool",
+)
+_WORKER_VMULTS = METRICS.counter(
+    "repro_parallel_worker_vmults_total",
+    "mat-vec shares executed by this worker process",
+)
+_WORKER_PHASE_SECONDS = METRICS.counter(
+    "repro_parallel_worker_phase_seconds_total",
+    "wall time of this worker's vmult shares by protocol phase",
+    labels=("phase",),
+)
+
+#: exit code of an injected worker crash — the same code the hidden
+#: ``repro lung --crash-after-step`` fault hook uses
+CRASH_EXIT_CODE = 137
+
+_PHASES = ("pack", "interior", "wait", "cut", "accumulate")
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died (or errored) during a pool operation.
+
+    The pool tears itself down before raising: every worker is
+    terminated and every shared-memory segment is unlinked, so a caller
+    catching this exception holds no leaked ``/dev/shm`` handles.
+    """
+
+    def __init__(self, rank: int, message: str, exitcode=None) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.exitcode = exitcode
+
+
+# ----------------------------------------------------------------------
+# partition plan
+# ----------------------------------------------------------------------
+
+@dataclass
+class _RankPlan:
+    """Everything one worker needs to know about its share."""
+
+    rank: int
+    lo: int  # owned cells are the Morton-contiguous range [lo, hi)
+    hi: int
+    #: per interior batch: entry indices where this rank owns both cells
+    loc: list = field(default_factory=list)
+    #: per interior batch: (entries, far-ghost slots) where only the
+    #: minus cell is owned (the plus cell arrives via the exchange)
+    cut_m: list = field(default_factory=list)
+    #: per interior batch: (entries, far-ghost slots) where only the
+    #: plus cell is owned
+    cut_p: list = field(default_factory=list)
+    #: per boundary batch: entry indices whose cell this rank owns
+    bdry: list = field(default_factory=list)
+    #: sorted global ids of the ghost cells this rank receives
+    ghosts: np.ndarray | None = None
+    #: source rank -> slots into ``ghosts`` its payload fills
+    recv: dict = field(default_factory=dict)
+    #: destination rank -> owned-local cell indices to pack for it
+    send: dict = field(default_factory=dict)
+
+    @property
+    def n_cells(self) -> int:
+        return self.hi - self.lo
+
+
+class PartitionPlan:
+    """Morton partition of an operator's mesh plus the derived ghost
+    exchange: who owns which cells, which face-batch entries each rank
+    computes (fully-owned vs. cut), and the per-rank-pair payloads.
+
+    The cut-entry census is computed identically to
+    :class:`~repro.parallel.partition.SimulatedGhostExchange`, and
+    :meth:`census` reports messages/sheets/bytes with the same
+    conventions as
+    :class:`~repro.parallel.distributed.DistributedDGLaplace` — the
+    parity the parallel test battery asserts.
+    """
+
+    def __init__(self, op, n_workers: int, weights=None) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        conn = op.conn
+        self.n_workers = int(n_workers)
+        self.ranks = partition_forest(op.geo.forest, n_workers, weights=weights)
+        if np.any(np.diff(self.ranks) < 0):
+            raise ValueError("partition_forest must assign Morton-contiguous ranks")
+        self.n1 = op.kern.n_dofs_1d
+        self.npc = self.n1 ** 3
+        self.n_cells = op.dof.n_cells
+        self.n_dofs = op.dof.n_dofs
+        self._sheet_bytes = 2 * self.n1 * self.n1 * 8
+        ids = np.arange(n_workers)
+        lo = np.searchsorted(self.ranks, ids, side="left")
+        hi = np.searchsorted(self.ranks, ids, side="right")
+        plans = [_RankPlan(rank=r, lo=int(lo[r]), hi=int(hi[r]))
+                 for r in range(n_workers)]
+
+        self.cut_entries: list[tuple[int, np.ndarray]] = []
+        self.pairs: set[tuple[int, int]] = set()
+        self.n_cut_faces = 0
+        ghost_far: list[list] = [[] for _ in range(n_workers)]  # (kind, ib, cells)
+        for ib, batch in enumerate(conn.interior):
+            rm = self.ranks[batch.cells_m]
+            rp = self.ranks[batch.cells_p]
+            cut = np.nonzero(rm != rp)[0]
+            if cut.size:
+                self.cut_entries.append((ib, cut))
+                self.n_cut_faces += int(cut.size)
+                for s, d in zip(rm[cut], rp[cut]):
+                    self.pairs.add((int(s), int(d)))
+                    self.pairs.add((int(d), int(s)))
+            for rp_ in plans:
+                r = rp_.rank
+                em = rm == r
+                ep = rp == r
+                rp_.loc.append(np.nonzero(em & ep)[0])
+                cm = np.nonzero(em & ~ep)[0]
+                cp = np.nonzero(ep & ~em)[0]
+                rp_.cut_m.append((cm, batch.cells_p[cm]))
+                rp_.cut_p.append((cp, batch.cells_m[cp]))
+                if cm.size:
+                    ghost_far[r].append(batch.cells_p[cm])
+                if cp.size:
+                    ghost_far[r].append(batch.cells_m[cp])
+        for ib, batch in enumerate(conn.boundary):
+            rb = self.ranks[batch.cells]
+            for rp_ in plans:
+                rp_.bdry.append(np.nonzero(rb == rp_.rank)[0])
+
+        for rp_ in plans:
+            r = rp_.rank
+            ghosts = (np.unique(np.concatenate(ghost_far[r]))
+                      if ghost_far[r] else np.empty(0, dtype=np.intp))
+            rp_.ghosts = ghosts
+            # far-cell arrays -> slots into the ghost array
+            rp_.cut_m = [(idx, np.searchsorted(ghosts, far))
+                         for idx, far in rp_.cut_m]
+            rp_.cut_p = [(idx, np.searchsorted(ghosts, far))
+                         for idx, far in rp_.cut_p]
+            # split the ghosts by owner (ownership ranges are contiguous)
+            for s in range(n_workers):
+                if s == r:
+                    continue
+                mask = (ghosts >= lo[s]) & (ghosts < hi[s])
+                if mask.any():
+                    rp_.recv[s] = np.nonzero(mask)[0]
+        for rp_ in plans:
+            for s, slots in rp_.recv.items():
+                # what r receives from s is what s packs for r
+                plans[s].send[rp_.rank] = rp_.ghosts[slots] - plans[s].lo
+        self.rank_plans = plans
+
+    def census(self) -> ExchangeCensus:
+        """Message accounting with the :class:`DistributedDGLaplace`
+        conventions: one message per ordered neighbor pair, two trace
+        sheets (value + normal derivative) per cut face and direction."""
+        return ExchangeCensus(
+            n_messages=len(self.pairs),
+            n_sheets=2 * self.n_cut_faces,
+            bytes_total=2 * self.n_cut_faces * self._sheet_bytes,
+            pairs=set(self.pairs),
+        )
+
+    def payload_bytes(self, itemsize: int = 8) -> int:
+        """Bytes actually shipped per exchange round by this runtime
+        (full nodal ghost-cell tensors, unlike the minimal trace sheets
+        of the census model)."""
+        total = sum(int(rp.ghosts.size) for rp in self.rank_plans)
+        return total * self.npc * itemsize
+
+
+# ----------------------------------------------------------------------
+# rank-local operator
+# ----------------------------------------------------------------------
+
+def _padded(idx: np.ndarray, batch_size: int) -> tuple[np.ndarray, int]:
+    """Pad a 1-entry face subset to 2 entries by duplicating it.
+
+    The face-trace kernels fold one GEMM row per face; a single-row
+    product takes BLAS's gemv-like path whose rounding differs from the
+    >= 2-row kernels, so a 1-face subset of a larger batch would break
+    the bitwise contract.  Duplicating the entry restores a >= 2-row
+    product — whose per-row results are independent of the other rows —
+    and the caller drops the duplicate.  A batch that has only one face
+    *in total* is evaluated unpadded, reproducing the monolithic
+    single-row path exactly.
+    """
+    if idx.size == 1 and batch_size > 1:
+        return np.concatenate([idx, idx]), 1
+    return idx, int(idx.size)
+
+
+class _FaceWork:
+    """Precomputed subset of one interior face batch: the metric rows,
+    penalties, and cell indices of the entries this rank evaluates."""
+
+    __slots__ = ("ib", "face_m", "face_p", "orientation", "subface",
+                 "normal", "jxw", "tau", "jt_m", "jt_p", "jtc_m", "jtc_p",
+                 "m_local", "p_local", "m_slots", "p_slots", "take")
+
+    def __init__(self, ib, batch, fm, tau, idx, lo,
+                 m_owned, p_owned, m_slots=None, p_slots=None):
+        self.ib = ib
+        self.face_m = batch.face_m
+        self.face_p = batch.face_p
+        self.orientation = batch.orientation
+        self.subface = batch.subface
+        pidx, self.take = _padded(idx, batch.cells_m.size)
+        pad = pidx.size != idx.size
+        self.normal = fm.normal[pidx]
+        self.jxw = fm.jxw[pidx]
+        self.tau = tau[pidx]
+        self.jt_m = fm.minus.jinv_t[pidx]
+        self.jt_p = fm.plus.jinv_t[pidx]
+        self.jtc_m = np.ascontiguousarray(fm.minus.jinv_t_c[pidx])
+        self.jtc_p = np.ascontiguousarray(fm.plus.jinv_t_c[pidx])
+        # padded gather indices; scatters use the first ``take`` entries
+        self.m_local = batch.cells_m[pidx] - lo if m_owned else None
+        self.p_local = batch.cells_p[pidx] - lo if p_owned else None
+        self.m_slots = (None if m_slots is None
+                        else (np.concatenate([m_slots, m_slots]) if pad
+                              else m_slots))
+        self.p_slots = (None if p_slots is None
+                        else (np.concatenate([p_slots, p_slots]) if pad
+                              else p_slots))
+
+
+class _BdryWork:
+    """Owned subset of one (Dirichlet) boundary face batch."""
+
+    __slots__ = ("ib", "face", "normal", "jxw", "tau", "jt", "jtc",
+                 "cells", "take")
+
+    def __init__(self, ib, batch, fm, tau, idx, lo):
+        self.ib = ib
+        self.face = batch.face
+        pidx, self.take = _padded(idx, batch.cells.size)
+        self.normal = fm.normal[pidx]
+        self.jxw = fm.jxw[pidx]
+        self.tau = tau[pidx]
+        self.jt = fm.minus.jinv_t[pidx]
+        self.jtc = np.ascontiguousarray(fm.minus.jinv_t_c[pidx])
+        self.cells = batch.cells[pidx] - lo
+
+
+class RankLocalOperator:
+    """One rank's owner-computes share of a
+    :class:`~repro.core.operators.laplace.DGLaplaceOperator` mat-vec.
+
+    Contributions are buffered, then accumulated in the canonical
+    monolithic order (cell term; per interior batch minus then plus
+    side; boundary batches last) so the owned output slice is bitwise
+    identical to the corresponding slice of a single-process ``vmult``.
+    """
+
+    def __init__(self, op, plan: PartitionPlan, rank: int) -> None:
+        self.op = op
+        self.plan = plan
+        self.rank = rank
+        self.fk = op.fk
+        rp = plan.rank_plans[rank]
+        self.lo, self.hi = rp.lo, rp.hi
+        self.rank_plan = rp
+        self._laplace_d = op.cell_metrics.laplace_d[rp.lo:rp.hi]
+        self._loc_work: list[_FaceWork] = []
+        self._cut_work: list[_FaceWork] = []
+        for ib, (batch, fm, tau) in enumerate(
+            zip(op.conn.interior, op.face_metrics, op.tau)
+        ):
+            idx = rp.loc[ib]
+            if idx.size:
+                self._loc_work.append(_FaceWork(
+                    ib, batch, fm, tau, idx, rp.lo,
+                    m_owned=True, p_owned=True,
+                ))
+            idx, slots = rp.cut_m[ib]
+            if idx.size:
+                self._cut_work.append(_FaceWork(
+                    ib, batch, fm, tau, idx, rp.lo,
+                    m_owned=True, p_owned=False, p_slots=slots,
+                ))
+            idx, slots = rp.cut_p[ib]
+            if idx.size:
+                self._cut_work.append(_FaceWork(
+                    ib, batch, fm, tau, idx, rp.lo,
+                    m_owned=False, p_owned=True, m_slots=slots,
+                ))
+        self._bdry_work: list[_BdryWork] = []
+        for ib, (batch, fm, tau) in enumerate(
+            zip(op.conn.boundary, op.bdry_metrics, op.tau_b)
+        ):
+            if batch.boundary_id not in op.dirichlet_ids:
+                continue
+            idx = rp.bdry[ib]
+            if idx.size:
+                self._bdry_work.append(_BdryWork(ib, batch, fm, tau, idx, rp.lo))
+
+    # -- phases --------------------------------------------------------
+    def _cell_term(self, u: np.ndarray, ensemble: bool) -> np.ndarray:
+        if self._laplace_d.shape[0] == 0:
+            dt = np.result_type(self._laplace_d.dtype, u.dtype)
+            return np.zeros(u.shape, dtype=dt)
+        sub = "cijzyx,ecjzyx->ecizyx" if ensemble else "cijzyx,cjzyx->cizyx"
+        g = self.op.kern.gradients(u)
+        if self.op.use_plans:
+            Dg = contract(sub, self._laplace_d, g)
+        else:
+            Dg = np.einsum(sub, self._laplace_d, g, optimize=True)
+        return self.op.kern.integrate_gradients(Dg)
+
+    def _face_terms(self, w: _FaceWork, u, ug, ensemble: bool):
+        """Evaluate one face-work item; yields the owned-side buffered
+        contributions as ``(sort_key, local_cells, contrib)``."""
+        op, fk = self.op, self.fk
+        um = (u[..., w.m_local, :, :, :] if w.m_local is not None
+              else ug[..., w.m_slots, :, :, :])
+        up = (u[..., w.p_local, :, :, :] if w.p_local is not None
+              else ug[..., w.p_slots, :, :, :])
+        vm, gm = fk.eval_side(um, w.face_m)
+        vp, gp = fk.eval_side(up, w.face_p, w.orientation, w.subface)
+        Gm = physical_gradient(w.jt_m, gm, planned=op.use_plans, ensemble=ensemble)
+        Gp = physical_gradient(w.jt_p, gp, planned=op.use_plans, ensemble=ensemble)
+        rv_m, rg_m, rv_p, rg_p = op._face_flux(w, w.tau, vm, Gm, vp, Gp)
+        cut = ((slice(None), slice(None, w.take)) if ensemble
+               else slice(None, w.take))
+        out = []
+        if w.m_local is not None:
+            contrib = fk.integrate_side(
+                w.face_m, rv_m, op._to_ref_grad(w.jtc_m, rg_m)
+            )
+            out.append(((0, w.ib, 0), w.m_local[:w.take], contrib[cut]))
+        if w.p_local is not None:
+            contrib = fk.integrate_side(
+                w.face_p, rv_p, op._to_ref_grad(w.jtc_p, rg_p),
+                w.orientation, w.subface,
+            )
+            out.append(((0, w.ib, 1), w.p_local[:w.take], contrib[cut]))
+        return out
+
+    def _bdry_terms(self, w: _BdryWork, u, ensemble: bool):
+        op, fk = self.op, self.fk
+        um = u[..., w.cells, :, :, :]
+        vm, gm = fk.eval_side(um, w.face)
+        Gm = physical_gradient(w.jt, gm, planned=op.use_plans, ensemble=ensemble)
+        sub = "fiab,efiab->efab" if ensemble else "fiab,fiab->fab"
+        dn_m = op._contract(sub, w.normal, Gm)
+        jxw = w.jxw
+        rv = (-dn_m + 2.0 * w.tau[:, None, None] * vm) * jxw
+        rg_phys = (-vm * jxw)[..., None, :, :] * w.normal
+        contrib = fk.integrate_side(w.face, rv, op._to_ref_grad(w.jtc, rg_phys))
+        cut = ((slice(None), slice(None, w.take)) if ensemble
+               else slice(None, w.take))
+        return ((1, w.ib, 0), w.cells[:w.take], contrib[cut])
+
+    def interior_contribs(self, u: np.ndarray, ensemble: bool):
+        """Cell term plus every contribution that needs no ghost data
+        (fully-owned interior faces, owned boundary faces)."""
+        base = self._cell_term(u, ensemble)
+        pend = []
+        for w in self._loc_work:
+            pend.extend(self._face_terms(w, u, None, ensemble))
+        for w in self._bdry_work:
+            pend.append(self._bdry_terms(w, u, ensemble))
+        return base, pend
+
+    def cut_contribs(self, u: np.ndarray, ug: np.ndarray, ensemble: bool):
+        """Owned-side contributions of the partition-crossing faces."""
+        pend = []
+        for w in self._cut_work:
+            pend.extend(self._face_terms(w, u, ug, ensemble))
+        return pend
+
+    def accumulate(self, base, pend, ensemble: bool):
+        """Fold the buffered contributions into ``base`` in canonical
+        order: interior batches ascending, minus before plus side,
+        boundary batches last — the monolithic accumulation order.
+        (Within one batch and side the owned cell sets of the local and
+        cut subsets are disjoint, so their relative order is
+        immaterial per output element.)"""
+        for _key, cells, contrib in sorted(pend, key=lambda t: t[0]):
+            if ensemble:
+                base[:, cells] += contrib
+            else:
+                base[cells] += contrib
+        return base
+
+    def pack(self, u: np.ndarray, dst: int) -> np.ndarray:
+        """Ghost-cell payload (owned nodal tensors) for rank ``dst``."""
+        return u[..., self.rank_plan.send[dst], :, :, :]
+
+    def apply(self, u: np.ndarray, ug, ensemble: bool) -> np.ndarray:
+        """Full owned share in one call (test/serial entry point)."""
+        base, pend = self.interior_contribs(u, ensemble)
+        if ug is not None:
+            pend.extend(self.cut_contribs(u, ug, ensemble))
+        return self.accumulate(base, pend, ensemble)
+
+
+class InProcessGhostRuntime:
+    """All ranks evaluated sequentially in one process.
+
+    The reference implementation of the runtime protocol: the parallel
+    correctness battery checks it bitwise against the monolithic
+    operator, and the multi-process pool against it.
+    """
+
+    def __init__(self, op, n_workers: int, weights=None) -> None:
+        self.op = op
+        self.plan = PartitionPlan(op, n_workers, weights=weights)
+        self.locals = [RankLocalOperator(op, self.plan, r)
+                       for r in range(self.plan.n_workers)]
+
+    def vmult(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 2 and x.shape[0] == 1:
+            return self.vmult(x[0])[None]
+        ensemble = x.ndim == 2
+        plan = self.plan
+        n1 = plan.n1
+        u_all = x.reshape(x.shape[:-1] + (plan.n_cells, n1, n1, n1))
+        mailbox = {}
+        for rlo in self.locals:
+            u = u_all[..., rlo.lo:rlo.hi, :, :, :]
+            for dst in rlo.rank_plan.send:
+                mailbox[(rlo.rank, dst)] = rlo.pack(u, dst)
+        y = None
+        for rlo in self.locals:
+            rp = rlo.rank_plan
+            u = u_all[..., rlo.lo:rlo.hi, :, :, :]
+            ug = np.empty(x.shape[:-1] + (rp.ghosts.size, n1, n1, n1),
+                          dtype=x.dtype)
+            for src, slots in rp.recv.items():
+                ug[..., slots, :, :, :] = mailbox[(src, rlo.rank)]
+            y_own = rlo.apply(u, ug, ensemble)
+            if y is None:
+                y = np.empty(x.shape[:-1] + (plan.n_dofs,), dtype=y_own.dtype)
+            npc = plan.npc
+            y[..., rlo.lo * npc:rlo.hi * npc] = \
+                y_own.reshape(y_own.shape[:-4] + (-1,))
+        return y
+
+
+# ----------------------------------------------------------------------
+# worker pool
+# ----------------------------------------------------------------------
+
+_pool_ids = itertools.count()
+
+
+def _shm_create(name: str, nbytes: int) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(name=name, create=True,
+                                      size=max(1, int(nbytes)))
+
+
+class _Session:
+    """Master-side record of one (dtype, ensemble-lead) buffer set."""
+
+    __slots__ = ("sid", "xdt", "ydt", "lead", "x", "y")
+
+    def __init__(self, sid, xdt, ydt, lead, x, y):
+        self.sid = sid
+        self.xdt = xdt
+        self.ydt = ydt
+        self.lead = lead
+        self.x = x
+        self.y = y
+
+
+class WorkerPool:
+    """Persistent pool of worker processes sharing one partition plan.
+
+    Register every operator (by tag) before :meth:`start`; the workers
+    inherit them copy-on-write through ``fork``.  One mat-vec round:
+    the master writes the input vector into a shared buffer, broadcasts
+    a command over per-worker pipes, and the workers run the
+    pack/post/interior/wait/cut protocol against shared-memory inboxes
+    before writing their owned output slices.
+
+    Cleanup invariant: :meth:`close` (also registered via ``atexit``
+    and triggered by any detected worker failure) terminates the
+    workers and **unlinks every shared-memory segment** — a healthy or
+    crashed pool never leaks ``/dev/shm`` handles.
+    """
+
+    def __init__(self, n_workers: int, *, weights=None,
+                 timeout: float = 300.0) -> None:
+        if n_workers < 2:
+            raise ValueError("WorkerPool needs >= 2 workers; use the "
+                             "operator directly for serial execution")
+        if "fork" not in get_all_start_methods():
+            raise RuntimeError("WorkerPool requires the fork start method")
+        self.n_workers = int(n_workers)
+        self.timeout = float(timeout)
+        self._weights = weights
+        self._ops: dict[str, object] = {}
+        self._plan: PartitionPlan | None = None
+        self._procs: list = []
+        self._pipes: list = []
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._sessions: dict[tuple, _Session] = {}
+        self._next_sid = 0
+        self._round = 0
+        self._closed = False
+        self._seq = None
+        self.last_timings: list[dict] = []
+        self.shm_prefix = f"repro{os.getpid()}p{next(_pool_ids)}"
+
+    # -- lifecycle -----------------------------------------------------
+    def register(self, tag: str, op) -> None:
+        if self._procs:
+            raise RuntimeError("register() must be called before start()")
+        if self._ops:
+            first = next(iter(self._ops.values()))
+            if op.conn is not first.conn or op.dof.n_cells != first.dof.n_cells:
+                raise ValueError(
+                    "all registered operators must share one mesh/connectivity"
+                )
+        self._ops[tag] = op
+
+    def start(self) -> "WorkerPool":
+        if self._procs:
+            raise RuntimeError("pool already started")
+        if not self._ops:
+            raise RuntimeError("no operators registered")
+        first = next(iter(self._ops.values()))
+        self._plan = PartitionPlan(first, self.n_workers, weights=self._weights)
+        seq = _shm_create(f"{self.shm_prefix}-seq", 8 * self.n_workers)
+        self._segments.append(seq)
+        self._seq = np.ndarray((self.n_workers,), dtype=np.int64, buffer=seq.buf)
+        self._seq[:] = 0
+        ctx = get_context("fork")
+        for r in range(self.n_workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(r, child, self._ops, self._plan, self.shm_prefix),
+                name=f"repro-worker-{r}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._pipes.append(parent)
+        atexit.register(self.close)
+        return self
+
+    @property
+    def plan(self) -> PartitionPlan:
+        if self._plan is None:
+            raise RuntimeError("pool not started")
+        return self._plan
+
+    def census(self) -> ExchangeCensus:
+        return self.plan.census()
+
+    def __enter__(self) -> "WorkerPool":
+        if not self._procs:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mat-vec -------------------------------------------------------
+    def vmult(self, tag: str, x: np.ndarray) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        op = self._ops[tag]
+        x = np.asarray(x)
+        if x.ndim == 2 and x.shape[0] == 1:
+            # E = 1 runs the unbatched path, mirroring the monolithic
+            # operator's bitwise-stable ensemble routing
+            return self.vmult(tag, x[0])[None]
+        lead = x.shape[0] if x.ndim == 2 else 0
+        ydt = np.result_type(np.dtype(op.dtype), x.dtype)
+        sess = self._session(x.dtype, ydt, lead)
+        sess.x[...] = x
+        self._round += 1
+        _POOL_VMULTS.labels(tag).inc()
+        self._broadcast(("vmult", tag, self._round, sess.sid,
+                         sess.xdt.name, sess.ydt.name, lead))
+        self._gather_done()
+        return np.array(sess.y, copy=True)
+
+    def _session(self, xdt, ydt, lead: int) -> _Session:
+        xdt = np.dtype(xdt)
+        ydt = np.dtype(ydt)
+        key = (xdt.name, ydt.name, lead)
+        sess = self._sessions.get(key)
+        if sess is not None:
+            return sess
+        sid = self._next_sid
+        self._next_sid += 1
+        plan = self.plan
+        shape = (lead, plan.n_dofs) if lead else (plan.n_dofs,)
+        names = _session_names(self.shm_prefix, sid, plan, lead)
+        xseg = _shm_create(names["x"], int(np.prod(shape)) * xdt.itemsize)
+        yseg = _shm_create(names["y"], int(np.prod(shape)) * ydt.itemsize)
+        self._segments += [xseg, yseg]
+        for (s, d), (name, shp) in names["out"].items():
+            seg = _shm_create(name, int(np.prod(shp)) * xdt.itemsize)
+            self._segments.append(seg)
+        sess = _Session(
+            sid, xdt, ydt, lead,
+            np.ndarray(shape, dtype=xdt, buffer=xseg.buf),
+            np.ndarray(shape, dtype=ydt, buffer=yseg.buf),
+        )
+        self._sessions[key] = sess
+        return sess
+
+    # -- fault handling ------------------------------------------------
+    def _broadcast(self, msg) -> None:
+        for r, pipe in enumerate(self._pipes):
+            try:
+                pipe.send(msg)
+            except (BrokenPipeError, OSError):
+                self._fail(WorkerCrash(
+                    r, f"worker {r} pipe is broken (worker died?)",
+                    self._procs[r].exitcode,
+                ))
+
+    def _gather_done(self) -> None:
+        self.last_timings = [None] * self.n_workers
+        pending = set(range(self.n_workers))
+        deadline = time.monotonic() + self.timeout
+        while pending:
+            for r in sorted(pending):
+                pipe, proc = self._pipes[r], self._procs[r]
+                got = False
+                try:
+                    got = pipe.poll(0.002)
+                    if got:
+                        reply = pipe.recv()
+                except (EOFError, OSError):
+                    proc.join(timeout=5.0)  # harvest the exit code
+                    self._fail(WorkerCrash(
+                        r, f"worker {r} hung up mid-solve", proc.exitcode))
+                if got:
+                    if reply[0] == "error":
+                        self._fail(WorkerCrash(
+                            r, f"worker {r} failed: {reply[1]}"))
+                    self.last_timings[r] = reply[2]
+                    pending.discard(r)
+                elif not proc.is_alive():
+                    self._fail(WorkerCrash(
+                        r,
+                        f"worker {r} died mid-solve "
+                        f"(exit code {proc.exitcode})",
+                        proc.exitcode,
+                    ))
+            if time.monotonic() > deadline:
+                self._fail(WorkerCrash(-1, "pool timed out waiting for workers"))
+
+    def _fail(self, exc: WorkerCrash):
+        _POOL_CRASHES.inc()
+        self._teardown(graceful=False)
+        raise exc
+
+    def inject_crash(self, rank: int, when: str = "after_post") -> None:
+        """Arm a fault in one worker: its next vmult share calls
+        ``os._exit(137)`` at the requested protocol point (the
+        ``--crash-after-step`` pattern, one layer down)."""
+        if when not in ("before_post", "after_post"):
+            raise ValueError(f"unknown crash point {when!r}")
+        self._command(rank, ("crash", when))
+
+    # -- worker metrics ------------------------------------------------
+    def enable_worker_metrics(self) -> None:
+        """Reset and enable the metric registries inside every worker."""
+        for r in range(self.n_workers):
+            self._command(r, ("metrics_on",))
+
+    def collect_worker_metrics(self) -> dict:
+        """Merged snapshot of the per-worker registries (associative
+        :func:`~repro.telemetry.metrics.merge_snapshots` reduction)."""
+        docs = [self._command(r, ("metrics_doc",))[1]
+                for r in range(self.n_workers)]
+        return merge_snapshots(docs)
+
+    def _command(self, rank: int, msg):
+        try:
+            self._pipes[rank].send(msg)
+            return self._pipes[rank].recv()
+        except (BrokenPipeError, EOFError, OSError):
+            self._fail(WorkerCrash(
+                rank, f"worker {rank} unreachable",
+                self._procs[rank].exitcode,
+            ))
+
+    # -- shutdown ------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and unlink every shared-memory segment."""
+        self._teardown(graceful=True)
+
+    def _teardown(self, graceful: bool) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if graceful:
+            for pipe in self._pipes:
+                try:
+                    pipe.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        for seg in self._segments:
+            try:
+                seg.close()
+            except OSError:
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        self._sessions.clear()
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+
+
+def _session_names(prefix: str, sid: int, plan: PartitionPlan, lead: int):
+    """Deterministic segment names shared by master and workers."""
+    out = {}
+    for rp in plan.rank_plans:
+        for dst, idx in rp.send.items():
+            shape = ((lead,) if lead else ()) + (idx.size,) + (plan.n1,) * 3
+            out[(rp.rank, dst)] = (f"{prefix}-s{sid}-ob{rp.rank}to{dst}", shape)
+    return {"x": f"{prefix}-s{sid}-x", "y": f"{prefix}-s{sid}-y", "out": out}
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+class _WorkerState:
+    def __init__(self, rank, ops, plan, prefix):
+        self.rank = rank
+        self.plan = plan
+        self.prefix = prefix
+        self.locals = {tag: RankLocalOperator(op, plan, rank)
+                       for tag, op in ops.items()}
+        seq_seg = shared_memory.SharedMemory(name=f"{prefix}-seq")
+        self._segs = [seq_seg]
+        self.seq = np.ndarray((plan.n_workers,), dtype=np.int64,
+                              buffer=seq_seg.buf)
+        self.sessions: dict[int, dict] = {}
+        self.crash: str | None = None
+
+    def attach_session(self, sid, xdt, ydt, lead):
+        sess = self.sessions.get(sid)
+        if sess is not None:
+            return sess
+        plan = self.plan
+        xdt, ydt = np.dtype(xdt), np.dtype(ydt)
+        shape = (lead, plan.n_dofs) if lead else (plan.n_dofs,)
+        names = _session_names(self.prefix, sid, plan, lead)
+        xseg = shared_memory.SharedMemory(name=names["x"])
+        yseg = shared_memory.SharedMemory(name=names["y"])
+        self._segs += [xseg, yseg]
+        rp = plan.rank_plans[self.rank]
+        out, inbox = {}, {}
+        for (s, d), (name, shp) in names["out"].items():
+            if s != self.rank and d != self.rank:
+                continue
+            seg = shared_memory.SharedMemory(name=name)
+            self._segs.append(seg)
+            arr = np.ndarray(shp, dtype=xdt, buffer=seg.buf)
+            if s == self.rank:
+                out[d] = arr
+            else:
+                inbox[s] = arr
+        assert set(out) == set(rp.send) and set(inbox) == set(rp.recv)
+        sess = {
+            "x": np.ndarray(shape, dtype=xdt, buffer=xseg.buf),
+            "y": np.ndarray(shape, dtype=ydt, buffer=yseg.buf),
+            "out": out,
+            "inbox": inbox,
+            "lead": lead,
+        }
+        self.sessions[sid] = sess
+        return sess
+
+    def release(self):
+        for seg in self._segs:
+            try:
+                seg.close()
+            except OSError:
+                pass
+
+
+def _worker_vmult(state: _WorkerState, tag, rnd, sess) -> dict:
+    rlo = state.locals[tag]
+    rp = rlo.rank_plan
+    plan = state.plan
+    lead = sess["lead"]
+    ensemble = lead >= 2
+    n1 = plan.n1
+    times = {}
+    t0 = time.perf_counter()
+    x = sess["x"]
+    sl = slice(rp.lo * plan.npc, rp.hi * plan.npc)
+    u = x[..., sl].reshape(x.shape[:-1] + (rp.n_cells, n1, n1, n1))
+    for dst in rp.send:
+        sess["out"][dst][...] = rlo.pack(u, dst)
+    if state.crash == "before_post":
+        os._exit(CRASH_EXIT_CODE)
+    # post: publish this round so neighbors may read the outboxes
+    state.seq[state.rank] = rnd
+    if state.crash == "after_post":
+        os._exit(CRASH_EXIT_CODE)
+    t1 = time.perf_counter()
+    times["pack"] = t1 - t0
+    # interior work overlaps the (conceptual) message flight time
+    base, pend = rlo.interior_contribs(u, ensemble)
+    t2 = time.perf_counter()
+    times["interior"] = t2 - t1
+    deadline = time.monotonic() + 120.0
+    for src in rp.recv:
+        spins = 0
+        while state.seq[src] < rnd:
+            spins += 1
+            time.sleep(0 if spins < 1000 else 5e-5)
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"ghost exchange stalled waiting for rank {src}"
+                )
+    t3 = time.perf_counter()
+    times["wait"] = t3 - t2
+    ug = np.empty(x.shape[:-1] + (rp.ghosts.size, n1, n1, n1), dtype=x.dtype)
+    for src, slots in rp.recv.items():
+        ug[..., slots, :, :, :] = sess["inbox"][src]
+    pend.extend(rlo.cut_contribs(u, ug, ensemble))
+    t4 = time.perf_counter()
+    times["cut"] = t4 - t3
+    y_own = rlo.accumulate(base, pend, ensemble)
+    sess["y"][..., sl] = y_own.reshape(y_own.shape[:-4] + (-1,))
+    times["accumulate"] = time.perf_counter() - t4
+    if METRICS.enabled:
+        _WORKER_VMULTS.inc()
+        for phase in _PHASES:
+            _WORKER_PHASE_SECONDS.labels(phase).inc(times[phase])
+    return times
+
+
+def _worker_main(rank, pipe, ops, plan, prefix) -> None:
+    state = _WorkerState(rank, ops, plan, prefix)
+    # Forked siblings inherit each other's parent-side pipe fds, so a
+    # dead master does not deliver EOF here.  Poll with a timeout and
+    # watch for re-parenting (getppid changes when the master dies) so
+    # orphaned workers always exit and release their shm segments.
+    master_pid = os.getppid()
+    try:
+        while True:
+            try:
+                if not pipe.poll(1.0):
+                    if os.getppid() != master_pid:
+                        break
+                    continue
+                msg = pipe.recv()
+            except (EOFError, KeyboardInterrupt):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                break
+            try:
+                if kind == "vmult":
+                    _, tag, rnd, sid, xdt, ydt, lead = msg
+                    sess = state.attach_session(sid, xdt, ydt, lead)
+                    times = _worker_vmult(state, tag, rnd, sess)
+                    pipe.send(("done", rank, times))
+                elif kind == "crash":
+                    state.crash = msg[1]
+                    pipe.send(("ok", rank))
+                elif kind == "metrics_on":
+                    METRICS.reset()
+                    METRICS.enable()
+                    pipe.send(("ok", rank))
+                elif kind == "metrics_doc":
+                    pipe.send(("doc", snapshot_doc(
+                        METRICS, meta={"worker": rank})))
+                else:
+                    pipe.send(("error", f"unknown command {kind!r}"))
+            except Exception as exc:  # noqa: BLE001 - reported to master
+                try:
+                    pipe.send(("error", f"{type(exc).__name__}: {exc}"))
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        state.release()
+        try:
+            pipe.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# solver integration
+# ----------------------------------------------------------------------
+
+class DistributedOperator(MatrixFreeOperator):
+    """Drop-in operator front: ``vmult`` dispatches to the pool, while
+    setup-time queries (diagonal, work model) delegate to the serial
+    operator on the master — they run once, not per iteration."""
+
+    def __init__(self, pool: WorkerPool, tag: str, op) -> None:
+        self.pool = pool
+        self.tag = tag
+        self.serial_op = op
+        self.dtype = op.dtype
+        self.conn = op.conn
+        self.dof = op.dof
+
+    @property
+    def n_dofs(self) -> int:
+        return self.serial_op.n_dofs
+
+    def vmult(self, x: np.ndarray) -> np.ndarray:
+        return self.pool.vmult(self.tag, x)
+
+    def diagonal(self) -> np.ndarray:
+        return self.serial_op.diagonal()
+
+    def _build_work_model(self) -> dict:
+        return dict(self.serial_op.work_model())
+
+
+class DistributedSolverContext:
+    """Thread a worker pool through an operator and (optionally) its
+    multigrid preconditioner.
+
+    ``ctx.operator`` replaces the fp64 operator in the outer Krylov
+    iteration.  The distributed fp64 mat-vec is bitwise identical to
+    the serial one (canonical accumulation order + padded face-batch
+    subsets), so CG iterates — and therefore ``repro poisson
+    --workers N`` — reproduce the single-process run exactly.
+
+    When a
+    :class:`~repro.solvers.multigrid.HybridMultigridPreconditioner` is
+    given and ``distribute_single_precision=True``, its finest (DG)
+    level — operator and Chebyshev smoother — is swapped to
+    pool-backed fronts as well.  This is *off* by default: BLAS sgemm
+    row-blocking makes fp32 face-batch subsets round differently from
+    the full batch (~1e-7 relative), so distributing the fp32 smoother
+    would perturb the preconditioner and break the fp64 bitwise
+    contract of the outer iteration.  The Chebyshev eigenvalue
+    estimates and the Jacobi diagonal were computed at preconditioner
+    construction and are kept either way.  Exiting the context
+    restores the serial objects and closes the pool.
+    """
+
+    def __init__(self, op, preconditioner=None, n_workers: int = 2,
+                 weights=None, distribute_single_precision: bool = False,
+                 ) -> None:
+        self.pool = WorkerPool(n_workers, weights=weights)
+        self.pool.register("fine", op)
+        self._mg = None
+        self._saved = None
+        mg = preconditioner
+        swap_sp = (distribute_single_precision and mg is not None
+                   and getattr(mg, "levels", None))
+        if swap_sp:
+            self.pool.register("fine_sp", mg.levels[0].operator)
+        self.pool.start()
+        self.operator = DistributedOperator(self.pool, "fine", op)
+        if swap_sp:
+            lev = mg.levels[0]
+            self._mg = mg
+            self._saved = (lev.operator, lev.smoother.op)
+            fine_sp = DistributedOperator(self.pool, "fine_sp", lev.operator)
+            lev.operator = fine_sp
+            lev.smoother.op = fine_sp
+        self.census = self.pool.census()
+
+    def close(self) -> None:
+        if self._mg is not None:
+            lev = self._mg.levels[0]
+            lev.operator, lev.smoother.op = self._saved
+            self._mg = None
+        self.pool.close()
+
+    def __enter__(self) -> "DistributedSolverContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -443,11 +443,129 @@ def _suite_ensemble(smoke: bool, degree: int, select=_always,
     return cases
 
 
+def _suite_scaling(smoke: bool, degree: int, select=_always,
+                   dtype: str = "float64") -> list[dict]:
+    """Measured multi-worker vmult wall-times next to the calibrated
+    :class:`~repro.parallel.MatvecScalingModel` predictions — the PR
+    that turns the performance model from fiction into a tested
+    contract.
+
+    One serial baseline plus 2- and 4-worker
+    :class:`~repro.parallel.WorkerPool` runs on the compute-bound box
+    mesh.  The model's node throughput is calibrated from the measured
+    serial time (``matvec_dofs_per_s_k3`` of a LOCAL_PYTHON variant),
+    so its multi-worker predictions isolate exactly the partition /
+    communication / overlap terms the real runtime implements; each
+    case's ``meta`` records prediction, measured speedup, and
+    ``available_cores`` (oversubscribed pools cannot beat 1x, which the
+    smoke gate accounts for)."""
+    import dataclasses
+
+    from ..parallel import LOCAL_PYTHON, MatvecScalingModel, partition_stats
+    from ..parallel.runtime import WorkerPool
+    from ..solvers.multigrid import operator_to_dtype
+
+    ds = str(np.dtype(dtype))
+    sfx = dtype_suffix(ds)
+    # the full suite needs a workload large enough that one vmult
+    # dominates the ~ms pool dispatch round-trip (compute-bound regime)
+    refinements = 1 if smoke else 3
+    reps = 3 if smoke else 10
+    mesh_name = f"box_r{refinements}"
+    forest = _box_forest(refinements)
+    dof, geo, conn, op64 = _dg_laplace(forest, degree)
+    op = operator_to_dtype(op64, ds)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(op.n_dofs).astype(ds)
+    try:
+        avail = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        avail = os.cpu_count() or 1
+
+    op.vmult(x)  # warm the plan caches before timing
+    t_serial = min(
+        _timed(lambda: op.vmult(x)) for _ in range(reps)
+    )
+    machine = dataclasses.replace(
+        LOCAL_PYTHON, matvec_dofs_per_s_k3=op.n_dofs / t_serial
+    )
+    model = MatvecScalingModel(machine=machine, degree=degree)
+    # re-anchor so the 1-worker prediction reproduces the measured
+    # serial time exactly (time() is linear in 1/matvec_dofs_per_s_k3,
+    # and the cache-boost factor depends only on the working set)
+    machine = dataclasses.replace(
+        machine,
+        matvec_dofs_per_s_k3=(machine.matvec_dofs_per_s_k3
+                              * model.time(op.n_dofs, 1) / t_serial),
+    )
+    model = MatvecScalingModel(machine=machine, degree=degree)
+    meta = {
+        "mesh": mesh_name, "n_cells": forest.n_cells, "degree": degree,
+        "available_cores": avail,
+    }
+    cases: list[dict] = []
+
+    name = f"{mesh_name}/dist_vmult_w1{sfx}"
+    if select(name):
+        cases.append(_case(
+            name, op.n_dofs, op.n_dofs / t_serial, "dofs/s",
+            {"best_seconds": t_serial, "repetitions": reps,
+             "dofs_per_second": op.n_dofs / t_serial},
+            dict(meta, workers=1, mode="serial",
+                 predicted_seconds=model.time(op.n_dofs, 1)),
+            ds,
+        ))
+
+    for workers in (2, 4):
+        name = f"{mesh_name}/dist_vmult_w{workers}{sfx}"
+        if not select(name):
+            continue
+        stats = partition_stats(forest, conn, workers)
+        pool = WorkerPool(workers)
+        pool.register("op", op)
+        with pool:
+            census = pool.census()
+            pool.vmult("op", x)  # warm the per-worker plan caches
+            t_best = min(
+                _timed(lambda: pool.vmult("op", x)) for _ in range(reps)
+            )
+        msg_bytes = (census.bytes_total / max(census.n_messages, 1)
+                     if census.n_messages else 0.0)
+        predicted = model.time(
+            op.n_dofs, workers,
+            n_neighbors=stats.max_neighbors(),
+            message_bytes=msg_bytes,
+        )
+        cases.append(_case(
+            name, op.n_dofs, op.n_dofs / t_best, "dofs/s",
+            {"best_seconds": t_best, "repetitions": reps,
+             "dofs_per_second": op.n_dofs / t_best},
+            dict(
+                meta, workers=workers, mode="distributed",
+                predicted_seconds=predicted,
+                predicted_speedup=t_serial / predicted,
+                measured_speedup=t_serial / t_best,
+                n_messages=census.n_messages,
+                ghost_bytes=census.bytes_total,
+                max_neighbors=stats.max_neighbors(),
+            ),
+            ds,
+        ))
+    return cases
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
 #: Declared benchmark suites: name -> runner(smoke, degree, select).
 SUITES = {
     "ops": _suite_ops,
     "vmult": _suite_vmult,
     "ensemble": _suite_ensemble,
+    "scaling": _suite_scaling,
 }
 
 

@@ -90,6 +90,10 @@ class RunConfig:
     #: windkessel R and C — the per-member knobs ensemble runs sweep
     windkessel_resistance_scale: float = 1.0
     windkessel_compliance_scale: float = 1.0
+    #: shared-memory worker processes for the pressure-Poisson mat-vec
+    #: (>= 2 enables the pool; 0/1 run serial).  fp64 steps are bitwise
+    #: identical either way, so checkpoints are interchangeable
+    workers: int = 0
     solver: Any = None  # SolverSettings
     ventilation: Any = None  # VentilationSettings
     robustness: RobustnessSettings | None = None
@@ -128,6 +132,7 @@ class RunConfig:
             "compute_dtype": self.compute_dtype,
             "windkessel_resistance_scale": self.windkessel_resistance_scale,
             "windkessel_compliance_scale": self.windkessel_compliance_scale,
+            "workers": self.workers,
             "solver": dataclasses.asdict(self.solver),
             "ventilation": dataclasses.asdict(self.ventilation),
             "robustness": dataclasses.asdict(self.robustness),
@@ -148,6 +153,7 @@ class RunConfig:
             "compute_dtype",
             "windkessel_resistance_scale",
             "windkessel_compliance_scale",
+            "workers",
         )
         unknown = set(d) - set(scalar_keys) - {"solver", "ventilation", "robustness"}
         if unknown:
@@ -190,7 +196,7 @@ class RunConfig:
                 solver=dataclasses.replace(base.solver, solver_tolerance=1e-3),
             )
         updates: dict = {}
-        for attr in ("generations", "degree", "seed", "compute_dtype"):
+        for attr in ("generations", "degree", "seed", "compute_dtype", "workers"):
             value = getattr(args, attr, None)
             if value is not None:
                 updates[attr] = value

@@ -11,6 +11,9 @@ Tiers (see TESTING.md):
   explicitly (``pytest -m convergence``).
 * ``nightly`` — the long verification runs CI schedules overnight.
   Skipped by default; enable with ``--run-nightly`` or ``-m nightly``.
+* ``parallel`` — multi-worker-process tests (real fork + shared-memory
+  pools; seconds each).  Skipped by default; enable with
+  ``--run-parallel`` or ``-m parallel``.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import zlib
 import numpy as np
 import pytest
 
-_OPTIONAL_TIERS = ("convergence", "nightly")
+_OPTIONAL_TIERS = ("convergence", "nightly", "parallel")
 
 
 def pytest_addoption(parser):
@@ -50,7 +53,13 @@ def pytest_collection_modifyitems(config, items):
         if not _tier_enabled(config, tier)
     }
     for item in items:
-        tiers = [t for t in _OPTIONAL_TIERS if t in item.keywords]
+        # match actual markers, not item.keywords: keywords also contain
+        # package/module names, and tests/parallel/ would otherwise put
+        # every test in its directory into the 'parallel' tier
+        tiers = [
+            t for t in _OPTIONAL_TIERS
+            if item.get_closest_marker(t) is not None
+        ]
         if not tiers:
             item.add_marker(pytest.mark.tier1)
         for t in tiers:

@@ -68,14 +68,13 @@ class TestPartition:
 
 
 class TestGhostExchange:
-    def test_buffers_match_remote_traces(self):
+    def test_buffers_match_remote_traces(self, rng):
         forest = Forest(box(subdivisions=(4, 1, 1)))
         conn = build_connectivity(forest)
         degree = 2
         kern = TensorProductKernel(degree)
         ex = SimulatedGhostExchange(forest, conn, 2, degree)
         dof = DGDofHandler(forest, degree)
-        rng = np.random.default_rng(0)
         u = rng.standard_normal((forest.n_cells,) + (degree + 1,) * 3)
         buffers = ex.exchange(u, kern)
         assert buffers  # there is at least one cut face

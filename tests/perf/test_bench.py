@@ -249,7 +249,7 @@ class TestRunSuite:
             run_suite("nope")
 
     def test_declared_suites(self):
-        assert set(SUITES) == {"ops", "vmult", "ensemble"}
+        assert set(SUITES) == {"ops", "vmult", "ensemble", "scaling"}
 
     def test_smoke_filtered_case_runs(self):
         doc = run_suite("ops", smoke=True, degree=2,

@@ -21,14 +21,12 @@ class DiagonalOperator:
 
 
 @pytest.fixture
-def op():
-    rng = np.random.default_rng(3)
+def op(rng):
     return DiagonalOperator(rng.uniform(1.0, 10.0, size=40))
 
 
 class TestE1Dispatch:
-    def test_e1_bitwise_matches_flat(self, op):
-        rng = np.random.default_rng(0)
+    def test_e1_bitwise_matches_flat(self, op, rng):
         b = rng.standard_normal(op.n_dofs)
         flat = conjugate_gradient(op, b, tol=1e-12)
         batched = conjugate_gradient(op, b[None], tol=1e-12)
@@ -44,8 +42,7 @@ class TestE1Dispatch:
 
 
 class TestBatchedConvergence:
-    def test_members_match_independent_flat_solves(self, op):
-        rng = np.random.default_rng(1)
+    def test_members_match_independent_flat_solves(self, op, rng):
         B = rng.standard_normal((4, op.n_dofs))
         batched = conjugate_gradient(op, B, tol=1e-12)
         assert batched.converged
@@ -70,8 +67,7 @@ class TestBatchedConvergence:
         np.testing.assert_allclose(res.x[0], easy / d, rtol=1e-13)
         np.testing.assert_allclose(res.x[1], hard / d, rtol=1e-12)
 
-    def test_zero_rhs_member_converges_instantly(self, op):
-        rng = np.random.default_rng(2)
+    def test_zero_rhs_member_converges_instantly(self, op, rng):
         b = rng.standard_normal(op.n_dofs)
         res = conjugate_gradient(op, np.stack([np.zeros(op.n_dofs), b]),
                                  tol=1e-12)
@@ -104,8 +100,7 @@ class TestBatchedFailures:
         assert res.failure_reason == "nan_residual"
         assert res.member_iterations == [0, 0]
 
-    def test_max_iterations(self, op):
-        rng = np.random.default_rng(4)
+    def test_max_iterations(self, op, rng):
         B = rng.standard_normal((2, op.n_dofs))
         res = conjugate_gradient(op, B, tol=1e-15, max_iter=2)
         assert not res.converged

@@ -40,9 +40,8 @@ def spd_matrix(n, cond=100.0, seed=0):
 
 
 class TestConjugateGradient:
-    def test_solves_dense_spd(self):
+    def test_solves_dense_spd(self, rng):
         A = spd_matrix(40)
-        rng = np.random.default_rng(1)
         x_ref = rng.standard_normal(40)
         b = A @ x_ref
         res = conjugate_gradient(DenseOp(A), b, tol=1e-12, max_iter=200)
@@ -205,18 +204,16 @@ class TestOnDGLaplacian:
         dof = DGDofHandler(forest, 2)
         return dof, geo, DGLaplaceOperator(dof, geo, conn, dirichlet_ids=(1,))
 
-    def test_cg_with_jacobi_converges(self):
+    def test_cg_with_jacobi_converges(self, rng):
         dof, geo, op = self.make_op()
-        rng = np.random.default_rng(11)
         b = rng.standard_normal(dof.n_dofs)
         res = conjugate_gradient(op, b, JacobiPreconditioner(op), tol=1e-8, max_iter=2000)
         assert res.converged
         assert np.allclose(op.vmult(res.x), b, atol=1e-6 * np.linalg.norm(b))
 
-    def test_chebyshev_smooths_dg_operator(self):
+    def test_chebyshev_smooths_dg_operator(self, rng):
         dof, geo, op = self.make_op()
         sm = ChebyshevSmoother(op, degree=3)
-        rng = np.random.default_rng(12)
         b = rng.standard_normal(dof.n_dofs)
         x = sm.smooth(b)
         # one smoothing application reduces the residual

@@ -81,12 +81,11 @@ class TestTransfers:
         mf = np.nonzero(~fine.is_constrained)[0]
         assert np.allclose(xf, (3 * pts_f[:, 0] - pts_f[:, 2])[mf], atol=1e-10)
 
-    def test_restriction_is_transpose(self):
+    def test_restriction_is_transpose(self, rng):
         forest = Forest(box(subdivisions=(2, 1, 1)))
         fine = CGDofHandler(forest, 2)
         coarse = CGDofHandler(forest, 1)
         T = p_transfer(fine, coarse)
-        rng = np.random.default_rng(0)
         xc = rng.standard_normal(coarse.n_dofs)
         rf = rng.standard_normal(fine.n_dofs)
         assert np.isclose(rf @ T.prolongate(xc), xc @ T.restrict(rf), rtol=1e-12)
@@ -114,14 +113,13 @@ class TestHybridMultigrid:
         # DG, CG3, CG1 (p), then 2 h-levels, + AMG
         assert mg.n_levels >= 5
 
-    def test_preconditioned_cg_few_iterations(self):
+    def test_preconditioned_cg_few_iterations(self, rng):
         """The tol=1e-10 solve should take O(10) iterations on a box —
         the bifurcation case of Figure 9 reports 9."""
         mesh = box(subdivisions=(2, 1, 1), boundary_ids={0: 1, 1: 2})
         forest = Forest(mesh).refine_all(2)
         dof, _, op = make_dg_poisson(forest, 3, (1, 2))
         mg = HybridMultigridPreconditioner(op)
-        rng = np.random.default_rng(1)
         b = rng.standard_normal(dof.n_dofs)
         res = conjugate_gradient(op, b, mg, tol=1e-10, max_iter=40)
         assert res.converged
