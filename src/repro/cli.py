@@ -36,20 +36,58 @@ def _metrics_session(path: str | None, command: str):
     """Enable the global metric registry for the lifetime of a command
     and export its state to ``path`` on the way out (including error
     exits — a failed run's metrics are exactly the interesting ones).
-    A no-op when no ``--metrics-file`` was given."""
+    Yields a list the command may append per-worker snapshot documents
+    to (``pool.collect_worker_metrics()``); they are folded into the
+    export so worker-side series — phase seconds, ghost-wait spins —
+    land in the one file the run produces.  A no-op when no
+    ``--metrics-file`` was given."""
+    worker_docs: list[dict] = []
     if not path:
-        yield
+        yield worker_docs
         return
     from .telemetry import METRICS, export_metrics
+    from .telemetry.metrics import merge_snapshots, snapshot_doc
 
     METRICS.reset()
     METRICS.enable()
     try:
-        yield
+        yield worker_docs
     finally:
         METRICS.disable()
-        out = export_metrics(METRICS, path, meta={"command": command})
+        source: dict = snapshot_doc(METRICS)
+        meta = {"command": command}
+        if worker_docs:
+            source = merge_snapshots([source, *worker_docs])
+            meta["aggregated_workers"] = len(worker_docs)
+        out = export_metrics(source, path, meta=meta)
         print(f"metrics written to {out}")
+
+
+def _write_timeline_trace(ctx, path, quiet=False):
+    """Export a distributed-solver context's merged worker timeline as
+    Chrome trace-event JSON and return the analysis document (the same
+    numbers ``repro trace`` recomputes from the file)."""
+    from .telemetry import analyze_timeline, render_timeline, write_chrome_trace
+
+    events = ctx.timeline_events()
+    rank_bytes = ctx.rank_exchange_bytes()
+    analysis = analyze_timeline(
+        events, rank_bytes=rank_bytes,
+        dropped_events=ctx.pool.timeline_dropped,
+    )
+    meta = {
+        "rank_exchange_bytes": {str(k): v for k, v in rank_bytes.items()},
+        "clock_offsets_s": {str(k): v
+                            for k, v in ctx.pool.clock_offsets.items()},
+        "clock_rtts_s": {str(k): v for k, v in ctx.pool.clock_rtts.items()},
+        "dropped_events": ctx.pool.timeline_dropped,
+    }
+    out = write_chrome_trace(path, events, meta=meta)
+    if not quiet:
+        print(f"timeline trace written to {out} ({len(events)} events; "
+              f"load in Perfetto or chrome://tracing)")
+        print(render_timeline(analysis))
+    return analysis
 
 
 def cmd_poisson(args) -> int:
@@ -72,10 +110,17 @@ def cmd_poisson(args) -> int:
     b = op.assemble_rhs(f=lambda x, y, z: np.ones_like(x),
                         dirichlet=lambda x, y, z: 0.0 * x)
     workers = getattr(args, "workers", 0) or 0
+    trace_path = getattr(args, "trace_timeline", None)
+    if trace_path and not workers:
+        print("error: --trace-timeline requires --workers >= 2",
+              file=sys.stderr)
+        return 2
     if workers:
         from .parallel import DistributedSolverContext
 
-        with DistributedSolverContext(op, mg, n_workers=workers) as ctx:
+        with DistributedSolverContext(
+            op, mg, n_workers=workers, trace_timeline=bool(trace_path)
+        ) as ctx:
             if not args.json:
                 c = ctx.census
                 print(f"distributed: {workers} workers, "
@@ -83,6 +128,9 @@ def cmd_poisson(args) -> int:
                       f"{c.bytes_total} ghost bytes")
             res = conjugate_gradient(ctx.operator, b, mg,
                                      tol=args.tolerance, name="poisson")
+            if trace_path:
+                _write_timeline_trace(ctx, trace_path,
+                                      quiet=args.json)
     else:
         res = conjugate_gradient(op, b, mg, tol=args.tolerance, name="poisson")
     if args.json:
@@ -128,16 +176,17 @@ def cmd_lung(args) -> int:
         print("error: --resume requires --checkpoint-dir (or a config file "
               "with robustness.checkpoint_dir set)", file=sys.stderr)
         return 2
-    with _metrics_session(args.metrics_file, "lung"):
-        return _lung_run(args, cfg)
+    with _metrics_session(args.metrics_file, "lung") as worker_docs:
+        return _lung_run(args, cfg, worker_docs)
 
 
-def _lung_run(args, cfg) -> int:
+def _lung_run(args, cfg, worker_docs=None) -> int:
     import os
 
     from .lung import LungVentilationSimulation
     from .robustness import CheckpointManager, StepFailure
     from .telemetry import (
+        METRICS,
         TRACER,
         RunLogWriter,
         aggregate_steps,
@@ -145,6 +194,16 @@ def _lung_run(args, cfg) -> int:
         render_counters,
         render_span_tree,
     )
+
+    def harvest_worker_metrics():
+        # fold the workers' registries into the session export; tolerate
+        # a pool that already died (the master's own series still export)
+        if dist_ctx is None or worker_docs is None or not METRICS.enabled:
+            return
+        try:
+            worker_docs.append(dist_ctx.pool.collect_worker_metrics())
+        except (OSError, RuntimeError):
+            pass
 
     sim = LungVentilationSimulation(cfg)
     manager = CheckpointManager.from_settings(cfg.robustness)
@@ -169,6 +228,11 @@ def _lung_run(args, cfg) -> int:
             "n_dofs": n_dofs,
             "steps": args.steps,
         })
+    dist_ctx = sim.solver.distributed_context
+    if dist_ctx is not None and METRICS.enabled:
+        # workers fork with metrics disabled; switch their registries on
+        # so the session export can fold the worker-side series in
+        dist_ctx.pool.enable_worker_metrics()
     stats = []
     for i in range(args.steps):
         try:
@@ -182,15 +246,21 @@ def _lung_run(args, cfg) -> int:
             if writer is not None:
                 writer.write_summary(TRACER if args.trace else None)
                 writer.close()
+            harvest_worker_metrics()
             sim.close()
             return 1
         stats.append(st)
         if writer is not None:
-            writer.write_step(st, extra={
+            extra = {
                 "inflow_m3_s": sim._inlet_flow,
                 "tidal_volume_ml": sim.tidal_volume_delivered() * 1e6,
                 "recovery_events": len(sim.recovery_log),
-            })
+            }
+            if dist_ctx is not None:
+                # cumulative per-rank phase seconds; repro monitor
+                # renders the per-worker breakdown from the last record
+                extra["worker_phases"] = dist_ctx.worker_phase_totals()
+            writer.write_step(st, extra=extra)
         if manager is not None:
             manager.maybe_save(sim)
         if args.crash_after_step is not None and i + 1 >= args.crash_after_step:
@@ -208,8 +278,21 @@ def _lung_run(args, cfg) -> int:
         retries = sum(1 for e in sim.recovery_log if e.kind == "step_retry")
         print(f"recovery: {retries} step retries "
               f"({len(sim.recovery_log)} events total)")
+    trace_path = getattr(args, "trace_timeline", None)
+    timeline_analysis = None
+    if trace_path:
+        if dist_ctx is None:
+            print("warning: --trace-timeline needs --workers >= 2; "
+                  "no trace recorded", file=sys.stderr)
+        else:
+            timeline_analysis = _write_timeline_trace(dist_ctx, trace_path)
     if writer is not None:
-        writer.write_summary(TRACER if args.trace else None)
+        summary_extra = (
+            {"timeline": timeline_analysis}
+            if timeline_analysis is not None else None
+        )
+        writer.write_summary(TRACER if args.trace else None,
+                             extra=summary_extra)
         writer.close()
         print(f"run log written to {writer.path}")
     if args.trace:
@@ -227,6 +310,7 @@ def _lung_run(args, cfg) -> int:
 
         path = write_vtk(args.vtk, sim.lung.forest)
         print(f"mesh written to {path}")
+    harvest_worker_metrics()
     sim.close()
     return 0
 
@@ -402,6 +486,11 @@ def cmd_report(args) -> int:
     print()
     print(render_breakdown(aggregate_steps(steps)))
     if summary is not None:
+        if summary.get("timeline"):
+            from .telemetry import render_timeline
+
+            print()
+            print(render_timeline(summary["timeline"]))
         robustness = render_robustness(summary.get("counters") or {})
         if robustness:
             print()
@@ -418,6 +507,43 @@ def cmd_report(args) -> int:
             print("counters:")
             for name in sorted(summary["counters"]):
                 print(f"  {name:<42s} {summary['counters'][name]:>12d}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Analyze a Chrome trace written by ``--trace-timeline``: recompute
+    the per-round overlap-efficiency / imbalance / critical-path numbers
+    from the event stream (bit-exact — the slices carry full-precision
+    timestamps in their ``args``)."""
+    from .perf.attribution import MACHINES, render_exchange
+    from .telemetry import analyze_timeline, load_chrome_trace, render_timeline
+
+    try:
+        events, meta = load_chrome_trace(args.trace_file)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not events:
+        print("error: trace contains no timeline events", file=sys.stderr)
+        return 1
+    analysis = analyze_timeline(
+        events,
+        rank_bytes=meta.get("rank_exchange_bytes"),
+        dropped_events=int(meta.get("dropped_events", 0)),
+    )
+    if args.json:
+        print(json.dumps(analysis))
+        return 0
+    print(f"trace: {args.trace_file}")
+    if meta.get("clock_rtts_s"):
+        tol = max(meta["clock_rtts_s"].values()) / 2.0
+        print(f"clock-offset tolerance: {tol * 1e6:.1f} us "
+              f"(half the worst handshake round-trip)")
+    print(render_timeline(analysis))
+    exchange = render_exchange(analysis, MACHINES[args.machine])
+    if exchange:
+        print()
+        print(exchange)
     return 0
 
 
@@ -766,6 +892,10 @@ def main(argv=None) -> int:
                    help="run the CG mat-vec on a shared-memory worker pool "
                         "(>= 2; 0 = serial). fp64 results are bitwise "
                         "identical to the serial solve")
+    p.add_argument("--trace-timeline", type=str, default=None, metavar="FILE",
+                   help="with --workers: record per-rank timeline events "
+                        "and write a Chrome trace-event JSON here "
+                        "(Perfetto / chrome://tracing)")
     p.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON object instead of text")
     p.set_defaults(fn=cmd_poisson)
@@ -794,6 +924,11 @@ def main(argv=None) -> int:
     p.add_argument("--trace", action="store_true",
                    help="enable the telemetry tracer and print the "
                         "per-sub-step wall-time breakdown and span profile")
+    p.add_argument("--trace-timeline", type=str, default=None, metavar="FILE",
+                   help="with --workers: record per-rank worker timeline "
+                        "events and write a Chrome trace-event JSON here "
+                        "(analyze with 'repro trace'; the run-log summary "
+                        "gains a 'Distributed timeline' section)")
     p.add_argument("--log-file", type=str, default=None,
                    help="write a schema-versioned JSONL run log "
                         "(one record per time step)")
@@ -877,6 +1012,23 @@ def main(argv=None) -> int:
                    help="with --html: metric snapshot file(s) for the "
                         "catalog section (merged when several)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "trace",
+        help="analyze a --trace-timeline Chrome trace: per-round overlap "
+             "efficiency, load imbalance, critical path, and per-rank "
+             "exchange bandwidth",
+    )
+    p.add_argument("trace_file", type=str,
+                   help="Chrome trace-event JSON written by --trace-timeline")
+    p.add_argument("--machine", choices=sorted(_MACHINE_NAMES),
+                   default="local",
+                   help="machine model for the exchange-bandwidth rows "
+                        "(default: local)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro/timeline/1 analysis document "
+                        "instead of text")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "roofline",

@@ -146,7 +146,9 @@ class LungVentilationSimulation:
         )
         self.solver.initialize()
         if config.workers >= 2:
-            self.solver.distribute_pressure(config.workers)
+            self.solver.distribute_pressure(
+                config.workers, trace_timeline=config.trace_timeline
+            )
         self.cycle_records: list[CycleRecord] = []
         self._cycle_inhaled = 0.0
         self._steps_this_cycle = 0

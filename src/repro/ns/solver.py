@@ -228,8 +228,16 @@ class IncompressibleNavierStokesSolver:
         self._dist_ctx = None
 
     # -- distributed execution ---------------------------------------------
+    @property
+    def distributed_context(self):
+        """The live :class:`~repro.parallel.DistributedSolverContext`,
+        or ``None`` while the pressure solve runs serially — callers
+        drain its merged worker timeline / phase totals from here."""
+        return self._dist_ctx
+
     def distribute_pressure(self, n_workers: int,
-                            distribute_single_precision: bool = False):
+                            distribute_single_precision: bool = False,
+                            trace_timeline: bool = False):
         """Run the pressure-Poisson mat-vec on a shared-memory worker
         pool (:class:`repro.parallel.DistributedSolverContext`).
 
@@ -250,6 +258,7 @@ class IncompressibleNavierStokesSolver:
         self._dist_ctx = DistributedSolverContext(
             self.pressure_poisson, pre, n_workers=n_workers,
             distribute_single_precision=distribute_single_precision,
+            trace_timeline=trace_timeline,
         )
         self.scheme.ops.pressure_poisson = self._dist_ctx.operator
         return self._dist_ctx

@@ -64,7 +64,9 @@ import numpy as np
 
 from ..core.operators.base import MatrixFreeOperator, physical_gradient
 from ..core.plans import contract
+from ..telemetry import TRACER
 from ..telemetry.metrics import METRICS, merge_snapshots, snapshot_doc
+from ..telemetry.timeline import PHASE_ID, TimelineRing, merge_timeline
 from .distributed import ExchangeCensus
 from .partition import partition_forest
 
@@ -86,12 +88,36 @@ _WORKER_PHASE_SECONDS = METRICS.counter(
     "wall time of this worker's vmult shares by protocol phase",
     labels=("phase",),
 )
+_WORKER_WAIT_SPINS = METRICS.histogram(
+    "repro_parallel_ghost_wait_spins",
+    "spin iterations in the ghost-exchange wait loop per source rank "
+    "(a growing tail is the leading indicator of 'ghost exchange "
+    "stalled waiting for rank N')",
+    buckets=(0.0, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6),
+    labels=("src",),
+)
 
 #: exit code of an injected worker crash — the same code the hidden
 #: ``repro lung --crash-after-step`` fault hook uses
 CRASH_EXIT_CODE = 137
 
-_PHASES = ("pack", "interior", "wait", "cut", "accumulate")
+_PHASES = ("pack", "post", "interior", "wait", "cut", "accumulate")
+
+# timeline-event ids hoisted to module constants (the recording sites
+# sit on the allocation-free hot path)
+_PACK_ID = PHASE_ID["pack"]
+_POST_ID = PHASE_ID["post"]
+_INTERIOR_ID = PHASE_ID["interior"]
+_WAIT_ID = PHASE_ID["wait"]
+_CUT_ID = PHASE_ID["cut"]
+_ACCUM_ID = PHASE_ID["accumulate"]
+_SEND_ID = PHASE_ID["send"]
+_UNPACK_ID = PHASE_ID["unpack"]
+
+#: worker->master clock-offset handshake probes at pool startup; the
+#: best (lowest-RTT) sample wins and half its RTT bounds the offset
+#: error (the "clock-offset tolerance" TESTING.md documents)
+_CLOCK_PROBES = 7
 
 
 class WorkerCrash(RuntimeError):
@@ -245,6 +271,20 @@ class PartitionPlan:
         of the census model)."""
         total = sum(int(rp.ghosts.size) for rp in self.rank_plans)
         return total * self.npc * itemsize
+
+    def rank_exchange_bytes(self, itemsize: int = 8) -> dict:
+        """Per-rank bytes moved per exchange round,
+        ``{rank: {"send": ..., "recv": ...}}`` — the denominator data of
+        the per-rank achieved-bandwidth rows in the timeline analysis
+        (:func:`repro.telemetry.timeline.analyze_timeline`)."""
+        cell = self.npc * itemsize
+        return {
+            rp.rank: {
+                "send": sum(int(idx.size) for idx in rp.send.values()) * cell,
+                "recv": int(rp.ghosts.size) * cell,
+            }
+            for rp in self.rank_plans
+        }
 
 
 # ----------------------------------------------------------------------
@@ -561,7 +601,8 @@ class WorkerPool:
     """
 
     def __init__(self, n_workers: int, *, weights=None,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0, trace_timeline: bool = False,
+                 timeline_capacity: int = 65536) -> None:
         if n_workers < 2:
             raise ValueError("WorkerPool needs >= 2 workers; use the "
                              "operator directly for serial execution")
@@ -581,6 +622,20 @@ class WorkerPool:
         self._closed = False
         self._seq = None
         self.last_timings: list[dict] = []
+        #: cumulative per-rank phase seconds over the pool's lifetime
+        #: (always maintained — it is 7 float adds per round)
+        self.phase_totals: list[dict] = [dict() for _ in range(self.n_workers)]
+        self.trace_timeline = bool(trace_timeline)
+        self.timeline_capacity = int(timeline_capacity)
+        self._tl_rings: list[TimelineRing] = []
+        self._tl_cursors: list[int] = []
+        self._tl_chunks: dict[int, list] = {}
+        self.timeline_dropped = 0
+        #: per-rank worker-clock minus master-clock offsets (handshake
+        #: estimate; subtracted when merging timelines) and the half-RTT
+        #: uncertainty of each estimate
+        self.clock_offsets: dict[int, float] = {}
+        self.clock_rtts: dict[int, float] = {}
         self.shm_prefix = f"repro{os.getpid()}p{next(_pool_ids)}"
 
     # -- lifecycle -----------------------------------------------------
@@ -606,12 +661,23 @@ class WorkerPool:
         self._segments.append(seq)
         self._seq = np.ndarray((self.n_workers,), dtype=np.int64, buffer=seq.buf)
         self._seq[:] = 0
+        if self.trace_timeline:
+            nbytes = TimelineRing.nbytes(self.timeline_capacity)
+            for r in range(self.n_workers):
+                seg = _shm_create(f"{self.shm_prefix}-tl{r}", nbytes)
+                self._segments.append(seg)
+                ring = TimelineRing(seg.buf)
+                ring.clear()
+                self._tl_rings.append(ring)
+                self._tl_cursors.append(0)
+                self._tl_chunks[r] = []
         ctx = get_context("fork")
         for r in range(self.n_workers):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(r, child, self._ops, self._plan, self.shm_prefix),
+                args=(r, child, self._ops, self._plan, self.shm_prefix,
+                      self.trace_timeline),
                 name=f"repro-worker-{r}",
                 daemon=True,
             )
@@ -620,7 +686,30 @@ class WorkerPool:
             self._procs.append(proc)
             self._pipes.append(parent)
         atexit.register(self.close)
+        if self.trace_timeline:
+            self._clock_sync()
         return self
+
+    def _clock_sync(self, probes: int = _CLOCK_PROBES) -> None:
+        """Ping-pong each worker and keep the lowest-RTT sample: the
+        offset estimate is ``t_worker - midpoint(send, recv)`` and its
+        error is bounded by half that RTT.  (With ``fork`` on Linux all
+        processes share ``CLOCK_MONOTONIC``, so the offsets are pure
+        handshake noise — the handshake exists so the merge logic is
+        already correct for transports whose clocks genuinely differ.)"""
+        for r in range(self.n_workers):
+            best_rtt = float("inf")
+            offset = 0.0
+            for _ in range(probes):
+                t0 = time.perf_counter()
+                reply = self._command(r, ("clock",))
+                t1 = time.perf_counter()
+                rtt = t1 - t0
+                if rtt < best_rtt:
+                    best_rtt = rtt
+                    offset = reply[2] - 0.5 * (t0 + t1)
+            self.clock_offsets[r] = offset
+            self.clock_rtts[r] = best_rtt
 
     @property
     def plan(self) -> PartitionPlan:
@@ -658,7 +747,76 @@ class WorkerPool:
         self._broadcast(("vmult", tag, self._round, sess.sid,
                          sess.xdt.name, sess.ydt.name, lead))
         self._gather_done()
+        for r, t in enumerate(self.last_timings):
+            if t:
+                tot = self.phase_totals[r]
+                for phase, sec in t.items():
+                    tot[phase] = tot.get(phase, 0.0) + sec
+        if self._tl_rings:
+            self._drain_timeline()
+        if TRACER.enabled:
+            self._tracer_attach()
         return np.array(sess.y, copy=True)
+
+    def _drain_timeline(self) -> None:
+        """Copy the events each worker recorded since the last drain out
+        of its ring (the workers are quiescent between rounds, so the
+        single-writer rings are safe to read)."""
+        for r, ring in enumerate(self._tl_rings):
+            events, cursor, dropped = ring.drain(self._tl_cursors[r])
+            self._tl_cursors[r] = cursor
+            self.timeline_dropped += dropped
+            if events.size:
+                self._tl_chunks[r].append(events)
+
+    def _tracer_attach(self) -> None:
+        """Attach this round's worker timings as rank-tagged sub-spans
+        under the currently open tracer span.
+
+        The per-rank nodes run *concurrently*, so the ``workers`` node
+        carries the round's wall footprint (the max over ranks) while
+        its rank children carry each rank's full phase breakdown —
+        exclusive time of the ``workers`` node is therefore not
+        meaningful, but the enclosing solver span stays consistent."""
+        timings = [t for t in self.last_timings if t]
+        if not timings:
+            return
+        node = TRACER._stack[-1].child("workers")
+        node.count += 1
+        node.total += max(sum(t.values()) for t in timings)
+        for r, t in enumerate(self.last_timings):
+            if not t:
+                continue
+            rn = node.child(f"rank{r}")
+            rn.count += 1
+            rn.total += sum(t.values())
+            for phase in _PHASES:
+                if phase in t:
+                    pn = rn.child(phase)
+                    pn.count += 1
+                    pn.total += t[phase]
+
+    # -- timeline ------------------------------------------------------
+    def timeline_events(self) -> list[dict]:
+        """The merged global timeline (master clock, rebased to t=0) of
+        everything drained so far; see
+        :func:`repro.telemetry.timeline.merge_timeline`."""
+        return merge_timeline(self._tl_chunks, self.clock_offsets)
+
+    def worker_phase_totals(self) -> dict:
+        """Cumulative per-rank phase seconds,
+        ``{"0": {"pack": ..., ...}, ...}`` (JSON-friendly string keys) —
+        what run logs embed so ``repro monitor`` can render a
+        per-worker phase breakdown mid-flight."""
+        return {str(r): dict(tot)
+                for r, tot in enumerate(self.phase_totals) if tot}
+
+    def rank_exchange_bytes(self) -> dict:
+        """Per-rank exchange payload bytes per round for the registered
+        fine operator's dtype."""
+        op = next(iter(self._ops.values()))
+        itemsize = np.dtype(op.dtype).itemsize
+        return self.plan.rank_exchange_bytes(itemsize)
 
     def _session(self, xdt, ydt, lead: int) -> _Session:
         xdt = np.dtype(xdt)
@@ -823,7 +981,7 @@ def _session_names(prefix: str, sid: int, plan: PartitionPlan, lead: int):
 # ----------------------------------------------------------------------
 
 class _WorkerState:
-    def __init__(self, rank, ops, plan, prefix):
+    def __init__(self, rank, ops, plan, prefix, trace=False):
         self.rank = rank
         self.plan = plan
         self.prefix = prefix
@@ -833,6 +991,11 @@ class _WorkerState:
         self._segs = [seq_seg]
         self.seq = np.ndarray((plan.n_workers,), dtype=np.int64,
                               buffer=seq_seg.buf)
+        self.ring: TimelineRing | None = None
+        if trace:
+            tl_seg = shared_memory.SharedMemory(name=f"{prefix}-tl{rank}")
+            self._segs.append(tl_seg)
+            self.ring = TimelineRing(tl_seg.buf)
         self.sessions: dict[int, dict] = {}
         self.crash: str | None = None
 
@@ -885,21 +1048,29 @@ def _worker_vmult(state: _WorkerState, tag, rnd, sess) -> dict:
     lead = sess["lead"]
     ensemble = lead >= 2
     n1 = plan.n1
+    ring = state.ring
     times = {}
     t0 = time.perf_counter()
     x = sess["x"]
     sl = slice(rp.lo * plan.npc, rp.hi * plan.npc)
     u = x[..., sl].reshape(x.shape[:-1] + (rp.n_cells, n1, n1, n1))
     for dst in rp.send:
-        sess["out"][dst][...] = rlo.pack(u, dst)
+        if ring is not None:
+            ts = time.perf_counter()
+            sess["out"][dst][...] = rlo.pack(u, dst)
+            ring.record(rnd, _SEND_ID, ts, time.perf_counter(), peer=dst)
+        else:
+            sess["out"][dst][...] = rlo.pack(u, dst)
     if state.crash == "before_post":
         os._exit(CRASH_EXIT_CODE)
+    tp = time.perf_counter()
+    times["pack"] = tp - t0
     # post: publish this round so neighbors may read the outboxes
     state.seq[state.rank] = rnd
     if state.crash == "after_post":
         os._exit(CRASH_EXIT_CODE)
     t1 = time.perf_counter()
-    times["pack"] = t1 - t0
+    times["post"] = t1 - tp
     # interior work overlaps the (conceptual) message flight time
     base, pend = rlo.interior_contribs(u, ensemble)
     t2 = time.perf_counter()
@@ -914,17 +1085,40 @@ def _worker_vmult(state: _WorkerState, tag, rnd, sess) -> dict:
                 raise RuntimeError(
                     f"ghost exchange stalled waiting for rank {src}"
                 )
+        if METRICS.enabled:
+            _WORKER_WAIT_SPINS.labels(str(src)).observe(spins)
     t3 = time.perf_counter()
     times["wait"] = t3 - t2
     ug = np.empty(x.shape[:-1] + (rp.ghosts.size, n1, n1, n1), dtype=x.dtype)
     for src, slots in rp.recv.items():
-        ug[..., slots, :, :, :] = sess["inbox"][src]
+        if ring is not None:
+            ts = time.perf_counter()
+            ug[..., slots, :, :, :] = sess["inbox"][src]
+            ring.record(rnd, _UNPACK_ID, ts, time.perf_counter(), peer=src)
+        else:
+            ug[..., slots, :, :, :] = sess["inbox"][src]
     pend.extend(rlo.cut_contribs(u, ug, ensemble))
     t4 = time.perf_counter()
     times["cut"] = t4 - t3
     y_own = rlo.accumulate(base, pend, ensemble)
     sess["y"][..., sl] = y_own.reshape(y_own.shape[:-4] + (-1,))
-    times["accumulate"] = time.perf_counter() - t4
+    t5 = time.perf_counter()
+    times["accumulate"] = t5 - t4
+    # completeness: the six phases are contiguous perf_counter
+    # intervals, so they must telescope to the round wall time
+    wall = t5 - t0
+    if abs(sum(times.values()) - wall) > 1e-9 + 1e-6 * wall:
+        raise RuntimeError(
+            f"phase accounting incomplete: phases sum to "
+            f"{sum(times.values()):.9f} s but the round took {wall:.9f} s"
+        )
+    if ring is not None:
+        ring.record(rnd, _PACK_ID, t0, tp)
+        ring.record(rnd, _POST_ID, tp, t1)
+        ring.record(rnd, _INTERIOR_ID, t1, t2)
+        ring.record(rnd, _WAIT_ID, t2, t3)
+        ring.record(rnd, _CUT_ID, t3, t4)
+        ring.record(rnd, _ACCUM_ID, t4, t5)
     if METRICS.enabled:
         _WORKER_VMULTS.inc()
         for phase in _PHASES:
@@ -932,8 +1126,8 @@ def _worker_vmult(state: _WorkerState, tag, rnd, sess) -> dict:
     return times
 
 
-def _worker_main(rank, pipe, ops, plan, prefix) -> None:
-    state = _WorkerState(rank, ops, plan, prefix)
+def _worker_main(rank, pipe, ops, plan, prefix, trace=False) -> None:
+    state = _WorkerState(rank, ops, plan, prefix, trace)
     # Forked siblings inherit each other's parent-side pipe fds, so a
     # dead master does not deliver EOF here.  Poll with a timeout and
     # watch for re-parenting (getppid changes when the master dies) so
@@ -961,6 +1155,8 @@ def _worker_main(rank, pipe, ops, plan, prefix) -> None:
                 elif kind == "crash":
                     state.crash = msg[1]
                     pipe.send(("ok", rank))
+                elif kind == "clock":
+                    pipe.send(("clock", rank, time.perf_counter()))
                 elif kind == "metrics_on":
                     METRICS.reset()
                     METRICS.enable()
@@ -1040,8 +1236,9 @@ class DistributedSolverContext:
 
     def __init__(self, op, preconditioner=None, n_workers: int = 2,
                  weights=None, distribute_single_precision: bool = False,
-                 ) -> None:
-        self.pool = WorkerPool(n_workers, weights=weights)
+                 trace_timeline: bool = False) -> None:
+        self.pool = WorkerPool(n_workers, weights=weights,
+                               trace_timeline=trace_timeline)
         self.pool.register("fine", op)
         self._mg = None
         self._saved = None
@@ -1060,6 +1257,16 @@ class DistributedSolverContext:
             lev.operator = fine_sp
             lev.smoother.op = fine_sp
         self.census = self.pool.census()
+
+    def timeline_events(self) -> list[dict]:
+        """Merged master-clock timeline drained from the pool so far."""
+        return self.pool.timeline_events()
+
+    def rank_exchange_bytes(self) -> dict:
+        return self.pool.rank_exchange_bytes()
+
+    def worker_phase_totals(self) -> dict:
+        return self.pool.worker_phase_totals()
 
     def close(self) -> None:
         if self._mg is not None:

@@ -217,6 +217,54 @@ def _render_rows(rows: list[KernelAttribution], machine: MachineModel,
     return lines
 
 
+def exchange_attribution(timeline_analysis: dict) -> list[KernelAttribution]:
+    """Per-rank achieved-bandwidth rows for the distributed ghost
+    exchange, from a ``repro/timeline/1`` analysis document
+    (:func:`repro.telemetry.timeline.analyze_timeline` with
+    ``rank_bytes``).
+
+    ``seconds`` is the rank's communication-facing time (pack + post +
+    wait + unpack) and ``bytes`` the payload it shipped and received, so
+    ``gbytes_per_s`` is the achieved exchange bandwidth and ``%model``
+    compares it against the machine's memory bandwidth — the shared-
+    memory transport's roofline."""
+    totals = timeline_analysis.get("totals") or {}
+    per_rank = totals.get("per_rank") or {}
+    rows = []
+    for r in sorted(per_rank, key=int):
+        info = per_rank[r]
+        if "exchange_bytes_total" not in info:
+            continue
+        secs = float(info.get("exchange_seconds", 0.0))
+        rows.append(
+            KernelAttribution(
+                name=f"ghost_exchange[rank{r}]",
+                calls=int(info.get("rounds", 0)),
+                seconds=secs,
+                inclusive_seconds=secs,
+                flops=0.0,
+                bytes=float(info["exchange_bytes_total"]),
+                dofs=0.0,
+            )
+        )
+    return rows
+
+
+def render_exchange(timeline_analysis: dict,
+                    machine: MachineModel = LOCAL_PYTHON) -> str:
+    """Table of the per-rank exchange bandwidth rows (empty string when
+    the analysis carries no byte accounting)."""
+    rows = exchange_attribution(timeline_analysis)
+    if not rows:
+        return ""
+    lines = [
+        f"per-rank ghost-exchange bandwidth — machine: {machine.name} "
+        f"(bw {machine.mem_bandwidth / 1e9:.3g} GB/s)",
+    ]
+    lines += _render_rows(rows, machine, "comm [s]")
+    return "\n".join(lines)
+
+
 def render_roofline(source, machine: MachineModel = LOCAL_PYTHON,
                     title: str = "roofline attribution") -> str:
     """Markdown-ish table of the per-kernel attribution (achieved rates

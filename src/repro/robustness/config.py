@@ -94,6 +94,11 @@ class RunConfig:
     #: (>= 2 enables the pool; 0/1 run serial).  fp64 steps are bitwise
     #: identical either way, so checkpoints are interchangeable
     workers: int = 0
+    #: record per-rank timeline events (pack/post/interior/wait/...) in
+    #: the worker pool's shared-memory rings; off by default — the
+    #: recording sites are allocation-free but still cost perf_counter
+    #: calls.  Only meaningful with ``workers >= 2``
+    trace_timeline: bool = False
     solver: Any = None  # SolverSettings
     ventilation: Any = None  # VentilationSettings
     robustness: RobustnessSettings | None = None
@@ -133,6 +138,7 @@ class RunConfig:
             "windkessel_resistance_scale": self.windkessel_resistance_scale,
             "windkessel_compliance_scale": self.windkessel_compliance_scale,
             "workers": self.workers,
+            "trace_timeline": self.trace_timeline,
             "solver": dataclasses.asdict(self.solver),
             "ventilation": dataclasses.asdict(self.ventilation),
             "robustness": dataclasses.asdict(self.robustness),
@@ -154,6 +160,7 @@ class RunConfig:
             "windkessel_resistance_scale",
             "windkessel_compliance_scale",
             "workers",
+            "trace_timeline",
         )
         unknown = set(d) - set(scalar_keys) - {"solver", "ventilation", "robustness"}
         if unknown:
@@ -200,6 +207,10 @@ class RunConfig:
             value = getattr(args, attr, None)
             if value is not None:
                 updates[attr] = value
+        # --trace-timeline carries the trace output path; the config
+        # records only that recording is on
+        if getattr(args, "trace_timeline", None):
+            updates["trace_timeline"] = True
         solver = base.solver
         if getattr(args, "tolerance", None) is not None:
             solver = dataclasses.replace(solver, solver_tolerance=args.tolerance)

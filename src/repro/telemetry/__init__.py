@@ -36,6 +36,17 @@ from .report import (
     render_span_tree,
 )
 from .sinks import SCHEMA, JsonlWriter, RunLogWriter, read_run_log, step_record
+from .timeline import (
+    TIMELINE_SCHEMA,
+    TimelineRing,
+    analyze_timeline,
+    chrome_trace_doc,
+    load_chrome_trace,
+    merge_timeline,
+    render_timeline,
+    render_worker_phases,
+    write_chrome_trace,
+)
 from .tracer import NULL_SPAN, SpanNode, Tracer
 
 #: Process-global tracer the instrumented solve stack reports into.
@@ -51,9 +62,18 @@ __all__ = [
     "RunAggregate",
     "RunLogWriter",
     "SpanNode",
+    "TIMELINE_SCHEMA",
     "TRACER",
     "Tracer",
+    "TimelineRing",
     "aggregate_steps",
+    "analyze_timeline",
+    "chrome_trace_doc",
+    "load_chrome_trace",
+    "merge_timeline",
+    "render_timeline",
+    "render_worker_phases",
+    "write_chrome_trace",
     "export_metrics",
     "load_metrics",
     "merge_snapshots",

@@ -223,6 +223,49 @@ def _catalog_table(metrics_doc: dict | None) -> str:
     )
 
 
+def _timeline_section(analysis: dict | None) -> str:
+    """"Distributed timeline" section from a ``repro/timeline/1``
+    analysis in the run-log summary (empty string when the run carried
+    no worker timeline)."""
+    if not analysis:
+        return ""
+    totals = analysis.get("totals") or {}
+    rounds = analysis.get("rounds") or []
+    overlap = totals.get("overlap_efficiency")
+    imbalance = totals.get("imbalance")
+    tiles = [
+        _tile("ranks", str(analysis.get("n_ranks", 0))),
+        _tile("exchange rounds", str(analysis.get("n_rounds", 0))),
+        _tile("overlap efficiency",
+              f"{overlap:.1%}" if isinstance(overlap, (int, float))
+              and math.isfinite(overlap) else "–"),
+        _tile("imbalance (max/mean)",
+              f"{imbalance:.2f}" if isinstance(imbalance, (int, float))
+              and math.isfinite(imbalance) else "–"),
+        _tile("stall speedup bound",
+              f"×{totals.get('stall_speedup_bound', 1.0):.2f}"),
+    ]
+    if analysis.get("dropped_events"):
+        tiles.append(_tile("dropped events",
+                           str(analysis["dropped_events"])))
+    cards = [
+        _series_card("Wait fraction", "wait / (interior + wait) per round "
+                     "(0 = exchange fully hidden)",
+                     [r.get("wait_fraction") for r in rounds]),
+        _series_card("Load imbalance", "max/mean interior seconds per round",
+                     [r.get("imbalance") for r in rounds]),
+        _series_card("Round wall time", "per-round wall seconds (log scale)",
+                     [r.get("wall_s") for r in rounds], unit=" s",
+                     log_scale=True),
+    ]
+    return (
+        "<h2>Distributed timeline</h2>"
+        f'<div class="tiles">{"".join(tiles)}</div>'
+        '<h2 style="margin-top:12px">Per-round series</h2>'
+        f'<div class="cards">{"".join(cards)}</div>'
+    )
+
+
 def render_html_dashboard(
     header: dict,
     steps: list[dict],
@@ -288,6 +331,8 @@ def render_html_dashboard(
             "Tidal volume", "volume stored in the compartments [ml]",
             tidal, unit=" ml"))
 
+    timeline_section = _timeline_section((summary or {}).get("timeline"))
+
     rob_rows = _robustness_rows(summary)
     if rob_rows:
         robustness = (
@@ -326,6 +371,7 @@ def render_html_dashboard(
 <div class="tiles">{''.join(tiles)}</div>
 <h2>Per-step series</h2>
 <div class="cards">{''.join(cards)}</div>
+{timeline_section}
 <h2>Robustness</h2>
 {robustness}
 <h2>Metric catalog</h2>

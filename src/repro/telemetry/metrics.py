@@ -804,14 +804,21 @@ def parse_prometheus(text: str) -> dict:
 # ----------------------------------------------------------------------
 # exports and rendering
 # ----------------------------------------------------------------------
-def export_metrics(registry: MetricRegistry, path, meta: dict | None = None) -> Path:
-    """Write the registry's state to ``path``; the suffix picks the
-    format — ``.prom``/``.txt`` for the Prometheus textfile, anything
-    else for the JSON snapshot document."""
+def export_metrics(source, path, meta: dict | None = None) -> Path:
+    """Write a registry's — or an already-merged snapshot document's —
+    state to ``path``; the suffix picks the format — ``.prom``/``.txt``
+    for the Prometheus textfile, anything else for the JSON snapshot
+    document."""
+    doc = source if isinstance(source, dict) else snapshot_doc(source)
+    if meta:
+        doc = {**doc, "meta": {**doc.get("meta", {}), **meta}}
     path = Path(path)
     if path.suffix in (".prom", ".txt"):
-        return write_prometheus(registry, path)
-    return write_snapshot(registry, path, meta)
+        return write_prometheus(doc, path)
+    with path.open("w") as f:
+        json.dump(doc, f, indent=2, allow_nan=True)
+        f.write("\n")
+    return path
 
 
 def render_metrics_table(doc: dict) -> str:

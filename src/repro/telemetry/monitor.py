@@ -71,6 +71,15 @@ def summarize_run(path, header: dict, steps: list[dict],
     recovery = last.get("recovery_events")
     if recovery:
         lines.append(f"recovery events so far: {recovery}")
+    worker_phases = last.get("worker_phases")
+    if worker_phases:
+        # cumulative per-rank phase seconds written by distributed runs:
+        # render the pack/interior/wait breakdown per worker mid-flight
+        from .timeline import render_worker_phases
+
+        breakdown = render_worker_phases(worker_phases)
+        if breakdown:
+            lines.append(breakdown)
     if summary is not None:
         rb = render_robustness(summary.get("counters") or {})
         if rb:

@@ -1,0 +1,577 @@
+"""Tests of the cross-process timeline tracing stack.
+
+Tier-1 half: the :class:`~repro.telemetry.timeline.TimelineRing` event
+ring over a plain buffer (record/drain round-trip, overflow accounting,
+allocation-free hot path), the merge/export/analysis pipeline on
+synthetic hand-computed timelines, and the Chrome trace-event JSON
+round-trip.  Tests that fork a real traced worker pool are marked
+``parallel`` (enable with ``--run-parallel``): the full contract there
+is that tracing observes without perturbing — the traced mat-vec stays
+bitwise identical to the serial operator — while every protocol round
+leaves a complete six-phase event record per rank.
+"""
+
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.dof_handler import DGDofHandler
+from repro.core.operators import DGLaplaceOperator
+from repro.mesh.connectivity import build_connectivity
+from repro.mesh.generators import box
+from repro.mesh.mapping import GeometryField
+from repro.mesh.octree import Forest
+from repro.parallel import WorkerPool
+from repro.parallel.runtime import DistributedSolverContext, PartitionPlan
+from repro.telemetry import TRACER
+from repro.telemetry.metrics import merge_snapshots
+from repro.telemetry.timeline import (
+    EVENT_DTYPE,
+    PHASE_ID,
+    PHASE_NAMES,
+    PHASES,
+    TIMELINE_SCHEMA,
+    TimelineRing,
+    analyze_timeline,
+    chrome_trace_doc,
+    load_chrome_trace,
+    merge_timeline,
+    render_timeline,
+    render_worker_phases,
+    write_chrome_trace,
+)
+
+
+def make_op(forest, degree=2, dirichlet=(1,)):
+    geo = GeometryField(forest, degree)
+    conn = build_connectivity(forest)
+    dof = DGDofHandler(forest, degree)
+    return DGLaplaceOperator(dof, geo, conn, dirichlet_ids=dirichlet)
+
+
+def make_ring(capacity=16):
+    return TimelineRing(bytearray(TimelineRing.nbytes(capacity)))
+
+
+class TestTimelineRing:
+    def test_capacity_from_buffer(self):
+        ring = make_ring(10)
+        assert ring.capacity == 10
+        # page-rounded segments (a larger buffer than requested) must
+        # still give master and worker the same capacity
+        padded = TimelineRing(bytearray(TimelineRing.nbytes(10) + 3))
+        assert padded.capacity == 10
+        with pytest.raises(ValueError):
+            TimelineRing(bytearray(4))
+
+    def test_record_drain_round_trip(self):
+        ring = make_ring(16)
+        ring.record(0, PHASE_ID["pack"], 1.0, 2.0)
+        ring.record(0, PHASE_ID["send"], 1.25, 1.5, peer=3)
+        ring.record(1, PHASE_ID["wait"], 2.0, 2.5)
+        events, cursor, dropped = ring.drain(0)
+        assert cursor == 3 and dropped == 0
+        assert events.dtype == EVENT_DTYPE
+        assert [PHASE_NAMES[p] for p in events["phase"]] == [
+            "pack", "send", "wait",
+        ]
+        assert list(events["round"]) == [0, 0, 1]
+        assert list(events["peer"]) == [-1, 3, -1]
+        assert list(events["t0"]) == [1.0, 1.25, 2.0]
+        assert list(events["t1"]) == [2.0, 1.5, 2.5]
+        # incremental drain from the returned cursor sees only new events
+        ring.record(2, PHASE_ID["cut"], 3.0, 4.0)
+        events, cursor, dropped = ring.drain(cursor)
+        assert len(events) == 1 and cursor == 4 and dropped == 0
+        assert PHASE_NAMES[int(events["phase"][0])] == "cut"
+
+    def test_overflow_drops_oldest(self):
+        ring = make_ring(4)
+        for i in range(10):
+            ring.record(i, PHASE_ID["interior"], float(i), float(i) + 0.5)
+        assert ring.cursor == 10  # monotonic, not capped
+        events, cursor, dropped = ring.drain(0)
+        assert cursor == 10 and dropped == 6
+        # the survivors are the newest `capacity` events, in order
+        assert list(events["round"]) == [6, 7, 8, 9]
+
+    def test_wraparound_preserves_order(self):
+        ring = make_ring(4)
+        for i in range(6):  # cursor wraps: events 2..5 live at slots 2,3,0,1
+            ring.record(i, PHASE_ID["pack"], float(i), float(i + 1))
+        events, _, dropped = ring.drain(2)
+        assert dropped == 0
+        assert list(events["round"]) == [2, 3, 4, 5]
+
+    def test_clear_resets_cursor(self):
+        ring = make_ring(4)
+        ring.record(0, 0, 0.0, 1.0)
+        ring.clear()
+        assert ring.cursor == 0
+        events, _, _ = ring.drain(0)
+        assert len(events) == 0
+
+    def test_record_is_allocation_free(self):
+        ring = make_ring(64)
+        ring.record(0, 1, 0.0, 1.0)  # warm any lazy numpy machinery
+        tracemalloc.start()
+        try:
+            for i in range(200):
+                ring.record(i, PHASE_ID["wait"], 0.5, 1.5, peer=1)
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert current == 0, f"record() allocated {current} bytes"
+
+
+def ev(rank, rnd, phase, t0, t1, peer=-1):
+    return {"rank": rank, "round": rnd, "phase": phase, "peer": peer,
+            "t0": t0, "t1": t1}
+
+
+def synthetic_round(rank, rnd, base, interior, wait):
+    """One rank's six-phase round starting at ``base`` with the given
+    interior/wait seconds (the other phases get fixed small times)."""
+    t = base
+    out = []
+    for phase, dur in (("pack", 0.01), ("post", 0.002),
+                       ("interior", interior), ("wait", wait),
+                       ("cut", 0.03), ("accumulate", 0.005)):
+        out.append(ev(rank, rnd, phase, t, t + dur))
+        t += dur
+    return out
+
+
+class TestMergeTimeline:
+    def test_offsets_and_rebase(self):
+        a = np.zeros(2, dtype=EVENT_DTYPE)
+        a["round"] = [0, 0]
+        a["phase"] = [PHASE_ID["pack"], PHASE_ID["interior"]]
+        a["peer"] = -1
+        a["t0"], a["t1"] = [100.0, 101.0], [101.0, 102.0]
+        b = np.zeros(1, dtype=EVENT_DTYPE)
+        b["phase"] = PHASE_ID["pack"]
+        b["peer"] = -1
+        # rank 1's clock runs 50 s ahead of the master
+        b["t0"], b["t1"] = 150.5, 151.5
+        merged = merge_timeline({0: [a], 1: [b]}, offsets={1: 50.0})
+        assert [e["rank"] for e in merged] == [0, 1, 0]
+        # rebased to t=0 on the common (master) clock
+        assert merged[0]["t0"] == 0.0
+        assert merged[1]["t0"] == pytest.approx(0.5)
+        assert merged[2]["t0"] == pytest.approx(1.0)
+
+    def test_multiple_chunks_per_rank(self):
+        chunks = []
+        for start in (0.0, 10.0):
+            c = np.zeros(1, dtype=EVENT_DTYPE)
+            c["phase"] = PHASE_ID["wait"]
+            c["peer"] = -1
+            c["t0"], c["t1"] = start, start + 1.0
+            chunks.append(c)
+        merged = merge_timeline({0: chunks}, rebase=False)
+        assert [e["t0"] for e in merged] == [0.0, 10.0]
+        assert all(e["phase"] == "wait" for e in merged)
+
+
+class TestChromeTrace:
+    def timeline(self):
+        events = synthetic_round(0, 0, 0.0, 0.5, 0.01)
+        events += synthetic_round(1, 0, 0.001, 0.4, 0.11)
+        # a matched send/unpack pair gets a flow arrow
+        events.append(ev(0, 0, "send", 0.002, 0.008, peer=1))
+        events.append(ev(1, 0, "unpack", 0.55, 0.56, peer=0))
+        events.sort(key=lambda e: (e["t0"], e["rank"], e["t1"]))
+        return events
+
+    def test_document_schema(self):
+        doc = chrome_trace_doc(self.timeline(), meta={"note": "x"})
+        assert doc["metadata"]["schema"] == TIMELINE_SCHEMA
+        assert doc["metadata"]["note"] == "x"
+        te = doc["traceEvents"]
+        names = {e["name"] for e in te if e["ph"] == "M"}
+        assert {"process_name", "thread_name"} <= names
+        slices = [e for e in te if e["ph"] == "X"]
+        assert len(slices) == len(self.timeline())
+        for s in slices:
+            assert set(s) >= {"name", "pid", "tid", "ts", "dur", "args"}
+            assert s["dur"] >= 0.0
+        assert {s["tid"] for s in slices} == {0, 1}
+
+    def test_flow_arrow_connects_send_to_unpack(self):
+        te = chrome_trace_doc(self.timeline())["traceEvents"]
+        starts = [e for e in te if e["ph"] == "s"]
+        finishes = [e for e in te if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert starts[0]["tid"] == 0 and finishes[0]["tid"] == 1
+
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        events = self.timeline()
+        path = write_chrome_trace(tmp_path / "trace.json",
+                                  events, meta={"k": 1})
+        loaded, meta = load_chrome_trace(path)
+        assert meta["schema"] == TIMELINE_SCHEMA and meta["k"] == 1
+        assert loaded == sorted(
+            events, key=lambda e: (e["t0"], e["rank"], e["t1"])
+        )
+        # and the analysis of the loaded trace is exactly reproducible
+        assert analyze_timeline(loaded) == analyze_timeline(events)
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_chrome_trace(p)
+
+
+class TestAnalyzeTimeline:
+    def test_hand_computed_round(self):
+        # rank 0: interior 0.5 s, wait 0.01 s; rank 1: 0.4 s / 0.11 s
+        events = synthetic_round(0, 0, 0.0, 0.5, 0.01)
+        events += synthetic_round(1, 0, 0.0, 0.4, 0.11)
+        a = analyze_timeline(events)
+        assert a["schema"] == TIMELINE_SCHEMA
+        assert a["n_ranks"] == 2 and a["n_rounds"] == 1
+        assert a["n_events"] == 12 and a["dropped_events"] == 0
+        (r,) = a["rounds"]
+        assert r["wait_fraction"] == pytest.approx(0.12 / 1.02)
+        assert r["overlap_efficiency"] == pytest.approx(1 - 0.12 / 1.02)
+        assert r["imbalance"] == pytest.approx(0.5 / 0.45)
+        # critical path: the slower rank's chain minus its wait
+        per_rank_chain = 0.01 + 0.002 + 0.03 + 0.005
+        assert r["critical_path_s"] == pytest.approx(per_rank_chain + 0.5)
+        assert r["max_wait_rank"] == 1
+        assert r["max_wait_s"] == pytest.approx(0.11)
+        t = a["totals"]
+        assert t["wait_fraction"] == pytest.approx(r["wait_fraction"])
+        assert t["interior_s"] == pytest.approx(0.9)
+        assert t["wait_s"] == pytest.approx(0.12)
+        assert t["phase_seconds"]["pack"] == pytest.approx(0.02)
+        assert set(t["per_rank"]) == {"0", "1"}
+        assert t["per_rank"]["1"]["phase_seconds"]["wait"] == pytest.approx(0.11)
+
+    def test_totals_aggregate_over_rounds(self):
+        events = []
+        for rnd in range(3):
+            events += synthetic_round(0, rnd, rnd * 2.0, 0.5, 0.1)
+            events += synthetic_round(1, rnd, rnd * 2.0, 0.5, 0.1)
+        a = analyze_timeline(events, dropped_events=7)
+        assert a["n_rounds"] == 3 and a["dropped_events"] == 7
+        t = a["totals"]
+        assert t["interior_s"] == pytest.approx(3.0)
+        assert t["critical_path_s"] == pytest.approx(
+            sum(r["critical_path_s"] for r in a["rounds"])
+        )
+        assert t["stall_speedup_bound"] == pytest.approx(
+            t["wall_s"] / t["critical_path_s"]
+        )
+        assert t["per_rank"]["0"]["rounds"] == 3
+
+    def test_rank_bytes_bandwidth(self):
+        events = synthetic_round(0, 0, 0.0, 0.5, 0.1)
+        events.append(ev(0, 0, "unpack", 0.62, 0.64, peer=1))
+        # str keys (the JSON round-tripped form) must work too
+        for rb in ({0: {"send": 1000, "recv": 500}},
+                   {"0": {"send": 1000, "recv": 500}}):
+            a = analyze_timeline(events, rank_bytes=rb)
+            info = a["totals"]["per_rank"]["0"]
+            assert info["exchange_bytes_per_round"] == 1500.0
+            assert info["exchange_bytes_total"] == 1500.0
+            comm = 0.01 + 0.002 + 0.1 + 0.02  # pack + post + wait + unpack
+            assert info["exchange_seconds"] == pytest.approx(comm)
+            assert info["achieved_gb_s"] == pytest.approx(1500.0 / comm / 1e9)
+            assert info["detail_seconds"]["unpack"] == pytest.approx(0.02)
+
+    def test_empty_timeline(self):
+        a = analyze_timeline([])
+        assert a["n_ranks"] == 0 and a["rounds"] == []
+        assert a["totals"]["wait_fraction"] == 0.0
+
+    def test_json_round_trip_is_exact(self):
+        events = synthetic_round(0, 0, 0.0, 0.31415, 0.00271)
+        a = analyze_timeline(events)
+        assert json.loads(json.dumps(a)) == a
+
+
+class TestRendering:
+    def test_render_timeline(self):
+        events = synthetic_round(0, 0, 0.0, 0.5, 0.01)
+        events += synthetic_round(1, 0, 0.0, 0.4, 0.11)
+        text = render_timeline(
+            analyze_timeline(events, rank_bytes={0: {"send": 8, "recv": 8}})
+        )
+        assert "distributed timeline: 2 ranks, 1 rounds" in text
+        assert "overlap efficiency" in text
+        assert "critical path" in text
+        assert "rank 0" in text and "GB/s" in text
+        assert "worst rounds by wait fraction" in text
+
+    def test_render_timeline_reports_drops(self):
+        a = analyze_timeline(synthetic_round(0, 0, 0.0, 0.1, 0.0),
+                             dropped_events=5)
+        assert "(5 dropped)" in render_timeline(a)
+
+    def test_render_worker_phases(self):
+        text = render_worker_phases(
+            {"0": {"pack": 0.1, "interior": 0.7, "wait": 0.2},
+             "1": {"pack": 0.2, "interior": 0.6, "wait": 0.2}}
+        )
+        assert "worker phases" in text
+        assert "rank 0: pack 10.0%  interior 70.0%  wait 20.0%" in text
+        assert "rank 1" in text
+        assert render_worker_phases({}) == ""
+        assert render_worker_phases({"0": {"pack": 0.0}}) == ""
+
+
+@pytest.mark.parallel
+class TestTracedWorkerPool:
+    """A real fork + shared-memory pool with timeline tracing on."""
+
+    def pool_op(self):
+        forest = Forest(box(subdivisions=(4, 2, 1), boundary_ids={0: 1}))
+        return make_op(forest)
+
+    def test_traced_vmult_bitwise_and_complete(self, rng):
+        op = self.pool_op()
+        x = rng.standard_normal(op.n_dofs)
+        pool = WorkerPool(2, trace_timeline=True)
+        pool.register("op", op)
+        with pool:
+            for _ in range(3):
+                assert np.array_equal(pool.vmult("op", x), op.vmult(x))
+            events = pool.timeline_events()
+            offsets = dict(pool.clock_offsets)
+            rtts = dict(pool.clock_rtts)
+        assert pool.timeline_dropped == 0
+        # every (round, rank) carries the full six-phase record
+        seen = {}
+        for e in events:
+            if e["phase"] in PHASES:
+                seen.setdefault((e["round"], e["rank"]), set()).add(e["phase"])
+        rounds = sorted({r for r, _ in seen})
+        assert len(rounds) == 3
+        assert set(seen) == {(r, w) for r in rounds for w in range(2)}
+        assert all(phases == set(PHASES) for phases in seen.values())
+        # phases partition the round: per (round, rank) they abut and
+        # sum to the rank's round span (the worker-side invariant)
+        for (rnd, rank) in seen:
+            span = [e for e in events
+                    if e["round"] == rnd and e["rank"] == rank
+                    and e["phase"] in PHASES]
+            span.sort(key=lambda e: e["t0"])
+            total = sum(e["t1"] - e["t0"] for e in span)
+            wall = span[-1]["t1"] - span[0]["t0"]
+            assert total == pytest.approx(wall, rel=1e-6, abs=1e-9)
+        # forked workers share CLOCK_MONOTONIC: offsets are pipe noise
+        assert set(offsets) == {0, 1}
+        assert all(abs(v) < 0.05 for v in offsets.values())
+        assert all(v > 0 for v in rtts.values())
+        analysis = analyze_timeline(events)
+        assert analysis["n_rounds"] == 3 and analysis["n_ranks"] == 2
+        assert 0.0 <= analysis["totals"]["wait_fraction"] <= 1.0
+
+    def test_traced_ensemble_vmult_bitwise(self, rng):
+        op = self.pool_op()
+        xE = rng.standard_normal((3, op.n_dofs))
+        pool = WorkerPool(2, trace_timeline=True)
+        pool.register("op", op)
+        with pool:
+            assert np.array_equal(pool.vmult("op", xE), op.vmult(xE))
+            assert len(pool.timeline_events()) > 0
+
+    def test_tracing_off_creates_no_timeline_segments(self, rng):
+        import glob
+        op = self.pool_op()
+        pool = WorkerPool(2)
+        pool.register("op", op)
+        with pool:
+            pool.vmult("op", rng.standard_normal(op.n_dofs))
+            assert glob.glob(f"/dev/shm/{pool.shm_prefix}*tl*") == []
+            assert pool.timeline_events() == []
+
+    def test_tiny_ring_reports_drops(self, rng):
+        op = self.pool_op()
+        x = rng.standard_normal(op.n_dofs)
+        # one round on 2 ranks writes >6 events per rank; capacity 4
+        # must overflow and be accounted, never crash
+        pool = WorkerPool(2, trace_timeline=True, timeline_capacity=4)
+        pool.register("op", op)
+        with pool:
+            assert np.array_equal(pool.vmult("op", x), op.vmult(x))
+            assert pool.timeline_dropped > 0
+            a = analyze_timeline(pool.timeline_events(),
+                                 dropped_events=pool.timeline_dropped)
+        assert a["dropped_events"] == pool.timeline_dropped
+
+    def test_rank_exchange_bytes(self, rng):
+        op = self.pool_op()
+        pool = WorkerPool(2, trace_timeline=True)
+        pool.register("op", op)
+        with pool:
+            pool.vmult("op", rng.standard_normal(op.n_dofs))
+            rb = pool.rank_exchange_bytes()
+        plan_rb = PartitionPlan(op, 2).rank_exchange_bytes()
+        assert rb == plan_rb
+        assert all(v["send"] > 0 and v["recv"] > 0 for v in rb.values())
+
+    def test_tracer_worker_subspans(self, rng):
+        op = self.pool_op()
+        x = rng.standard_normal(op.n_dofs)
+        pool = WorkerPool(2)
+        pool.register("op", op)
+        TRACER.reset()
+        TRACER.enable()
+        try:
+            with pool, TRACER.span("solve"):
+                pool.vmult("op", x)
+                pool.vmult("op", x)
+        finally:
+            TRACER.disable()
+        solve = TRACER.root.children["solve"]
+        workers = solve.children["workers"]
+        assert workers.count == 2
+        assert workers.total > 0
+        for r in range(2):
+            rank = workers.children[f"rank{r}"]
+            assert set(rank.children) == set(PHASES)
+            assert rank.total == pytest.approx(
+                sum(c.total for c in rank.children.values())
+            )
+
+
+@pytest.mark.parallel
+class TestMergedWorkerTelemetry:
+    """Satellite battery: merged per-worker metrics under ensemble
+    inputs, session reuse, and associative merging across pool
+    restarts after a worker crash."""
+
+    def pool_op(self):
+        forest = Forest(box(subdivisions=(4, 2, 1), boundary_ids={0: 1}))
+        return make_op(forest)
+
+    def merged(self, pool):
+        doc = pool.collect_worker_metrics()
+        return doc, {m["name"]: m for m in doc["metrics"]}
+
+    def test_post_phase_and_spin_histogram(self, rng):
+        op = self.pool_op()
+        pool = WorkerPool(2)
+        pool.register("op", op)
+        with pool:
+            pool.enable_worker_metrics()
+            pool.vmult("op", rng.standard_normal(op.n_dofs))
+            _, by_name = self.merged(pool)
+        phases = by_name["repro_parallel_worker_phase_seconds_total"]
+        seen = {s["labels"][0] for s in phases["samples"]}
+        assert seen == set(PHASES)  # completeness: post included
+        spins = by_name["repro_parallel_ghost_wait_spins"]
+        srcs = {s["labels"][0] for s in spins["samples"]}
+        assert srcs == {"0", "1"}  # each worker waited on its peer
+        # histogram merge carries per-source counts: one wait per round
+        counts = {s["labels"][0]: s["count"] for s in spins["samples"]}
+        assert counts == {"0": 1, "1": 1}
+
+    def test_ensemble_rounds_merge(self, rng):
+        op = self.pool_op()
+        pool = WorkerPool(2)
+        pool.register("op", op)
+        with pool:
+            pool.enable_worker_metrics()
+            pool.vmult("op", rng.standard_normal((3, op.n_dofs)))
+            _, by_name = self.merged(pool)
+        vm = by_name["repro_parallel_worker_vmults_total"]
+        # one round regardless of the ensemble width; both workers count
+        assert sum(s["value"] for s in vm["samples"]) == 2.0
+
+    def test_session_reuse_accumulates(self, rng):
+        op = self.pool_op()
+        x = rng.standard_normal(op.n_dofs)
+        pool = WorkerPool(2)
+        pool.register("op", op)
+        with pool:
+            pool.enable_worker_metrics()
+            for _ in range(3):
+                pool.vmult("op", x)
+            _, by_name = self.merged(pool)
+            totals = pool.worker_phase_totals()
+        vm = by_name["repro_parallel_worker_vmults_total"]
+        assert sum(s["value"] for s in vm["samples"]) == 6.0
+        assert set(totals) == {"0", "1"}
+        for phases in totals.values():
+            assert set(phases) == set(PHASES)
+            assert phases["interior"] > 0
+
+    def test_merge_across_pool_restart_is_associative(self, rng):
+        from repro.parallel import WorkerCrash
+        op = self.pool_op()
+        x = rng.standard_normal(op.n_dofs)
+        docs = []
+        pool = WorkerPool(2)
+        pool.register("op", op)
+        pool.start()
+        try:
+            pool.enable_worker_metrics()
+            pool.vmult("op", x)
+            docs.append(pool.collect_worker_metrics())
+            pool.inject_crash(1)
+            with pytest.raises(WorkerCrash):
+                pool.vmult("op", x)
+        finally:
+            pool.close()
+        # a fresh pool after the crash: its snapshots merge with the
+        # dead pool's, and the reduction is associative
+        pool = WorkerPool(2)
+        pool.register("op", op)
+        with pool:
+            pool.enable_worker_metrics()
+            pool.vmult("op", x)
+            pool.vmult("op", x)
+            docs.append(pool.collect_worker_metrics())
+        merged = merge_snapshots(docs)
+        left = merge_snapshots([docs[0], merge_snapshots([docs[1]])])
+        assert merged["metrics"] == left["metrics"]
+        by_name = {m["name"]: m for m in merged["metrics"]}
+        vm = by_name["repro_parallel_worker_vmults_total"]
+        assert sum(s["value"] for s in vm["samples"]) == 6.0
+
+
+@pytest.mark.parallel
+class TestDistributedLungCLI:
+    def test_metrics_file_includes_worker_series(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.telemetry.metrics import parse_prometheus
+
+        prom = tmp_path / "m.prom"
+        assert main(["lung", "--steps", "1", "--generations", "1",
+                     "--workers", "2", "--metrics-file", str(prom)]) == 0
+        text = prom.read_text()
+        doc = parse_prometheus(text)
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        spins = by_name["repro_parallel_ghost_wait_spins"]
+        assert {s["labels"][0] for s in spins["samples"]} == {"0", "1"}
+        phases = by_name["repro_parallel_worker_phase_seconds_total"]
+        assert {s["labels"][0] for s in phases["samples"]} >= set(PHASES)
+        vm = by_name["repro_parallel_worker_vmults_total"]
+        assert sum(s["value"] for s in vm["samples"]) > 0
+
+
+@pytest.mark.parallel
+class TestDistributedContextTimeline:
+    def test_context_exposes_timeline(self, rng):
+        op = make_op(Forest(box(subdivisions=(4, 2, 1),
+                                boundary_ids={0: 1})))
+        b = rng.standard_normal(op.n_dofs)
+        with DistributedSolverContext(op, n_workers=2,
+                                      trace_timeline=True) as ctx:
+            ctx.operator.vmult(b)
+            events = ctx.timeline_events()
+            rb = ctx.rank_exchange_bytes()
+            totals = ctx.worker_phase_totals()
+        assert len(events) > 0
+        assert set(rb) == {0, 1}
+        assert set(totals) == {"0", "1"}
+        a = analyze_timeline(events, rank_bytes=rb)
+        assert "achieved_gb_s" in a["totals"]["per_rank"]["0"]

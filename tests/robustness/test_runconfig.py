@@ -30,6 +30,12 @@ class TestRoundTrip:
         )
         assert RunConfig.from_dict(c.to_dict()) == c
 
+    def test_trace_timeline_round_trip(self):
+        c = RunConfig(workers=2, trace_timeline=True)
+        assert RunConfig.from_dict(c.to_dict()) == c
+        assert RunConfig.from_json(c.to_json()).trace_timeline is True
+        assert RunConfig().trace_timeline is False
+
     def test_json_round_trip_with_infinite_dt_max(self):
         c = RunConfig()
         assert math.isinf(c.solver.dt_max)
@@ -99,6 +105,15 @@ class TestFromArgs:
         assert c.robustness.checkpoint_every_steps == 4
         assert c.robustness.checkpoint_keep == 2
         assert c.robustness.max_step_retries == 1
+
+    def test_trace_timeline_flag(self):
+        # the CLI flag carries the trace output path; the config
+        # records only that tracing is on
+        c = RunConfig.from_args(
+            lung_namespace(workers=2, trace_timeline="/tmp/trace.json")
+        )
+        assert c.trace_timeline is True
+        assert RunConfig.from_args(lung_namespace()).trace_timeline is False
 
     def test_config_file_base_with_flag_override(self, tmp_path):
         base = RunConfig(

@@ -134,6 +134,44 @@ def _read(log):
     return read_run_log(log)
 
 
+class TestTimelineSection:
+    def write_distributed_log(self, path):
+        from repro.telemetry.timeline import analyze_timeline
+
+        events = []
+        for rnd in range(2):
+            for rank in range(2):
+                t = rnd * 1.0
+                for phase, dur in (("pack", 0.01), ("post", 0.002),
+                                   ("interior", 0.5 + 0.1 * rank),
+                                   ("wait", 0.1), ("cut", 0.05),
+                                   ("accumulate", 0.01)):
+                    events.append({"rank": rank, "round": rnd,
+                                   "phase": phase, "peer": -1,
+                                   "t0": t, "t1": t + dur})
+                    t += dur
+        analysis = analyze_timeline(events)
+        with RunLogWriter(path, meta={"command": "lung"}) as w:
+            for i in range(2):
+                w.write_step(make_stats(i))
+            w.write_summary(extra={"timeline": analysis})
+        return path
+
+    def test_distributed_summary_renders_timeline_section(self, tmp_path):
+        log = self.write_distributed_log(tmp_path / "run.jsonl")
+        header, steps, summary = _read(log)
+        html = render_html_dashboard(header, steps, summary)
+        assert "Distributed timeline" in html
+        assert "Wait fraction" in html
+        assert "Overlap efficiency" in html or "overlap" in html.lower()
+
+    def test_serial_log_has_no_timeline_section(self, tmp_path):
+        log = write_log(tmp_path / "run.jsonl")
+        header, steps, summary = _read(log)
+        html = render_html_dashboard(header, steps, summary)
+        assert "Distributed timeline" not in html
+
+
 class TestDashboardNumbers:
     def test_tiles_reflect_the_log(self, tmp_path):
         log = write_log(tmp_path / "run.jsonl", n_steps=4)

@@ -59,6 +59,29 @@ class TestMonitorOnce:
         assert "robustness:" in text
         assert "step retries: 2" in text
 
+    def test_worker_phase_breakdown(self, tmp_path):
+        # distributed runs attach cumulative per-rank phase seconds to
+        # every step record; the monitor renders the latest breakdown
+        path = tmp_path / "run.jsonl"
+        w = RunLogWriter(path, meta={"command": "lung", "steps": 4})
+        phases = {
+            "0": {"pack": 0.01, "post": 0.001, "interior": 0.6,
+                  "wait": 0.2, "cut": 0.15, "accumulate": 0.039},
+            "1": {"pack": 0.02, "post": 0.001, "interior": 0.5,
+                  "wait": 0.3, "cut": 0.14, "accumulate": 0.039},
+        }
+        w.write_step(make_stats(0), extra={"worker_phases": phases})
+        w.close()
+        text, _ = monitor_once(path)
+        assert "worker phases (% of per-rank round time):" in text
+        assert "rank 0:" in text and "rank 1:" in text
+        assert "interior 60.0%" in text and "wait 20.0%" in text
+
+    def test_serial_log_has_no_worker_section(self, tmp_path):
+        path = write_log(tmp_path / "run.jsonl")
+        text, _ = monitor_once(path)
+        assert "worker phases" not in text
+
     def test_headerless_steps_waiting(self, tmp_path):
         path = tmp_path / "run.jsonl"
         RunLogWriter(path, meta={"command": "lung"}).close()

@@ -129,6 +129,72 @@ class TestTelemetryCLI:
         assert main(["report", str(log)]) == 1
 
 
+class TestTraceCLI:
+    """``repro trace``: offline analysis of a --trace-timeline file."""
+
+    def write_trace(self, path, meta=None):
+        from repro.telemetry import write_chrome_trace
+
+        events = []
+        for rank in range(2):
+            t = 0.0
+            for phase, dur in (("pack", 0.01), ("post", 0.002),
+                               ("interior", 0.5 + 0.1 * rank),
+                               ("wait", 0.2 - 0.1 * rank),
+                               ("cut", 0.05), ("accumulate", 0.01)):
+                events.append({"rank": rank, "round": 0, "phase": phase,
+                               "peer": -1, "t0": t, "t1": t + dur})
+                t += dur
+        return write_chrome_trace(path, events, meta=meta)
+
+    def test_trace_text_report(self, tmp_path, capsys):
+        path = self.write_trace(
+            tmp_path / "t.json",
+            meta={"rank_exchange_bytes": {"0": {"send": 800, "recv": 800},
+                                          "1": {"send": 800, "recv": 800}},
+                  "clock_rtts_s": {"0": 3e-5, "1": 2.4e-5}},
+        )
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "distributed timeline: 2 ranks, 1 rounds" in out
+        assert "clock-offset tolerance: 15.0 us" in out
+        assert "overlap efficiency" in out
+        assert "ghost_exchange[rank0]" in out  # bandwidth attribution
+
+    def test_trace_json_reproduces_analysis(self, tmp_path, capsys):
+        from repro.telemetry import analyze_timeline, load_chrome_trace
+
+        path = self.write_trace(tmp_path / "t.json")
+        assert main(["trace", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro/timeline/1"
+        events, _ = load_chrome_trace(path)
+        # the CLI reproduces the library analysis exactly
+        assert doc == json.loads(json.dumps(analyze_timeline(events)))
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_rejects_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["trace", str(path)]) == 1
+        assert "no timeline events" in capsys.readouterr().err
+
+    def test_poisson_trace_requires_workers(self, capsys):
+        assert main(["poisson", "--refinements", "1",
+                     "--trace-timeline", "/tmp/t.json"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_lung_trace_without_workers_warns(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["lung", "--steps", "1",
+                     "--trace-timeline", str(trace)]) == 0
+        assert "needs --workers" in capsys.readouterr().err
+        assert not trace.exists()
+
+
 class TestRunConfigCLI:
     def test_lung_config_round_trip(self, tmp_path, capsys):
         """A config written by RunConfig.to_json drives the lung command
